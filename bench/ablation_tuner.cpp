@@ -1,0 +1,75 @@
+// Ablation: the enabler-tuning search.  The paper uses simulated
+// annealing to pick the scaling enablers that minimize G(k) subject to
+// the efficiency band; this bench compares SA against random search and
+// grid search at the same simulation budget, at the Case 2 base for the
+// reference RMS (LOWEST).
+
+#include <iostream>
+
+#include "common.hpp"
+#include "opt/search.hpp"
+#include "rms/factory.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace scal;
+  using util::Table;
+
+  grid::GridConfig base = bench::case2_base();
+  base.rms = grid::RmsKind::kLowest;
+  const core::ScalingCase scase = core::ScalingCase::case2_service_rate();
+
+  core::TunerConfig tuner;
+  tuner.evaluations = bench::fast_mode() ? 8 : 27;
+  tuner.e0 = bench::calibrate_e0(base, scase, 1.0);
+  tuner.band = 0.03;
+
+  std::cout << "Ablation: enabler search strategies (LOWEST, Case 2 base, "
+            << "budget " << tuner.evaluations << " evaluations, E0="
+            << tuner.e0 << ")\n\n";
+
+  const opt::Space space = core::enabler_space(scase);
+  const core::SimRunner runner = core::default_runner();
+  auto objective = [&](const opt::Point& point) {
+    grid::GridConfig candidate = base;
+    candidate.tuning = core::tuning_from_point(scase, base.tuning, point);
+    return core::penalized_objective(runner(candidate), tuner);
+  };
+
+  Table table({"search", "best objective", "evaluations"});
+
+  {  // Simulated annealing (the paper's choice), via the real tuner.
+    const auto outcome = core::tune_enablers(base, scase, tuner, runner);
+    table.add_row({"simulated annealing",
+                   Table::fixed(outcome.objective, 2),
+                   std::to_string(outcome.evaluations)});
+  }
+  {  // SA as the sweeps actually run it: anchored on the default tuning
+     // (the warm-start role the k-chain plays).
+    const auto outcome =
+        core::tune_enablers(base, scase, tuner, runner, base.tuning);
+    table.add_row({"simulated annealing (anchored)",
+                   Table::fixed(outcome.objective, 2),
+                   std::to_string(outcome.evaluations)});
+  }
+  {
+    util::RandomStream rng(base.seed, "ablation-random-search");
+    const auto r = opt::random_search(space, objective, tuner.evaluations,
+                                      rng);
+    table.add_row({"random search", Table::fixed(r.best_value, 2),
+                   std::to_string(r.evaluations)});
+  }
+  {
+    // 3 levels per dimension =~ the same budget for 3 enablers.
+    const auto r = opt::grid_search(space, objective, 3);
+    table.add_row({"grid search (3/dim)", Table::fixed(r.best_value, 2),
+                   std::to_string(r.evaluations)});
+  }
+  table.print(std::cout);
+  std::cout << "\nLower objective = lower G(k) inside the efficiency band.\n"
+               "At cold-start micro budgets, independent sampling is a "
+               "strong baseline; the\nsweeps run SA anchored on the "
+               "previous scale point's optimum, where its local\n"
+               "refinement is what keeps the k-chain smooth.\n";
+  return 0;
+}

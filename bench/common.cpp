@@ -1,0 +1,171 @@
+#include "common.hpp"
+
+#include <chrono>
+#include <iostream>
+
+#include "rms/factory.hpp"
+#include "util/env.hpp"
+
+namespace scal::bench {
+
+bool fast_mode() { return util::env_flag("SCAL_BENCH_FAST"); }
+
+std::string csv_dir() { return util::env_or("SCAL_BENCH_CSV", "."); }
+
+namespace {
+
+std::uint64_t bench_seed() {
+  return static_cast<std::uint64_t>(util::env_int("SCAL_BENCH_SEED", 42));
+}
+
+grid::GridConfig common_base() {
+  grid::GridConfig config;
+  config.seed = bench_seed();
+  config.horizon = 1500.0;
+  config.cluster_size = 20;
+  config.estimators_per_cluster = 1;
+  config.service_rate = 8.0;
+  config.tuning.update_interval = 20.0;
+  config.tuning.neighborhood_size = 3;
+  config.tuning.volunteer_interval = 60.0;
+  return config;
+}
+
+/// Interarrival time that loads the pool to utilization rho.
+double interarrival_for(const grid::GridConfig& config, double rho) {
+  const double resources = static_cast<double>(
+      config.cluster_count() *
+      (config.cluster_size - 1 - config.estimators_per_cluster));
+  const double capacity = resources * config.service_rate;
+  const double mean_demand = workload::expected_exec_time(config.workload);
+  return mean_demand / (rho * capacity);
+}
+
+}  // namespace
+
+grid::GridConfig case1_base() {
+  grid::GridConfig config = common_base();
+  config.topology.nodes = fast_mode() ? 120 : 250;
+  config.workload.mean_interarrival = interarrival_for(config, 0.85);
+  return config;
+}
+
+grid::GridConfig case2_base() {
+  grid::GridConfig config = common_base();
+  config.topology.nodes = fast_mode() ? 200 : 1000;
+  config.horizon = 1000.0;  // k scales the job count 6x; keep runs bounded
+  // Moderate base load: at rho 0.5 the central scheduler's decision +
+  // update stream crosses saturation around k ~ 3-4, reproducing the
+  // paper's "CENTRAL scalable in [1,3], least scalable by 6" shape.
+  config.workload.mean_interarrival = interarrival_for(config, 0.5);
+  return config;
+}
+
+grid::GridConfig case3_base() {
+  grid::GridConfig config = common_base();
+  config.topology.nodes = fast_mode() ? 200 : 1000;
+  // The RP is fixed while the workload scales 6x, so the base must be
+  // lightly loaded for the sweep to stay feasible (rho: 0.14 -> 0.85).
+  config.workload.mean_interarrival = interarrival_for(config, 0.142);
+  return config;
+}
+
+grid::GridConfig case4_base() {
+  grid::GridConfig config = common_base();
+  config.topology.nodes = fast_mode() ? 200 : 1000;
+  config.tuning.neighborhood_size = 2;  // L_p base; scaled to 12 at k = 6
+  config.workload.mean_interarrival = interarrival_for(config, 0.142);
+  return config;
+}
+
+std::vector<grid::RmsKind> all_rms() {
+  return {grid::kAllRmsKinds,
+          grid::kAllRmsKinds + std::size(grid::kAllRmsKinds)};
+}
+
+core::ProcedureConfig procedure_for(core::ScalingCase scase) {
+  core::ProcedureConfig procedure;
+  procedure.scase = std::move(scase);
+  if (fast_mode()) {
+    procedure.scale_factors = {1, 2, 3};
+    procedure.tuner.evaluations =
+        static_cast<std::size_t>(util::env_int("SCAL_BENCH_EVALS", 4));
+    procedure.warm_evaluations = 3;
+  } else {
+    procedure.scale_factors = {1, 2, 3, 4, 5, 6};
+    procedure.tuner.evaluations =
+        static_cast<std::size_t>(util::env_int("SCAL_BENCH_EVALS", 24));
+    procedure.warm_evaluations = 12;
+  }
+  // Band widths are per case: the cases whose workload scales against a
+  // fixed resource pool (3 and 4) see an intrinsic efficiency drift that
+  // the enablers can only partly cancel, so their bands are wider (the
+  // calibration note in EXPERIMENTS.md discusses this).
+  switch (procedure.scase.variable) {
+    case core::ScalingVariableKind::kNetworkSize:
+      procedure.tuner.band = 0.03;
+      break;
+    case core::ScalingVariableKind::kServiceRate:
+      procedure.tuner.band = 0.05;
+      break;
+    case core::ScalingVariableKind::kEstimators:
+    case core::ScalingVariableKind::kNeighborhood:
+      procedure.tuner.band = 0.06;
+      break;
+  }
+  return procedure;
+}
+
+double calibrate_e0(const grid::GridConfig& base,
+                    const core::ScalingCase& scase, double k_mid) {
+  grid::GridConfig reference = core::apply_scale(base, scase, k_mid);
+  reference.rms = grid::RmsKind::kLowest;
+  const grid::SimulationResult result = rms::simulate(reference);
+  return result.efficiency();
+}
+
+std::vector<core::CaseResult> run_overhead_figure(
+    const std::string& figure_name, const grid::GridConfig& base,
+    core::ProcedureConfig procedure) {
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Step 1 (paper Figure 1): choose a feasible efficiency to hold.
+  const double k_mid =
+      procedure.scale_factors[procedure.scale_factors.size() / 2];
+  const double e0 = calibrate_e0(base, procedure.scase, k_mid);
+  procedure.tuner.e0 = e0;
+  std::cout << figure_name << "\n" << procedure.scase.name
+            << "\nholding E(k) = " << e0 << " +/- "
+            << procedure.tuner.band << " (paper band: [0.38, 0.42]; see "
+            << "EXPERIMENTS.md for the calibration note)\n\n";
+
+  core::ProgressFn progress = [](grid::RmsKind rms, double k,
+                                 const core::TuneOutcome& outcome) {
+    std::cout << "  " << grid::to_string(rms) << " k=" << k
+              << "  G=" << outcome.result.G()
+              << "  E=" << outcome.result.efficiency()
+              << (outcome.feasible ? "" : "  [band missed]") << "\n";
+  };
+
+  const auto results =
+      core::measure_all(base, all_rms(), procedure,
+                        core::default_runner(), progress);
+
+  std::cout << "\n" << core::render_overhead_chart(results, figure_name)
+            << "\n";
+  for (const auto& r : results) {
+    std::cout << core::render_case_table(r) << "\n";
+  }
+  std::cout << "Summary\n"
+            << core::render_summary_table(results) << "\n";
+
+  const std::string csv = csv_dir() + "/" + figure_name + ".csv";
+  core::write_case_csv(results, csv);
+  const auto seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  std::cout << "series written to " << csv << "  (" << seconds << " s)\n";
+  return results;
+}
+
+}  // namespace scal::bench

@@ -1,0 +1,55 @@
+#pragma once
+// Shared setup for the figure-reproduction benches.
+//
+// Every bench reproduces one table or figure of "Measuring Scalability
+// of Resource Management Systems" (IPDPS 2005).  The base configurations
+// here are the k = 1 points of the paper's four scaling cases; the
+// workload intensities are calibrated so the efficiency band is feasible
+// across the sweep on this substrate (see EXPERIMENTS.md for the
+// mapping to the paper's [0.38, 0.42] band).
+//
+// Environment knobs:
+//   SCAL_BENCH_FAST=1    3 scale factors, small budgets (smoke runs)
+//   SCAL_BENCH_EVALS=n   SA budget at the base scale point
+//   SCAL_BENCH_SEED=n    simulation seed
+//   SCAL_BENCH_CSV=dir   where CSV series are written (default ".")
+
+#include <string>
+#include <vector>
+
+#include "core/procedure.hpp"
+#include "core/report.hpp"
+#include "grid/config.hpp"
+
+namespace scal::bench {
+
+/// The paper's four experimental cases (Tables 2-5) with calibrated
+/// base configurations.
+grid::GridConfig case1_base();  ///< 250 nodes, scaled by network size
+grid::GridConfig case2_base();  ///< 1000 nodes, scaled by service rate
+grid::GridConfig case3_base();  ///< 1000 nodes, scaled by estimators
+grid::GridConfig case4_base();  ///< 1000 nodes, scaled by L_p
+
+/// Procedure settings for the given case, honoring the env knobs.
+core::ProcedureConfig procedure_for(core::ScalingCase scase);
+
+/// All seven RMS kinds (paper order).
+std::vector<grid::RmsKind> all_rms();
+
+/// Step 1 of the measurement procedure: pick a feasible E0 by running
+/// the reference RMS (LOWEST) with default enablers at the sweep's
+/// middle scale point, so the band covers the whole sweep as well as
+/// the enablers allow.
+double calibrate_e0(const grid::GridConfig& base,
+                    const core::ScalingCase& scase, double k_mid);
+
+/// Run a full figure sweep: measure all RMS kinds, print the per-RMS
+/// tables, the overhead chart, the summary, and write the CSV.
+std::vector<core::CaseResult> run_overhead_figure(
+    const std::string& figure_name, const grid::GridConfig& base,
+    core::ProcedureConfig procedure);
+
+bool fast_mode();
+std::string csv_dir();
+
+}  // namespace scal::bench

@@ -1,0 +1,21 @@
+// Figure 2: variation in G(k) on scaling the RP by number of nodes
+// (Case 1, Table 2).  The RMS grows proportionately with the RP, the
+// workload scales with the network size, and the enablers (update
+// interval, neighborhood size, link delay) are tuned per scale point.
+//
+// Paper claims to check against the output:
+//   - at k = 1 the distributed models incur substantially larger
+//     overhead than CENTRAL;
+//   - CENTRAL's overhead grows steeply with k (least scalable for
+//     1 < k <= 6);
+//   - LOWEST is the most scalable distributed RMS, Sy-I the least.
+
+#include "common.hpp"
+
+int main() {
+  using namespace scal;
+  bench::run_overhead_figure("fig2_scale_network", bench::case1_base(),
+                             bench::procedure_for(
+                                 core::ScalingCase::case1_network_size()));
+  return 0;
+}

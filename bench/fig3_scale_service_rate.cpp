@@ -1,0 +1,19 @@
+// Figure 3: variation in G(k) on scaling the RP by resource service
+// rate (Case 2, Table 3); network size fixed at 1000 nodes.
+//
+// Paper claims to check against the output:
+//   - CENTRAL is more scalable than the majority of the distributed
+//     models for k in [1, 3];
+//   - CENTRAL's overhead keeps increasing and it is the least scalable
+//     RMS by k = 6;
+//   - LOWEST is the most scalable of all models.
+
+#include "common.hpp"
+
+int main() {
+  using namespace scal;
+  bench::run_overhead_figure("fig3_scale_service_rate", bench::case2_base(),
+                             bench::procedure_for(
+                                 core::ScalingCase::case2_service_rate()));
+  return 0;
+}

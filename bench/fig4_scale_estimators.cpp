@@ -1,0 +1,19 @@
+// Figure 4: variation of G(k) on scaling the RMS by the number of
+// status estimators (Case 3, Table 4); network size 1000 nodes, RP
+// unaltered.  Estimators are the RMS nodes which receive the status
+// updates from RP resources and distribute them to the scheduling
+// decision makers.
+//
+// Paper claims to check against the output:
+//   - AUCTION and Sy-I (the PUSH+PULL models) are no longer scalable
+//     for k > 3; the other models degrade much more slowly.
+
+#include "common.hpp"
+
+int main() {
+  using namespace scal;
+  bench::run_overhead_figure("fig4_scale_estimators", bench::case3_base(),
+                             bench::procedure_for(
+                                 core::ScalingCase::case3_estimators()));
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Figure 5: variation in G(k) on scaling the RMS by L_p, the number of
+// neighbor schedulers probed or polled (Case 4, Table 5); network size
+// 1000 nodes.  The enablers are the update interval, the resource
+// volunteering interval, and the link delay.
+//
+// Paper claims to check against the output:
+//   - the probe-on-arrival models (LOWEST, S-I) improve slightly at
+//     k = 2 but are no longer scalable for k > 2;
+//   - RESERVE is clearly unscalable for k > 3;
+//   - the PUSH+PULL models (AUCTION, Sy-I) are scalable after k > 2.
+
+#include "common.hpp"
+
+int main() {
+  using namespace scal;
+  bench::run_overhead_figure("fig5_scale_lp", bench::case4_base(),
+                             bench::procedure_for(
+                                 core::ScalingCase::case4_neighborhood()));
+  return 0;
+}

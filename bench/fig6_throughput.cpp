@@ -1,0 +1,65 @@
+// Figure 6: throughput (jobs completed per unit time) obtained by
+// scaling the RMS by the number of estimators (the Case 3 sweep of
+// Figure 4, reported on the throughput axis).
+//
+// Paper claims to check against the output:
+//   - AUCTION's throughput starts falling after k = 5;
+//   - Sy-I's throughput shows no improvement for k > 4;
+//   - the remaining models keep improving as the workload scales.
+
+#include <iostream>
+
+#include "common.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace scal;
+  auto procedure =
+      bench::procedure_for(core::ScalingCase::case3_estimators());
+  const grid::GridConfig base = bench::case3_base();
+  procedure.tuner.e0 = bench::calibrate_e0(
+      base, procedure.scase,
+      procedure.scale_factors[procedure.scale_factors.size() / 2]);
+  std::cout << "fig6_throughput\n" << procedure.scase.name
+            << " (throughput axis)\n\n";
+
+  const auto results = core::measure_all(base, bench::all_rms(), procedure);
+
+  // The paper's framework counts useful work, so the headline series is
+  // goodput: jobs completed *within their benefit window* per unit time.
+  // Raw completions are tabled alongside for comparison.
+  std::cout << core::render_measure_chart(
+                   results, "fig6_throughput",
+                   "successful jobs / time unit",
+                   [](const grid::SimulationResult& r) {
+                     return static_cast<double>(r.jobs_succeeded) /
+                            r.horizon;
+                   })
+            << "\n";
+  util::Table table({"RMS", "k=1", "k=2", "k=3", "k=4", "k=5", "k=6"});
+  std::cout << "Goodput (successful jobs / time unit):\n";
+  for (const auto& r : results) {
+    std::vector<std::string> row{grid::to_string(r.rms)};
+    for (const auto& p : r.points) {
+      row.push_back(util::Table::fixed(
+          static_cast<double>(p.sim.jobs_succeeded) / p.sim.horizon, 2));
+    }
+    while (row.size() < table.cols()) row.push_back("-");
+    table.add_row(row);
+  }
+  table.print(std::cout);
+
+  util::Table raw({"RMS", "k=1", "k=2", "k=3", "k=4", "k=5", "k=6"});
+  std::cout << "\nRaw completions (jobs / time unit):\n";
+  for (const auto& r : results) {
+    std::vector<std::string> row{grid::to_string(r.rms)};
+    for (const auto& p : r.points) {
+      row.push_back(util::Table::fixed(p.sim.throughput, 2));
+    }
+    while (row.size() < raw.cols()) row.push_back("-");
+    raw.add_row(row);
+  }
+  raw.print(std::cout);
+  core::write_case_csv(results, bench::csv_dir() + "/fig6_throughput.csv");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 7: average job response times obtained by scaling the RMS by
+// the number of estimators (the Case 3 sweep of Figure 4, reported on
+// the response-time axis).
+//
+// Paper claim to check against the output: response times for AUCTION
+// and Sy-I degrade at high k, mirroring their throughput stall in
+// Figure 6, while the other models stay flat.
+
+#include <iostream>
+
+#include "common.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace scal;
+  auto procedure =
+      bench::procedure_for(core::ScalingCase::case3_estimators());
+  const grid::GridConfig base = bench::case3_base();
+  procedure.tuner.e0 = bench::calibrate_e0(
+      base, procedure.scase,
+      procedure.scale_factors[procedure.scale_factors.size() / 2]);
+  std::cout << "fig7_response_time\n" << procedure.scase.name
+            << " (mean response axis)\n\n";
+
+  const auto results = core::measure_all(base, bench::all_rms(), procedure);
+
+  std::cout << core::render_measure_chart(
+                   results, "fig7_response_time", "mean response [time units]",
+                   [](const grid::SimulationResult& r) {
+                     return r.mean_response;
+                   })
+            << "\n";
+  util::Table table({"RMS", "k=1", "k=2", "k=3", "k=4", "k=5", "k=6"});
+  for (const auto& r : results) {
+    std::vector<std::string> row{grid::to_string(r.rms)};
+    for (const auto& p : r.points) {
+      row.push_back(util::Table::fixed(p.sim.mean_response, 1));
+    }
+    while (row.size() < table.cols()) row.push_back("-");
+    table.add_row(row);
+  }
+  table.print(std::cout);
+  core::write_case_csv(results,
+                       bench::csv_dir() + "/fig7_response_time.csv");
+  return 0;
+}

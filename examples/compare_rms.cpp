@@ -1,0 +1,52 @@
+// Compare all seven RMS models on one grid configuration: the paper's
+// Section 3.3 lineup, side by side, with the work terms, efficiency,
+// job outcomes, and protocol traffic of each.
+//
+//   ./compare_rms [nodes] [mean_interarrival] [seed]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "rms/factory.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace scal;
+  using util::Table;
+
+  grid::GridConfig config;
+  config.topology.nodes = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 400;
+  config.workload.mean_interarrival =
+      argc > 2 ? std::strtod(argv[2], nullptr) : 0.25;
+  config.seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 42;
+  config.horizon = 1500.0;
+
+  std::cout << "Comparing the seven RMS models on " << config.topology.nodes
+            << " nodes (" << config.cluster_count()
+            << " clusters), horizon " << config.horizon << "\n\n";
+
+  Table table({"RMS", "G(k)", "E", "succeeded", "missed", "unfinished",
+               "mean resp", "polls", "transfers", "auctions", "adverts"});
+  for (const grid::RmsKind kind : grid::kAllRmsKinds) {
+    config.rms = kind;
+    const grid::SimulationResult r = rms::simulate(config);
+    table.add_row({
+        grid::to_string(kind),
+        Table::fixed(r.G(), 1),
+        Table::fixed(r.efficiency(), 3),
+        std::to_string(r.jobs_succeeded),
+        std::to_string(r.jobs_missed_deadline),
+        std::to_string(r.jobs_unfinished),
+        Table::fixed(r.mean_response, 1),
+        std::to_string(r.polls),
+        std::to_string(r.transfers),
+        std::to_string(r.auctions),
+        std::to_string(r.adverts),
+    });
+  }
+  table.print(std::cout);
+  std::cout << "\nG(k) is the RMS overhead (scheduler + estimator + "
+               "middleware work-in-system time);\nE = F / (F + G + H) is "
+               "the paper's efficiency.\n";
+  return 0;
+}

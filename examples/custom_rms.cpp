@@ -1,0 +1,104 @@
+// Implementing a custom RMS policy against the public scheduler API.
+//
+// The policy below ("ROUND-ROBIN") ignores load information entirely and
+// sprays jobs across its cluster cyclically, transferring every REMOTE
+// job to the next cluster in a ring.  It exists to show the extension
+// surface: derive from rms::DistributedSchedulerBase, override
+// handle_job / handle_message, and inject a custom factory into
+// GridSystem.  The example then measures it against LOWEST.
+
+#include <iostream>
+#include <memory>
+
+#include "rms/base.hpp"
+#include "rms/factory.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+class RoundRobinScheduler : public scal::rms::DistributedSchedulerBase {
+ public:
+  using DistributedSchedulerBase::DistributedSchedulerBase;
+
+ protected:
+  void handle_job(scal::workload::Job job) override {
+    using scal::workload::JobClass;
+    if (job.job_class == JobClass::kRemote &&
+        system().cluster_count() > 1) {
+      // Ring handoff: REMOTE jobs always move one cluster to the right.
+      const auto next = static_cast<scal::grid::ClusterId>(
+          (cluster() + 1) % system().cluster_count());
+      transfer_job(next, std::move(job));
+      return;
+    }
+    const auto& t = table(cluster());
+    const auto r = static_cast<scal::grid::ResourceIndex>(
+        next_slot_++ % t.size());
+    dispatch(cluster(), r, std::move(job));
+  }
+
+  void handle_message(const scal::grid::RmsMessage& msg) override {
+    if (msg.kind == scal::grid::MsgKind::kJobTransfer && msg.job) {
+      // Arrived via the ring: place it locally, round-robin.
+      scal::workload::Job job = *msg.job;
+      const auto& t = table(cluster());
+      const auto r = static_cast<scal::grid::ResourceIndex>(
+          next_slot_++ % t.size());
+      dispatch(cluster(), r, std::move(job));
+      return;
+    }
+    DistributedSchedulerBase::handle_message(msg);
+  }
+
+ private:
+  std::size_t next_slot_ = 0;
+};
+
+scal::grid::SimulationResult run_round_robin(scal::grid::GridConfig config) {
+  scal::grid::SchedulerFactory factory =
+      [](scal::grid::GridSystem& system, scal::sim::EntityId id,
+         scal::grid::ClusterId cluster, scal::net::NodeId node) {
+        return std::make_unique<RoundRobinScheduler>(system, id, cluster,
+                                                     node);
+      };
+  scal::grid::GridSystem system(std::move(config), std::move(factory));
+  return system.run();
+}
+
+}  // namespace
+
+int main() {
+  using namespace scal;
+  using util::Table;
+
+  grid::GridConfig config;
+  config.topology.nodes = 300;
+  config.horizon = 1500.0;
+  config.workload.mean_interarrival = 0.35;
+
+  std::cout << "Custom policy (ROUND-ROBIN ring) vs LOWEST on "
+            << config.topology.nodes << " nodes\n\n";
+
+  const grid::SimulationResult rr = run_round_robin(config);
+  config.rms = grid::RmsKind::kLowest;
+  const grid::SimulationResult lo = rms::simulate(config);
+
+  Table table({"metric", "ROUND-ROBIN", "LOWEST"});
+  table.add_row({"G (RMS overhead)", Table::fixed(rr.G(), 1),
+                 Table::fixed(lo.G(), 1)});
+  table.add_row({"efficiency E", Table::fixed(rr.efficiency(), 3),
+                 Table::fixed(lo.efficiency(), 3)});
+  table.add_row({"jobs succeeded", std::to_string(rr.jobs_succeeded),
+                 std::to_string(lo.jobs_succeeded)});
+  table.add_row({"missed deadline", std::to_string(rr.jobs_missed_deadline),
+                 std::to_string(lo.jobs_missed_deadline)});
+  table.add_row({"mean response", Table::fixed(rr.mean_response, 1),
+                 Table::fixed(lo.mean_response, 1)});
+  table.add_row({"transfers", std::to_string(rr.transfers),
+                 std::to_string(lo.transfers)});
+  table.print(std::cout);
+  std::cout << "\nLoad-blind placement wastes the benefit window: LOWEST "
+               "should win on success\ncount at equal (or lower) overhead "
+               "-- the reason status estimation exists at all.\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Walk the paper's four-step scalability measurement procedure
+// (Figure 1) end to end, narrating each step, for two contrasting RMS
+// models (CENTRAL vs LOWEST) on a small Case-1 sweep.
+//
+//   ./isoefficiency_study [k_max] [evals]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/procedure.hpp"
+#include "core/report.hpp"
+#include "rms/factory.hpp"
+
+int main(int argc, char** argv) {
+  using namespace scal;
+
+  const double k_max = argc > 1 ? std::strtod(argv[1], nullptr) : 4.0;
+  const std::size_t evals =
+      argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 10;
+
+  grid::GridConfig base;
+  base.topology.nodes = 150;
+  base.horizon = 800.0;
+  base.workload.mean_interarrival = 0.55;
+  base.seed = 42;
+
+  core::ProcedureConfig procedure;
+  procedure.scase = core::ScalingCase::case1_network_size();
+  procedure.scale_factors.clear();
+  for (double k = 1.0; k <= k_max; k += 1.0) {
+    procedure.scale_factors.push_back(k);
+  }
+  procedure.tuner.evaluations = evals;
+  procedure.warm_evaluations = evals / 2 + 1;
+  procedure.tuner.band = 0.04;
+
+  std::cout << "== Step 1: choose a feasible efficiency E0\n";
+  base.rms = grid::RmsKind::kLowest;
+  const double e0 = rms::simulate(base).efficiency();
+  procedure.tuner.e0 = e0;
+  std::cout << "   reference run at k=1 gives E0 = " << e0 << " (band +/- "
+            << procedure.tuner.band << ")\n\n";
+
+  std::cout << "== Steps 2+3: scale the RP along " << procedure.scase.name
+            << "\n   and tune the enablers by simulated annealing at each "
+               "k\n\n";
+  const auto progress = [](grid::RmsKind rms, double k,
+                           const core::TuneOutcome& outcome) {
+    std::cout << "   " << grid::to_string(rms) << " k=" << k
+              << ": tuned tau=" << outcome.tuning.update_interval
+              << " L_p=" << outcome.tuning.neighborhood_size
+              << " delay x" << outcome.tuning.link_delay_scale
+              << " -> G=" << outcome.result.G()
+              << " E=" << outcome.result.efficiency()
+              << (outcome.feasible ? "" : " [band missed]") << "\n";
+  };
+  const auto results = core::measure_all(
+      base, {grid::RmsKind::kCentral, grid::RmsKind::kLowest}, procedure,
+      core::default_runner(), progress);
+
+  std::cout << "\n== Step 4: the scalability metric — slope of G(k)\n\n";
+  for (const auto& result : results) {
+    std::cout << core::render_case_table(result) << "\n";
+  }
+  std::cout << core::render_overhead_chart(results,
+                                           "G(k), CENTRAL vs LOWEST")
+            << "\n";
+  std::cout << "Summary\n" << core::render_summary_table(results);
+  std::cout << "\nReading: a growing dg/dk (CENTRAL) marks an unscalable "
+               "manager; a flat or\nshrinking one (LOWEST) marks a "
+               "scalable one — Equation (2): useful work must\ngrow at "
+               "least as fast as c * g(k).\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Workload traces: generate a synthetic moldable workload (with the
+// diurnal modulation and hot-spot skew extensions), persist it, replay
+// it bit-exactly through two different RMS policies, and show that the
+// pinned trace makes cross-policy comparisons workload-identical.
+//
+//   ./trace_workflow [jobs] [path]
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "rms/factory.hpp"
+#include "util/table.hpp"
+#include "workload/trace.hpp"
+
+int main(int argc, char** argv) {
+  using namespace scal;
+  using util::Table;
+
+  const std::size_t n_jobs =
+      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 3000;
+  const std::string path =
+      argc > 2 ? argv[2] : std::string("/tmp/scal_example_trace.csv");
+
+  // A bursty, skewed workload: day/night modulation plus a hot cluster.
+  workload::WorkloadConfig wl;
+  wl.mean_interarrival = 0.5;
+  wl.clusters = 10;
+  wl.diurnal_amplitude = 0.6;
+  wl.diurnal_period = 500.0;
+  wl.origin_hotspot_weight = 0.3;
+  workload::WorkloadGenerator gen(wl, util::RandomStream(7, "trace-demo"));
+  const auto jobs = gen.generate_until(1e18, n_jobs);
+  workload::save_trace_file(jobs, path);
+
+  const workload::TraceStats stats = workload::summarize(jobs);
+  std::cout << "Generated " << stats.jobs << " jobs ("
+            << stats.local_jobs << " LOCAL / " << stats.remote_jobs
+            << " REMOTE), span " << stats.span
+            << " t.u., mean demand " << stats.mean_exec_time
+            << ", saved to " << path << "\n\n";
+
+  // Replay the identical trace through two policies.
+  grid::GridConfig config;
+  config.topology.nodes = 200;
+  config.horizon = stats.span + 200.0;
+  config.trace_path = path;
+
+  Table table({"policy", "arrived", "succeeded", "missed", "G", "E"});
+  for (const grid::RmsKind kind :
+       {grid::RmsKind::kLowest, grid::RmsKind::kSymmetric}) {
+    config.rms = kind;
+    const auto r = rms::simulate(config);
+    table.add_row({
+        grid::to_string(kind),
+        std::to_string(r.jobs_arrived),
+        std::to_string(r.jobs_succeeded),
+        std::to_string(r.jobs_missed_deadline),
+        Table::fixed(r.G(), 1),
+        Table::fixed(r.efficiency(), 3),
+    });
+  }
+  table.print(std::cout);
+  std::cout << "\nBoth rows saw byte-identical arrivals (same trace file); "
+               "every difference is the policy.\n";
+  std::remove(path.c_str());
+  return 0;
+}

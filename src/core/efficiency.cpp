@@ -1,0 +1,46 @@
+#include "core/efficiency.hpp"
+
+#include <stdexcept>
+
+namespace scal::core {
+
+WorkTerms work_terms(const grid::SimulationResult& result) {
+  WorkTerms w;
+  w.F = result.F;
+  w.G = result.G();
+  w.H = result.H();
+  return w;
+}
+
+NormalizedTerms normalize(const WorkTerms& base, const WorkTerms& scaled) {
+  if (!(base.F > 0.0) || !(base.G > 0.0) || !(base.H > 0.0)) {
+    throw std::invalid_argument(
+        "normalize: base terms must all be positive");
+  }
+  NormalizedTerms n;
+  n.f = scaled.F / base.F;
+  n.g = scaled.G / base.G;
+  n.h = scaled.H / base.H;
+  return n;
+}
+
+IsoefficiencyConstants isoefficiency_constants(const WorkTerms& base) {
+  const double e0 = base.efficiency();
+  if (!(e0 > 0.0) || !(e0 < 1.0)) {
+    throw std::invalid_argument(
+        "isoefficiency_constants: need 0 < E(k0) < 1");
+  }
+  IsoefficiencyConstants k;
+  k.alpha = 1.0 / e0;
+  const double denom = (k.alpha - 1.0) * base.F;
+  k.c = base.G / denom;
+  k.c_prime = base.H / denom;
+  return k;
+}
+
+bool growth_condition_holds(const IsoefficiencyConstants& constants,
+                            const NormalizedTerms& terms) {
+  return terms.f > constants.c * terms.g;
+}
+
+}  // namespace scal::core

@@ -1,0 +1,53 @@
+#pragma once
+// The paper's performance model (Section 2): the F/G/H work terms of a
+// managed distributed system and the efficiency
+//     E(k) = F(k) / (F(k) + G(k) + H(k)),
+// plus normalization against a base configuration:
+//     f(k) = F(k)/F(k0),  g(k) = G(k)/G(k0),  h(k) = H(k)/H(k0).
+
+#include "grid/metrics.hpp"
+
+namespace scal::core {
+
+/// The three work terms of one configuration.
+struct WorkTerms {
+  double F = 0.0;  ///< useful work delivered by the managee
+  double G = 0.0;  ///< RMS (manager) overhead
+  double H = 0.0;  ///< RP (managee) overhead
+
+  double efficiency() const noexcept {
+    const double total = F + G + H;
+    return total > 0.0 ? F / total : 0.0;
+  }
+};
+
+WorkTerms work_terms(const grid::SimulationResult& result);
+
+/// Normalized terms of a scaled configuration relative to the base.
+struct NormalizedTerms {
+  double f = 1.0;
+  double g = 1.0;
+  double h = 1.0;
+};
+
+/// Throws if any base term is non-positive (normalization undefined).
+NormalizedTerms normalize(const WorkTerms& base, const WorkTerms& scaled);
+
+/// The constants of the isoefficiency identity (Equation 1):
+///     f(k) = c * g(k) + c' * h(k)
+/// with  c  = O_RMS / ((alpha - 1) W),  c' = O_RP / ((alpha - 1) W)
+/// where alpha = 1/E(k0), W = F(k0), O_RMS = G(k0), O_RP = H(k0).
+struct IsoefficiencyConstants {
+  double alpha = 0.0;
+  double c = 0.0;
+  double c_prime = 0.0;
+};
+
+IsoefficiencyConstants isoefficiency_constants(const WorkTerms& base);
+
+/// Equation (2): useful work must grow at least as fast as RMS overhead.
+/// True when f(k) > c * g(k).
+bool growth_condition_holds(const IsoefficiencyConstants& constants,
+                            const NormalizedTerms& terms);
+
+}  // namespace scal::core

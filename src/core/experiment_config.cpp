@@ -1,0 +1,266 @@
+#include "core/experiment_config.hpp"
+
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace scal::core {
+
+namespace {
+
+ScalingCase case_from_name(const std::string& name) {
+  if (name == "network_size" || name == "case1") {
+    return ScalingCase::case1_network_size();
+  }
+  if (name == "service_rate" || name == "case2") {
+    return ScalingCase::case2_service_rate();
+  }
+  if (name == "estimators" || name == "case3") {
+    return ScalingCase::case3_estimators();
+  }
+  if (name == "neighborhood" || name == "lp" || name == "case4") {
+    return ScalingCase::case4_neighborhood();
+  }
+  throw std::runtime_error("experiment config: unknown scaling case '" +
+                           name + "'");
+}
+
+std::string case_name(const ScalingCase& scase) {
+  switch (scase.variable) {
+    case ScalingVariableKind::kNetworkSize: return "network_size";
+    case ScalingVariableKind::kServiceRate: return "service_rate";
+    case ScalingVariableKind::kEstimators: return "estimators";
+    case ScalingVariableKind::kNeighborhood: return "neighborhood";
+  }
+  return "?";
+}
+
+net::TopologyKind topology_from_name(const std::string& name) {
+  for (const auto kind :
+       {net::TopologyKind::kPreferentialAttachment,
+        net::TopologyKind::kWaxman, net::TopologyKind::kRingLattice,
+        net::TopologyKind::kStar, net::TopologyKind::kTransitStub}) {
+    if (net::to_string(kind) == name) return kind;
+  }
+  throw std::runtime_error("experiment config: unknown topology '" + name +
+                           "'");
+}
+
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  std::string cell;
+  while (std::getline(in, cell, ',')) {
+    // trim
+    const auto b = cell.find_first_not_of(" \t");
+    const auto e = cell.find_last_not_of(" \t");
+    if (b != std::string::npos) out.push_back(cell.substr(b, e - b + 1));
+  }
+  return out;
+}
+
+/// The complete key vocabulary, used to reject typos.
+const std::set<std::string>& known_keys() {
+  static const std::set<std::string> keys = {
+      "grid.nodes", "grid.topology", "grid.cluster_size",
+      "grid.estimators_per_cluster", "grid.service_rate", "grid.rms",
+      "grid.seed", "grid.horizon", "grid.update_suppression",
+      "grid.trace_path", "grid.heterogeneity",
+      "grid.control_loss_probability", "grid.job_log",
+      "grid.sample_interval",
+      "workload.mean_interarrival", "workload.t_cpu",
+      "workload.benefit_lo", "workload.benefit_hi",
+      "workload.diurnal_amplitude", "workload.diurnal_period",
+      "workload.origin_hotspot_weight",
+      "tuning.update_interval", "tuning.neighborhood_size",
+      "tuning.link_delay_scale", "tuning.volunteer_interval",
+      "procedure.case", "procedure.scale_factors",
+      "procedure.chain_warm_start", "procedure.warm_evaluations",
+      "tuner.e0", "tuner.band", "tuner.evaluations", "tuner.restarts",
+      "tuner.penalty_weight", "tuner.seed",
+      "experiment.rms_kinds", "experiment.csv_path",
+  };
+  return keys;
+}
+
+}  // namespace
+
+ExperimentConfig experiment_from_ini(const util::IniFile& ini) {
+  for (const auto& [key, value] : ini.values()) {
+    (void)value;
+    if (known_keys().count(key) == 0) {
+      throw std::runtime_error("experiment config: unknown key '" + key +
+                               "'");
+    }
+  }
+
+  ExperimentConfig config;
+  grid::GridConfig& g = config.grid;
+  g.topology.nodes = static_cast<std::size_t>(
+      ini.get_int("grid.nodes", static_cast<std::int64_t>(g.topology.nodes)));
+  if (const auto topo = ini.get("grid.topology")) {
+    g.topology.kind = topology_from_name(*topo);
+  }
+  g.cluster_size = static_cast<std::size_t>(ini.get_int(
+      "grid.cluster_size", static_cast<std::int64_t>(g.cluster_size)));
+  g.estimators_per_cluster = static_cast<std::size_t>(
+      ini.get_int("grid.estimators_per_cluster",
+                  static_cast<std::int64_t>(g.estimators_per_cluster)));
+  g.service_rate = ini.get_double("grid.service_rate", g.service_rate);
+  if (const auto rms = ini.get("grid.rms")) {
+    g.rms = grid::rms_from_string(*rms);
+  }
+  g.seed = static_cast<std::uint64_t>(
+      ini.get_int("grid.seed", static_cast<std::int64_t>(g.seed)));
+  g.horizon = ini.get_double("grid.horizon", g.horizon);
+  g.update_suppression =
+      ini.get_bool("grid.update_suppression", g.update_suppression);
+  g.trace_path = ini.get_string("grid.trace_path", g.trace_path);
+  g.heterogeneity = ini.get_double("grid.heterogeneity", g.heterogeneity);
+  g.control_loss_probability = ini.get_double(
+      "grid.control_loss_probability", g.control_loss_probability);
+  g.job_log = ini.get_bool("grid.job_log", g.job_log);
+  g.sample_interval =
+      ini.get_double("grid.sample_interval", g.sample_interval);
+
+  auto& wl = g.workload;
+  wl.mean_interarrival =
+      ini.get_double("workload.mean_interarrival", wl.mean_interarrival);
+  wl.t_cpu = ini.get_double("workload.t_cpu", wl.t_cpu);
+  wl.benefit_lo = ini.get_double("workload.benefit_lo", wl.benefit_lo);
+  wl.benefit_hi = ini.get_double("workload.benefit_hi", wl.benefit_hi);
+  wl.diurnal_amplitude =
+      ini.get_double("workload.diurnal_amplitude", wl.diurnal_amplitude);
+  wl.diurnal_period =
+      ini.get_double("workload.diurnal_period", wl.diurnal_period);
+  wl.origin_hotspot_weight = ini.get_double("workload.origin_hotspot_weight",
+                                            wl.origin_hotspot_weight);
+
+  auto& t = g.tuning;
+  t.update_interval =
+      ini.get_double("tuning.update_interval", t.update_interval);
+  t.neighborhood_size = static_cast<std::uint32_t>(
+      ini.get_int("tuning.neighborhood_size",
+                  static_cast<std::int64_t>(t.neighborhood_size)));
+  t.link_delay_scale =
+      ini.get_double("tuning.link_delay_scale", t.link_delay_scale);
+  t.volunteer_interval =
+      ini.get_double("tuning.volunteer_interval", t.volunteer_interval);
+
+  ProcedureConfig& p = config.procedure;
+  p.scase = case_from_name(ini.get_string("procedure.case", "case1"));
+  if (const auto factors = ini.get("procedure.scale_factors")) {
+    p.scale_factors.clear();
+    for (const std::string& cell : split_csv(*factors)) {
+      p.scale_factors.push_back(std::stod(cell));
+    }
+    if (p.scale_factors.empty()) {
+      throw std::runtime_error(
+          "experiment config: empty procedure.scale_factors");
+    }
+  }
+  p.chain_warm_start =
+      ini.get_bool("procedure.chain_warm_start", p.chain_warm_start);
+  p.warm_evaluations = static_cast<std::size_t>(
+      ini.get_int("procedure.warm_evaluations",
+                  static_cast<std::int64_t>(p.warm_evaluations)));
+  p.tuner.e0 = ini.get_double("tuner.e0", p.tuner.e0);
+  p.tuner.band = ini.get_double("tuner.band", p.tuner.band);
+  p.tuner.evaluations = static_cast<std::size_t>(ini.get_int(
+      "tuner.evaluations", static_cast<std::int64_t>(p.tuner.evaluations)));
+  p.tuner.restarts = static_cast<std::size_t>(ini.get_int(
+      "tuner.restarts", static_cast<std::int64_t>(p.tuner.restarts)));
+  p.tuner.penalty_weight =
+      ini.get_double("tuner.penalty_weight", p.tuner.penalty_weight);
+  p.tuner.seed = static_cast<std::uint64_t>(ini.get_int(
+      "tuner.seed", static_cast<std::int64_t>(p.tuner.seed)));
+
+  if (const auto kinds = ini.get("experiment.rms_kinds")) {
+    for (const std::string& name : split_csv(*kinds)) {
+      config.kinds.push_back(grid::rms_from_string(name));
+    }
+  }
+  config.csv_path = ini.get_string("experiment.csv_path", "");
+  return config;
+}
+
+ExperimentConfig load_experiment(const std::string& path) {
+  return experiment_from_ini(util::IniFile::load(path));
+}
+
+util::IniFile experiment_to_ini(const ExperimentConfig& config) {
+  util::IniFile ini;
+  const grid::GridConfig& g = config.grid;
+  ini.set_int("grid.nodes", static_cast<std::int64_t>(g.topology.nodes));
+  ini.set("grid.topology", net::to_string(g.topology.kind));
+  ini.set_int("grid.cluster_size",
+              static_cast<std::int64_t>(g.cluster_size));
+  ini.set_int("grid.estimators_per_cluster",
+              static_cast<std::int64_t>(g.estimators_per_cluster));
+  ini.set_double("grid.service_rate", g.service_rate);
+  ini.set("grid.rms", grid::to_string(g.rms));
+  ini.set_int("grid.seed", static_cast<std::int64_t>(g.seed));
+  ini.set_double("grid.horizon", g.horizon);
+  ini.set_bool("grid.update_suppression", g.update_suppression);
+  if (!g.trace_path.empty()) ini.set("grid.trace_path", g.trace_path);
+  ini.set_double("grid.heterogeneity", g.heterogeneity);
+  ini.set_double("grid.control_loss_probability",
+                 g.control_loss_probability);
+  ini.set_bool("grid.job_log", g.job_log);
+  if (g.sample_interval > 0.0) {
+    ini.set_double("grid.sample_interval", g.sample_interval);
+  }
+
+  ini.set_double("workload.mean_interarrival",
+                 g.workload.mean_interarrival);
+  ini.set_double("workload.t_cpu", g.workload.t_cpu);
+  ini.set_double("workload.benefit_lo", g.workload.benefit_lo);
+  ini.set_double("workload.benefit_hi", g.workload.benefit_hi);
+  ini.set_double("workload.diurnal_amplitude",
+                 g.workload.diurnal_amplitude);
+  ini.set_double("workload.diurnal_period", g.workload.diurnal_period);
+  ini.set_double("workload.origin_hotspot_weight",
+                 g.workload.origin_hotspot_weight);
+
+  ini.set_double("tuning.update_interval", g.tuning.update_interval);
+  ini.set_int("tuning.neighborhood_size",
+              static_cast<std::int64_t>(g.tuning.neighborhood_size));
+  ini.set_double("tuning.link_delay_scale", g.tuning.link_delay_scale);
+  ini.set_double("tuning.volunteer_interval",
+                 g.tuning.volunteer_interval);
+
+  const ProcedureConfig& p = config.procedure;
+  ini.set("procedure.case", case_name(p.scase));
+  std::ostringstream factors;
+  for (std::size_t i = 0; i < p.scale_factors.size(); ++i) {
+    if (i) factors << ", ";
+    factors << p.scale_factors[i];
+  }
+  ini.set("procedure.scale_factors", factors.str());
+  ini.set_bool("procedure.chain_warm_start", p.chain_warm_start);
+  ini.set_int("procedure.warm_evaluations",
+              static_cast<std::int64_t>(p.warm_evaluations));
+  ini.set_double("tuner.e0", p.tuner.e0);
+  ini.set_double("tuner.band", p.tuner.band);
+  ini.set_int("tuner.evaluations",
+              static_cast<std::int64_t>(p.tuner.evaluations));
+  ini.set_int("tuner.restarts",
+              static_cast<std::int64_t>(p.tuner.restarts));
+  ini.set_double("tuner.penalty_weight", p.tuner.penalty_weight);
+  ini.set_int("tuner.seed", static_cast<std::int64_t>(p.tuner.seed));
+
+  if (!config.kinds.empty()) {
+    std::ostringstream kinds;
+    for (std::size_t i = 0; i < config.kinds.size(); ++i) {
+      if (i) kinds << ", ";
+      kinds << grid::to_string(config.kinds[i]);
+    }
+    ini.set("experiment.rms_kinds", kinds.str());
+  }
+  if (!config.csv_path.empty()) {
+    ini.set("experiment.csv_path", config.csv_path);
+  }
+  return ini;
+}
+
+}  // namespace scal::core

@@ -1,0 +1,31 @@
+#pragma once
+// INI <-> experiment configuration mapping, so whole experiments can be
+// described, versioned, and rerun without recompiling (see
+// examples/run_experiment and examples/configs/).
+
+#include <string>
+
+#include "core/procedure.hpp"
+#include "util/ini.hpp"
+
+namespace scal::core {
+
+/// Everything one experiment needs: the k = 1 grid and the procedure.
+struct ExperimentConfig {
+  grid::GridConfig grid;
+  ProcedureConfig procedure;
+  /// Which RMS models to sweep ("CENTRAL,LOWEST,..." in the file;
+  /// empty = the paper's seven).
+  std::vector<grid::RmsKind> kinds;
+  std::string csv_path;  ///< optional CSV output
+};
+
+/// Populate from an INI file; unknown keys throw (catching typos beats
+/// silently ignoring them).  Missing keys keep their C++ defaults.
+ExperimentConfig experiment_from_ini(const util::IniFile& ini);
+ExperimentConfig load_experiment(const std::string& path);
+
+/// Serialize (round-trips through experiment_from_ini).
+util::IniFile experiment_to_ini(const ExperimentConfig& config);
+
+}  // namespace scal::core

@@ -1,0 +1,68 @@
+#include "core/isoefficiency.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace scal::core {
+
+std::string to_string(SegmentVerdict verdict) {
+  return verdict == SegmentVerdict::kScalable ? "scalable" : "unscalable";
+}
+
+IsoefficiencyReport analyze(const CaseResult& result) {
+  if (result.points.size() < 2) {
+    throw std::invalid_argument("analyze: need at least two scale points");
+  }
+  IsoefficiencyReport report;
+
+  const WorkTerms base = work_terms(result.points.front().sim);
+  report.constants = isoefficiency_constants(base);
+
+  for (const ScalePoint& p : result.points) {
+    const WorkTerms terms = work_terms(p.sim);
+    const NormalizedTerms n = normalize(base, terms);
+    report.k.push_back(p.k);
+    report.G.push_back(terms.G);
+    report.g.push_back(n.g);
+    report.f.push_back(n.f);
+    report.h.push_back(n.h);
+    report.E.push_back(terms.efficiency());
+    report.feasible.push_back(p.feasible);
+    report.growth_condition.push_back(
+        growth_condition_holds(report.constants, n));
+  }
+
+  report.g_slopes = util::segment_slopes(report.k, report.g);
+  report.h_slopes = util::segment_slopes(report.k, report.h);
+  report.overall_slope = util::fit_line(report.k, report.g).slope;
+  report.overall_h_slope = util::fit_line(report.k, report.h).slope;
+
+  // Verdicts: the first segment is judged only by the growth condition;
+  // later segments additionally require the slope not to be increasing
+  // beyond tolerance.
+  double mean_abs_slope = 0.0;
+  for (const double s : report.g_slopes) mean_abs_slope += std::abs(s);
+  mean_abs_slope /= static_cast<double>(report.g_slopes.size());
+  const double tol = kSlopeTolerance * std::max(mean_abs_slope, 1e-12);
+
+  bool still_scalable = true;
+  for (std::size_t i = 0; i < report.g_slopes.size(); ++i) {
+    const bool slope_ok =
+        i == 0 || report.g_slopes[i] <= report.g_slopes[i - 1] + tol;
+    const bool growth_ok = report.growth_condition[i + 1];
+    const SegmentVerdict v = (slope_ok && growth_ok)
+                                 ? SegmentVerdict::kScalable
+                                 : SegmentVerdict::kUnscalable;
+    report.verdicts.push_back(v);
+    if (still_scalable && v == SegmentVerdict::kScalable) {
+      report.scalable_through = report.k[i + 1];
+    } else {
+      still_scalable = false;
+    }
+  }
+  return report;
+}
+
+}  // namespace scal::core

@@ -1,0 +1,77 @@
+#pragma once
+// Step 4 of the measurement procedure: compute the scalability of the
+// RMS from G(k).  The metric is the slope of G(k) (equivalently of the
+// normalized g(k)) along the scaling path; a decreasing slope means the
+// RMS needs relatively less work to sustain the system at the next
+// scale, i.e. it is scaling well (paper Section 3.4).
+
+#include <string>
+#include <vector>
+
+#include "core/efficiency.hpp"
+#include "core/scaling.hpp"
+#include "grid/config.hpp"
+
+namespace scal::core {
+
+/// One measured point of a scaling sweep.
+struct ScalePoint {
+  double k = 1.0;
+  grid::Tuning tuning;            ///< tuned enablers at this scale
+  grid::SimulationResult sim;
+  bool feasible = false;          ///< efficiency band held at the optimum
+};
+
+/// A full sweep for one RMS along one scaling case.
+struct CaseResult {
+  ScalingCase scase;
+  grid::RmsKind rms = grid::RmsKind::kLowest;
+  std::vector<ScalePoint> points;
+};
+
+enum class SegmentVerdict { kScalable, kUnscalable };
+
+/// The isoefficiency analysis of one sweep.
+struct IsoefficiencyReport {
+  std::vector<double> k;
+  std::vector<double> G;  ///< raw overhead
+  std::vector<double> g;  ///< normalized overhead
+  std::vector<double> f;  ///< normalized useful work
+  std::vector<double> h;  ///< normalized RP overhead
+  std::vector<double> E;  ///< achieved efficiency
+  std::vector<bool> feasible;
+
+  IsoefficiencyConstants constants;  ///< alpha, c, c' from the base point
+  /// Equation (2) check, f(k) > c*g(k), at every k.
+  std::vector<bool> growth_condition;
+
+  /// Segment slopes of g between consecutive scale factors (size n-1).
+  std::vector<double> g_slopes;
+  /// Segment slopes of h — the RP-overhead counterpart the paper defers
+  /// to future work ("use the framework to measure the scalability based
+  /// on the RP overhead H(k)").
+  std::vector<double> h_slopes;
+  /// Per-segment verdict: scalable while the slope is not increasing
+  /// (within tolerance) and the growth condition holds at the segment's
+  /// right endpoint.
+  std::vector<SegmentVerdict> verdicts;
+
+  /// Least-squares slope of g over k — the headline scalability number
+  /// (smaller is more scalable).
+  double overall_slope = 0.0;
+  /// Least-squares slope of h over k (RP-overhead scalability).
+  double overall_h_slope = 0.0;
+
+  /// Largest k (prefix) through which every segment is scalable;
+  /// 1 if already unscalable at the first step.
+  double scalable_through = 1.0;
+};
+
+/// Tolerance on slope comparison, relative to the mean |slope|.
+inline constexpr double kSlopeTolerance = 0.10;
+
+IsoefficiencyReport analyze(const CaseResult& result);
+
+std::string to_string(SegmentVerdict verdict);
+
+}  // namespace scal::core

@@ -1,0 +1,99 @@
+#include "core/isoefficiency_function.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace scal::core {
+
+namespace {
+
+grid::GridConfig scaled_config(const grid::GridConfig& base, double k,
+                               double multiplier) {
+  grid::GridConfig scaled = base;
+  scaled.topology.nodes = static_cast<std::size_t>(
+      std::llround(static_cast<double>(base.topology.nodes) * k));
+  scaled.workload.mean_interarrival =
+      base.workload.mean_interarrival / (k * multiplier);
+  return scaled;
+}
+
+}  // namespace
+
+IsoefficiencyFunction measure_isoefficiency_function(
+    const grid::GridConfig& base, const IsoefficiencyFunctionConfig& config,
+    const SimRunner& runner) {
+  if (config.scale_factors.empty() ||
+      !(config.multiplier_lo < config.multiplier_hi) ||
+      !(config.e0 > 0.0 && config.e0 < 1.0)) {
+    throw std::invalid_argument(
+        "measure_isoefficiency_function: bad configuration");
+  }
+
+  IsoefficiencyFunction function;
+  for (const double k : config.scale_factors) {
+    IsoefficiencyPoint point;
+    point.k = k;
+
+    // Efficiency falls with load on this substrate: E(lo) should sit
+    // above e0 and E(hi) below it for the bisection to make sense.
+    double lo = config.multiplier_lo;
+    double hi = config.multiplier_hi;
+    auto efficiency_at = [&](double multiplier) {
+      const grid::SimulationResult r =
+          runner(scaled_config(base, k, multiplier));
+      point.sim = r;
+      return r.efficiency();
+    };
+
+    const double e_lo = efficiency_at(lo);
+    const double e_hi = efficiency_at(hi);
+    if (!(e_lo >= config.e0 && e_hi <= config.e0)) {
+      // Bracket does not straddle e0: report the closer endpoint,
+      // unconverged.
+      point.workload_multiplier =
+          std::abs(e_lo - config.e0) < std::abs(e_hi - config.e0) ? lo : hi;
+      point.achieved_efficiency = efficiency_at(point.workload_multiplier);
+      point.converged =
+          std::abs(point.achieved_efficiency - config.e0) <=
+          config.tolerance;
+      function.points.push_back(point);
+      continue;
+    }
+
+    double mid = 0.5 * (lo + hi);
+    double e_mid = efficiency_at(mid);
+    for (std::size_t step = 0;
+         step < config.max_bisection_steps &&
+         std::abs(e_mid - config.e0) > config.tolerance;
+         ++step) {
+      if (e_mid > config.e0) {
+        lo = mid;  // still too efficient: push more load
+      } else {
+        hi = mid;
+      }
+      mid = 0.5 * (lo + hi);
+      e_mid = efficiency_at(mid);
+    }
+    point.workload_multiplier = mid;
+    point.achieved_efficiency = e_mid;
+    point.converged = std::abs(e_mid - config.e0) <= config.tolerance;
+    function.points.push_back(point);
+  }
+
+  // Fit log W(k) = a + b log k with W = k x multiplier.
+  std::vector<double> log_k, log_w;
+  for (const IsoefficiencyPoint& p : function.points) {
+    if (p.workload_multiplier > 0.0) {
+      log_k.push_back(std::log(p.k));
+      log_w.push_back(std::log(p.k * p.workload_multiplier));
+    }
+  }
+  if (log_k.size() >= 2) {
+    function.loglog_slope = util::fit_line(log_k, log_w).slope;
+  }
+  return function;
+}
+
+}  // namespace scal::core

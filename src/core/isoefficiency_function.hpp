@@ -1,0 +1,52 @@
+#pragma once
+// The classic isoefficiency *function* (Grama-Gupta-Kumar, the paper's
+// reference [1]), measured rather than derived: for each resource-pool
+// size, find the workload intensity at which the managed system's
+// efficiency equals E0.  A slowly growing W(k) means the system scales
+// gracefully; a super-linear W(k) means ever more work is needed to
+// keep the machinery busy usefully — the same judgment the paper's
+// G(k)-slope metric makes, from the workload side.
+
+#include <vector>
+
+#include "core/tuner.hpp"
+
+namespace scal::core {
+
+struct IsoefficiencyFunctionConfig {
+  /// Pool growth factors (network size, Case 1 style, enablers fixed).
+  std::vector<double> scale_factors = {1, 2, 3, 4};
+  double e0 = 0.85;
+  double tolerance = 0.01;        ///< |E - e0| acceptance
+  /// Workload multiplier search bracket (relative to the base arrival
+  /// rate scaled by k, i.e. 1.0 = the paper's proportional scaling).
+  double multiplier_lo = 0.25;
+  double multiplier_hi = 4.0;
+  std::size_t max_bisection_steps = 12;
+};
+
+struct IsoefficiencyPoint {
+  double k = 1.0;
+  /// Workload multiplier (on top of proportional-in-k scaling) at which
+  /// E = e0; 0 when the bracket does not contain e0.
+  double workload_multiplier = 0.0;
+  double achieved_efficiency = 0.0;
+  bool converged = false;
+  grid::SimulationResult sim;
+};
+
+struct IsoefficiencyFunction {
+  std::vector<IsoefficiencyPoint> points;
+  /// Fitted log-log slope of the *total* workload W(k) = k x multiplier
+  /// against k; 1.0 = linear isoefficiency (ideal), > 1 = super-linear.
+  double loglog_slope = 0.0;
+};
+
+/// Measure the isoefficiency function of `base` under its configured
+/// RMS.  Efficiency is monotone in load on this substrate (more load =
+/// more deadline misses = lower E), which the bisection relies on.
+IsoefficiencyFunction measure_isoefficiency_function(
+    const grid::GridConfig& base, const IsoefficiencyFunctionConfig& config,
+    const SimRunner& runner = default_runner());
+
+}  // namespace scal::core

@@ -1,0 +1,90 @@
+#include "core/path_search.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace scal::core {
+
+grid::GridConfig apply_mixed_scale(const grid::GridConfig& base, double k,
+                                   double split) {
+  if (!(k >= 1.0) || split < 0.0 || split > 1.0) {
+    throw std::invalid_argument("apply_mixed_scale: bad k or split");
+  }
+  grid::GridConfig scaled = base;
+  scaled.topology.nodes = static_cast<std::size_t>(std::llround(
+      static_cast<double>(base.topology.nodes) * std::pow(k, split)));
+  scaled.service_rate = base.service_rate * std::pow(k, 1.0 - split);
+  scaled.workload.mean_interarrival = base.workload.mean_interarrival / k;
+  return scaled;
+}
+
+CaseResult PathResult::as_case_result(grid::RmsKind rms) const {
+  CaseResult result;
+  result.scase = ScalingCase::case1_network_size();
+  result.scase.name = "Best scaling path (mixed network size / service rate)";
+  result.rms = rms;
+  for (const PathPoint& p : points) {
+    ScalePoint sp;
+    sp.k = p.k;
+    sp.tuning = p.outcome.tuning;
+    sp.sim = p.outcome.result;
+    sp.feasible = p.outcome.feasible;
+    result.points.push_back(std::move(sp));
+  }
+  return result;
+}
+
+PathResult search_scaling_path(const grid::GridConfig& base,
+                               grid::RmsKind rms,
+                               const PathSearchConfig& config,
+                               const SimRunner& runner) {
+  if (config.scale_factors.empty() || config.splits.empty()) {
+    throw std::invalid_argument("search_scaling_path: empty search space");
+  }
+  grid::GridConfig rms_base = base;
+  rms_base.rms = rms;
+
+  PathResult result;
+  std::optional<grid::Tuning> warm;
+  bool still_scalable = true;
+
+  for (const double k : config.scale_factors) {
+    PathPoint point;
+    point.k = k;
+    double best_objective = std::numeric_limits<double>::infinity();
+    bool best_is_feasible = false;
+
+    for (const double split : config.splits) {
+      const grid::GridConfig candidate =
+          apply_mixed_scale(rms_base, k, split);
+      const TuneOutcome outcome = tune_enablers(
+          candidate, config.enabler_case, config.tuner, runner, warm);
+      // Feasible candidates always beat infeasible ones; within a
+      // class, the lower penalized objective wins.
+      const bool better =
+          (outcome.feasible && !best_is_feasible) ||
+          (outcome.feasible == best_is_feasible &&
+           outcome.objective < best_objective);
+      if (better) {
+        best_objective = outcome.objective;
+        best_is_feasible = outcome.feasible;
+        point.split = split;
+        point.outcome = outcome;
+      }
+      point.any_feasible = point.any_feasible || outcome.feasible;
+    }
+
+    warm = point.outcome.tuning;
+    if (still_scalable && point.any_feasible) {
+      result.scalable_through = k;
+    } else if (!point.any_feasible) {
+      still_scalable = false;
+      result.rp_scalable = false;
+    }
+    result.points.push_back(std::move(point));
+  }
+  return result;
+}
+
+}  // namespace scal::core

@@ -1,0 +1,66 @@
+#pragma once
+// Step 2 of the measurement procedure, fully: *determine the best
+// scaling path* for the RP.  The paper's flowchart searches the space
+// of scaling-variable combinations ("a simulated annealing type of
+// search can be used for this search; if a scalable RP cannot be
+// found, then the base system is considered unscalable").
+//
+// The RP has two growth dimensions — network size (Case 1) and service
+// rate (Case 2).  A path assigns each scale factor k a split
+// r(k) ∈ [0, 1]: the pool grows by k^r in node count and k^(1-r) in
+// per-resource speed (total capacity always grows by k, and the
+// workload grows by k with it).  For each k the split is optimized so
+// the tuned RMS overhead G(k) is minimal while the efficiency band
+// holds; the best-path G(k) is the fairest scalability statement for
+// an RMS, since it is not pinned to one arbitrary growth direction.
+
+#include <vector>
+
+#include "core/isoefficiency.hpp"
+#include "core/tuner.hpp"
+
+namespace scal::core {
+
+struct PathSearchConfig {
+  std::vector<double> scale_factors = {1, 2, 3, 4};
+  /// Candidate splits r evaluated per scale factor (r = 1 is pure
+  /// Case 1 growth, r = 0 pure Case 2).
+  std::vector<double> splits = {0.0, 0.5, 1.0};
+  TunerConfig tuner;
+  /// Enabler bounds used at every point (Case 1's set).
+  ScalingCase enabler_case = ScalingCase::case1_network_size();
+};
+
+struct PathPoint {
+  double k = 1.0;
+  double split = 1.0;        ///< chosen r
+  TuneOutcome outcome;       ///< tuned result at the chosen split
+  bool any_feasible = false; ///< some split reached the efficiency band
+};
+
+struct PathResult {
+  std::vector<PathPoint> points;
+  /// Paper semantics: if no split is band-feasible at some k, a
+  /// scalable RP configuration does not exist there and the base
+  /// system is unscalable beyond the previous k.
+  bool rp_scalable = true;
+  double scalable_through = 1.0;
+
+  /// The chosen-path sweep as a CaseResult, reusing the isoefficiency
+  /// analyzer and report rendering.
+  CaseResult as_case_result(grid::RmsKind rms) const;
+};
+
+/// Grow `base` by the mixed split: nodes x k^r, service rate x k^(1-r),
+/// workload arrival rate x k.
+grid::GridConfig apply_mixed_scale(const grid::GridConfig& base, double k,
+                                   double split);
+
+/// Search the best scaling path for `rms` over the configured splits,
+/// tuning the enablers at every (k, r) candidate.
+PathResult search_scaling_path(const grid::GridConfig& base,
+                               grid::RmsKind rms,
+                               const PathSearchConfig& config,
+                               const SimRunner& runner = default_runner());
+
+}  // namespace scal::core

@@ -1,0 +1,67 @@
+#include "core/procedure.hpp"
+
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace scal::core {
+
+CaseResult measure_scalability(const grid::GridConfig& base,
+                               grid::RmsKind rms,
+                               const ProcedureConfig& procedure,
+                               const SimRunner& runner,
+                               const ProgressFn& progress) {
+  if (procedure.scale_factors.empty()) {
+    throw std::invalid_argument("measure_scalability: no scale factors");
+  }
+  CaseResult result;
+  result.scase = procedure.scase;
+  result.rms = rms;
+
+  grid::GridConfig rms_base = base;
+  rms_base.rms = rms;
+
+  std::optional<grid::Tuning> warm;
+  for (const double k : procedure.scale_factors) {
+    // Step 2: scale along the path.
+    const grid::GridConfig scaled = apply_scale(rms_base, procedure.scase, k);
+    // Step 3: tune the enablers at this scale.
+    TunerConfig tuner = procedure.tuner;
+    if (warm && procedure.warm_evaluations > 0) {
+      tuner.evaluations = procedure.warm_evaluations;
+    }
+    const TuneOutcome outcome =
+        tune_enablers(scaled, procedure.scase, tuner, runner, warm);
+    if (procedure.chain_warm_start) warm = outcome.tuning;
+
+    ScalePoint point;
+    point.k = k;
+    point.tuning = outcome.tuning;
+    point.sim = outcome.result;
+    point.feasible = outcome.feasible;
+    result.points.push_back(point);
+
+    SCAL_INFO("measure " << grid::to_string(rms) << " k=" << k
+                         << " G=" << outcome.result.G()
+                         << " E=" << outcome.result.efficiency()
+                         << (outcome.feasible ? "" : " (band missed)"));
+    if (progress) progress(rms, k, outcome);
+  }
+  return result;
+}
+
+std::vector<CaseResult> measure_all(const grid::GridConfig& base,
+                                    const std::vector<grid::RmsKind>& kinds,
+                                    const ProcedureConfig& procedure,
+                                    const SimRunner& runner,
+                                    const ProgressFn& progress) {
+  std::vector<CaseResult> results;
+  results.reserve(kinds.size());
+  for (const grid::RmsKind kind : kinds) {
+    results.push_back(
+        measure_scalability(base, kind, procedure, runner, progress));
+  }
+  return results;
+}
+
+}  // namespace scal::core

@@ -1,0 +1,48 @@
+#pragma once
+// The scalability measurement procedure of the paper's Figure 1:
+//   Step 1  choose a feasible efficiency E0 to hold constant,
+//   Step 2  scale the RP or the RMS along the scaling path,
+//   Step 3  tune the scaling enablers (simulated annealing) so the
+//           efficiency stays at E0 with minimum RMS overhead G(k),
+//   Step 4  compute the scalability of the RMS from the slope of G(k).
+
+#include <functional>
+#include <vector>
+
+#include "core/isoefficiency.hpp"
+#include "core/tuner.hpp"
+
+namespace scal::core {
+
+struct ProcedureConfig {
+  ScalingCase scase = ScalingCase::case1_network_size();
+  std::vector<double> scale_factors = {1, 2, 3, 4, 5, 6};
+  TunerConfig tuner;
+  /// Warm-start each scale factor's search from the previous optimum.
+  bool chain_warm_start = true;
+  /// Evaluation budget for warm-started scale points (0 = same as the
+  /// first point's budget).  Warm starts converge much faster, so the
+  /// sweep spends most of its budget on the base configuration.
+  std::size_t warm_evaluations = 0;
+};
+
+/// Progress callback: (rms, k, outcome) after each tuned scale point.
+using ProgressFn = std::function<void(grid::RmsKind, double,
+                                      const TuneOutcome&)>;
+
+/// Measure one RMS along one scaling case.  `base` must describe the
+/// k = 1 configuration; its rms field is overridden by `rms`.
+CaseResult measure_scalability(const grid::GridConfig& base,
+                               grid::RmsKind rms,
+                               const ProcedureConfig& procedure,
+                               const SimRunner& runner = default_runner(),
+                               const ProgressFn& progress = {});
+
+/// Measure every requested RMS (paper Figures 2-5 sweep all seven).
+std::vector<CaseResult> measure_all(
+    const grid::GridConfig& base, const std::vector<grid::RmsKind>& kinds,
+    const ProcedureConfig& procedure,
+    const SimRunner& runner = default_runner(),
+    const ProgressFn& progress = {});
+
+}  // namespace scal::core

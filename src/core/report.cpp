@@ -1,0 +1,122 @@
+#include "core/report.hpp"
+
+#include <sstream>
+
+#include "util/ascii_chart.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace scal::core {
+
+std::string render_overhead_chart(const std::vector<CaseResult>& results,
+                                  const std::string& title) {
+  util::AsciiChart chart(title, "scale factor k", "G(k) [time units]");
+  for (const CaseResult& r : results) {
+    util::Series s;
+    s.name = grid::to_string(r.rms);
+    for (const ScalePoint& p : r.points) {
+      s.x.push_back(p.k);
+      s.y.push_back(p.sim.G());
+    }
+    chart.add_series(std::move(s));
+  }
+  return chart.render();
+}
+
+std::string render_measure_chart(
+    const std::vector<CaseResult>& results, const std::string& title,
+    const std::string& y_label,
+    double (*measure)(const grid::SimulationResult&)) {
+  util::AsciiChart chart(title, "scale factor k", y_label);
+  for (const CaseResult& r : results) {
+    util::Series s;
+    s.name = grid::to_string(r.rms);
+    for (const ScalePoint& p : r.points) {
+      s.x.push_back(p.k);
+      s.y.push_back(measure(p.sim));
+    }
+    chart.add_series(std::move(s));
+  }
+  return chart.render();
+}
+
+std::string render_case_table(const CaseResult& result) {
+  const IsoefficiencyReport report = analyze(result);
+  std::ostringstream os;
+  os << grid::to_string(result.rms) << " — " << result.scase.name
+     << "  (alpha=" << util::Table::fixed(report.constants.alpha, 3)
+     << ", c=" << util::Table::fixed(report.constants.c, 4)
+     << ", c'=" << util::Table::fixed(report.constants.c_prime, 4) << ")\n";
+  util::Table table({"k", "G(k)", "g(k)", "dg/dk", "E(k)", "f(k)", "h(k)",
+                     "f>c*g", "in band", "verdict"});
+  for (std::size_t i = 0; i < report.k.size(); ++i) {
+    table.add_row({
+        util::Table::fixed(report.k[i], 0),
+        util::Table::fixed(report.G[i], 1),
+        util::Table::fixed(report.g[i], 3),
+        i == 0 ? "-" : util::Table::fixed(report.g_slopes[i - 1], 3),
+        util::Table::fixed(report.E[i], 3),
+        util::Table::fixed(report.f[i], 3),
+        util::Table::fixed(report.h[i], 3),
+        report.growth_condition[i] ? "yes" : "NO",
+        report.feasible[i] ? "yes" : "NO",
+        i == 0 ? "-" : to_string(report.verdicts[i - 1]),
+    });
+  }
+  os << table.to_string();
+  return os.str();
+}
+
+std::string render_summary_table(const std::vector<CaseResult>& results) {
+  util::Table table({"RMS", "overall dg/dk", "scalable through k",
+                     "band held", "G(1)", "G(kmax)"});
+  for (const CaseResult& r : results) {
+    const IsoefficiencyReport report = analyze(r);
+    std::size_t held = 0;
+    for (const bool f : report.feasible) held += f ? 1 : 0;
+    std::ostringstream band;
+    band << held << '/' << report.feasible.size();
+    table.add_row({
+        grid::to_string(r.rms),
+        util::Table::fixed(report.overall_slope, 3),
+        util::Table::fixed(report.scalable_through, 0),
+        band.str(),
+        util::Table::fixed(report.G.front(), 1),
+        util::Table::fixed(report.G.back(), 1),
+    });
+  }
+  return table.to_string();
+}
+
+void write_case_csv(const std::vector<CaseResult>& results,
+                    const std::string& path) {
+  util::CsvWriter csv(
+      path, {"rms", "k", "G", "g", "f", "h", "E", "feasible", "throughput",
+             "mean_response", "p95_response", "update_interval",
+             "neighborhood", "link_delay_scale", "volunteer_interval"});
+  for (const CaseResult& r : results) {
+    const IsoefficiencyReport report = analyze(r);
+    for (std::size_t i = 0; i < r.points.size(); ++i) {
+      const ScalePoint& p = r.points[i];
+      csv.add_row(std::vector<std::string>{
+          grid::to_string(r.rms),
+          util::Table::num(p.k, 6),
+          util::Table::num(p.sim.G(), 10),
+          util::Table::num(report.g[i], 10),
+          util::Table::num(report.f[i], 10),
+          util::Table::num(report.h[i], 10),
+          util::Table::num(report.E[i], 10),
+          p.feasible ? "1" : "0",
+          util::Table::num(p.sim.throughput, 10),
+          util::Table::num(p.sim.mean_response, 10),
+          util::Table::num(p.sim.p95_response, 10),
+          util::Table::num(p.tuning.update_interval, 10),
+          util::Table::num(p.tuning.neighborhood_size, 10),
+          util::Table::num(p.tuning.link_delay_scale, 10),
+          util::Table::num(p.tuning.volunteer_interval, 10),
+      });
+    }
+  }
+}
+
+}  // namespace scal::core

@@ -1,0 +1,32 @@
+#pragma once
+// Rendering of scalability sweeps: the per-RMS G(k)/slope tables and the
+// multi-series charts that mirror the paper's figures, plus CSV export.
+
+#include <string>
+#include <vector>
+
+#include "core/isoefficiency.hpp"
+
+namespace scal::core {
+
+/// Figure-style chart: one series of raw G(k) per RMS.
+std::string render_overhead_chart(const std::vector<CaseResult>& results,
+                                  const std::string& title);
+
+/// Same, but for an arbitrary per-point measure (Figures 6 and 7).
+std::string render_measure_chart(
+    const std::vector<CaseResult>& results, const std::string& title,
+    const std::string& y_label,
+    double (*measure)(const grid::SimulationResult&));
+
+/// Per-RMS table: k, G, g, slope, E, f, h, condition, verdict.
+std::string render_case_table(const CaseResult& result);
+
+/// Cross-RMS summary: overall slope, scalable-through, band feasibility.
+std::string render_summary_table(const std::vector<CaseResult>& results);
+
+/// Write the sweep as CSV (one row per (rms, k)).
+void write_case_csv(const std::vector<CaseResult>& results,
+                    const std::string& path);
+
+}  // namespace scal::core

@@ -1,0 +1,188 @@
+#include "core/scaling.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace scal::core {
+
+std::string to_string(ScalingVariableKind kind) {
+  switch (kind) {
+    case ScalingVariableKind::kNetworkSize: return "network size";
+    case ScalingVariableKind::kServiceRate: return "resource service rate";
+    case ScalingVariableKind::kEstimators: return "number of estimators";
+    case ScalingVariableKind::kNeighborhood: return "L_p (neighborhood)";
+  }
+  return "?";
+}
+
+ScalingCase ScalingCase::case1_network_size() {
+  ScalingCase c;
+  c.name = "Case 1: Scaling the RP by network size";
+  c.variable = ScalingVariableKind::kNetworkSize;
+  return c;
+}
+
+ScalingCase ScalingCase::case2_service_rate() {
+  ScalingCase c;
+  c.name = "Case 2: Scaling the RP by resource service rate";
+  c.variable = ScalingVariableKind::kServiceRate;
+  return c;
+}
+
+ScalingCase ScalingCase::case3_estimators() {
+  ScalingCase c;
+  c.name = "Case 3: Scaling the RMS by number of status estimators";
+  c.variable = ScalingVariableKind::kEstimators;
+  return c;
+}
+
+ScalingCase ScalingCase::case4_neighborhood() {
+  ScalingCase c;
+  c.name = "Case 4: Scaling the RMS by L_p";
+  c.variable = ScalingVariableKind::kNeighborhood;
+  // Table 5: L_p is the scaling variable; the volunteering interval
+  // replaces the neighborhood size in the enabler set.
+  c.enablers.tune_neighborhood = false;
+  c.enablers.tune_volunteer_interval = true;
+  return c;
+}
+
+std::vector<std::string> ScalingCase::scaling_variable_rows() const {
+  std::vector<std::string> rows;
+  switch (variable) {
+    case ScalingVariableKind::kNetworkSize:
+      rows.push_back(
+          "Network size in terms of number of nodes = sizeof[RMS] + "
+          "sizeof[RP]");
+      break;
+    case ScalingVariableKind::kServiceRate:
+      rows.push_back(
+          "Resource service rate (number of jobs executed per unit time)");
+      break;
+    case ScalingVariableKind::kEstimators:
+      rows.push_back("Number of Status Estimators");
+      break;
+    case ScalingVariableKind::kNeighborhood:
+      rows.push_back(
+          "L_p: Number of neighbor schedulers being contacted for load "
+          "balancing");
+      break;
+  }
+  rows.push_back("Workload (number of jobs arriving per unit time)");
+  return rows;
+}
+
+std::vector<std::string> ScalingCase::enabler_rows() const {
+  std::vector<std::string> rows;
+  if (enablers.tune_update_interval) rows.push_back("Status update interval");
+  if (enablers.tune_neighborhood) rows.push_back("Neighborhood set size");
+  if (enablers.tune_volunteer_interval) {
+    rows.push_back("Interval for resource volunteering");
+  }
+  if (enablers.tune_link_delay) rows.push_back("Network link delay");
+  return rows;
+}
+
+grid::GridConfig apply_scale(const grid::GridConfig& base,
+                             const ScalingCase& scase, double k) {
+  if (!(k >= 1.0)) {
+    throw std::invalid_argument("apply_scale: scale factor must be >= 1");
+  }
+  grid::GridConfig scaled = base;
+  // The workload always scales with the scaling variable.
+  scaled.workload.mean_interarrival = base.workload.mean_interarrival / k;
+
+  switch (scase.variable) {
+    case ScalingVariableKind::kNetworkSize:
+      scaled.topology.nodes = static_cast<std::size_t>(
+          std::llround(static_cast<double>(base.topology.nodes) * k));
+      break;
+    case ScalingVariableKind::kServiceRate:
+      scaled.service_rate = base.service_rate * k;
+      break;
+    case ScalingVariableKind::kEstimators: {
+      // The RP must stay unaltered ("only the RMS is scaled"), so the
+      // extra estimator slots are added as new RMS nodes rather than
+      // carved out of the resource pool.
+      const auto extra_per_cluster = static_cast<std::size_t>(
+          std::llround(static_cast<double>(base.estimators_per_cluster) * k)) -
+          base.estimators_per_cluster;
+      scaled.estimators_per_cluster =
+          base.estimators_per_cluster + extra_per_cluster;
+      scaled.cluster_size = base.cluster_size + extra_per_cluster;
+      scaled.topology.nodes =
+          base.topology.nodes + base.cluster_count() * extra_per_cluster;
+      break;
+    }
+    case ScalingVariableKind::kNeighborhood:
+      scaled.tuning.neighborhood_size = static_cast<std::uint32_t>(
+          std::llround(static_cast<double>(base.tuning.neighborhood_size) * k));
+      break;
+  }
+  return scaled;
+}
+
+opt::Space enabler_space(const ScalingCase& scase) {
+  std::vector<opt::Variable> vars;
+  const EnablerBounds& e = scase.enablers;
+  if (e.tune_update_interval) {
+    vars.push_back(opt::Variable{"update_interval", opt::VarKind::kContinuous,
+                                 e.update_interval_lo, e.update_interval_hi,
+                                 /*log_scale=*/true});
+  }
+  if (e.tune_neighborhood) {
+    vars.push_back(opt::Variable{"neighborhood_size", opt::VarKind::kInteger,
+                                 static_cast<double>(e.neighborhood_lo),
+                                 static_cast<double>(e.neighborhood_hi),
+                                 /*log_scale=*/false});
+  }
+  if (e.tune_link_delay) {
+    vars.push_back(opt::Variable{"link_delay_scale", opt::VarKind::kContinuous,
+                                 e.link_delay_lo, e.link_delay_hi,
+                                 /*log_scale=*/false});
+  }
+  if (e.tune_volunteer_interval) {
+    vars.push_back(opt::Variable{"volunteer_interval",
+                                 opt::VarKind::kContinuous,
+                                 e.volunteer_interval_lo,
+                                 e.volunteer_interval_hi,
+                                 /*log_scale=*/true});
+  }
+  return opt::Space(std::move(vars));
+}
+
+grid::Tuning tuning_from_point(const ScalingCase& scase,
+                               const grid::Tuning& base,
+                               const opt::Point& point) {
+  if (point.size() != enabler_space(scase).size()) {
+    throw std::invalid_argument("tuning_from_point: dimension mismatch");
+  }
+  grid::Tuning t = base;
+  std::size_t i = 0;
+  const EnablerBounds& e = scase.enablers;
+  if (e.tune_update_interval) t.update_interval = point.at(i++);
+  if (e.tune_neighborhood) {
+    t.neighborhood_size = static_cast<std::uint32_t>(point.at(i++));
+  }
+  if (e.tune_link_delay) t.link_delay_scale = point.at(i++);
+  if (e.tune_volunteer_interval) t.volunteer_interval = point.at(i++);
+  if (i != point.size()) {
+    throw std::invalid_argument("tuning_from_point: dimension mismatch");
+  }
+  return t;
+}
+
+opt::Point point_from_tuning(const ScalingCase& scase,
+                             const grid::Tuning& tuning) {
+  opt::Point p;
+  const EnablerBounds& e = scase.enablers;
+  if (e.tune_update_interval) p.push_back(tuning.update_interval);
+  if (e.tune_neighborhood) {
+    p.push_back(static_cast<double>(tuning.neighborhood_size));
+  }
+  if (e.tune_link_delay) p.push_back(tuning.link_delay_scale);
+  if (e.tune_volunteer_interval) p.push_back(tuning.volunteer_interval);
+  return p;
+}
+
+}  // namespace scal::core

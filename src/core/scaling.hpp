@@ -1,0 +1,84 @@
+#pragma once
+// Scaling strategies: the x(k) scaling variables and y(k) scaling
+// enablers of the paper's four experimental cases (Tables 2-5).
+//
+//   Case 1  scale the RP by network size (RMS grows proportionately)
+//   Case 2  scale the RP by resource service rate
+//   Case 3  scale the RMS by number of status estimators
+//   Case 4  scale the RMS by L_p (neighbors probed/polled)
+//
+// In every case the workload (job arrival rate) scales in the same
+// proportion as the scaling variable, as the paper prescribes.
+
+#include <string>
+#include <vector>
+
+#include "grid/config.hpp"
+#include "opt/space.hpp"
+
+namespace scal::core {
+
+enum class ScalingVariableKind {
+  kNetworkSize,   // Case 1
+  kServiceRate,   // Case 2
+  kEstimators,    // Case 3
+  kNeighborhood,  // Case 4 (L_p)
+};
+
+std::string to_string(ScalingVariableKind kind);
+
+/// Which enablers the tuner may adjust, with their bounds.
+struct EnablerBounds {
+  bool tune_update_interval = true;
+  double update_interval_lo = 1.0;
+  double update_interval_hi = 150.0;
+
+  bool tune_neighborhood = true;
+  std::uint32_t neighborhood_lo = 1;
+  std::uint32_t neighborhood_hi = 8;
+
+  bool tune_link_delay = true;
+  double link_delay_lo = 0.25;  // faster control links are purchasable
+  double link_delay_hi = 1.6;
+
+  bool tune_volunteer_interval = false;
+  double volunteer_interval_lo = 10.0;
+  double volunteer_interval_hi = 300.0;
+};
+
+struct ScalingCase {
+  std::string name;
+  ScalingVariableKind variable = ScalingVariableKind::kNetworkSize;
+  EnablerBounds enablers;
+
+  /// The paper's four cases, with the enabler sets of Tables 2-5
+  /// (Cases 1-3: update interval, neighborhood size, link delay;
+  ///  Case 4: update interval, volunteering interval, link delay).
+  static ScalingCase case1_network_size();
+  static ScalingCase case2_service_rate();
+  static ScalingCase case3_estimators();
+  static ScalingCase case4_neighborhood();
+
+  /// Human-readable scaling-variable and enabler lists (Tables 2-5 rows).
+  std::vector<std::string> scaling_variable_rows() const;
+  std::vector<std::string> enabler_rows() const;
+};
+
+/// Apply scale factor `k >= 1` to a base configuration.  Scales the
+/// designated scaling variable and the workload arrival rate; leaves the
+/// enablers at their current values (the tuner adjusts those).
+grid::GridConfig apply_scale(const grid::GridConfig& base,
+                             const ScalingCase& scase, double k);
+
+/// The optimizer search space for this case's enablers.
+opt::Space enabler_space(const ScalingCase& scase);
+
+/// Convert between optimizer points and grid tunings.  `point` layout
+/// follows enabler_space()'s variable order.
+grid::Tuning tuning_from_point(const ScalingCase& scase,
+                               const grid::Tuning& base,
+                               const opt::Point& point);
+opt::Point point_from_tuning(const ScalingCase& scase,
+                             const grid::Tuning& tuning);
+
+}  // namespace scal::core

@@ -1,0 +1,40 @@
+#include "core/sensitivity.hpp"
+
+#include <stdexcept>
+
+namespace scal::core {
+
+ReplicationStats replicate(const grid::GridConfig& config,
+                           const std::vector<std::uint64_t>& seeds,
+                           const SimRunner& runner) {
+  if (seeds.empty()) {
+    throw std::invalid_argument("replicate: no seeds");
+  }
+  ReplicationStats stats;
+  stats.seeds = seeds;
+  for (const std::uint64_t seed : seeds) {
+    grid::GridConfig c = config;
+    c.seed = seed;
+    const grid::SimulationResult r = runner(c);
+    stats.G.add(r.G());
+    stats.F.add(r.F);
+    stats.H.add(r.H());
+    stats.efficiency.add(r.efficiency());
+    stats.throughput.add(r.throughput);
+    stats.mean_response.add(r.mean_response);
+  }
+  return stats;
+}
+
+ReplicationStats replicate(const grid::GridConfig& config,
+                           std::size_t replications, std::uint64_t base_seed,
+                           const SimRunner& runner) {
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(replications);
+  for (std::size_t i = 0; i < replications; ++i) {
+    seeds.push_back(base_seed + i);
+  }
+  return replicate(config, seeds, runner);
+}
+
+}  // namespace scal::core

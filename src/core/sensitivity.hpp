@@ -1,0 +1,42 @@
+#pragma once
+// Replication and sensitivity utilities: the paper reports single runs;
+// a production framework needs to know how much of a G(k) difference is
+// signal.  replicate() reruns one configuration across seeds and
+// summarizes the spread of every work term.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/tuner.hpp"
+#include "util/stats.hpp"
+
+namespace scal::core {
+
+struct ReplicationStats {
+  util::Accumulator G;
+  util::Accumulator F;
+  util::Accumulator H;
+  util::Accumulator efficiency;
+  util::Accumulator throughput;
+  util::Accumulator mean_response;
+  std::vector<std::uint64_t> seeds;
+
+  /// Coefficient of variation of G — the headline noise figure.
+  double g_cv() const noexcept {
+    return G.mean() > 0.0 ? G.stddev() / G.mean() : 0.0;
+  }
+};
+
+/// Run `config` under each seed (config.seed is overridden) and collect
+/// the spread.  The runner is injectable for tests.
+ReplicationStats replicate(const grid::GridConfig& config,
+                           const std::vector<std::uint64_t>& seeds,
+                           const SimRunner& runner = default_runner());
+
+/// Convenience: seeds 'base_seed .. base_seed + replications - 1'.
+ReplicationStats replicate(const grid::GridConfig& config,
+                           std::size_t replications,
+                           std::uint64_t base_seed = 1,
+                           const SimRunner& runner = default_runner());
+
+}  // namespace scal::core

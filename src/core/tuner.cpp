@@ -1,0 +1,88 @@
+#include "core/tuner.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "opt/annealing.hpp"
+#include "rms/factory.hpp"
+
+namespace scal::core {
+
+SimRunner default_runner() {
+  return [](const grid::GridConfig& config) {
+    return rms::simulate(config);
+  };
+}
+
+double penalized_objective(const grid::SimulationResult& result,
+                           const TunerConfig& config) {
+  const double e = result.efficiency();
+  const double excess =
+      std::max(0.0, std::abs(e - config.e0) - config.band) / config.band;
+  const double g = result.G();
+  return g * (1.0 + config.penalty_weight * excess * excess);
+}
+
+TuneOutcome tune_enablers(const grid::GridConfig& config,
+                          const ScalingCase& scase, const TunerConfig& tuner,
+                          const SimRunner& runner,
+                          const std::optional<grid::Tuning>& warm_start) {
+  const opt::Space space = enabler_space(scase);
+
+  // Track the best *simulation* alongside the best objective so the
+  // outcome does not need a re-run at the optimum.
+  TuneOutcome outcome;
+  double best_value = std::numeric_limits<double>::infinity();
+
+  opt::Objective objective = [&](const opt::Point& point) {
+    const grid::Tuning tuning =
+        tuning_from_point(scase, config.tuning, point);
+    grid::GridConfig candidate = config;
+    candidate.tuning = tuning;
+    const grid::SimulationResult result = runner(candidate);
+    const double value = penalized_objective(result, tuner);
+    ++outcome.evaluations;
+    if (value < best_value) {
+      best_value = value;
+      outcome.tuning = tuning;
+      outcome.result = result;
+      outcome.objective = value;
+    }
+    return value;
+  };
+
+  opt::AnnealingConfig anneal_config;
+  anneal_config.iterations = tuner.evaluations;
+  anneal_config.restarts = tuner.restarts;
+  // Small budgets want a near-greedy schedule: the G landscape over the
+  // enablers is mostly monotone with a band constraint, so wide
+  // exploration at T ~ 1 wastes evaluations random-walking.
+  anneal_config.initial_temperature = 0.35;
+  anneal_config.final_temperature = 0.005;
+  if (warm_start) {
+    // A warm-start chain can drift into a region that stops being
+    // band-feasible as k grows; anchoring each point on the untouched
+    // default tuning as well costs one evaluation and lets the search
+    // recover.  Start the chain from the better of the two anchors.
+    const opt::Point warm_point =
+        space.clamp(point_from_tuning(scase, *warm_start));
+    const opt::Point default_point =
+        space.clamp(point_from_tuning(scase, config.tuning));
+    const double warm_value = objective(warm_point);
+    double default_value = warm_value;
+    if (default_point != warm_point) {
+      default_value = objective(default_point);
+    }
+    anneal_config.initial_point =
+        default_value < warm_value ? default_point : warm_point;
+    if (anneal_config.iterations > 2) anneal_config.iterations -= 2;
+  }
+  util::RandomStream search_rng(tuner.seed, "enabler-tuner");
+  opt::anneal(space, objective, anneal_config, search_rng);
+
+  outcome.feasible =
+      std::abs(outcome.result.efficiency() - tuner.e0) <= tuner.band + 1e-12;
+  return outcome;
+}
+
+}  // namespace scal::core

@@ -1,0 +1,59 @@
+#pragma once
+// Step 3 of the measurement procedure (paper Figure 1): tune the RMS's
+// scaling enablers with a simulated-annealing search so the overall
+// efficiency stays at the chosen E0 while the RMS overhead G(k) is
+// minimized.
+
+#include <functional>
+#include <optional>
+
+#include "core/scaling.hpp"
+#include "grid/metrics.hpp"
+
+namespace scal::core {
+
+/// Runs one simulation for a configuration.  Injected so tests can
+/// substitute analytic stand-ins; production uses rms::simulate.
+using SimRunner =
+    std::function<grid::SimulationResult(const grid::GridConfig&)>;
+
+/// The production runner (rms::simulate).
+SimRunner default_runner();
+
+struct TunerConfig {
+  double e0 = 0.40;          ///< target efficiency (paper: band [0.38, 0.42])
+  double band = 0.02;        ///< |E - e0| <= band is feasible
+  std::size_t evaluations = 18;  ///< simulation budget for the search
+  /// Independent annealing chains (best-of).  Multiple restarts matter:
+  /// the efficiency-band penalty carves the G landscape into disjoint
+  /// feasible pockets, and a single local walk can cool inside the
+  /// wrong one.
+  std::size_t restarts = 3;
+  /// Multiplier applied to G when efficiency leaves the band; scale-free
+  /// quadratic penalty.
+  double penalty_weight = 60.0;
+  std::uint64_t seed = 1234;  ///< search seed (independent of sim seed)
+};
+
+struct TuneOutcome {
+  grid::Tuning tuning;            ///< best enabler setting found
+  grid::SimulationResult result;  ///< simulation at that setting
+  double objective = 0.0;
+  bool feasible = false;  ///< efficiency within the band at the optimum
+  std::size_t evaluations = 0;
+};
+
+/// Penalized objective: G * (1 + w * excess^2) where excess is how far
+/// (relative to the band width) the efficiency strays outside the band.
+double penalized_objective(const grid::SimulationResult& result,
+                           const TunerConfig& config);
+
+/// Tune the enablers of `config` (bounds from `scase`) with simulated
+/// annealing.  `warm_start` seeds the search (typically the previous
+/// scale factor's optimum, which makes the k-sweep cheap and smooth).
+TuneOutcome tune_enablers(const grid::GridConfig& config,
+                          const ScalingCase& scase, const TunerConfig& tuner,
+                          const SimRunner& runner,
+                          const std::optional<grid::Tuning>& warm_start = {});
+
+}  // namespace scal::core

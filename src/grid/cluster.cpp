@@ -1,0 +1,176 @@
+#include "grid/cluster.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace scal::grid {
+
+std::size_t ClusterLayout::total_resources() const {
+  std::size_t n = 0;
+  for (const auto& c : clusters) n += c.resource_nodes.size();
+  return n;
+}
+
+std::size_t ClusterLayout::total_estimators() const {
+  std::size_t n = 0;
+  for (const auto& c : clusters) n += c.estimator_nodes.size();
+  return n;
+}
+
+ClusterLayout partition_into_clusters(const net::Graph& graph,
+                                      std::size_t cluster_count,
+                                      std::size_t estimators_per_cluster,
+                                      util::RandomStream& rng) {
+  const std::size_t n = graph.node_count();
+  if (cluster_count == 0) {
+    throw std::invalid_argument("partition: zero clusters");
+  }
+  const std::size_t min_size = 2 + estimators_per_cluster;
+  if (n < cluster_count * min_size) {
+    throw std::invalid_argument(
+        "partition: not enough nodes for the requested clusters");
+  }
+  if (!graph.connected()) {
+    throw std::invalid_argument("partition: graph must be connected");
+  }
+
+  // Pick spread-out seeds: the first seed is random; each next seed is the
+  // unassigned node farthest (in hops) from all chosen seeds.
+  std::vector<net::NodeId> seeds;
+  seeds.reserve(cluster_count);
+  std::vector<std::uint32_t> hop_dist(
+      n, std::numeric_limits<std::uint32_t>::max());
+  auto bfs_relax = [&](net::NodeId from) {
+    std::queue<net::NodeId> q;
+    hop_dist[from] = 0;
+    q.push(from);
+    while (!q.empty()) {
+      const net::NodeId u = q.front();
+      q.pop();
+      for (const net::Link& l : graph.neighbors(u)) {
+        if (hop_dist[l.to] > hop_dist[u] + 1) {
+          hop_dist[l.to] = hop_dist[u] + 1;
+          q.push(l.to);
+        }
+      }
+    }
+  };
+  const auto first = static_cast<net::NodeId>(
+      rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+  seeds.push_back(first);
+  bfs_relax(first);
+  while (seeds.size() < cluster_count) {
+    net::NodeId farthest = 0;
+    std::uint32_t best = 0;
+    for (net::NodeId v = 0; v < n; ++v) {
+      if (hop_dist[v] != std::numeric_limits<std::uint32_t>::max() &&
+          hop_dist[v] > best) {
+        best = hop_dist[v];
+        farthest = v;
+      }
+    }
+    seeds.push_back(farthest);
+    bfs_relax(farthest);
+  }
+
+  // Balanced multi-source BFS growth: clusters claim nodes round-robin
+  // from their frontiers, capped so sizes stay within one of each other.
+  ClusterLayout layout;
+  layout.cluster_of.assign(n, ~std::uint32_t{0});
+  std::vector<std::vector<net::NodeId>> members(cluster_count);
+  std::vector<std::queue<net::NodeId>> frontier(cluster_count);
+  for (std::size_t c = 0; c < cluster_count; ++c) {
+    layout.cluster_of[seeds[c]] = static_cast<std::uint32_t>(c);
+    members[c].push_back(seeds[c]);
+    frontier[c].push(seeds[c]);
+  }
+  const std::size_t target =
+      (n + cluster_count - 1) / cluster_count;  // ceiling
+  std::size_t assigned = cluster_count;
+  bool progress = true;
+  while (assigned < n && progress) {
+    progress = false;
+    for (std::size_t c = 0; c < cluster_count && assigned < n; ++c) {
+      if (members[c].size() >= target + 1) continue;
+      // Claim one unassigned node adjacent to this cluster's frontier.
+      while (!frontier[c].empty()) {
+        const net::NodeId u = frontier[c].front();
+        net::NodeId claimed = net::kInvalidNode;
+        for (const net::Link& l : graph.neighbors(u)) {
+          if (layout.cluster_of[l.to] == ~std::uint32_t{0}) {
+            claimed = l.to;
+            break;
+          }
+        }
+        if (claimed == net::kInvalidNode) {
+          frontier[c].pop();
+          continue;
+        }
+        layout.cluster_of[claimed] = static_cast<std::uint32_t>(c);
+        members[c].push_back(claimed);
+        frontier[c].push(claimed);
+        ++assigned;
+        progress = true;
+        break;
+      }
+    }
+  }
+  // Orphans (frontiers exhausted by caps): attach to the smallest cluster.
+  for (net::NodeId v = 0; v < n; ++v) {
+    if (layout.cluster_of[v] == ~std::uint32_t{0}) {
+      const auto smallest = static_cast<std::size_t>(std::distance(
+          members.begin(),
+          std::min_element(members.begin(), members.end(),
+                           [](const auto& a, const auto& b) {
+                             return a.size() < b.size();
+                           })));
+      layout.cluster_of[v] = static_cast<std::uint32_t>(smallest);
+      members[smallest].push_back(v);
+    }
+  }
+
+  // Role assignment: highest-degree member hosts the scheduler, the next
+  // highest-degree members host estimators, the remainder are resources.
+  layout.clusters.resize(cluster_count);
+  for (std::size_t c = 0; c < cluster_count; ++c) {
+    auto& m = members[c];
+    if (m.size() < min_size) {
+      // Steal nodes from the largest cluster to satisfy the minimum.
+      while (m.size() < min_size) {
+        const auto largest = static_cast<std::size_t>(std::distance(
+            members.begin(),
+            std::max_element(members.begin(), members.end(),
+                             [](const auto& a, const auto& b) {
+                               return a.size() < b.size();
+                             })));
+        if (largest == c || members[largest].size() <= min_size) {
+          throw std::runtime_error("partition: cannot balance clusters");
+        }
+        const net::NodeId moved = members[largest].back();
+        members[largest].pop_back();
+        layout.cluster_of[moved] = static_cast<std::uint32_t>(c);
+        m.push_back(moved);
+      }
+    }
+    std::sort(m.begin(), m.end(), [&](net::NodeId a, net::NodeId b) {
+      if (graph.degree(a) != graph.degree(b)) {
+        return graph.degree(a) > graph.degree(b);
+      }
+      return a < b;
+    });
+    auto& cluster = layout.clusters[c];
+    cluster.scheduler_node = m[0];
+    cluster.estimator_nodes.assign(m.begin() + 1,
+                                   m.begin() + 1 +
+                                       static_cast<std::ptrdiff_t>(
+                                           estimators_per_cluster));
+    cluster.resource_nodes.assign(
+        m.begin() + 1 + static_cast<std::ptrdiff_t>(estimators_per_cluster),
+        m.end());
+  }
+  return layout;
+}
+
+}  // namespace scal::grid

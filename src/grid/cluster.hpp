@@ -1,0 +1,45 @@
+#pragma once
+// Partitioning of the topology into non-overlapping clusters (paper
+// Section 3.1: "the set of resources are separated into non-overlapping
+// clusters and each cluster is coordinated by a scheduler").
+//
+// We grow clusters by multi-source BFS from spread-out seed nodes so
+// clusters are graph-contiguous (low intra-cluster latency) and balanced
+// in size.  Within each cluster, the highest-degree node hosts the
+// scheduler, the next `estimators` nodes host estimators, and the rest
+// are resources.
+
+#include <cstdint>
+#include <vector>
+
+#include "net/graph.hpp"
+#include "util/rng.hpp"
+
+namespace scal::grid {
+
+struct ClusterLayout {
+  /// For each cluster: member graph nodes, first entry is the scheduler
+  /// node, the next `estimator_count` are estimator nodes, the rest are
+  /// resource nodes.
+  struct Cluster {
+    net::NodeId scheduler_node = net::kInvalidNode;
+    std::vector<net::NodeId> estimator_nodes;
+    std::vector<net::NodeId> resource_nodes;
+  };
+  std::vector<Cluster> clusters;
+  /// node -> cluster index.
+  std::vector<std::uint32_t> cluster_of;
+
+  std::size_t total_resources() const;
+  std::size_t total_estimators() const;
+};
+
+/// Partition `graph` into `cluster_count` contiguous, balanced clusters
+/// and assign roles.  Requires the graph to be connected and each
+/// cluster to have room for scheduler + estimators + >= 1 resource.
+ClusterLayout partition_into_clusters(const net::Graph& graph,
+                                      std::size_t cluster_count,
+                                      std::size_t estimators_per_cluster,
+                                      util::RandomStream& rng);
+
+}  // namespace scal::grid

@@ -1,0 +1,172 @@
+#pragma once
+// Configuration of a managed-grid simulation: topology sizing, cluster
+// layout, the RMS policy under test, the paper's common constants
+// (Table 1), the cost model that defines what one unit of RMS work is,
+// and the tunable "scaling enablers" (Tables 2-5).
+
+#include <cstdint>
+#include <string>
+
+#include "net/topology.hpp"
+#include "workload/generator.hpp"
+
+namespace scal::grid {
+
+/// The seven RMS models evaluated in the paper (Section 3.3), plus the
+/// two-level hierarchical extension (the paper's future-work item (a);
+/// not part of the reproduction sweeps).
+enum class RmsKind {
+  kCentral,
+  kLowest,
+  kReserve,
+  kAuction,
+  kSenderInitiated,    // S-I
+  kReceiverInitiated,  // R-I
+  kSymmetric,          // Sy-I
+  kHierarchical,       // HIER (extension)
+  kRandom,             // RANDOM (Zhou'88 no-information baseline)
+};
+
+std::string to_string(RmsKind kind);
+RmsKind rms_from_string(const std::string& name);
+
+/// All seven kinds in paper order, for sweeps.
+inline constexpr RmsKind kAllRmsKinds[] = {
+    RmsKind::kCentral,          RmsKind::kLowest,
+    RmsKind::kReserve,          RmsKind::kAuction,
+    RmsKind::kSenderInitiated,  RmsKind::kReceiverInitiated,
+    RmsKind::kSymmetric,
+};
+
+/// Scaling enablers (the y(k) knobs the simulated-annealing tuner adjusts,
+/// paper Tables 2-5).
+struct Tuning {
+  /// Status-update interval tau (time units) between resource reports.
+  double update_interval = 20.0;
+  /// Neighborhood set size L_p: remote schedulers probed / polled /
+  /// advertised to.  Case 4 turns this into the scaling variable.
+  std::uint32_t neighborhood_size = 3;
+  /// Network link delay multiplier (provisioning of control links).
+  double link_delay_scale = 1.0;
+  /// Interval between receiver-initiated volunteering rounds (R-I, Sy-I;
+  /// enabler in Case 4).
+  double volunteer_interval = 60.0;
+};
+
+/// Service costs (time units of RMS server work) that define G(k), plus
+/// message sizes that drive network transfer delays.  G(k) is "the
+/// overall time spent by the schedulers for scheduling, receiving, and
+/// processing updates" — each constant below is one of those actions.
+struct CostModel {
+  // Estimator-side costs.
+  double est_process_update = 0.01;  ///< vet one resource status report
+  double est_forward_batch = 0.03;   ///< assemble + send one batch upstream
+
+  // Scheduler-side costs.
+  double sched_batch_base = 0.03;      ///< receive one status batch
+  double sched_per_update = 0.01;      ///< integrate one update from a batch
+  double sched_decision_base = 0.015;  ///< one placement decision
+  double sched_decision_per_candidate = 2e-5;  ///< per resource tracked
+  double sched_poll = 0.05;      ///< handle one poll request or reply
+  double sched_transfer = 0.06;  ///< hand a job off / accept a handoff
+  double sched_advert = 0.03;    ///< reservation / volunteer / invitation
+  double sched_bid = 0.12;       ///< produce or evaluate one auction bid
+  double sched_idle_event = 0.05;  ///< digest an idle notification
+
+  // Middleware per-message service time (S-I / R-I / Sy-I, paper: "a
+  // simple queue with infinite capacity and finite but small service
+  // time").
+  double middleware_service = 0.005;
+
+  // Resource-pool overheads H(k): job control (launch/teardown), in
+  // demand units — it is processing work, so its wall-clock cost is
+  // job_control / service_rate and scales with the pool speed exactly
+  // like the jobs themselves (keeps Case 2's efficiency band holdable).
+  double job_control = 4.0;
+
+  // Message sizes (arbitrary size units; links default to bandwidth 100).
+  double size_update = 1.0;
+  double size_control = 1.0;  ///< polls, bids, advertisements, replies
+  double size_job = 8.0;      ///< job transfer payload
+};
+
+/// Protocol constants from the paper.
+struct ProtocolParams {
+  double t_cpu = 700.0;  ///< LOCAL/REMOTE execution-time threshold (Table 1)
+  double t_l = 0.5;      ///< threshold load at a scheduler (Table 1)
+  double delta = 0.5;    ///< R-I: RUS threshold for volunteering
+  double psi = 25.0;     ///< S-I: ATT tie tolerance
+  double auction_window = 4.0;   ///< bid accumulation interval
+  double advert_ttl_factor = 2.0;  ///< Sy-I advert freshness, x volunteer_interval
+  double estimator_batch_window = 4.0;  ///< update batching at estimators
+  double wait_queue_timeout = 60.0;     ///< R-I/Sy-I parked-job fallback
+  /// Watchdog for request/reply rounds (polls, probes, demand
+  /// negotiations): if replies have not arrived by then — lost control
+  /// messages under failure injection, or a slow path — the round
+  /// concludes with whatever it has and the job is placed locally.
+  double reply_timeout = 40.0;
+};
+
+struct GridConfig {
+  net::TopologyConfig topology;  ///< node count = schedulers+estimators+resources
+
+  /// Target nodes per cluster (1 scheduler + estimators + resources).
+  std::size_t cluster_size = 20;
+  /// Estimators per cluster (Case 3 scaling variable).
+  std::size_t estimators_per_cluster = 1;
+
+  /// Resource service rate in demand units per time unit (Case 2
+  /// scaling variable).  The default of 8 makes the mean job run for
+  /// ~75 time units, so a 1500-unit horizon spans ~20 job generations
+  /// and queueing dynamics settle well inside it.
+  double service_rate = 8.0;
+
+  /// Heterogeneity extension (the paper assumes homogeneous resources):
+  /// each resource's rate is service_rate x Uniform[1-h, 1+h].  The
+  /// schedulers keep estimating with the nominal rate, so their load
+  /// views degrade gracefully — exactly the stress a real grid applies.
+  double heterogeneity = 0.0;  ///< h in [0, 0.9]
+
+  RmsKind rms = RmsKind::kLowest;
+  Tuning tuning;
+  CostModel costs;
+  ProtocolParams protocol;
+  workload::WorkloadConfig workload;
+
+  std::uint64_t seed = 42;
+  double horizon = 1500.0;  ///< simulated time units
+
+  /// Failure injection: probability that any single *control* message
+  /// (polls, replies, updates, adverts, bids) is silently dropped.
+  /// Job transfers stay reliable (they carry state that must not be
+  /// lost).  Protocols recover via reply_timeout watchdogs.
+  double control_loss_probability = 0.0;
+
+  /// When > 0, a StateSampler records true system state (utilization,
+  /// backlogs) on this cadence; read via GridSystem::sampler().
+  double sample_interval = 0.0;
+
+  /// Record per-job lifecycle events (arrival, transfers, dispatch,
+  /// start, completion) for post-run analysis.  Off by default: the
+  /// figure sweeps do not need it and it costs memory per job.
+  bool job_log = false;
+
+  /// When non-empty, jobs are replayed from this trace file (see
+  /// workload::save_trace_file) instead of being generated; arrivals
+  /// past the horizon are dropped and origin clusters are remapped
+  /// modulo the cluster count.
+  std::string trace_path;
+
+  /// Suppress a periodic update when the integer load is unchanged
+  /// (paper: "if loading conditions ... did not change significantly from
+  /// the previous update, an update might be suppressed").
+  bool update_suppression = true;
+
+  /// Validate invariants; throws std::invalid_argument on nonsense.
+  void validate() const;
+
+  /// Number of clusters implied by topology.nodes and cluster_size.
+  std::size_t cluster_count() const;
+};
+
+}  // namespace scal::grid

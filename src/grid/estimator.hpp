@@ -1,0 +1,54 @@
+#pragma once
+// Status estimator: "the RMS nodes which receive the status updates from
+// RP resources and distribute to the scheduling decision makers"
+// (paper, Figure 4 caption).  An estimator is a FIFO server: it vets
+// each incoming update, batches updates that arrive within a short
+// window, and forwards each batch upstream to its scheduler.  Its
+// offered work is part of G(k).  Case 3 scales the number of these.
+
+#include <functional>
+#include <vector>
+
+#include "grid/messages.hpp"
+#include "sim/server.hpp"
+
+namespace scal::grid {
+
+class Estimator : public sim::Server {
+ public:
+  /// `forward` ships a finished batch toward the cluster's scheduler
+  /// (the system wires in the network hop).
+  Estimator(sim::Simulator& sim, sim::EntityId id, ClusterId cluster,
+            std::uint32_t index, double process_cost, double forward_cost,
+            double batch_window, std::function<void(StatusBatch)> forward);
+
+  /// An update arrives from a resource (network delay already paid).
+  /// Taken by value: the estimator annotates its own copy with the
+  /// idle-transition flag relative to its own last view.
+  void receive_update(StatusUpdate update);
+
+  ClusterId cluster() const noexcept { return cluster_; }
+  std::uint32_t index() const noexcept { return index_; }
+  std::uint64_t updates_handled() const noexcept { return updates_; }
+  std::uint64_t batches_forwarded() const noexcept { return batches_; }
+
+ private:
+  void flush();
+
+  ClusterId cluster_;
+  std::uint32_t index_;
+  double process_cost_;
+  double forward_cost_;
+  double batch_window_;
+  std::function<void(StatusBatch)> forward_;
+
+  std::vector<StatusUpdate> buffer_;
+  /// Last load seen per resource index, for idle-transition detection
+  /// (negative = never seen).
+  std::vector<double> last_load_;
+  bool flush_scheduled_ = false;
+  std::uint64_t updates_ = 0;
+  std::uint64_t batches_ = 0;
+};
+
+}  // namespace scal::grid

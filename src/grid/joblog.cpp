@@ -1,0 +1,67 @@
+#include "grid/joblog.hpp"
+
+namespace scal::grid {
+
+const char* to_string(JobEvent event) {
+  switch (event) {
+    case JobEvent::kArrival: return "arrival";
+    case JobEvent::kTransfer: return "transfer";
+    case JobEvent::kDispatch: return "dispatch";
+    case JobEvent::kStart: return "start";
+    case JobEvent::kComplete: return "complete";
+  }
+  return "?";
+}
+
+void JobLog::record(workload::JobId job, JobEvent event, sim::Time at,
+                    std::uint32_t place) {
+  if (!enabled_) return;
+  by_job_[job].push_back(records_.size());
+  records_.push_back(JobLogRecord{job, event, at, place});
+}
+
+std::vector<JobLogRecord> JobLog::timeline(workload::JobId job) const {
+  std::vector<JobLogRecord> out;
+  const auto it = by_job_.find(job);
+  if (it == by_job_.end()) return out;
+  out.reserve(it->second.size());
+  for (const std::size_t index : it->second) {
+    out.push_back(records_[index]);
+  }
+  return out;
+}
+
+std::size_t JobLog::count(JobEvent event) const {
+  std::size_t n = 0;
+  for (const JobLogRecord& r : records_) {
+    if (r.event == event) ++n;
+  }
+  return n;
+}
+
+util::Samples JobLog::delays(JobEvent from, JobEvent to) const {
+  util::Samples out;
+  for (const auto& [job, indices] : by_job_) {
+    (void)job;
+    double t_from = -1.0, t_to = -1.0;
+    for (const std::size_t index : indices) {
+      const JobLogRecord& r = records_[index];
+      if (t_from < 0.0 && r.event == from) t_from = r.at;
+      if (t_to < 0.0 && r.event == to) t_to = r.at;
+    }
+    if (t_from >= 0.0 && t_to >= t_from) out.add(t_to - t_from);
+  }
+  return out;
+}
+
+std::size_t JobLog::transfer_hops(workload::JobId job) const {
+  std::size_t hops = 0;
+  const auto it = by_job_.find(job);
+  if (it == by_job_.end()) return 0;
+  for (const std::size_t index : it->second) {
+    if (records_[index].event == JobEvent::kTransfer) ++hops;
+  }
+  return hops;
+}
+
+}  // namespace scal::grid

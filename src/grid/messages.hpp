@@ -1,0 +1,78 @@
+#pragma once
+// Wire-level message records exchanged between grid entities.  The
+// network fabric only moves callbacks; these structs are the payloads the
+// RMS protocols interpret.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "workload/job.hpp"
+
+namespace scal::grid {
+
+using ClusterId = std::uint32_t;
+using ResourceIndex = std::uint32_t;  ///< index within its cluster
+
+/// One resource's status report.
+struct StatusUpdate {
+  ClusterId cluster = 0;
+  ResourceIndex resource = 0;
+  double load = 0.0;  ///< jobs in system (queued + running)
+  bool busy = false;
+  /// Set by the estimator when this update shows the resource going
+  /// from busy to idle relative to the estimator's own last view.
+  /// Replicated estimators each flag the transition in their own
+  /// stream — the duplication that makes the event-driven (PUSH+PULL)
+  /// policies sensitive to the estimator count (Case 3).
+  bool idle_transition = false;
+  sim::Time stamp = 0.0;
+};
+
+/// A batch of updates forwarded by an estimator to its scheduler.
+struct StatusBatch {
+  ClusterId cluster = 0;
+  /// Which of the cluster's estimators produced the batch.  Idle-event
+  /// triggers in the PUSH+PULL policies (AUCTION, Sy-I) are paced per
+  /// estimator — independent estimators do not coordinate their trigger
+  /// streams — so scaling the estimator count (Case 3) multiplies the
+  /// trigger volume of exactly those policies.
+  std::uint32_t estimator = 0;
+  std::vector<StatusUpdate> updates;
+};
+
+/// Inter-scheduler protocol message kinds (union of what the seven RMS
+/// models need).
+enum class MsgKind : std::uint8_t {
+  kPollRequest,    ///< LOWEST/S-I: "report your loading"
+  kPollReply,      ///< least load / AWT / RUS back to the poller
+  kJobTransfer,    ///< job handoff for remote execution
+  kReservation,    ///< RESERVE: register a reservation at a remote
+  kReserveProbe,   ///< RESERVE: "is your cluster still below T_l?"
+  kReserveReply,   ///< RESERVE: probe answer
+  kAuctionInvite,  ///< AUCTION: invitation to bid
+  kAuctionBid,     ///< AUCTION: bid carrying the bidder's load
+  kAuctionAward,   ///< AUCTION: winner asked to hand over a job
+  kVolunteer,      ///< R-I/Sy-I: "I have underutilized resources"
+  kDemandRequest,  ///< R-I: sender ships the head job's demands
+  kDemandReply,    ///< R-I: volunteer answers with ATT and RUS
+  kNoJob,          ///< negative reply (no job to hand over, etc.)
+};
+
+const char* to_string(MsgKind kind);
+
+/// One protocol message.  Fields are interpreted per kind; unused fields
+/// stay at defaults.  Carrying a full Job only happens on kJobTransfer.
+struct RmsMessage {
+  MsgKind kind = MsgKind::kPollRequest;
+  ClusterId from = 0;
+  ClusterId to = 0;
+  std::uint64_t token = 0;  ///< correlates request/reply (job id, auction id)
+  double a = 0.0;  ///< kind-specific scalar (load, AWT, ATT, ...)
+  double b = 0.0;  ///< kind-specific scalar (RUS, ERT, ...)
+  sim::Time stamp = 0.0;
+  std::optional<workload::Job> job;
+};
+
+}  // namespace scal::grid

@@ -1,0 +1,39 @@
+#include "grid/metrics.hpp"
+
+namespace scal::grid {
+
+void MetricsCollector::record_arrival(const workload::Job& job) {
+  if (job_log_) {
+    job_log_->record(job.id, JobEvent::kArrival, job.arrival,
+                     job.origin_cluster);
+  }
+  ++arrived_;
+  if (job.job_class == workload::JobClass::kLocal) ++local_;
+  else ++remote_;
+}
+
+void MetricsCollector::record_completion(const workload::Job& job,
+                                         sim::Time completion,
+                                         double service_time,
+                                         double control_cost) {
+  ++completed_;
+  control_overhead_ += control_cost;
+  const double response = completion - job.arrival;
+  response_.add(response);
+  // Success per the paper's user-benefit function U_b: the response must
+  // be within benefit_factor times the job's actual run time.
+  if (response <= job.benefit_factor * service_time) {
+    ++succeeded_;
+    useful_work_ += service_time;
+  } else {
+    ++missed_;
+    wasted_work_ += service_time;
+  }
+}
+
+void MetricsCollector::record_unfinished(double partial_service_time) {
+  ++unfinished_;
+  wasted_work_ += partial_service_time;
+}
+
+}  // namespace scal::grid

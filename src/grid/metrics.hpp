@@ -1,0 +1,133 @@
+#pragma once
+// Collection of the quantities the scalability framework consumes:
+//   F(k) — useful work: resource service time of jobs that completed
+//          within their benefit deadline U_b,
+//   G(k) — RMS overhead: work offered to scheduler/estimator/middleware
+//          servers (equals their busy time whenever the RMS keeps up;
+//          exceeds it exactly when the RMS is the bottleneck),
+//   H(k) — RP overhead: job-control costs plus service time wasted on
+//          jobs that missed their deadline or were cut off at the horizon,
+// plus the secondary measures of Figures 6 and 7 (throughput, response
+// time) and protocol-level counters for tests and diagnostics.
+
+#include <cstdint>
+
+#include "grid/joblog.hpp"
+#include "sim/time.hpp"
+#include "util/stats.hpp"
+#include "workload/job.hpp"
+
+namespace scal::grid {
+
+class MetricsCollector {
+ public:
+  /// Attach an (optional) job-lifecycle log; arrival records flow
+  /// through here, other components log via job_log().
+  void attach_job_log(JobLog* log) noexcept { job_log_ = log; }
+  JobLog* job_log() noexcept { return job_log_; }
+  void record_arrival(const workload::Job& job);
+  /// `service_time` is the time the resource actually spent (exec/rate).
+  void record_completion(const workload::Job& job, sim::Time completion,
+                         double service_time, double control_cost);
+  /// Service time already spent on a job still running at the horizon.
+  void record_unfinished(double partial_service_time);
+
+  // Protocol counters (incremented by the RMS implementations).
+  void count_poll() { ++polls_; }
+  void count_transfer() { ++transfers_; }
+  void count_auction() { ++auctions_; }
+  void count_advert() { ++adverts_; }
+  void count_update_received() { ++updates_received_; }
+  void count_update_suppressed() { ++updates_suppressed_; }
+
+  // Accessors (F/H here exclude G, which GridSystem reads off servers).
+  double useful_work() const noexcept { return useful_work_; }
+  double wasted_work() const noexcept { return wasted_work_; }
+  double control_overhead() const noexcept { return control_overhead_; }
+
+  std::uint64_t jobs_arrived() const noexcept { return arrived_; }
+  std::uint64_t jobs_local() const noexcept { return local_; }
+  std::uint64_t jobs_remote() const noexcept { return remote_; }
+  std::uint64_t jobs_completed() const noexcept { return completed_; }
+  std::uint64_t jobs_succeeded() const noexcept { return succeeded_; }
+  std::uint64_t jobs_missed_deadline() const noexcept { return missed_; }
+  std::uint64_t jobs_unfinished() const noexcept { return unfinished_; }
+
+  std::uint64_t polls() const noexcept { return polls_; }
+  std::uint64_t transfers() const noexcept { return transfers_; }
+  std::uint64_t auctions() const noexcept { return auctions_; }
+  std::uint64_t adverts() const noexcept { return adverts_; }
+  std::uint64_t updates_received() const noexcept { return updates_received_; }
+  std::uint64_t updates_suppressed() const noexcept {
+    return updates_suppressed_;
+  }
+
+  const util::Samples& response_times() const noexcept { return response_; }
+
+ private:
+  double useful_work_ = 0.0;
+  double wasted_work_ = 0.0;
+  double control_overhead_ = 0.0;
+  std::uint64_t arrived_ = 0, local_ = 0, remote_ = 0;
+  std::uint64_t completed_ = 0, succeeded_ = 0, missed_ = 0, unfinished_ = 0;
+  std::uint64_t polls_ = 0, transfers_ = 0, auctions_ = 0, adverts_ = 0;
+  std::uint64_t updates_received_ = 0, updates_suppressed_ = 0;
+  util::Samples response_;
+  JobLog* job_log_ = nullptr;
+};
+
+/// Final outcome of one simulation run.
+struct SimulationResult {
+  // The paper's three work terms.
+  double F = 0.0;
+  double G_scheduler = 0.0;
+  double G_estimator = 0.0;
+  double G_middleware = 0.0;
+  double H_control = 0.0;
+  double H_wasted = 0.0;
+
+  double G() const noexcept {
+    return G_scheduler + G_estimator + G_middleware;
+  }
+
+  /// Bottleneck isolation (the paper's motivation for component-level
+  /// scalability analysis): the largest single scheduler's share of
+  /// G_scheduler.  1.0 for CENTRAL by construction; ~1/#clusters for a
+  /// well-balanced distributed RMS; rising values pinpoint an emerging
+  /// manager hot spot.
+  double G_scheduler_max_share = 0.0;
+  /// The busiest scheduler's own work-in-system time.
+  double G_scheduler_max = 0.0;
+  double H() const noexcept { return H_control + H_wasted; }
+  /// E = F / (F + G + H); 0 when no work was done.
+  double efficiency() const noexcept {
+    const double total = F + G() + H();
+    return total > 0.0 ? F / total : 0.0;
+  }
+
+  // Figure 6/7 measures.
+  double throughput = 0.0;  ///< jobs completed per unit time
+  double mean_response = 0.0;
+  double p95_response = 0.0;
+
+  // Bookkeeping.
+  std::uint64_t jobs_arrived = 0;
+  std::uint64_t jobs_local = 0;
+  std::uint64_t jobs_remote = 0;
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t jobs_succeeded = 0;
+  std::uint64_t jobs_missed_deadline = 0;
+  std::uint64_t jobs_unfinished = 0;
+  std::uint64_t polls = 0;
+  std::uint64_t transfers = 0;
+  std::uint64_t auctions = 0;
+  std::uint64_t adverts = 0;
+  std::uint64_t updates_received = 0;
+  std::uint64_t updates_suppressed = 0;
+  std::uint64_t network_messages = 0;
+  std::uint64_t messages_dropped = 0;  ///< failure injection casualties
+  std::uint64_t events_dispatched = 0;
+  double horizon = 0.0;
+};
+
+}  // namespace scal::grid

@@ -1,0 +1,5 @@
+#include "grid/middleware.hpp"
+
+// Middleware is header-only today; this TU anchors the vtable.
+
+namespace scal::grid {}

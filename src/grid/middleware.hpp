@@ -1,0 +1,31 @@
+#pragma once
+// Grid middleware for the superscheduler models (S-I, R-I, Sy-I), per the
+// paper: "we ... model the Grid middleware using a simple queue with
+// infinite capacity and finite but small service time".  Every
+// inter-scheduler message of those models is relayed through this single
+// queue; its offered work is part of G(k).
+
+#include <functional>
+
+#include "sim/server.hpp"
+
+namespace scal::grid {
+
+class Middleware : public sim::Server {
+ public:
+  Middleware(sim::Simulator& sim, sim::EntityId id, double service_time)
+      : Server(sim, id, "middleware"), service_time_(service_time) {}
+
+  /// Relay: after the queue's service time, `deliver` performs the
+  /// second network hop to the destination scheduler.
+  void relay(std::function<void()> deliver) {
+    submit(service_time_, std::move(deliver));
+  }
+
+  double service_time() const noexcept { return service_time_; }
+
+ private:
+  double service_time_;
+};
+
+}  // namespace scal::grid

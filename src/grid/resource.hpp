@@ -1,0 +1,83 @@
+#pragma once
+// A grid resource: one node of the resource pool.  Executes dispatched
+// jobs FCFS at a configurable service rate, reports its load to its
+// status collector (estimator) every update-interval tick — with
+// change-suppression, as all of the paper's periodic-update schemes use —
+// and supports the queue-steal operation AUCTION's pull protocol needs.
+
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "grid/messages.hpp"
+#include "grid/metrics.hpp"
+#include "sim/entity.hpp"
+#include "util/rng.hpp"
+
+namespace scal::grid {
+
+class Resource : public sim::Entity {
+ public:
+  /// `report` ships a StatusUpdate toward this resource's estimator
+  /// (the system wires the network hop in).  `job_control_demand` is
+  /// the launch/teardown work per job in demand units; its wall-clock
+  /// cost is job_control_demand / service_rate.
+  Resource(sim::Simulator& sim, sim::EntityId id, ClusterId cluster,
+           ResourceIndex index, double service_rate,
+           double job_control_demand, MetricsCollector& metrics,
+           std::function<void(const StatusUpdate&)> report);
+
+  /// Begin the periodic reporting cycle.  `interval` is the tuned
+  /// update interval tau; `offset` desynchronizes resources.
+  void start_reporting(double interval, double offset, bool suppression);
+
+  /// A dispatched job arrives (network delay already paid).
+  void accept_job(workload::Job job);
+
+  /// AUCTION support: remove and return the most recently queued job
+  /// (never the one in service); nullopt if the queue is empty.
+  std::optional<workload::Job> steal_queued_job();
+
+  /// Jobs in system (queued + in service).
+  double load() const noexcept;
+  bool busy() const noexcept { return in_service_.has_value(); }
+  std::size_t queue_length() const noexcept { return queue_.size(); }
+
+  /// Service time already invested in the in-service job as of `now`;
+  /// used by the horizon sweep to charge partial work as waste.
+  double in_service_partial() const noexcept;
+  /// Jobs sitting in this resource's queue at the horizon.
+  std::size_t unstarted_jobs() const noexcept { return queue_.size(); }
+
+  ClusterId cluster() const noexcept { return cluster_; }
+  ResourceIndex index() const noexcept { return index_; }
+  std::uint64_t jobs_executed() const noexcept { return executed_; }
+  double busy_time() const noexcept { return busy_time_; }
+
+ private:
+  void begin_service();
+  void report_now();
+
+  ClusterId cluster_;
+  ResourceIndex index_;
+  double service_rate_;
+  double control_time_;  ///< job_control_demand / service_rate
+  MetricsCollector* metrics_;
+  std::function<void(const StatusUpdate&)> report_;
+
+  std::deque<workload::Job> queue_;
+  std::optional<workload::Job> in_service_;
+  sim::Time service_started_ = 0.0;
+  double current_service_time_ = 0.0;
+  sim::EventId completion_event_ = 0;
+
+  double report_interval_ = 0.0;
+  bool suppression_ = true;
+  bool reported_once_ = false;
+  double last_reported_load_ = -1.0;
+
+  std::uint64_t executed_ = 0;
+  double busy_time_ = 0.0;
+};
+
+}  // namespace scal::grid

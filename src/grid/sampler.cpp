@@ -1,0 +1,74 @@
+#include "grid/sampler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "grid/system.hpp"
+
+namespace scal::grid {
+
+StateSampler::StateSampler(GridSystem& system, sim::EntityId id,
+                           double interval)
+    : Entity(system.simulator(), id, "sampler"), system_(&system),
+      interval_(interval) {
+  if (!(interval_ > 0.0)) {
+    throw std::invalid_argument("StateSampler: interval must be positive");
+  }
+}
+
+void StateSampler::start() {
+  sim().schedule_in(0.0, [this]() { take_sample(); });
+}
+
+void StateSampler::take_sample() {
+  StateSample sample;
+  sample.at = now();
+
+  std::size_t resources = 0, busy = 0;
+  double load_sum = 0.0;
+  for (ClusterId c = 0;
+       c < static_cast<ClusterId>(system_->cluster_count()); ++c) {
+    std::size_t cluster_busy = 0, cluster_resources = 0;
+    for (ResourceIndex rix = 0;
+         rix < static_cast<ResourceIndex>(system_->resource_count(c));
+         ++rix) {
+      const Resource& res = system_->resource(c, rix);
+      ++resources;
+      ++cluster_resources;
+      if (res.busy()) {
+        ++busy;
+        ++cluster_busy;
+      }
+      load_sum += res.load();
+      sample.max_resource_load =
+          std::max(sample.max_resource_load, res.load());
+    }
+    if (cluster_resources > 0) {
+      sample.hottest_cluster_busy =
+          std::max(sample.hottest_cluster_busy,
+                   static_cast<double>(cluster_busy) /
+                       static_cast<double>(cluster_resources));
+    }
+  }
+  if (resources > 0) {
+    sample.pool_busy_fraction =
+        static_cast<double>(busy) / static_cast<double>(resources);
+    sample.mean_resource_load = load_sum / static_cast<double>(resources);
+  }
+
+  // Scheduler backlog: distinct schedulers only (CENTRAL aliases).
+  const SchedulerBase* last = nullptr;
+  for (ClusterId c = 0;
+       c < static_cast<ClusterId>(system_->cluster_count()); ++c) {
+    const SchedulerBase& sched = system_->scheduler_for(c);
+    if (&sched == last) continue;
+    last = &sched;
+    sample.scheduler_backlog += sched.queue_length();
+  }
+  sample.middleware_backlog = system_->middleware().queue_length();
+
+  samples_.push_back(sample);
+  sim().schedule_in(interval_, [this]() { take_sample(); });
+}
+
+}  // namespace scal::grid

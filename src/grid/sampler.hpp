@@ -1,0 +1,45 @@
+#pragma once
+// Periodic state sampler: true (not estimator-lagged) system state on a
+// fixed cadence — pool utilization, resource backlog, scheduler and
+// middleware queue depths.  Enabled with GridConfig::sample_interval;
+// feeds time-series analysis and the utilization_timeline example.
+
+#include <vector>
+
+#include "sim/entity.hpp"
+
+namespace scal::grid {
+
+class GridSystem;
+
+struct StateSample {
+  sim::Time at = 0.0;
+  double pool_busy_fraction = 0.0;   ///< busy resources / all resources
+  double mean_resource_load = 0.0;   ///< jobs in system per resource
+  double max_resource_load = 0.0;
+  std::size_t scheduler_backlog = 0;  ///< queued work items, all schedulers
+  std::size_t middleware_backlog = 0;
+  /// Busy fraction of the single hottest cluster (hot-spot detection).
+  double hottest_cluster_busy = 0.0;
+};
+
+class StateSampler : public sim::Entity {
+ public:
+  StateSampler(GridSystem& system, sim::EntityId id, double interval);
+
+  /// Begin sampling (first sample at t = 0, then every interval).
+  void start();
+
+  const std::vector<StateSample>& samples() const noexcept {
+    return samples_;
+  }
+
+ private:
+  void take_sample();
+
+  GridSystem* system_;
+  double interval_;
+  std::vector<StateSample> samples_;
+};
+
+}  // namespace scal::grid

@@ -1,0 +1,239 @@
+#include "grid/scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "grid/system.hpp"
+#include "util/log.hpp"
+
+namespace scal::grid {
+
+const char* to_string(MsgKind kind) {
+  switch (kind) {
+    case MsgKind::kPollRequest: return "PollRequest";
+    case MsgKind::kPollReply: return "PollReply";
+    case MsgKind::kJobTransfer: return "JobTransfer";
+    case MsgKind::kReservation: return "Reservation";
+    case MsgKind::kReserveProbe: return "ReserveProbe";
+    case MsgKind::kReserveReply: return "ReserveReply";
+    case MsgKind::kAuctionInvite: return "AuctionInvite";
+    case MsgKind::kAuctionBid: return "AuctionBid";
+    case MsgKind::kAuctionAward: return "AuctionAward";
+    case MsgKind::kVolunteer: return "Volunteer";
+    case MsgKind::kDemandRequest: return "DemandRequest";
+    case MsgKind::kDemandReply: return "DemandReply";
+    case MsgKind::kNoJob: return "NoJob";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Receive-side processing cost of a message, from the cost model.
+double receive_cost(const CostModel& costs, MsgKind kind) {
+  switch (kind) {
+    case MsgKind::kPollRequest:
+    case MsgKind::kPollReply:
+    case MsgKind::kReserveProbe:
+    case MsgKind::kReserveReply:
+    case MsgKind::kDemandRequest:
+    case MsgKind::kDemandReply:
+    case MsgKind::kNoJob:
+      return costs.sched_poll;
+    case MsgKind::kJobTransfer:
+    case MsgKind::kAuctionAward:
+      return costs.sched_transfer;
+    case MsgKind::kReservation:
+    case MsgKind::kVolunteer:
+    case MsgKind::kAuctionInvite:
+      return costs.sched_advert;
+    case MsgKind::kAuctionBid:
+      return costs.sched_bid;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+SchedulerBase::SchedulerBase(GridSystem& system, sim::EntityId id,
+                             ClusterId cluster, net::NodeId node)
+    : Server(system.simulator(), id,
+             "scheduler/" + std::to_string(cluster)),
+      system_(&system), cluster_(cluster), node_(node),
+      rng_(system.seed(), "scheduler/" + std::to_string(cluster)) {}
+
+void SchedulerBase::init_tables(const std::vector<ClusterId>& clusters) {
+  for (const ClusterId c : clusters) {
+    // Optimistic zero-load start: schedulers know their membership from
+    // deployment; the first status batches correct any drift.
+    tables_[c].assign(system_->resource_count(c), ResourceView{});
+  }
+}
+
+const std::vector<ResourceView>& SchedulerBase::table(
+    ClusterId cluster) const {
+  const auto it = tables_.find(cluster);
+  if (it == tables_.end()) {
+    throw std::out_of_range("SchedulerBase: cluster not tracked");
+  }
+  return it->second;
+}
+
+bool SchedulerBase::tracks(ClusterId cluster) const {
+  return tables_.count(cluster) != 0;
+}
+
+ResourceIndex SchedulerBase::least_loaded(ClusterId cluster) const {
+  const auto& t = table(cluster);
+  ResourceIndex best = 0;
+  for (ResourceIndex r = 1; r < t.size(); ++r) {
+    if (t[r].load < t[best].load) best = r;
+  }
+  return best;
+}
+
+double SchedulerBase::least_load(ClusterId cluster) const {
+  return table(cluster)[least_loaded(cluster)].load;
+}
+
+double SchedulerBase::busy_fraction(ClusterId cluster) const {
+  const auto& t = table(cluster);
+  if (t.empty()) return 0.0;
+  std::size_t busy = 0;
+  for (const ResourceView& v : t) {
+    if (v.load > 0.5) ++busy;
+  }
+  return static_cast<double>(busy) / static_cast<double>(t.size());
+}
+
+ResourceIndex SchedulerBase::most_backlogged(ClusterId cluster) const {
+  const auto& t = table(cluster);
+  ResourceIndex best = kNoResource;
+  double best_load = 1.5;  // needs at least one queued job (load >= 2)
+  for (ResourceIndex r = 0; r < t.size(); ++r) {
+    if (t[r].load > best_load) {
+      best_load = t[r].load;
+      best = r;
+    }
+  }
+  return best;
+}
+
+void SchedulerBase::deliver_job(workload::Job job) {
+  const CostModel& costs = system_->config().costs;
+  // A decision scans every resource this scheduler tracks: the local
+  // cluster for the distributed policies, the whole pool for CENTRAL —
+  // that asymmetry is what makes CENTRAL's per-decision cost grow with
+  // system size in Case 1.
+  std::size_t candidates = 0;
+  for (const auto& [c, t] : tables_) candidates += t.size();
+  const double cost =
+      costs.sched_decision_base +
+      costs.sched_decision_per_candidate * static_cast<double>(candidates);
+  submit(cost, [this, job = std::move(job)]() mutable {
+    handle_job(std::move(job));
+  });
+}
+
+void SchedulerBase::deliver_batch(StatusBatch batch) {
+  const CostModel& costs = system_->config().costs;
+  const double cost =
+      costs.sched_batch_base +
+      costs.sched_per_update * static_cast<double>(batch.updates.size());
+  submit(cost, [this, batch = std::move(batch)]() {
+    fold_batch(batch);
+    after_batch(batch);
+  });
+}
+
+void SchedulerBase::fold_batch(const StatusBatch& batch) {
+  auto it = tables_.find(batch.cluster);
+  if (it == tables_.end()) return;  // not interested in this cluster
+  auto& t = it->second;
+  for (const StatusUpdate& u : batch.updates) {
+    system_->metrics().count_update_received();
+    if (u.resource >= t.size()) continue;
+    // Status can be stale relative to optimistic dispatch bumps; newer
+    // stamps always win.
+    if (u.stamp >= t[u.resource].stamp) {
+      t[u.resource].load = u.load;
+      t[u.resource].stamp = u.stamp;
+    }
+    // Idle-event triggers are per estimator stream (the estimator sets
+    // the flag against its own last view), so replicated estimators
+    // each fire their own trigger.
+    if (wants_idle_events() && batch.cluster == cluster_ &&
+        u.idle_transition) {
+      const double idle_cost = system_->config().costs.sched_idle_event;
+      submit(idle_cost, [this, r = u.resource, e = batch.estimator]() {
+        handle_idle_resource(r, e);
+      });
+    }
+  }
+}
+
+void SchedulerBase::deliver_message(RmsMessage msg) {
+  const double cost = receive_cost(system_->config().costs, msg.kind);
+  submit(cost, [this, msg = std::move(msg)]() { handle_message(msg); });
+}
+
+void SchedulerBase::handle_message(const RmsMessage& msg) {
+  SCAL_DEBUG("scheduler " << cluster_ << " ignoring " << to_string(msg.kind)
+                          << " from " << msg.from);
+}
+
+std::size_t SchedulerBase::parked_jobs() const { return 0; }
+
+void SchedulerBase::dispatch(ClusterId cluster, ResourceIndex r,
+                             workload::Job job) {
+  auto it = tables_.find(cluster);
+  if (it == tables_.end() || r >= it->second.size()) {
+    throw std::out_of_range("SchedulerBase::dispatch: bad target");
+  }
+  // Optimistic bump so back-to-back decisions fan out instead of herding
+  // onto the same (momentarily) least-loaded resource.
+  it->second[r].load += 1.0;
+  system_->ship_job_to_resource(node_, cluster, r, std::move(job));
+}
+
+void SchedulerBase::send_message(ClusterId dst, RmsMessage msg,
+                                 double send_cost) {
+  msg.from = cluster_;
+  msg.to = dst;
+  msg.stamp = now();
+  submit(send_cost, [this, msg = std::move(msg)]() {
+    system_->route_message(node_, msg, uses_middleware());
+  });
+}
+
+std::vector<ClusterId> SchedulerBase::random_peers(std::size_t count) {
+  const std::size_t clusters = system_->cluster_count();
+  if (clusters <= 1) return {};
+  const std::size_t want = std::min(count, clusters - 1);
+  // Sample from [0, clusters-2] and skip over self.
+  auto picks = rng_.sample_without_replacement(clusters - 1, want);
+  std::vector<ClusterId> peers;
+  peers.reserve(want);
+  for (const std::size_t p : picks) {
+    const auto peer = static_cast<ClusterId>(p);
+    peers.push_back(peer >= cluster_ ? peer + 1 : peer);
+  }
+  return peers;
+}
+
+double SchedulerBase::estimate_awt(ClusterId cluster) const {
+  return least_load(cluster) * system_->mean_service_time();
+}
+
+double SchedulerBase::estimate_ert(double exec_demand) const {
+  return exec_demand / system_->config().service_rate;
+}
+
+double SchedulerBase::predict_transfer_delay(ClusterId dst) const {
+  const auto& peer = system_->layout().clusters.at(dst);
+  return system_->network().predict_delay(node_, peer.scheduler_node,
+                                          system_->config().costs.size_job);
+}
+
+}  // namespace scal::grid

@@ -1,0 +1,144 @@
+#pragma once
+// Base class for the seven RMS policies.  A scheduler is a FIFO server:
+// every action — making a placement decision, digesting a status batch,
+// handling a protocol message — is a costed work item, and the sum of
+// the costs offered to all schedulers is the dominant part of the RMS
+// overhead G(k).
+//
+// The base class owns the status tables (per-cluster resource load
+// views built from estimator batches), the dispatch/transfer plumbing,
+// and the messaging helpers; subclasses in src/rms implement the seven
+// protocols by overriding the handle_* hooks.
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "grid/messages.hpp"
+#include "net/graph.hpp"
+#include "sim/server.hpp"
+#include "util/rng.hpp"
+
+namespace scal::grid {
+
+class GridSystem;
+
+/// A scheduler's view of one resource, built from status updates.
+struct ResourceView {
+  double load = 0.0;
+  sim::Time stamp = 0.0;
+};
+
+class SchedulerBase : public sim::Server {
+ public:
+  SchedulerBase(GridSystem& system, sim::EntityId id, ClusterId cluster,
+                net::NodeId node);
+
+  // -- Entry points invoked by the system / network (delays already paid).
+
+  /// A freshly submitted job reaches this scheduler; queues the decision
+  /// work item, then the policy's handle_job runs.
+  void deliver_job(workload::Job job);
+
+  /// A status batch from one of this scheduler's estimators.
+  void deliver_batch(StatusBatch batch);
+
+  /// An inter-scheduler protocol message.
+  void deliver_message(RmsMessage msg);
+
+  /// Policy initialization hook (periodic timers etc.).  Called once
+  /// before the simulation starts.
+  virtual void on_start() {}
+
+  /// Jobs parked inside the policy (pending polls, wait queues) at the
+  /// horizon; counted as unfinished.
+  virtual std::size_t parked_jobs() const;
+
+  ClusterId cluster() const noexcept { return cluster_; }
+  net::NodeId node() const noexcept { return node_; }
+
+  /// True for the superscheduler family (S-I, R-I, Sy-I): all
+  /// inter-scheduler traffic is relayed through the grid middleware.
+  virtual bool uses_middleware() const { return false; }
+
+  /// True for policies that react to idle-resource events surfaced by
+  /// the status stream (AUCTION, Sy-I).
+  virtual bool wants_idle_events() const { return false; }
+
+ protected:
+  // -- Hooks the seven policies implement.
+  virtual void handle_job(workload::Job job) = 0;
+  virtual void handle_message(const RmsMessage& msg);
+  /// Called after a batch is folded into the tables.
+  virtual void after_batch(const StatusBatch& /*batch*/) {}
+  /// Called (if wants_idle_events) when a batch from estimator
+  /// `estimator` shows a resource going idle.
+  virtual void handle_idle_resource(ResourceIndex /*resource*/,
+                                    std::uint32_t /*estimator*/) {}
+
+  // -- Helpers available to policies.
+
+  GridSystem& system() noexcept { return *system_; }
+  const GridSystem& system() const noexcept { return *system_; }
+  util::RandomStream& rng() noexcept { return rng_; }
+
+  /// The status table for `cluster` (CENTRAL tracks all clusters; the
+  /// distributed policies track only their own).
+  const std::vector<ResourceView>& table(ClusterId cluster) const;
+  bool tracks(ClusterId cluster) const;
+
+  /// Index of the least-loaded resource in `cluster`'s table
+  /// (ties break to the lowest index).
+  ResourceIndex least_loaded(ClusterId cluster) const;
+  /// Load of that resource.
+  double least_load(ClusterId cluster) const;
+  /// Fraction of `cluster`'s resources with load >= 1 — the paper's
+  /// "average cluster load" compared against T_l = 0.5.
+  double busy_fraction(ClusterId cluster) const;
+  /// Most-loaded resource with at least one *queued* job (load >= 2),
+  /// or kNoResource when none.
+  static constexpr ResourceIndex kNoResource = ~ResourceIndex{0};
+  ResourceIndex most_backlogged(ClusterId cluster) const;
+
+  /// Dispatch `job` onto resource `r` of this scheduler's own cluster
+  /// (or any tracked cluster for CENTRAL): pays the network hop and
+  /// optimistically bumps the table entry.
+  void dispatch(ClusterId cluster, ResourceIndex r, workload::Job job);
+
+  /// Send a protocol message to another scheduler, paying the send-side
+  /// work `send_cost` and routing via the middleware when the policy
+  /// uses it.
+  void send_message(ClusterId dst, RmsMessage msg, double send_cost);
+
+  /// `count` distinct random peer clusters (never this one).
+  std::vector<ClusterId> random_peers(std::size_t count);
+
+  /// Estimated waiting + run time ("ATT" ingredients) for a job of the
+  /// given demand on this scheduler's least-loaded local resource.
+  double estimate_awt(ClusterId cluster) const;
+  double estimate_ert(double exec_demand) const;
+
+  /// Predicted one-way job-transfer delay to a peer's scheduler node.
+  double predict_transfer_delay(ClusterId dst) const;
+
+  /// Fresh correlation token.
+  std::uint64_t next_token() noexcept { return token_counter_++; }
+
+ public:
+  /// Called once by GridSystem during wiring: seed the status tables for
+  /// the clusters this scheduler tracks.
+  void init_tables(const std::vector<ClusterId>& clusters);
+
+ private:
+  void fold_batch(const StatusBatch& batch);
+
+  GridSystem* system_;
+  ClusterId cluster_;
+  net::NodeId node_;
+  util::RandomStream rng_;
+  std::unordered_map<ClusterId, std::vector<ResourceView>> tables_;
+  std::uint64_t token_counter_ = 1;
+};
+
+}  // namespace scal::grid

@@ -1,0 +1,323 @@
+#include "grid/system.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "grid/sampler.hpp"
+#include "util/log.hpp"
+#include "workload/trace.hpp"
+
+namespace scal::grid {
+
+GridSystem::GridSystem(GridConfig config, SchedulerFactory factory)
+    : config_(std::move(config)) {
+  config_.validate();
+  job_log_.set_enabled(config_.job_log);
+  metrics_.attach_job_log(&job_log_);
+  if (!factory) {
+    throw std::invalid_argument("GridSystem: null scheduler factory");
+  }
+
+  // Topology (Mercator substitute).
+  util::RandomStream topo_rng(config_.seed, "topology");
+  graph_ = net::generate_topology(config_.topology, topo_rng);
+  network_ = std::make_unique<net::Network>(sim_, next_entity_id_++, graph_);
+  network_->set_delay_scale(config_.tuning.link_delay_scale);
+  if (config_.control_loss_probability > 0.0) {
+    network_->set_loss(config_.control_loss_probability,
+                       util::RandomStream(config_.seed, "control-loss"));
+  }
+
+  // Clusters.
+  util::RandomStream part_rng(config_.seed, "partition");
+  layout_ = partition_into_clusters(graph_, config_.cluster_count(),
+                                    config_.estimators_per_cluster, part_rng);
+  const std::size_t clusters = layout_.clusters.size();
+
+  // Middleware lives on the globally best-connected node.
+  net::NodeId best = 0;
+  for (net::NodeId v = 1; v < graph_.node_count(); ++v) {
+    if (graph_.degree(v) > graph_.degree(best)) best = v;
+  }
+  middleware_node_ = best;
+  middleware_ = std::make_unique<Middleware>(
+      sim_, next_entity_id_++, config_.costs.middleware_service);
+
+  // Schedulers: one per cluster, or a single central one placed on the
+  // best-connected scheduler slot.
+  schedulers_.resize(config_.rms == RmsKind::kCentral ? 1 : clusters);
+  if (config_.rms == RmsKind::kCentral) {
+    net::NodeId central_node = layout_.clusters[0].scheduler_node;
+    for (const auto& c : layout_.clusters) {
+      if (graph_.degree(c.scheduler_node) > graph_.degree(central_node)) {
+        central_node = c.scheduler_node;
+      }
+    }
+    schedulers_[0] = factory(*this, next_entity_id_++, 0, central_node);
+    std::vector<ClusterId> all(clusters);
+    for (std::size_t c = 0; c < clusters; ++c) {
+      all[c] = static_cast<ClusterId>(c);
+    }
+    schedulers_[0]->init_tables(all);
+  } else {
+    for (std::size_t c = 0; c < clusters; ++c) {
+      schedulers_[c] =
+          factory(*this, next_entity_id_++, static_cast<ClusterId>(c),
+                  layout_.clusters[c].scheduler_node);
+      schedulers_[c]->init_tables({static_cast<ClusterId>(c)});
+    }
+  }
+
+  // Estimators forward batches to their cluster's scheduler.
+  estimators_.resize(clusters);
+  for (std::size_t c = 0; c < clusters; ++c) {
+    const auto& cluster = layout_.clusters[c];
+    estimators_[c].reserve(cluster.estimator_nodes.size());
+    for (const net::NodeId est_node : cluster.estimator_nodes) {
+      auto forward = [this, c, est_node](StatusBatch batch) {
+        SchedulerBase& sched = scheduler_for(static_cast<ClusterId>(c));
+        const double size = config_.costs.size_update *
+                            static_cast<double>(batch.updates.size());
+        network_->send(est_node, sched.node(), size,
+                       [&sched, batch = std::move(batch)]() mutable {
+                         sched.deliver_batch(std::move(batch));
+                       });
+      };
+      estimators_[c].push_back(std::make_unique<Estimator>(
+          sim_, next_entity_id_++, static_cast<ClusterId>(c),
+          static_cast<std::uint32_t>(estimators_[c].size()),
+          config_.costs.est_process_update, config_.costs.est_forward_batch,
+          config_.protocol.estimator_batch_window, std::move(forward)));
+    }
+  }
+
+  // Per-resource service rates (heterogeneity extension; h = 0 keeps
+  // the paper's homogeneous pool bit-for-bit).
+  util::RandomStream rate_rng(config_.seed, "heterogeneity");
+  auto resource_rate = [&]() {
+    if (config_.heterogeneity == 0.0) return config_.service_rate;
+    return config_.service_rate *
+           rate_rng.uniform(1.0 - config_.heterogeneity,
+                            1.0 + config_.heterogeneity);
+  };
+
+  // Resources report to every estimator of their cluster: the
+  // estimators are replicated status services ("receive the status
+  // updates from RP resources and distribute to the scheduling decision
+  // makers"), so scaling the estimator count (Case 3) scales the status
+  // traffic itself.
+  resources_.resize(clusters);
+  for (std::size_t c = 0; c < clusters; ++c) {
+    const auto& cluster = layout_.clusters[c];
+    resources_[c].reserve(cluster.resource_nodes.size());
+    for (std::size_t r = 0; r < cluster.resource_nodes.size(); ++r) {
+      const net::NodeId res_node = cluster.resource_nodes[r];
+      auto report = [this, res_node, c](const StatusUpdate& u) {
+        const auto& nodes = layout_.clusters[c].estimator_nodes;
+        for (std::size_t e = 0; e < estimators_[c].size(); ++e) {
+          Estimator* est = estimators_[c][e].get();
+          // Status updates are periodic and idempotent: losing one only
+          // delays freshness, so they ride the unreliable path.
+          network_->send_unreliable(res_node, nodes[e],
+                                    config_.costs.size_update,
+                                    [est, u]() { est->receive_update(u); });
+        }
+      };
+      resources_[c].push_back(std::make_unique<Resource>(
+          sim_, next_entity_id_++, static_cast<ClusterId>(c),
+          static_cast<ResourceIndex>(r), resource_rate(),
+          config_.costs.job_control, metrics_, std::move(report)));
+    }
+  }
+
+  mean_service_time_ =
+      workload::expected_exec_time(config_.workload) / config_.service_rate;
+
+  if (config_.sample_interval > 0.0) {
+    sampler_ = std::make_unique<StateSampler>(*this, next_entity_id_++,
+                                              config_.sample_interval);
+  }
+}
+
+GridSystem::~GridSystem() = default;
+
+Resource& GridSystem::resource(ClusterId cluster, ResourceIndex index) {
+  return *resources_.at(cluster).at(index);
+}
+
+SchedulerBase& GridSystem::scheduler_for(ClusterId cluster) {
+  if (config_.rms == RmsKind::kCentral) return *schedulers_[0];
+  return *schedulers_.at(cluster);
+}
+
+void GridSystem::route_message(net::NodeId from_node, RmsMessage msg,
+                               bool via_middleware) {
+  if (msg.kind == MsgKind::kJobTransfer && msg.job) {
+    job_log_.record(msg.job->id, JobEvent::kTransfer, sim_.now(), msg.to);
+  }
+  SchedulerBase& dst = scheduler_for(msg.to);
+  // Job transfers carry state that must not vanish; everything else is
+  // a control message, subject to failure injection.
+  const bool reliable = msg.kind == MsgKind::kJobTransfer;
+  const double size = reliable ? config_.costs.size_job
+                               : config_.costs.size_control;
+  const net::NodeId dst_node = dst.node();
+  auto ship = [this, reliable](net::NodeId from, net::NodeId to, double sz,
+                               std::function<void()> cb) {
+    if (reliable) {
+      network_->send(from, to, sz, std::move(cb));
+    } else {
+      network_->send_unreliable(from, to, sz, std::move(cb));
+    }
+  };
+  if (via_middleware) {
+    // First hop to the middleware queue, its service time, then the
+    // second hop to the destination (paper: superschedulers communicate
+    // "through a Grid middleware").
+    ship(from_node, middleware_node_, size,
+         [this, ship, size, dst_node, &dst, msg = std::move(msg)]() mutable {
+           middleware_->relay([this, ship, size, dst_node, &dst,
+                               msg = std::move(msg)]() mutable {
+             ship(middleware_node_, dst_node, size,
+                  [&dst, msg = std::move(msg)]() mutable {
+                    dst.deliver_message(std::move(msg));
+                  });
+           });
+         });
+  } else {
+    ship(from_node, dst_node, size,
+         [&dst, msg = std::move(msg)]() mutable {
+           dst.deliver_message(std::move(msg));
+         });
+  }
+}
+
+void GridSystem::ship_job_to_resource(net::NodeId from_node,
+                                      ClusterId cluster, ResourceIndex index,
+                                      workload::Job job) {
+  job_log_.record(job.id, JobEvent::kDispatch, sim_.now(), cluster);
+  Resource& res = resource(cluster, index);
+  const net::NodeId res_node =
+      layout_.clusters.at(cluster).resource_nodes.at(index);
+  network_->send(from_node, res_node, config_.costs.size_job,
+                 [&res, job = std::move(job)]() mutable {
+                   res.accept_job(std::move(job));
+                 });
+}
+
+void GridSystem::schedule_arrivals() {
+  std::vector<workload::Job> jobs;
+  if (!config_.trace_path.empty()) {
+    jobs = workload::load_trace_file(config_.trace_path);
+    std::erase_if(jobs, [this](const workload::Job& j) {
+      return j.arrival >= config_.horizon;
+    });
+    for (auto& job : jobs) {
+      job.origin_cluster = static_cast<std::uint32_t>(
+          job.origin_cluster % cluster_count());
+    }
+  } else {
+    workload::WorkloadConfig wl = config_.workload;
+    wl.clusters = static_cast<std::uint32_t>(cluster_count());
+    workload::WorkloadGenerator gen(
+        wl, util::RandomStream(config_.seed, "workload"));
+    jobs = gen.generate_until(config_.horizon);
+  }
+  SCAL_INFO("grid: " << jobs.size() << " jobs over horizon "
+                     << config_.horizon);
+  for (auto& job : jobs) {
+    sim_.schedule_at(job.arrival, [this, job]() {
+      metrics_.record_arrival(job);
+      SchedulerBase& sched = scheduler_for(job.origin_cluster);
+      if (config_.rms == RmsKind::kCentral &&
+          sched.node() !=
+              layout_.clusters[job.origin_cluster].scheduler_node) {
+        // CENTRAL: the submission point forwards the job to the single
+        // central scheduler over the network.
+        const net::NodeId gateway =
+            layout_.clusters[job.origin_cluster].scheduler_node;
+        network_->send(gateway, sched.node(), config_.costs.size_job,
+                       [&sched, job]() { sched.deliver_job(job); });
+      } else {
+        sched.deliver_job(job);
+      }
+    });
+  }
+}
+
+SimulationResult GridSystem::run() {
+  if (ran_) throw std::logic_error("GridSystem::run: already ran");
+  ran_ = true;
+
+  schedule_arrivals();
+
+  util::RandomStream offset_rng(config_.seed, "report-offsets");
+  for (auto& cluster : resources_) {
+    for (auto& res : cluster) {
+      res->start_reporting(config_.tuning.update_interval,
+                           offset_rng.uniform(0.0,
+                                              config_.tuning.update_interval),
+                           config_.update_suppression);
+    }
+  }
+  for (auto& sched : schedulers_) sched->on_start();
+  if (sampler_) sampler_->start();
+
+  sim_.run(config_.horizon);
+
+  // Horizon sweep: work already invested in still-running jobs is waste.
+  for (auto& cluster : resources_) {
+    for (auto& res : cluster) {
+      if (res->busy()) metrics_.record_unfinished(res->in_service_partial());
+    }
+  }
+  return assemble_result();
+}
+
+SimulationResult GridSystem::assemble_result() {
+  SimulationResult r;
+  r.F = metrics_.useful_work();
+  r.H_wasted = metrics_.wasted_work();
+  r.H_control = metrics_.control_overhead();
+  for (const auto& sched : schedulers_) {
+    const double work = sched->work_in_system_time();
+    r.G_scheduler += work;
+    r.G_scheduler_max = std::max(r.G_scheduler_max, work);
+  }
+  if (r.G_scheduler > 0.0) {
+    r.G_scheduler_max_share = r.G_scheduler_max / r.G_scheduler;
+  }
+  for (const auto& cluster : estimators_) {
+    for (const auto& est : cluster) {
+      r.G_estimator += est->work_in_system_time();
+    }
+  }
+  r.G_middleware = middleware_->work_in_system_time();
+
+  r.jobs_arrived = metrics_.jobs_arrived();
+  r.jobs_local = metrics_.jobs_local();
+  r.jobs_remote = metrics_.jobs_remote();
+  r.jobs_completed = metrics_.jobs_completed();
+  r.jobs_succeeded = metrics_.jobs_succeeded();
+  r.jobs_missed_deadline = metrics_.jobs_missed_deadline();
+  r.jobs_unfinished = metrics_.jobs_arrived() - metrics_.jobs_completed();
+  r.polls = metrics_.polls();
+  r.transfers = metrics_.transfers();
+  r.auctions = metrics_.auctions();
+  r.adverts = metrics_.adverts();
+  r.updates_received = metrics_.updates_received();
+  r.updates_suppressed = metrics_.updates_suppressed();
+  r.network_messages = network_->messages_sent();
+  r.messages_dropped = network_->messages_dropped();
+  r.events_dispatched = sim_.dispatched_events();
+  r.horizon = config_.horizon;
+
+  r.throughput = config_.horizon > 0.0
+                     ? static_cast<double>(r.jobs_completed) / config_.horizon
+                     : 0.0;
+  r.mean_response = metrics_.response_times().mean();
+  r.p95_response = metrics_.response_times().percentile(95.0);
+  return r;
+}
+
+}  // namespace scal::grid

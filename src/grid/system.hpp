@@ -1,0 +1,112 @@
+#pragma once
+// GridSystem: builds and runs one managed-grid simulation.
+//
+// Construction wires everything together: topology generation (Mercator
+// substitute), cluster partitioning, resources/estimators/schedulers/
+// middleware placement, OSPF-like routing, and the workload stream.
+// run() executes to the horizon and assembles the SimulationResult whose
+// F, G, and H terms feed the scalability framework.
+
+#include <memory>
+#include <vector>
+
+#include "grid/cluster.hpp"
+#include "grid/config.hpp"
+#include "grid/estimator.hpp"
+#include "grid/metrics.hpp"
+#include "grid/middleware.hpp"
+#include "grid/resource.hpp"
+#include "grid/scheduler.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "workload/generator.hpp"
+
+namespace scal::grid {
+
+class StateSampler;
+
+/// Creates the policy scheduler for one cluster (or the single central
+/// scheduler).  Lives in the rms library (scal::rms::scheduler_factory);
+/// injected here so grid does not depend on the policies.
+using SchedulerFactory = std::function<std::unique_ptr<SchedulerBase>(
+    GridSystem&, sim::EntityId, ClusterId, net::NodeId)>;
+
+class GridSystem {
+ public:
+  /// Validates config, builds the full system.  Deterministic in
+  /// (config, config.seed).
+  GridSystem(GridConfig config, SchedulerFactory factory);
+  ~GridSystem();
+
+  GridSystem(const GridSystem&) = delete;
+  GridSystem& operator=(const GridSystem&) = delete;
+
+  /// Run the simulation to config.horizon and collect the result.
+  /// Callable once.
+  SimulationResult run();
+
+  // -- Accessors used by the scheduler policies.
+  sim::Simulator& simulator() noexcept { return sim_; }
+  net::Network& network() noexcept { return *network_; }
+  const GridConfig& config() const noexcept { return config_; }
+  MetricsCollector& metrics() noexcept { return metrics_; }
+  const ClusterLayout& layout() const noexcept { return layout_; }
+
+  std::size_t cluster_count() const noexcept { return layout_.clusters.size(); }
+  std::size_t resource_count(ClusterId cluster) const {
+    return layout_.clusters.at(cluster).resource_nodes.size();
+  }
+
+  Resource& resource(ClusterId cluster, ResourceIndex index);
+  /// The scheduler responsible for `cluster` (the single central
+  /// scheduler when the policy is CENTRAL).
+  SchedulerBase& scheduler_for(ClusterId cluster);
+  Middleware& middleware() noexcept { return *middleware_; }
+  net::NodeId middleware_node() const noexcept { return middleware_node_; }
+
+  /// Mean service time of one job at the configured rate — the
+  /// schedulers' waiting-time unit.
+  double mean_service_time() const noexcept { return mean_service_time_; }
+
+  /// Deliver an RmsMessage to its destination scheduler, paying network
+  /// (and optionally middleware) delays.  Used by SchedulerBase.
+  void route_message(net::NodeId from_node, RmsMessage msg,
+                     bool via_middleware);
+
+  /// Job-lifecycle log (empty unless config.job_log was set).
+  const JobLog& job_log() const noexcept { return job_log_; }
+
+  /// Time-series sampler (null unless config.sample_interval > 0).
+  const StateSampler* sampler() const noexcept { return sampler_.get(); }
+
+  /// Ship a job to a resource (network hop), then enqueue it there.
+  void ship_job_to_resource(net::NodeId from_node, ClusterId cluster,
+                            ResourceIndex index, workload::Job job);
+
+  std::uint64_t seed() const noexcept { return config_.seed; }
+
+ private:
+  void build();
+  void schedule_arrivals();
+  SimulationResult assemble_result();
+
+  GridConfig config_;
+  sim::Simulator sim_;
+  net::Graph graph_;
+  ClusterLayout layout_;
+  MetricsCollector metrics_;
+  JobLog job_log_;
+  std::unique_ptr<net::Network> network_;
+  std::unique_ptr<Middleware> middleware_;
+  net::NodeId middleware_node_ = net::kInvalidNode;
+  // resources_[cluster][index]
+  std::vector<std::vector<std::unique_ptr<Resource>>> resources_;
+  std::vector<std::vector<std::unique_ptr<Estimator>>> estimators_;
+  std::vector<std::unique_ptr<SchedulerBase>> schedulers_;
+  std::unique_ptr<StateSampler> sampler_;
+  double mean_service_time_ = 1.0;
+  bool ran_ = false;
+  sim::EntityId next_entity_id_ = 0;
+};
+
+}  // namespace scal::grid

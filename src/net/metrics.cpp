@@ -1,0 +1,102 @@
+#include "net/metrics.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <vector>
+
+namespace scal::net {
+
+namespace {
+
+/// BFS hop distances from one source; unreachable = max().
+std::vector<std::uint32_t> bfs_hops(const Graph& g, NodeId src) {
+  std::vector<std::uint32_t> dist(
+      g.node_count(), std::numeric_limits<std::uint32_t>::max());
+  std::queue<NodeId> q;
+  dist[src] = 0;
+  q.push(src);
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop();
+    for (const Link& l : g.neighbors(u)) {
+      if (dist[l.to] == std::numeric_limits<std::uint32_t>::max()) {
+        dist[l.to] = dist[u] + 1;
+        q.push(l.to);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+GraphMetrics analyze_graph(const Graph& graph, std::size_t sampled_sources,
+                           util::RandomStream& rng) {
+  GraphMetrics m;
+  m.nodes = graph.node_count();
+  m.edges = graph.edge_count();
+  if (m.nodes == 0) return m;
+  m.mean_degree = 2.0 * static_cast<double>(m.edges) /
+                  static_cast<double>(m.nodes);
+
+  const auto degrees = graph.degree_sequence();
+  m.max_degree = degrees.empty() ? 0 : degrees.front();
+
+  // Hub endpoint share: endpoints owned by the top decile of degrees.
+  const std::size_t top = std::max<std::size_t>(1, m.nodes / 10);
+  std::size_t hub_endpoints = 0;
+  for (std::size_t i = 0; i < top && i < degrees.size(); ++i) {
+    hub_endpoints += degrees[i];
+  }
+  if (m.edges > 0) {
+    m.hub_endpoint_share =
+        static_cast<double>(hub_endpoints) / (2.0 * static_cast<double>(m.edges));
+  }
+
+  // Path statistics over sampled sources.
+  const std::size_t samples = std::min(sampled_sources, m.nodes);
+  std::vector<std::size_t> sources;
+  if (samples == m.nodes) {
+    sources.resize(m.nodes);
+    for (std::size_t i = 0; i < m.nodes; ++i) sources[i] = i;
+  } else {
+    sources = rng.sample_without_replacement(m.nodes, samples);
+  }
+  double hop_sum = 0.0;
+  std::size_t hop_count = 0;
+  for (const std::size_t s : sources) {
+    const auto dist = bfs_hops(graph, static_cast<NodeId>(s));
+    for (const std::uint32_t d : dist) {
+      if (d != std::numeric_limits<std::uint32_t>::max() && d > 0) {
+        hop_sum += d;
+        ++hop_count;
+        m.diameter = std::max<std::size_t>(m.diameter, d);
+      }
+    }
+  }
+  if (hop_count > 0) {
+    m.mean_path_hops = hop_sum / static_cast<double>(hop_count);
+  }
+
+  // Global clustering coefficient (transitivity).
+  std::uint64_t triangles3 = 0;  // 3 x number of triangles (ordered)
+  std::uint64_t triples = 0;
+  for (NodeId v = 0; v < m.nodes; ++v) {
+    const auto nbrs = graph.neighbors(v);
+    const std::size_t d = nbrs.size();
+    if (d >= 2) triples += d * (d - 1) / 2;
+    for (std::size_t i = 0; i < d; ++i) {
+      for (std::size_t j = i + 1; j < d; ++j) {
+        if (graph.has_edge(nbrs[i].to, nbrs[j].to)) ++triangles3;
+      }
+    }
+  }
+  if (triples > 0) {
+    m.clustering = static_cast<double>(triangles3) /
+                   static_cast<double>(triples);
+  }
+  return m;
+}
+
+}  // namespace scal::net

@@ -1,0 +1,37 @@
+#pragma once
+// Structural metrics of a topology.  Used by the tests to validate that
+// the Mercator-substitute generators produce Internet-like graphs, by
+// the topology-sensitivity ablation, and by downstream users sizing
+// cluster layouts.
+
+#include <cstddef>
+
+#include "net/graph.hpp"
+#include "util/rng.hpp"
+
+namespace scal::net {
+
+struct GraphMetrics {
+  std::size_t nodes = 0;
+  std::size_t edges = 0;
+  double mean_degree = 0.0;
+  std::size_t max_degree = 0;
+  /// Hop-count diameter estimate (exact if sampled_sources >= nodes).
+  std::size_t diameter = 0;
+  /// Mean shortest-path hop count over the sampled source set.
+  double mean_path_hops = 0.0;
+  /// Global clustering coefficient (transitivity): 3 x triangles /
+  /// connected triples.
+  double clustering = 0.0;
+  /// Degree assortativity is expensive; the power-law tail indicator
+  /// below is what the Mercator-substitute tests need: fraction of all
+  /// edge endpoints owned by the top 10% highest-degree nodes.
+  double hub_endpoint_share = 0.0;
+};
+
+/// Compute metrics, BFS-sampling `sampled_sources` nodes for the path
+/// statistics (all nodes if the graph is small or the budget covers it).
+GraphMetrics analyze_graph(const Graph& graph, std::size_t sampled_sources,
+                           util::RandomStream& rng);
+
+}  // namespace scal::net

@@ -1,0 +1,45 @@
+#include "net/network.hpp"
+
+#include <stdexcept>
+
+namespace scal::net {
+
+void Network::set_delay_scale(double scale) {
+  if (!(scale > 0.0)) {
+    throw std::invalid_argument("Network: delay scale must be positive");
+  }
+  delay_scale_ = scale;
+}
+
+double Network::predict_delay(NodeId src, NodeId dst, double size) const {
+  if (src == dst) return 0.0;
+  return delay_scale_ * router_.delay(src, dst, size);
+}
+
+void Network::send(NodeId src, NodeId dst, double size,
+                   std::function<void()> on_arrival) {
+  const double d = predict_delay(src, dst, size);
+  ++messages_;
+  bytes_ += size;
+  sim().schedule_in(d, std::move(on_arrival));
+}
+
+void Network::set_loss(double probability, util::RandomStream rng) {
+  if (!(probability >= 0.0) || !(probability < 1.0)) {
+    throw std::invalid_argument("Network: loss probability in [0, 1)");
+  }
+  loss_probability_ = probability;
+  loss_rng_ = rng;
+}
+
+void Network::send_unreliable(NodeId src, NodeId dst, double size,
+                              std::function<void()> on_arrival) {
+  if (loss_probability_ > 0.0 && loss_rng_ &&
+      loss_rng_->bernoulli(loss_probability_)) {
+    ++dropped_;
+    return;
+  }
+  send(src, dst, size, std::move(on_arrival));
+}
+
+}  // namespace scal::net

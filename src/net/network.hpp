@@ -1,0 +1,62 @@
+#pragma once
+// The message fabric: delivers payloads between graph nodes with the
+// routed end-to-end delay.  The RMS "network link delay" scaling enabler
+// from the paper (Tables 2-5) is modeled as a multiplicative delay scale:
+// tuning it below 1.0 represents provisioning faster control links and is
+// penalized by cost elsewhere (the tuner trades it against efficiency).
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "net/routing.hpp"
+#include "sim/entity.hpp"
+#include "util/rng.hpp"
+
+namespace scal::net {
+
+class Network : public sim::Entity {
+ public:
+  Network(sim::Simulator& sim, sim::EntityId id, const Graph& graph)
+      : Entity(sim, id, "network"), router_(graph) {}
+
+  /// Deliver `on_arrival` after the routed delay for a message of `size`
+  /// units from `src` to `dst`.  src == dst delivers after zero delay
+  /// (still via the event queue, preserving causal ordering).
+  void send(NodeId src, NodeId dst, double size,
+            std::function<void()> on_arrival);
+
+  /// Like send(), but subject to the configured control-message loss
+  /// probability (failure injection).  A dropped message simply never
+  /// arrives; protocols must tolerate that via timeouts/idempotence.
+  void send_unreliable(NodeId src, NodeId dst, double size,
+                       std::function<void()> on_arrival);
+
+  /// Enable loss injection.  p in [0, 1); the stream seeds the drop
+  /// decisions so runs stay deterministic.
+  void set_loss(double probability, util::RandomStream rng);
+  double loss_probability() const noexcept { return loss_probability_; }
+  std::uint64_t messages_dropped() const noexcept { return dropped_; }
+
+  /// One-way delay this fabric would charge right now.
+  double predict_delay(NodeId src, NodeId dst, double size) const;
+
+  void set_delay_scale(double scale);
+  double delay_scale() const noexcept { return delay_scale_; }
+
+  const Router& router() const noexcept { return router_; }
+
+  std::uint64_t messages_sent() const noexcept { return messages_; }
+  double bytes_sent() const noexcept { return bytes_; }
+
+ private:
+  Router router_;
+  double delay_scale_ = 1.0;
+  std::uint64_t messages_ = 0;
+  double bytes_ = 0.0;
+  double loss_probability_ = 0.0;
+  std::optional<util::RandomStream> loss_rng_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace scal::net

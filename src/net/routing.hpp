@@ -1,0 +1,52 @@
+#pragma once
+// OSPF-like routing: link-state shortest paths by cumulative link latency
+// (Dijkstra), computed per source on demand and cached.  Along the chosen
+// path we accumulate both total propagation latency and total inverse
+// bandwidth, so an end-to-end message delay is
+//     delay = sum(latency) + size * sum(1/bandwidth).
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/graph.hpp"
+
+namespace scal::net {
+
+struct RouteInfo {
+  double latency = 0.0;         ///< sum of link latencies on the path
+  double inv_bandwidth = 0.0;   ///< sum of 1/bandwidth on the path
+  std::uint32_t hops = 0;
+  bool reachable = false;
+};
+
+class Router {
+ public:
+  explicit Router(const Graph& graph) : graph_(&graph) {}
+
+  /// Route lookup; computes and caches the source's full shortest-path
+  /// tree on first use.
+  RouteInfo route(NodeId src, NodeId dst) const;
+
+  /// End-to-end one-way delay for a message of `size` units.
+  /// Throws if dst is unreachable.
+  double delay(NodeId src, NodeId dst, double size) const;
+
+  /// Shortest path (sequence of nodes, src first); empty if unreachable.
+  std::vector<NodeId> path(NodeId src, NodeId dst) const;
+
+  std::size_t cached_sources() const noexcept { return cache_.size(); }
+  void clear_cache() const { cache_.clear(); }
+
+ private:
+  struct SourceTree {
+    std::vector<RouteInfo> info;       // indexed by destination
+    std::vector<NodeId> predecessor;   // for path reconstruction
+  };
+  const SourceTree& tree_for(NodeId src) const;
+
+  const Graph* graph_;
+  mutable std::unordered_map<NodeId, std::unique_ptr<SourceTree>> cache_;
+};
+
+}  // namespace scal::net

@@ -1,0 +1,78 @@
+#include "opt/annealing.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace scal::opt {
+
+AnnealingResult anneal(const Space& space, const Objective& objective,
+                       const AnnealingConfig& config,
+                       util::RandomStream& rng) {
+  if (space.size() == 0) {
+    throw std::invalid_argument("anneal: empty space");
+  }
+  if (config.iterations == 0 || config.restarts == 0) {
+    throw std::invalid_argument("anneal: zero budget");
+  }
+  if (!(config.initial_temperature >= config.final_temperature) ||
+      !(config.final_temperature > 0.0)) {
+    throw std::invalid_argument("anneal: bad temperature schedule");
+  }
+
+  AnnealingResult result;
+  bool have_best = false;
+
+  const std::size_t per_chain =
+      std::max<std::size_t>(1, config.iterations / config.restarts);
+  // Geometric cooling ratio hitting final_temperature at chain end.
+  const double ratio =
+      per_chain > 1
+          ? std::pow(config.final_temperature / config.initial_temperature,
+                     1.0 / static_cast<double>(per_chain - 1))
+          : 1.0;
+
+  for (std::size_t chain = 0; chain < config.restarts; ++chain) {
+    Point current = (chain == 0 && config.initial_point)
+                        ? space.clamp(*config.initial_point)
+                        : (chain == 0 ? space.center() : space.sample(rng));
+    double current_value = objective(current);
+    ++result.evaluations;
+    if (!have_best || current_value < result.best_value) {
+      result.best_point = current;
+      result.best_value = current_value;
+      have_best = true;
+    }
+
+    double temperature = config.initial_temperature;
+    for (std::size_t it = 1; it < per_chain; ++it) {
+      Point candidate = space.neighbor(current, temperature, rng);
+      const double candidate_value = objective(candidate);
+      ++result.evaluations;
+
+      const double delta = candidate_value - current_value;
+      bool accept = delta <= 0.0;
+      if (!accept) {
+        // Metropolis criterion; scale by the magnitude of the current
+        // value so the schedule is insensitive to objective units.
+        const double scale =
+            std::max({std::abs(current_value), std::abs(candidate_value),
+                      1e-12});
+        accept = rng.uniform() < std::exp(-delta / (temperature * scale));
+      }
+      if (accept) {
+        if (delta < 0.0) ++result.improving_moves;
+        ++result.accepted_moves;
+        current = std::move(candidate);
+        current_value = candidate_value;
+        if (current_value < result.best_value) {
+          result.best_point = current;
+          result.best_value = current_value;
+        }
+      }
+      temperature *= ratio;
+    }
+  }
+  return result;
+}
+
+}  // namespace scal::opt

@@ -1,0 +1,38 @@
+#pragma once
+// Simulated annealing (Kirkpatrick-style with geometric cooling and
+// optional restarts).  The paper tunes the RMS scaling enablers with "a
+// simulated annealing type of search" [2, 12, 5]; this is that search.
+
+#include <functional>
+#include <optional>
+
+#include "opt/space.hpp"
+
+namespace scal::opt {
+
+/// Objective to MINIMIZE.  Constraint handling (the efficiency band) is
+/// done by the caller via penalties folded into the objective.
+using Objective = std::function<double(const Point&)>;
+
+struct AnnealingConfig {
+  std::size_t iterations = 400;    ///< total objective evaluations
+  double initial_temperature = 1.0;
+  double final_temperature = 0.01;
+  std::size_t restarts = 1;        ///< independent chains (best-of)
+  /// Optional warm start; defaults to Space::center().
+  std::optional<Point> initial_point;
+};
+
+struct AnnealingResult {
+  Point best_point;
+  double best_value = 0.0;
+  std::size_t evaluations = 0;
+  std::size_t accepted_moves = 0;
+  std::size_t improving_moves = 0;
+};
+
+AnnealingResult anneal(const Space& space, const Objective& objective,
+                       const AnnealingConfig& config,
+                       util::RandomStream& rng);
+
+}  // namespace scal::opt

@@ -1,0 +1,91 @@
+#include "opt/search.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace scal::opt {
+
+SearchResult random_search(const Space& space, const Objective& objective,
+                           std::size_t evaluations, util::RandomStream& rng) {
+  if (evaluations == 0) throw std::invalid_argument("random_search: budget 0");
+  SearchResult result;
+  for (std::size_t i = 0; i < evaluations; ++i) {
+    Point p = space.sample(rng);
+    const double v = objective(p);
+    ++result.evaluations;
+    if (i == 0 || v < result.best_value) {
+      result.best_value = v;
+      result.best_point = std::move(p);
+    }
+  }
+  return result;
+}
+
+namespace {
+
+/// Levels for one variable: evenly spaced (log-spaced if log_scale),
+/// de-duplicated for narrow integer ranges.
+std::vector<double> levels_for(const Variable& v, std::size_t n) {
+  std::vector<double> out;
+  if (v.kind == VarKind::kInteger) {
+    const auto span = static_cast<std::size_t>(v.hi - v.lo) + 1;
+    if (span <= n) {
+      for (double x = v.lo; x <= v.hi; x += 1.0) out.push_back(x);
+      return out;
+    }
+  }
+  if (n == 1) {
+    out.push_back(v.log_scale ? std::sqrt(v.lo * v.hi) : 0.5 * (v.lo + v.hi));
+    return out;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(n - 1);
+    double x = v.log_scale
+                   ? std::exp(std::log(v.lo) +
+                              t * (std::log(v.hi) - std::log(v.lo)))
+                   : v.lo + t * (v.hi - v.lo);
+    if (v.kind == VarKind::kInteger) x = std::round(x);
+    if (out.empty() || out.back() != x) out.push_back(x);
+  }
+  return out;
+}
+
+}  // namespace
+
+SearchResult grid_search(const Space& space, const Objective& objective,
+                         std::size_t points_per_dim) {
+  if (points_per_dim == 0) {
+    throw std::invalid_argument("grid_search: zero points per dim");
+  }
+  std::vector<std::vector<double>> levels;
+  levels.reserve(space.size());
+  for (const Variable& v : space.variables()) {
+    levels.push_back(levels_for(v, points_per_dim));
+  }
+
+  SearchResult result;
+  Point p(space.size());
+  std::vector<std::size_t> idx(space.size(), 0);
+  bool first = true;
+  for (;;) {
+    for (std::size_t d = 0; d < space.size(); ++d) p[d] = levels[d][idx[d]];
+    const double v = objective(p);
+    ++result.evaluations;
+    if (first || v < result.best_value) {
+      first = false;
+      result.best_value = v;
+      result.best_point = p;
+    }
+    // Odometer increment.
+    std::size_t d = 0;
+    while (d < space.size()) {
+      if (++idx[d] < levels[d].size()) break;
+      idx[d] = 0;
+      ++d;
+    }
+    if (d == space.size()) break;
+  }
+  return result;
+}
+
+}  // namespace scal::opt

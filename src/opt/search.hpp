@@ -1,0 +1,25 @@
+#pragma once
+// Baseline searches used by the tuner-ablation bench: pure random search
+// and full-factorial grid search over the same Space/Objective interface
+// as the annealer.
+
+#include "opt/annealing.hpp"
+
+namespace scal::opt {
+
+struct SearchResult {
+  Point best_point;
+  double best_value = 0.0;
+  std::size_t evaluations = 0;
+};
+
+/// Uniform random sampling with the given evaluation budget.
+SearchResult random_search(const Space& space, const Objective& objective,
+                           std::size_t evaluations, util::RandomStream& rng);
+
+/// Full-factorial grid with `points_per_dim` levels per variable
+/// (integer variables enumerate every value if the range is smaller).
+SearchResult grid_search(const Space& space, const Objective& objective,
+                         std::size_t points_per_dim);
+
+}  // namespace scal::opt

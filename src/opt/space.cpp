@@ -1,0 +1,109 @@
+#include "opt/space.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace scal::opt {
+
+Space::Space(std::vector<Variable> vars) : vars_(std::move(vars)) {
+  for (const Variable& v : vars_) {
+    if (!(v.lo <= v.hi)) {
+      throw std::invalid_argument("Space: lo > hi for " + v.name);
+    }
+    if (v.log_scale && !(v.lo > 0.0)) {
+      throw std::invalid_argument("Space: log-scale needs lo > 0 for " +
+                                  v.name);
+    }
+  }
+}
+
+std::size_t Space::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < vars_.size(); ++i) {
+    if (vars_[i].name == name) return i;
+  }
+  throw std::out_of_range("Space: no variable named " + name);
+}
+
+Point Space::clamp(Point p) const {
+  if (p.size() != vars_.size()) {
+    throw std::invalid_argument("Space::clamp: dimension mismatch");
+  }
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    p[i] = std::clamp(p[i], vars_[i].lo, vars_[i].hi);
+    if (vars_[i].kind == VarKind::kInteger) {
+      p[i] = std::clamp(std::round(p[i]), vars_[i].lo, vars_[i].hi);
+    }
+  }
+  return p;
+}
+
+bool Space::contains(const Point& p) const {
+  if (p.size() != vars_.size()) return false;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (p[i] < vars_[i].lo || p[i] > vars_[i].hi) return false;
+    if (vars_[i].kind == VarKind::kInteger && p[i] != std::round(p[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Point Space::sample(util::RandomStream& rng) const {
+  Point p(vars_.size());
+  for (std::size_t i = 0; i < vars_.size(); ++i) {
+    const Variable& v = vars_[i];
+    if (v.log_scale) {
+      p[i] = std::exp(rng.uniform(std::log(v.lo), std::log(v.hi)));
+    } else {
+      p[i] = rng.uniform(v.lo, v.hi);
+    }
+  }
+  return clamp(std::move(p));
+}
+
+Point Space::neighbor(const Point& p, double temperature,
+                      util::RandomStream& rng) const {
+  if (p.size() != vars_.size()) {
+    throw std::invalid_argument("Space::neighbor: dimension mismatch");
+  }
+  Point q = p;
+  // Perturb each coordinate with probability 1/2 (at least one always).
+  bool moved = false;
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    if (!rng.bernoulli(0.5)) continue;
+    moved = true;
+    const Variable& v = vars_[i];
+    if (v.log_scale) {
+      const double span = std::log(v.hi) - std::log(v.lo);
+      q[i] = std::exp(std::log(std::max(q[i], v.lo)) +
+                      rng.normal(0.0, 0.3 * temperature * span));
+    } else {
+      const double span = v.hi - v.lo;
+      q[i] += rng.normal(0.0, 0.3 * temperature * std::max(span, 1e-12));
+    }
+    if (v.kind == VarKind::kInteger && q[i] == p[i]) {
+      // Integer variables need a minimum step of one.
+      q[i] += rng.bernoulli(0.5) ? 1.0 : -1.0;
+    }
+  }
+  if (!moved) {
+    const auto i = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(q.size()) - 1));
+    const Variable& v = vars_[i];
+    const double span = v.hi - v.lo;
+    q[i] += rng.normal(0.0, 0.3 * temperature * std::max(span, 1e-12));
+  }
+  return clamp(std::move(q));
+}
+
+Point Space::center() const {
+  Point p(vars_.size());
+  for (std::size_t i = 0; i < vars_.size(); ++i) {
+    const Variable& v = vars_[i];
+    p[i] = v.log_scale ? std::sqrt(v.lo * v.hi) : 0.5 * (v.lo + v.hi);
+  }
+  return clamp(std::move(p));
+}
+
+}  // namespace scal::opt

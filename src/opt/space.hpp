@@ -1,0 +1,60 @@
+#pragma once
+// Box-constrained mixed continuous/integer search space shared by the
+// optimizers.  The scalability framework tunes "scaling enablers"
+// (status-update interval, neighborhood size, link delay, volunteering
+// interval) over such a space.
+
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace scal::opt {
+
+enum class VarKind { kContinuous, kInteger };
+
+struct Variable {
+  std::string name;
+  VarKind kind = VarKind::kContinuous;
+  double lo = 0.0;
+  double hi = 1.0;
+  /// If true, neighbor proposals move multiplicatively (log-space), which
+  /// suits scale-like quantities such as update intervals.
+  bool log_scale = false;
+};
+
+/// A point in the space; integers are stored as rounded doubles.
+using Point = std::vector<double>;
+
+class Space {
+ public:
+  Space() = default;
+  explicit Space(std::vector<Variable> vars);
+
+  std::size_t size() const noexcept { return vars_.size(); }
+  const Variable& var(std::size_t i) const { return vars_.at(i); }
+  const std::vector<Variable>& variables() const noexcept { return vars_; }
+
+  /// Index of the variable with the given name; throws if absent.
+  std::size_t index_of(const std::string& name) const;
+
+  /// Clamp to bounds and round integer coordinates.
+  Point clamp(Point p) const;
+  bool contains(const Point& p) const;
+
+  /// Uniform random point (log-uniform on log_scale variables).
+  Point sample(util::RandomStream& rng) const;
+
+  /// Gaussian-step neighbor of `p`; `temperature` in (0, 1] scales the
+  /// step size relative to each variable's range.
+  Point neighbor(const Point& p, double temperature,
+                 util::RandomStream& rng) const;
+
+  /// Midpoint-ish default (geometric mean for log-scale variables).
+  Point center() const;
+
+ private:
+  std::vector<Variable> vars_;
+};
+
+}  // namespace scal::opt

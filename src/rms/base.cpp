@@ -1,0 +1,68 @@
+#include "rms/base.hpp"
+
+namespace scal::rms {
+
+void DistributedSchedulerBase::schedule_local(workload::Job job) {
+  const grid::ResourceIndex r = least_loaded(cluster());
+  dispatch(cluster(), r, std::move(job));
+}
+
+void DistributedSchedulerBase::transfer_job(grid::ClusterId dst,
+                                            workload::Job job) {
+  system().metrics().count_transfer();
+  grid::RmsMessage msg;
+  msg.kind = grid::MsgKind::kJobTransfer;
+  msg.token = job.id;
+  msg.job = std::move(job);
+  send_message(dst, std::move(msg), costs().sched_transfer);
+}
+
+void DistributedSchedulerBase::handle_message(const grid::RmsMessage& msg) {
+  if (msg.kind == grid::MsgKind::kJobTransfer && msg.job) {
+    schedule_local(*msg.job);
+    return;
+  }
+  SchedulerBase::handle_message(msg);
+}
+
+void DistributedSchedulerBase::reply_demand(const grid::RmsMessage& msg) {
+  grid::RmsMessage reply;
+  reply.kind = grid::MsgKind::kDemandReply;
+  reply.token = msg.token;
+  reply.a = estimate_awt(cluster()) + estimate_ert(msg.a);
+  reply.b = busy_fraction(cluster());
+  send_message(msg.from, std::move(reply), costs().sched_poll);
+}
+
+void DistributedSchedulerBase::arm_negotiation_watchdog(
+    std::unordered_map<std::uint64_t, workload::Job>& negotiating,
+    std::uint64_t token) {
+  system().simulator().schedule_in(
+      protocol().reply_timeout, [this, &negotiating, token]() {
+        const auto it = negotiating.find(token);
+        if (it == negotiating.end()) return;
+        workload::Job stranded = std::move(it->second);
+        negotiating.erase(it);
+        schedule_local(std::move(stranded));
+      });
+}
+
+bool DistributedSchedulerBase::decide_demand_reply(
+    const grid::RmsMessage& msg,
+    std::unordered_map<std::uint64_t, workload::Job>& negotiating) {
+  const auto it = negotiating.find(msg.token);
+  if (it == negotiating.end()) return false;
+  workload::Job job = std::move(it->second);
+  negotiating.erase(it);
+  const double local_att =
+      estimate_awt(cluster()) + estimate_ert(job.exec_time);
+  const double remote_att = msg.a + predict_transfer_delay(msg.from);
+  if (remote_att < local_att) {
+    transfer_job(msg.from, std::move(job));
+  } else {
+    schedule_local(std::move(job));
+  }
+  return true;
+}
+
+}  // namespace scal::rms

@@ -1,0 +1,53 @@
+#pragma once
+// Shared plumbing for the distributed policies: local least-loaded
+// placement, the default job-transfer handler, and the R-I-style
+// demand/reply handshake used by both R-I and Sy-I.
+
+#include "grid/scheduler.hpp"
+#include "grid/system.hpp"
+
+namespace scal::rms {
+
+class DistributedSchedulerBase : public grid::SchedulerBase {
+ public:
+  using SchedulerBase::SchedulerBase;
+
+ protected:
+  /// Place `job` on this cluster's least-loaded resource.
+  void schedule_local(workload::Job job);
+
+  /// Transfer `job` to `dst`'s scheduler (kJobTransfer + accounting).
+  void transfer_job(grid::ClusterId dst, workload::Job job);
+
+  /// Default handling for an incoming kJobTransfer: schedule locally.
+  void handle_message(const grid::RmsMessage& msg) override;
+
+  /// Answer a kDemandRequest (R-I handshake): reply with our ATT
+  /// estimate for the demand in msg.a and our busy fraction.
+  void reply_demand(const grid::RmsMessage& msg);
+
+  /// Decide a kDemandReply: transfer the correlated job to the
+  /// volunteer if its quoted ATT plus the transfer delay beats the local
+  /// estimate.  Returns true if the message was consumed.
+  bool decide_demand_reply(const grid::RmsMessage& msg,
+                           std::unordered_map<std::uint64_t, workload::Job>&
+                               negotiating);
+
+  /// Watchdog for a demand negotiation: if `token` is still in
+  /// `negotiating` after the reply timeout (lost control message), the
+  /// job falls back to local placement.  `negotiating` must outlive the
+  /// scheduler's event horizon (it is a member of the caller).
+  void arm_negotiation_watchdog(
+      std::unordered_map<std::uint64_t, workload::Job>& negotiating,
+      std::uint64_t token);
+
+  const grid::CostModel& costs() const {
+    return system().config().costs;
+  }
+  const grid::ProtocolParams& protocol() const {
+    return system().config().protocol;
+  }
+  const grid::Tuning& tuning() const { return system().config().tuning; }
+};
+
+}  // namespace scal::rms

@@ -1,0 +1,25 @@
+#include "rms/central.hpp"
+
+namespace scal::rms {
+
+void CentralScheduler::handle_job(workload::Job job) {
+  // Global least-loaded placement over every cluster's table.
+  grid::ClusterId best_cluster = 0;
+  grid::ResourceIndex best_res = 0;
+  double best_load = std::numeric_limits<double>::infinity();
+  const std::size_t clusters = system().cluster_count();
+  for (std::size_t c = 0; c < clusters; ++c) {
+    const auto cid = static_cast<grid::ClusterId>(c);
+    const auto& t = table(cid);
+    for (grid::ResourceIndex r = 0; r < t.size(); ++r) {
+      if (t[r].load < best_load) {
+        best_load = t[r].load;
+        best_cluster = cid;
+        best_res = r;
+      }
+    }
+  }
+  dispatch(best_cluster, best_res, std::move(job));
+}
+
+}  // namespace scal::rms

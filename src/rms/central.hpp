@@ -1,0 +1,19 @@
+#pragma once
+// CENTRAL: one scheduler makes the decisions for every resource in the
+// system; all resources report to it (through their cluster estimators)
+// every update interval, with change-suppression (paper Section 3.3).
+
+#include "grid/scheduler.hpp"
+#include "grid/system.hpp"
+
+namespace scal::rms {
+
+class CentralScheduler : public grid::SchedulerBase {
+ public:
+  using SchedulerBase::SchedulerBase;
+
+ protected:
+  void handle_job(workload::Job job) override;
+};
+
+}  // namespace scal::rms

@@ -1,0 +1,20 @@
+#pragma once
+// Public entry point for building a managed grid with one of the seven
+// RMS policies from the paper.
+
+#include <memory>
+
+#include "grid/system.hpp"
+
+namespace scal::rms {
+
+/// Factory creating policy schedulers of the given kind.
+grid::SchedulerFactory scheduler_factory(grid::RmsKind kind);
+
+/// Convenience: build a GridSystem for config.rms.
+std::unique_ptr<grid::GridSystem> make_grid(grid::GridConfig config);
+
+/// Convenience: build and run in one call.
+grid::SimulationResult simulate(grid::GridConfig config);
+
+}  // namespace scal::rms

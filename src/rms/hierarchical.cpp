@@ -1,0 +1,98 @@
+#include "rms/hierarchical.hpp"
+
+#include <limits>
+
+namespace scal::rms {
+
+void HierarchicalScheduler::on_start() {
+  if (is_root()) {
+    // Seed the root's view so early arrivals have a target.
+    for (grid::ClusterId c = 0;
+         c < static_cast<grid::ClusterId>(system().cluster_count()); ++c) {
+      digests_.emplace(c, Digest{0.0, 0.0, 0.0});
+    }
+  }
+}
+
+void HierarchicalScheduler::after_batch(const grid::StatusBatch& /*batch*/) {
+  if (is_root()) {
+    // The root keeps its own cluster's digest fresh locally.
+    digests_[cluster()] =
+        Digest{busy_fraction(cluster()), least_load(cluster()), now()};
+    return;
+  }
+  // Leaves digest upward at the update-interval cadence.
+  if (now() - last_digest_ < tuning().update_interval) return;
+  last_digest_ = now();
+  send_digest();
+}
+
+void HierarchicalScheduler::send_digest() {
+  system().metrics().count_advert();
+  grid::RmsMessage digest;
+  digest.kind = grid::MsgKind::kVolunteer;  // reused as "cluster digest"
+  digest.a = busy_fraction(cluster());
+  digest.b = least_load(cluster());
+  send_message(0, std::move(digest), costs().sched_advert);
+}
+
+void HierarchicalScheduler::handle_job(workload::Job job) {
+  if (job.job_class == workload::JobClass::kLocal) {
+    schedule_local(std::move(job));
+    return;
+  }
+  if (is_root()) {
+    root_place(std::move(job));
+    return;
+  }
+  // Leaves forward REMOTE work to the root coordinator.
+  transfer_job(0, std::move(job));
+}
+
+void HierarchicalScheduler::root_place(workload::Job job) {
+  // Scan cluster digests — O(#clusters), not O(#resources).
+  grid::ClusterId best = cluster();
+  double best_load = std::numeric_limits<double>::infinity();
+  for (const auto& [c, digest] : digests_) {
+    // Order by reported least-loaded resource; busy fraction breaks ties.
+    const double key = digest.least_load + 0.1 * digest.busy_fraction;
+    if (key < best_load) {
+      best_load = key;
+      best = c;
+    }
+  }
+  if (best == cluster()) {
+    schedule_local(std::move(job));
+  } else {
+    // Optimistic bump on the digest so bursts fan out across clusters.
+    digests_[best].least_load += 1.0;
+    transfer_job(best, std::move(job));
+  }
+}
+
+void HierarchicalScheduler::handle_message(const grid::RmsMessage& msg) {
+  switch (msg.kind) {
+    case grid::MsgKind::kVolunteer:  // cluster digest
+      if (is_root()) {
+        digests_[msg.from] = Digest{msg.a, msg.b, msg.stamp};
+      }
+      return;
+    case grid::MsgKind::kJobTransfer: {
+      if (!msg.job) return;
+      if (is_root() && msg.job->job_class == workload::JobClass::kRemote &&
+          msg.from != cluster()) {
+        // A leaf's forwarded job: the root routes it.  Jobs the root
+        // itself sent out arrive at leaves with from == 0, which the
+        // next branch handles.
+        root_place(*msg.job);
+        return;
+      }
+      schedule_local(*msg.job);
+      return;
+    }
+    default:
+      DistributedSchedulerBase::handle_message(msg);
+  }
+}
+
+}  // namespace scal::rms

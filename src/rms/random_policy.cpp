@@ -1,0 +1,32 @@
+#include "rms/random_policy.hpp"
+
+namespace scal::rms {
+
+void RandomScheduler::place_randomly(workload::Job job) {
+  const auto& t = table(cluster());
+  const auto r = static_cast<grid::ResourceIndex>(
+      rng().uniform_int(0, static_cast<std::int64_t>(t.size()) - 1));
+  dispatch(cluster(), r, std::move(job));
+}
+
+void RandomScheduler::handle_job(workload::Job job) {
+  if (job.job_class == workload::JobClass::kRemote &&
+      system().cluster_count() > 1) {
+    const auto peers = random_peers(1);
+    if (!peers.empty()) {
+      transfer_job(peers.front(), std::move(job));
+      return;
+    }
+  }
+  place_randomly(std::move(job));
+}
+
+void RandomScheduler::handle_message(const grid::RmsMessage& msg) {
+  if (msg.kind == grid::MsgKind::kJobTransfer && msg.job) {
+    place_randomly(*msg.job);
+    return;
+  }
+  DistributedSchedulerBase::handle_message(msg);
+}
+
+}  // namespace scal::rms

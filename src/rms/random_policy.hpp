@@ -1,0 +1,25 @@
+#pragma once
+// RANDOM: the no-information baseline from Zhou's load-balancing study
+// [17] that LOWEST was originally measured against.  LOCAL jobs land on
+// a uniformly random local resource; REMOTE jobs are transferred to a
+// uniformly random remote cluster (no polls, no status use beyond
+// table sizes).  Not part of the paper's seven — included as the
+// baseline that shows what the status-estimation machinery buys.
+
+#include "rms/base.hpp"
+
+namespace scal::rms {
+
+class RandomScheduler : public DistributedSchedulerBase {
+ public:
+  using DistributedSchedulerBase::DistributedSchedulerBase;
+
+ protected:
+  void handle_job(workload::Job job) override;
+  void handle_message(const grid::RmsMessage& msg) override;
+
+ private:
+  void place_randomly(workload::Job job);
+};
+
+}  // namespace scal::rms

@@ -1,0 +1,101 @@
+#include "rms/receiver_initiated.hpp"
+
+#include <algorithm>
+
+namespace scal::rms {
+
+void ReceiverInitiatedScheduler::on_start() {
+  // Desynchronize the volunteering rounds across schedulers.
+  const double offset = rng().uniform(0.0, tuning().volunteer_interval);
+  system().simulator().schedule_in(offset, [this]() { volunteer_tick(); });
+}
+
+void ReceiverInitiatedScheduler::volunteer_tick() {
+  // "Periodically, a scheduler checks RUS for the resources in its
+  // cluster" — an idle resource (RUS below delta) triggers volunteering.
+  const auto& t = table(cluster());
+  const bool has_idle = std::any_of(
+      t.begin(), t.end(),
+      [this](const grid::ResourceView& v) { return v.load < protocol().delta; });
+  if (has_idle) {
+    for (const grid::ClusterId peer :
+         random_peers(tuning().neighborhood_size)) {
+      system().metrics().count_advert();
+      grid::RmsMessage msg;
+      msg.kind = grid::MsgKind::kVolunteer;
+      send_message(peer, std::move(msg), costs().sched_advert);
+    }
+  }
+  system().simulator().schedule_in(tuning().volunteer_interval,
+                                   [this]() { volunteer_tick(); });
+}
+
+void ReceiverInitiatedScheduler::handle_job(workload::Job job) {
+  if (job.job_class == workload::JobClass::kLocal ||
+      busy_fraction(cluster()) <= protocol().t_l) {
+    schedule_local(std::move(job));
+    return;
+  }
+  park_job(std::move(job));
+}
+
+void ReceiverInitiatedScheduler::park_job(workload::Job job) {
+  const workload::JobId id = job.id;
+  wait_queue_.push_back(std::move(job));
+  // Fallback: never hold a job hostage to a volunteer that may not come.
+  system().simulator().schedule_in(
+      protocol().wait_queue_timeout, [this, id]() {
+        const auto it =
+            std::find_if(wait_queue_.begin(), wait_queue_.end(),
+                         [id](const workload::Job& j) { return j.id == id; });
+        if (it != wait_queue_.end()) {
+          workload::Job job = std::move(*it);
+          wait_queue_.erase(it);
+          schedule_local(std::move(job));
+        }
+      });
+}
+
+void ReceiverInitiatedScheduler::after_batch(
+    const grid::StatusBatch& /*batch*/) {
+  if (busy_fraction(cluster()) <= protocol().t_l) drain_wait_queue_locally();
+}
+
+void ReceiverInitiatedScheduler::drain_wait_queue_locally() {
+  while (!wait_queue_.empty() &&
+         busy_fraction(cluster()) <= protocol().t_l) {
+    workload::Job job = std::move(wait_queue_.front());
+    wait_queue_.pop_front();
+    schedule_local(std::move(job));
+  }
+}
+
+void ReceiverInitiatedScheduler::handle_message(const grid::RmsMessage& msg) {
+  switch (msg.kind) {
+    case grid::MsgKind::kVolunteer: {
+      if (wait_queue_.empty()) return;  // nothing to offer the volunteer
+      workload::Job job = std::move(wait_queue_.front());
+      wait_queue_.pop_front();
+      const std::uint64_t token = next_token();
+      grid::RmsMessage demand;
+      demand.kind = grid::MsgKind::kDemandRequest;
+      demand.token = token;
+      demand.a = job.exec_time;  // the head job's resource demands
+      negotiating_.emplace(token, std::move(job));
+      arm_negotiation_watchdog(negotiating_, token);
+      system().metrics().count_poll();
+      send_message(msg.from, std::move(demand), costs().sched_poll);
+      return;
+    }
+    case grid::MsgKind::kDemandRequest:
+      reply_demand(msg);
+      return;
+    case grid::MsgKind::kDemandReply:
+      decide_demand_reply(msg, negotiating_);
+      return;
+    default:
+      DistributedSchedulerBase::handle_message(msg);
+  }
+}
+
+}  // namespace scal::rms

@@ -1,0 +1,41 @@
+#pragma once
+// RESERVE [Zhou'88 via the paper]: when a scheduler's cluster load drops
+// below T_l it registers reservations at L_p remote schedulers.  A
+// scheduler whose cluster is above T_l sends a REMOTE arrival toward the
+// most recent reservation after probing that the reserver is still below
+// threshold; a failed probe cancels the reservation.
+
+#include <unordered_map>
+#include <vector>
+
+#include "rms/base.hpp"
+
+namespace scal::rms {
+
+class ReserveScheduler : public DistributedSchedulerBase {
+ public:
+  using DistributedSchedulerBase::DistributedSchedulerBase;
+
+  std::size_t parked_jobs() const override { return probing_.size(); }
+
+ protected:
+  void handle_job(workload::Job job) override;
+  void handle_message(const grid::RmsMessage& msg) override;
+  void after_batch(const grid::StatusBatch& batch) override;
+
+ private:
+  struct Reservation {
+    grid::ClusterId from = 0;
+    sim::Time stamp = 0.0;
+  };
+
+  void maybe_advertise();
+  /// Most recent reservation, or nullptr.
+  Reservation* freshest_reservation();
+
+  std::vector<Reservation> reservations_;
+  std::unordered_map<std::uint64_t, workload::Job> probing_;
+  sim::Time last_advert_ = -1e300;
+};
+
+}  // namespace scal::rms

@@ -1,0 +1,97 @@
+#include "rms/sender_initiated.hpp"
+
+#include <cmath>
+
+namespace scal::rms {
+
+void SenderInitiatedScheduler::handle_job(workload::Job job) {
+  if (job.job_class == workload::JobClass::kLocal) {
+    schedule_local(std::move(job));
+    return;
+  }
+  start_att_poll(std::move(job));
+}
+
+void SenderInitiatedScheduler::start_att_poll(workload::Job job) {
+  const auto peers = random_peers(tuning().neighborhood_size);
+  if (peers.empty()) {
+    schedule_local(std::move(job));
+    return;
+  }
+  const std::uint64_t token = next_token();
+  AttRound round;
+  round.job = std::move(job);
+  round.awaiting = peers.size();
+  auto [it, inserted] = pending_.emplace(token, std::move(round));
+  (void)inserted;
+  for (const grid::ClusterId peer : peers) {
+    system().metrics().count_poll();
+    grid::RmsMessage poll;
+    poll.kind = grid::MsgKind::kPollRequest;
+    poll.token = token;
+    poll.a = it->second.job.exec_time;  // demand, for the ERT estimate
+    send_message(peer, std::move(poll), costs().sched_poll);
+  }
+  // Watchdog: lost replies (failure injection) must never strand a job.
+  system().simulator().schedule_in(protocol().reply_timeout,
+                                   [this, token]() {
+                                     const auto round_it =
+                                         pending_.find(token);
+                                     if (round_it == pending_.end()) return;
+                                     AttRound late =
+                                         std::move(round_it->second);
+                                     pending_.erase(round_it);
+                                     conclude_att_round(std::move(late));
+                                   });
+}
+
+void SenderInitiatedScheduler::handle_message(const grid::RmsMessage& msg) {
+  switch (msg.kind) {
+    case grid::MsgKind::kPollRequest: {
+      grid::RmsMessage reply;
+      reply.kind = grid::MsgKind::kPollReply;
+      reply.token = msg.token;
+      reply.a = estimate_awt(cluster()) + estimate_ert(msg.a);  // ATT
+      reply.b = busy_fraction(cluster());                       // RUS
+      send_message(msg.from, std::move(reply), costs().sched_poll);
+      return;
+    }
+    case grid::MsgKind::kPollReply: {
+      const auto it = pending_.find(msg.token);
+      if (it == pending_.end()) return;
+      AttRound& round = it->second;
+      const double att = msg.a + predict_transfer_delay(msg.from);
+      const bool better =
+          !round.any_reply || att < round.best_att - protocol().psi ||
+          (std::abs(att - round.best_att) <= protocol().psi &&
+           msg.b < round.best_rus);
+      if (better) {
+        round.any_reply = true;
+        round.best_cluster = msg.from;
+        round.best_att = att;
+        round.best_rus = msg.b;
+      }
+      if (--round.awaiting == 0) {
+        AttRound done = std::move(round);
+        pending_.erase(it);
+        conclude_att_round(std::move(done));
+      }
+      return;
+    }
+    default:
+      DistributedSchedulerBase::handle_message(msg);
+  }
+}
+
+void SenderInitiatedScheduler::conclude_att_round(AttRound round) {
+  const double local_att =
+      estimate_awt(cluster()) + estimate_ert(round.job.exec_time);
+  // Ties within psi stay local (the local site's RUS is free to use).
+  if (round.any_reply && round.best_att < local_att - protocol().psi) {
+    transfer_job(round.best_cluster, std::move(round.job));
+  } else {
+    schedule_local(std::move(round.job));
+  }
+}
+
+}  // namespace scal::rms

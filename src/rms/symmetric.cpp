@@ -1,0 +1,102 @@
+#include "rms/symmetric.hpp"
+
+#include <algorithm>
+
+namespace scal::rms {
+
+void SymmetricScheduler::on_start() {
+  const double offset = rng().uniform(0.0, tuning().volunteer_interval);
+  system().simulator().schedule_in(offset, [this]() { volunteer_tick(); });
+}
+
+void SymmetricScheduler::volunteer_tick() {
+  const auto& t = table(cluster());
+  const bool has_idle = std::any_of(
+      t.begin(), t.end(), [this](const grid::ResourceView& v) {
+        return v.load < protocol().delta;
+      });
+  if (has_idle) broadcast_volunteer();
+  system().simulator().schedule_in(tuning().volunteer_interval,
+                                   [this]() { volunteer_tick(); });
+}
+
+void SymmetricScheduler::handle_idle_resource(grid::ResourceIndex /*resource*/,
+                                              std::uint32_t estimator) {
+  // The event-driven half of Sy-I's PUSH side: an idle transition in the
+  // status stream triggers an advertisement.  Pacing is per estimator
+  // trigger stream, so a finer-grained estimator layer (Case 3) produces
+  // proportionally more advertisement traffic.
+  const auto last = last_event_broadcast_.find(estimator);
+  if (last != last_event_broadcast_.end() &&
+      now() - last->second < 0.10 * tuning().volunteer_interval) {
+    return;
+  }
+  last_event_broadcast_[estimator] = now();
+  broadcast_volunteer();
+}
+
+void SymmetricScheduler::broadcast_volunteer() {
+  for (const grid::ClusterId peer : random_peers(tuning().neighborhood_size)) {
+    system().metrics().count_advert();
+    grid::RmsMessage msg;
+    msg.kind = grid::MsgKind::kVolunteer;
+    send_message(peer, std::move(msg), costs().sched_advert);
+  }
+}
+
+const grid::ClusterId* SymmetricScheduler::freshest_advert() {
+  const double ttl =
+      protocol().advert_ttl_factor * tuning().volunteer_interval;
+  const grid::ClusterId* best = nullptr;
+  sim::Time best_stamp = -1e300;
+  for (auto& [peer, stamp] : adverts_) {
+    if (now() - stamp <= ttl && stamp > best_stamp) {
+      best_stamp = stamp;
+      freshest_cache_ = peer;
+      best = &freshest_cache_;
+    }
+  }
+  return best;
+}
+
+void SymmetricScheduler::handle_job(workload::Job job) {
+  if (job.job_class == workload::JobClass::kLocal) {
+    schedule_local(std::move(job));
+    return;
+  }
+  if (const grid::ClusterId* advertiser = freshest_advert()) {
+    // R-I style handshake with the advertiser.
+    const grid::ClusterId dst = *advertiser;
+    adverts_.erase(dst);  // consume the advertisement
+    const std::uint64_t token = next_token();
+    grid::RmsMessage demand;
+    demand.kind = grid::MsgKind::kDemandRequest;
+    demand.token = token;
+    demand.a = job.exec_time;
+    negotiating_.emplace(token, std::move(job));
+    arm_negotiation_watchdog(negotiating_, token);
+    system().metrics().count_poll();
+    send_message(dst, std::move(demand), costs().sched_poll);
+    return;
+  }
+  // No usable advertisement: sender-initiated fallback.
+  start_att_poll(std::move(job));
+}
+
+void SymmetricScheduler::handle_message(const grid::RmsMessage& msg) {
+  switch (msg.kind) {
+    case grid::MsgKind::kVolunteer:
+      adverts_[msg.from] = msg.stamp;
+      return;
+    case grid::MsgKind::kDemandRequest:
+      reply_demand(msg);
+      return;
+    case grid::MsgKind::kDemandReply:
+      decide_demand_reply(msg, negotiating_);
+      return;
+    default:
+      SenderInitiatedScheduler::handle_message(msg);
+  }
+}
+
+}  // namespace scal::rms

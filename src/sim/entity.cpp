@@ -1,0 +1,5 @@
+#include "sim/entity.hpp"
+
+// Entity is header-only today; this TU anchors the vtable.
+
+namespace scal::sim {}

@@ -1,0 +1,38 @@
+#pragma once
+// Base class for simulated components (resources, schedulers, estimators,
+// middleware, the network fabric).  An entity owns no threads — it is a
+// bag of event handlers scheduled on the shared kernel.
+
+#include <cstdint>
+#include <string>
+
+#include "sim/simulator.hpp"
+
+namespace scal::sim {
+
+using EntityId = std::uint32_t;
+
+class Entity {
+ public:
+  Entity(Simulator& sim, EntityId id, std::string name)
+      : sim_(&sim), id_(id), name_(std::move(name)) {}
+  virtual ~Entity() = default;
+
+  Entity(const Entity&) = delete;
+  Entity& operator=(const Entity&) = delete;
+
+  EntityId id() const noexcept { return id_; }
+  const std::string& name() const noexcept { return name_; }
+  Time now() const noexcept { return sim_->now(); }
+
+ protected:
+  Simulator& sim() noexcept { return *sim_; }
+  const Simulator& sim() const noexcept { return *sim_; }
+
+ private:
+  Simulator* sim_;
+  EntityId id_;
+  std::string name_;
+};
+
+}  // namespace scal::sim

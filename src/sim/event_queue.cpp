@@ -1,0 +1,52 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace scal::sim {
+
+EventId EventQueue::push(Time at, EventFn fn) {
+  const EventId id = next_id_++;
+  heap_.push_back(Entry{at, id, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  pending_.insert(id);
+  ++live_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (pending_.erase(id) == 0) return false;
+  cancelled_.insert(id);
+  assert(live_ > 0);
+  --live_;
+  return true;
+}
+
+void EventQueue::skip_cancelled() {
+  while (!heap_.empty() && cancelled_.count(heap_.front().id) != 0) {
+    cancelled_.erase(heap_.front().id);
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+  }
+}
+
+Time EventQueue::next_time() const {
+  const_cast<EventQueue*>(this)->skip_cancelled();
+  if (heap_.empty()) throw std::logic_error("EventQueue::next_time: empty");
+  return heap_.front().at;
+}
+
+EventQueue::Popped EventQueue::pop() {
+  skip_cancelled();
+  if (heap_.empty()) throw std::logic_error("EventQueue::pop: empty");
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry e = std::move(heap_.back());
+  heap_.pop_back();
+  pending_.erase(e.id);
+  assert(live_ > 0);
+  --live_;
+  return Popped{e.at, e.id, std::move(e.fn)};
+}
+
+}  // namespace scal::sim

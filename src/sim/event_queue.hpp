@@ -1,0 +1,68 @@
+#pragma once
+// The pending-event set of the discrete-event kernel.
+//
+// Ties on timestamp are broken by insertion sequence so that a run is a
+// deterministic function of the schedule order — the property the whole
+// scalability procedure's reproducibility rests on.
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace scal::sim {
+
+using EventId = std::uint64_t;
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  /// Insert an event; returns its id (usable with cancel()).
+  EventId push(Time at, EventFn fn);
+
+  /// Lazily cancel a pending event.  Safe to call on ids that already
+  /// fired; returns true if the event was still pending.
+  bool cancel(EventId id);
+
+  bool empty() const noexcept { return live_ == 0; }
+  std::size_t size() const noexcept { return live_; }
+
+  Time next_time() const;
+
+  /// Pop the earliest live event.  Precondition: !empty().
+  struct Popped {
+    Time at;
+    EventId id;
+    EventFn fn;
+  };
+  Popped pop();
+
+  std::uint64_t total_pushed() const noexcept { return next_id_; }
+
+ private:
+  struct Entry {
+    Time at;
+    EventId id;
+    EventFn fn;
+    bool cancelled = false;
+  };
+  struct Later {
+    // Min-heap: earliest time first; ties by smaller id (insertion order).
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.id > b.id;
+    }
+  };
+
+  void skip_cancelled();
+
+  std::vector<Entry> heap_;
+  std::unordered_set<EventId> pending_;    // ids not yet fired or cancelled
+  std::unordered_set<EventId> cancelled_;  // ids cancelled while pending
+  std::size_t live_ = 0;
+  EventId next_id_ = 0;
+};
+
+}  // namespace scal::sim

@@ -1,0 +1,49 @@
+#include "sim/server.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace scal::sim {
+
+void Server::note_queue_change() {
+  const Time t = now();
+  queue_integral_ += static_cast<double>(queue_.size()) *
+                     (t - last_queue_change_);
+  last_queue_change_ = t;
+}
+
+double Server::queue_time_integral() const noexcept {
+  // Fold in the un-accounted tail up to the current time.
+  const Time t = now();
+  return queue_integral_ +
+         static_cast<double>(queue_.size()) * (t - last_queue_change_);
+}
+
+void Server::submit(Time cost, std::function<void()> done) {
+  if (!(cost >= 0.0)) throw std::invalid_argument("Server: negative cost");
+  note_queue_change();
+  offered_work_ += cost;
+  queue_.push_back(Item{cost, std::move(done)});
+  max_queue_ = std::max(max_queue_, queue_.size());
+  if (!in_service_) start_next();
+}
+
+void Server::start_next() {
+  if (queue_.empty()) {
+    in_service_ = false;
+    return;
+  }
+  note_queue_change();
+  Item item = std::move(queue_.front());
+  queue_.pop_front();
+  in_service_ = true;
+  busy_time_ += item.cost;
+  sim().schedule_in(item.cost, [this, done = std::move(item.done)]() {
+    ++completed_;
+    if (done) done();
+    start_next();
+  });
+}
+
+}  // namespace scal::sim

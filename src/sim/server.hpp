@@ -1,0 +1,71 @@
+#pragma once
+// A single FIFO work server.
+//
+// Schedulers, estimators, and the grid middleware are modeled as servers:
+// each incoming action (process one status update, make one placement
+// decision, handle one poll) is a work item with an explicit service cost.
+// The server processes items one at a time; its accumulated busy time is
+// exactly the overhead quantity G(k) the paper measures ("the overall time
+// spent by the schedulers for scheduling, receiving, and processing
+// updates").  Saturation — queue growth when offered load exceeds one —
+// is what makes a centralized RMS overhead blow up at scale.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "sim/entity.hpp"
+
+namespace scal::sim {
+
+class Server : public Entity {
+ public:
+  using Entity::Entity;
+
+  /// Enqueue a work item costing `cost >= 0` time units; `done` runs when
+  /// service completes (may be empty).
+  void submit(Time cost, std::function<void()> done);
+
+  /// Total time this server has spent serving items.
+  Time busy_time() const noexcept { return busy_time_; }
+  /// Total service cost ever submitted (busy time + backlog).
+  Time offered_work() const noexcept { return offered_work_; }
+  /// Work-in-system time: busy time plus the time-integral of the
+  /// waiting queue.  Equals the summed sojourn of work items.  This is
+  /// the overhead quantity G(k) uses: for a server that keeps up it is
+  /// ~= busy_time(), and it diverges superlinearly exactly when the
+  /// manager saturates — the signature the scalability metric must
+  /// expose for a bottlenecked RMS.
+  Time work_in_system_time() const noexcept {
+    return busy_time_ + queue_time_integral();
+  }
+  /// Items fully served.
+  std::uint64_t completed() const noexcept { return completed_; }
+  /// Items currently waiting (excluding the one in service).
+  std::size_t queue_length() const noexcept { return queue_.size(); }
+  bool busy() const noexcept { return in_service_; }
+  /// Time-integral of queue length (for mean-queue statistics).
+  double queue_time_integral() const noexcept;
+  /// Largest backlog observed.
+  std::size_t max_queue_length() const noexcept { return max_queue_; }
+
+ private:
+  struct Item {
+    Time cost;
+    std::function<void()> done;
+  };
+
+  void start_next();
+  void note_queue_change();
+
+  std::deque<Item> queue_;
+  bool in_service_ = false;
+  Time busy_time_ = 0.0;
+  Time offered_work_ = 0.0;
+  std::uint64_t completed_ = 0;
+  std::size_t max_queue_ = 0;
+  mutable Time last_queue_change_ = 0.0;
+  mutable double queue_integral_ = 0.0;
+};
+
+}  // namespace scal::sim

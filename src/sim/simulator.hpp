@@ -1,0 +1,54 @@
+#pragma once
+// Sequential discrete-event simulation kernel.
+//
+// This stands in for the Parsec simulation environment the paper used:
+// entities exchange timed events; the kernel advances virtual time to the
+// next event and dispatches it.  A run is deterministic for a fixed
+// schedule order and RNG seed.
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace scal::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  Time now() const noexcept { return now_; }
+
+  /// Schedule `fn` to run `delay >= 0` after now.
+  EventId schedule_in(Time delay, EventFn fn);
+
+  /// Schedule `fn` at absolute time `at >= now()`.
+  EventId schedule_at(Time at, EventFn fn);
+
+  /// Cancel a pending event; returns true if it had not yet fired.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Run until the queue drains or virtual time would exceed `until`.
+  /// Events at exactly `until` still run.  Returns events dispatched.
+  std::uint64_t run(Time until = kTimeInfinity);
+
+  /// Request that run() return after the current event completes.
+  void stop() noexcept { stop_requested_ = true; }
+
+  bool idle() const noexcept { return queue_.empty(); }
+  std::size_t pending_events() const noexcept { return queue_.size(); }
+  std::uint64_t dispatched_events() const noexcept { return dispatched_; }
+
+ private:
+  EventQueue queue_;
+  Time now_ = kTimeZero;
+  std::uint64_t dispatched_ = 0;
+  bool stop_requested_ = false;
+  bool running_ = false;
+};
+
+}  // namespace scal::sim

@@ -1,0 +1,12 @@
+#pragma once
+// Simulation time.  The paper works in abstract "time units" (T_CPU = 700
+// time units); we keep time as a double in those units.
+
+namespace scal::sim {
+
+using Time = double;
+
+inline constexpr Time kTimeZero = 0.0;
+inline constexpr Time kTimeInfinity = 1e300;
+
+}  // namespace scal::sim

@@ -1,0 +1,124 @@
+#include "util/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace scal::util {
+
+namespace {
+constexpr char kGlyphs[] = "ox*+#@%&";
+}
+
+AsciiChart::AsciiChart(std::string title, std::string x_label,
+                       std::string y_label, int width, int height)
+    : title_(std::move(title)), x_label_(std::move(x_label)),
+      y_label_(std::move(y_label)), width_(width), height_(height) {
+  if (width_ < 16 || height_ < 4) {
+    throw std::invalid_argument("AsciiChart: canvas too small");
+  }
+}
+
+void AsciiChart::add_series(Series s) {
+  if (s.x.size() != s.y.size()) {
+    throw std::invalid_argument("AsciiChart: x/y size mismatch");
+  }
+  series_.push_back(std::move(s));
+}
+
+std::string AsciiChart::render() const {
+  double xmin = std::numeric_limits<double>::infinity(), xmax = -xmin;
+  double ymin = xmin, ymax = -xmin;
+  bool any = false;
+  for (const auto& s : series_) {
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      xmin = std::min(xmin, s.x[i]);
+      xmax = std::max(xmax, s.x[i]);
+      ymin = std::min(ymin, s.y[i]);
+      ymax = std::max(ymax, s.y[i]);
+      any = true;
+    }
+  }
+  std::ostringstream os;
+  os << title_ << '\n';
+  if (!any) {
+    os << "(no data)\n";
+    return os.str();
+  }
+  if (xmax == xmin) xmax = xmin + 1.0;
+  if (ymax == ymin) ymax = ymin + 1.0;
+  // A little vertical headroom so extreme points don't sit on the frame.
+  const double ypad = 0.04 * (ymax - ymin);
+  ymin -= ypad;
+  ymax += ypad;
+
+  std::vector<std::string> canvas(static_cast<std::size_t>(height_),
+                                  std::string(static_cast<std::size_t>(width_), ' '));
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    const char glyph = kGlyphs[si % (sizeof(kGlyphs) - 1)];
+    const auto& s = series_[si];
+    // Plot line segments with dense interpolation so trends read as lines.
+    for (std::size_t i = 0; i + 1 < s.x.size(); ++i) {
+      const int steps = width_;
+      for (int t = 0; t <= steps; ++t) {
+        const double frac = static_cast<double>(t) / steps;
+        const double x = s.x[i] + frac * (s.x[i + 1] - s.x[i]);
+        const double y = s.y[i] + frac * (s.y[i + 1] - s.y[i]);
+        const int cx = static_cast<int>(std::lround((x - xmin) / (xmax - xmin) *
+                                                    (width_ - 1)));
+        const int cy = static_cast<int>(std::lround((ymax - y) / (ymax - ymin) *
+                                                    (height_ - 1)));
+        if (cx >= 0 && cx < width_ && cy >= 0 && cy < height_) {
+          char& cell = canvas[static_cast<std::size_t>(cy)]
+                             [static_cast<std::size_t>(cx)];
+          // Don't let interpolation dots of a later series wipe markers.
+          if (cell == ' ' || t % steps == 0) cell = glyph;
+        }
+      }
+    }
+    if (s.x.size() == 1) {
+      const int cx = static_cast<int>(std::lround((s.x[0] - xmin) /
+                                                  (xmax - xmin) * (width_ - 1)));
+      const int cy = static_cast<int>(std::lround((ymax - s.y[0]) /
+                                                  (ymax - ymin) * (height_ - 1)));
+      canvas[static_cast<std::size_t>(cy)][static_cast<std::size_t>(cx)] = glyph;
+    }
+  }
+
+  std::ostringstream ylo, yhi;
+  ylo.precision(4);
+  yhi.precision(4);
+  ylo << ymin;
+  yhi << ymax;
+  const std::size_t margin = std::max(ylo.str().size(), yhi.str().size()) + 1;
+
+  for (int r = 0; r < height_; ++r) {
+    std::string label;
+    if (r == 0) label = yhi.str();
+    else if (r == height_ - 1) label = ylo.str();
+    os << std::string(margin - label.size(), ' ') << label << '|'
+       << canvas[static_cast<std::size_t>(r)] << '\n';
+  }
+  os << std::string(margin, ' ') << '+'
+     << std::string(static_cast<std::size_t>(width_), '-') << '\n';
+  std::ostringstream xlo, xhi;
+  xlo.precision(4);
+  xhi.precision(4);
+  xlo << xmin;
+  xhi << xmax;
+  os << std::string(margin + 1, ' ') << xlo.str()
+     << std::string(static_cast<std::size_t>(width_) - xlo.str().size() -
+                        xhi.str().size(),
+                    ' ')
+     << xhi.str() << "  [" << x_label_ << "]\n";
+  os << "y: " << y_label_ << "   legend:";
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    os << ' ' << kGlyphs[si % (sizeof(kGlyphs) - 1)] << '=' << series_[si].name;
+  }
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace scal::util

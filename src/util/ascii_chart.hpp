@@ -1,0 +1,33 @@
+#pragma once
+// Terminal line chart used by the figure benches: one glyph per series,
+// shared axes, so the paper's figures can be eyeballed directly in the
+// bench output.
+
+#include <string>
+#include <vector>
+
+namespace scal::util {
+
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+class AsciiChart {
+ public:
+  AsciiChart(std::string title, std::string x_label, std::string y_label,
+             int width = 72, int height = 20);
+
+  /// Each series gets a glyph from "ox*+#@%&" in order of addition.
+  void add_series(Series s);
+
+  std::string render() const;
+
+ private:
+  std::string title_, x_label_, y_label_;
+  int width_, height_;
+  std::vector<Series> series_;
+};
+
+}  // namespace scal::util

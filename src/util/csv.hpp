@@ -1,0 +1,31 @@
+#pragma once
+// Minimal CSV writer so experiment series can be dumped for external
+// plotting alongside the printed tables.
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace scal::util {
+
+class CsvWriter {
+ public:
+  /// Opens (truncates) the file and writes the header row.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  void add_row(const std::vector<std::string>& cells);
+  void add_row(const std::vector<double>& cells);
+
+  bool ok() const { return static_cast<bool>(out_); }
+  std::size_t rows_written() const noexcept { return rows_; }
+
+  /// Quote a cell if it contains separators/quotes/newlines.
+  static std::string escape(const std::string& cell);
+
+ private:
+  std::ofstream out_;
+  std::size_t width_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace scal::util

@@ -1,0 +1,25 @@
+#include "util/env.hpp"
+
+#include <cstdlib>
+
+namespace scal::util {
+
+std::string env_or(const std::string& name, const std::string& fallback) {
+  const char* v = std::getenv(name.c_str());
+  return (v && *v) ? std::string(v) : fallback;
+}
+
+bool env_flag(const std::string& name) {
+  const std::string v = env_or(name, "");
+  return !(v.empty() || v == "0" || v == "false" || v == "off");
+}
+
+std::int64_t env_int(const std::string& name, std::int64_t fallback) {
+  const std::string v = env_or(name, "");
+  if (v.empty()) return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v.c_str(), &end, 10);
+  return (end && *end == '\0') ? parsed : fallback;
+}
+
+}  // namespace scal::util

@@ -1,0 +1,18 @@
+#pragma once
+// Environment-variable helpers for bench/example knobs (e.g. SCAL_BENCH_FAST).
+
+#include <cstdint>
+#include <string>
+
+namespace scal::util {
+
+/// Returns the variable's value or `fallback` if unset/empty.
+std::string env_or(const std::string& name, const std::string& fallback);
+
+/// Truthy if set to anything other than "", "0", "false", "off".
+bool env_flag(const std::string& name);
+
+/// Integer value, or `fallback` if unset or unparseable.
+std::int64_t env_int(const std::string& name, std::int64_t fallback);
+
+}  // namespace scal::util

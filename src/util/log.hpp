@@ -1,0 +1,38 @@
+#pragma once
+// Leveled logging.  Off by default in library code; benches and examples
+// raise the level.  Controlled globally (the simulator is single-threaded).
+
+#include <sstream>
+#include <string>
+
+namespace scal::util {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+/// Parse "trace"/"debug"/"info"/"warn"/"error"/"off"; unknown -> kOff.
+LogLevel parse_log_level(const std::string& name) noexcept;
+
+namespace detail {
+void emit(LogLevel level, const std::string& message);
+}
+
+#define SCAL_LOG(level, expr)                                          \
+  do {                                                                 \
+    if (static_cast<int>(level) >=                                     \
+        static_cast<int>(::scal::util::log_level())) {                 \
+      std::ostringstream scal_log_os_;                                 \
+      scal_log_os_ << expr;                                            \
+      ::scal::util::detail::emit(level, scal_log_os_.str());           \
+    }                                                                  \
+  } while (false)
+
+#define SCAL_TRACE(expr) SCAL_LOG(::scal::util::LogLevel::kTrace, expr)
+#define SCAL_DEBUG(expr) SCAL_LOG(::scal::util::LogLevel::kDebug, expr)
+#define SCAL_INFO(expr) SCAL_LOG(::scal::util::LogLevel::kInfo, expr)
+#define SCAL_WARN(expr) SCAL_LOG(::scal::util::LogLevel::kWarn, expr)
+#define SCAL_ERROR(expr) SCAL_LOG(::scal::util::LogLevel::kError, expr)
+
+}  // namespace scal::util

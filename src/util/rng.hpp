@@ -1,0 +1,94 @@
+#pragma once
+// Deterministic random number generation for the simulator.
+//
+// Every stochastic component of the system draws from its own named
+// substream derived from one master seed, so a whole experiment is a pure
+// function of (configuration, seed).  Substream derivation uses splitmix64
+// over (master_seed, fnv1a(name)); the stream generator is xoshiro256**.
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace scal::util {
+
+/// splitmix64 step: the canonical 64-bit mixer, used for seeding.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// FNV-1a hash of a string, used to derive substream ids from names.
+std::uint64_t fnv1a(std::string_view s) noexcept;
+
+/// xoshiro256** generator.  Satisfies UniformRandomBitGenerator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  result_type operator()() noexcept;
+
+  /// Advance 2^128 steps; used to carve independent sequences.
+  void jump() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+/// A named, seedable stream of random variates.
+///
+/// Distribution methods are implemented directly (not via <random>
+/// distributions) so that results are identical across standard libraries.
+class RandomStream {
+ public:
+  /// Derive a stream from a master seed and a stream name.
+  RandomStream(std::uint64_t master_seed, std::string_view name) noexcept;
+
+  /// Direct construction from a raw seed (used in tests).
+  explicit RandomStream(std::uint64_t raw_seed) noexcept;
+
+  /// Uniform in [0, 1).
+  double uniform() noexcept;
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) noexcept;
+  /// Exponential with the given mean (not rate).
+  double exponential(double mean) noexcept;
+  /// Standard normal via Box-Muller (cached second variate).
+  double normal(double mean, double stddev) noexcept;
+  /// Lognormal parameterized by the underlying normal's mu and sigma.
+  double lognormal(double mu, double sigma) noexcept;
+  /// Bounded Pareto on [lo, hi] with shape alpha.
+  double bounded_pareto(double alpha, double lo, double hi) noexcept;
+
+  /// Sample k distinct values from [0, n) (k <= n), in random order.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                      std::size_t k);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j =
+          static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Raw 64-bit draw (exposed for hashing-style uses in tests).
+  std::uint64_t bits() noexcept { return gen_(); }
+
+ private:
+  Xoshiro256 gen_;
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace scal::util

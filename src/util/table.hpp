@@ -1,0 +1,41 @@
+#pragma once
+// Fixed-width text table printer used by the bench harnesses to emit the
+// paper's tables and figure series in a readable form.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace scal::util {
+
+enum class Align { kLeft, kRight };
+
+class Table {
+ public:
+  /// Column headers define the table width; rows must match.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Set alignment for one column (default: left for col 0, right otherwise).
+  void set_align(std::size_t col, Align align);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with the given precision.
+  static std::string num(double v, int precision = 3);
+  /// Fixed-point without trailing zeros beyond precision.
+  static std::string fixed(double v, int precision = 2);
+
+  /// Render with a header rule and column separators.
+  std::string to_string() const;
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+  std::size_t cols() const noexcept { return headers_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace scal::util

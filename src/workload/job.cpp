@@ -1,0 +1,9 @@
+#include "workload/job.hpp"
+
+namespace scal::workload {
+
+std::string to_string(JobClass c) {
+  return c == JobClass::kLocal ? "LOCAL" : "REMOTE";
+}
+
+}  // namespace scal::workload

@@ -1,0 +1,103 @@
+#include "workload/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace scal::workload {
+
+TraceStats summarize(const std::vector<Job>& jobs) {
+  TraceStats s;
+  s.jobs = jobs.size();
+  if (jobs.empty()) return s;
+  double prev_arrival = jobs.front().arrival;
+  double interarrival_sum = 0.0;
+  for (const Job& j : jobs) {
+    if (j.job_class == JobClass::kLocal) ++s.local_jobs;
+    else ++s.remote_jobs;
+    s.mean_exec_time += j.exec_time;
+    s.max_exec_time = std::max(s.max_exec_time, j.exec_time);
+    s.total_demand += j.exec_time;
+    interarrival_sum += j.arrival - prev_arrival;
+    prev_arrival = j.arrival;
+  }
+  s.mean_exec_time /= static_cast<double>(jobs.size());
+  if (jobs.size() > 1) {
+    s.mean_interarrival =
+        interarrival_sum / static_cast<double>(jobs.size() - 1);
+  }
+  s.span = jobs.back().arrival - jobs.front().arrival;
+  return s;
+}
+
+namespace {
+constexpr const char* kHeader =
+    "id,arrival,exec_time,requested_time,partition_size,cancellable,"
+    "job_class,benefit_factor,benefit_deadline,origin_cluster";
+}
+
+void save_trace(const std::vector<Job>& jobs, std::ostream& out) {
+  out << kHeader << '\n';
+  out << std::setprecision(17);
+  for (const Job& j : jobs) {
+    out << j.id << ',' << j.arrival << ',' << j.exec_time << ','
+        << j.requested_time << ',' << j.partition_size << ','
+        << (j.cancellable ? 1 : 0) << ','
+        << (j.job_class == JobClass::kLocal ? "LOCAL" : "REMOTE") << ','
+        << j.benefit_factor << ',' << j.benefit_deadline << ','
+        << j.origin_cluster << '\n';
+  }
+}
+
+void save_trace_file(const std::vector<Job>& jobs, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_trace_file: cannot open " + path);
+  save_trace(jobs, out);
+}
+
+std::vector<Job> load_trace(std::istream& in) {
+  std::vector<Job> jobs;
+  std::string line;
+  if (!std::getline(in, line)) return jobs;
+  if (line != kHeader) {
+    throw std::runtime_error("load_trace: unexpected header: " + line);
+  }
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::string cell;
+    Job j;
+    auto next_cell = [&]() {
+      if (!std::getline(row, cell, ',')) {
+        throw std::runtime_error("load_trace: truncated row: " + line);
+      }
+      return cell;
+    };
+    j.id = std::stoull(next_cell());
+    j.arrival = std::stod(next_cell());
+    j.exec_time = std::stod(next_cell());
+    j.requested_time = std::stod(next_cell());
+    j.partition_size = static_cast<std::uint32_t>(std::stoul(next_cell()));
+    j.cancellable = next_cell() == "1";
+    const std::string cls = next_cell();
+    if (cls != "LOCAL" && cls != "REMOTE") {
+      throw std::runtime_error("load_trace: bad job class: " + cls);
+    }
+    j.job_class = cls == "LOCAL" ? JobClass::kLocal : JobClass::kRemote;
+    j.benefit_factor = std::stod(next_cell());
+    j.benefit_deadline = std::stod(next_cell());
+    j.origin_cluster = static_cast<std::uint32_t>(std::stoul(next_cell()));
+    jobs.push_back(j);
+  }
+  return jobs;
+}
+
+std::vector<Job> load_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_trace_file: cannot open " + path);
+  return load_trace(in);
+}
+
+}  // namespace scal::workload

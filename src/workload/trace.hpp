@@ -1,0 +1,34 @@
+#pragma once
+// Job-trace persistence and summary statistics, so experiments can pin a
+// workload to disk and replay it exactly (and so workload properties can
+// be inspected outside the simulator).
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workload/job.hpp"
+
+namespace scal::workload {
+
+struct TraceStats {
+  std::size_t jobs = 0;
+  std::size_t local_jobs = 0;
+  std::size_t remote_jobs = 0;
+  double mean_interarrival = 0.0;
+  double mean_exec_time = 0.0;
+  double max_exec_time = 0.0;
+  double total_demand = 0.0;  ///< sum of exec times
+  double span = 0.0;          ///< last arrival - first arrival
+};
+
+TraceStats summarize(const std::vector<Job>& jobs);
+
+/// CSV round-trip: header + one row per job, exact field preservation
+/// (times serialized with max precision).
+void save_trace(const std::vector<Job>& jobs, std::ostream& out);
+void save_trace_file(const std::vector<Job>& jobs, const std::string& path);
+std::vector<Job> load_trace(std::istream& in);
+std::vector<Job> load_trace_file(const std::string& path);
+
+}  // namespace scal::workload

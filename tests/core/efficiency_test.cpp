@@ -1,0 +1,97 @@
+#include "core/efficiency.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scal::core {
+namespace {
+
+grid::SimulationResult result_with(double F, double G, double H) {
+  grid::SimulationResult r;
+  r.F = F;
+  r.G_scheduler = G;
+  r.H_control = H;
+  return r;
+}
+
+TEST(WorkTerms, ExtractedFromSimulationResult) {
+  const WorkTerms w = work_terms(result_with(40, 30, 30));
+  EXPECT_DOUBLE_EQ(w.F, 40.0);
+  EXPECT_DOUBLE_EQ(w.G, 30.0);
+  EXPECT_DOUBLE_EQ(w.H, 30.0);
+  EXPECT_DOUBLE_EQ(w.efficiency(), 0.4);
+}
+
+TEST(WorkTerms, SplitsGAndHComponents) {
+  grid::SimulationResult r;
+  r.F = 10;
+  r.G_scheduler = 1;
+  r.G_estimator = 2;
+  r.G_middleware = 3;
+  r.H_control = 4;
+  r.H_wasted = 5;
+  const WorkTerms w = work_terms(r);
+  EXPECT_DOUBLE_EQ(w.G, 6.0);
+  EXPECT_DOUBLE_EQ(w.H, 9.0);
+}
+
+TEST(Normalize, RelativeToBase) {
+  const WorkTerms base{100, 10, 20};
+  const WorkTerms scaled{300, 40, 20};
+  const NormalizedTerms n = normalize(base, scaled);
+  EXPECT_DOUBLE_EQ(n.f, 3.0);
+  EXPECT_DOUBLE_EQ(n.g, 4.0);
+  EXPECT_DOUBLE_EQ(n.h, 1.0);
+}
+
+TEST(Normalize, BaseNormalizesToOne) {
+  const WorkTerms base{100, 10, 20};
+  const NormalizedTerms n = normalize(base, base);
+  EXPECT_DOUBLE_EQ(n.f, 1.0);
+  EXPECT_DOUBLE_EQ(n.g, 1.0);
+  EXPECT_DOUBLE_EQ(n.h, 1.0);
+}
+
+TEST(Normalize, RejectsDegenerateBase) {
+  EXPECT_THROW(normalize({0, 1, 1}, {1, 1, 1}), std::invalid_argument);
+  EXPECT_THROW(normalize({1, 0, 1}, {1, 1, 1}), std::invalid_argument);
+  EXPECT_THROW(normalize({1, 1, 0}, {1, 1, 1}), std::invalid_argument);
+}
+
+TEST(IsoefficiencyConstants, MatchDerivation) {
+  // E0 = 0.4 => alpha = 2.5; c = G/((alpha-1) F), c' = H/((alpha-1) F).
+  const WorkTerms base{40, 30, 30};
+  const IsoefficiencyConstants k = isoefficiency_constants(base);
+  EXPECT_DOUBLE_EQ(k.alpha, 2.5);
+  EXPECT_DOUBLE_EQ(k.c, 30.0 / (1.5 * 40.0));
+  EXPECT_DOUBLE_EQ(k.c_prime, 30.0 / (1.5 * 40.0));
+}
+
+TEST(IsoefficiencyConstants, IdentityHoldsAtConstantEfficiency) {
+  // If the scaled system keeps E = E0 exactly, Equation (1) must hold:
+  // f = c*g + c'*h.
+  const WorkTerms base{40, 30, 30};
+  const IsoefficiencyConstants k = isoefficiency_constants(base);
+  // Scale G and H by different amounts, then pick F to hold E = 0.4.
+  const double g_scaled = 90.0, h_scaled = 45.0;
+  const double f_scaled = (g_scaled + h_scaled) / (k.alpha - 1.0);
+  const NormalizedTerms n =
+      normalize(base, {f_scaled, g_scaled, h_scaled});
+  EXPECT_NEAR(n.f, k.c * n.g + k.c_prime * n.h, 1e-12);
+}
+
+TEST(IsoefficiencyConstants, RejectsDegenerateEfficiency) {
+  EXPECT_THROW(isoefficiency_constants({0, 1, 1}), std::invalid_argument);
+  EXPECT_THROW(isoefficiency_constants({1, 0, 0}), std::invalid_argument);
+}
+
+TEST(GrowthCondition, Equation2) {
+  const WorkTerms base{40, 30, 30};
+  const IsoefficiencyConstants k = isoefficiency_constants(base);
+  // f grows faster than c*g: holds.
+  EXPECT_TRUE(growth_condition_holds(k, {2.0, 1.0, 1.0}));
+  // RMS overhead explodes relative to useful work: fails.
+  EXPECT_FALSE(growth_condition_holds(k, {1.0, 100.0, 1.0}));
+}
+
+}  // namespace
+}  // namespace scal::core

@@ -1,0 +1,126 @@
+#include "core/experiment_config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scal::core {
+namespace {
+
+TEST(ExperimentConfig, DefaultsSurviveEmptyIni) {
+  const ExperimentConfig config =
+      experiment_from_ini(util::IniFile::parse(""));
+  const grid::GridConfig defaults;
+  EXPECT_EQ(config.grid.topology.nodes, defaults.topology.nodes);
+  EXPECT_EQ(config.grid.rms, defaults.rms);
+  EXPECT_DOUBLE_EQ(config.grid.service_rate, defaults.service_rate);
+  EXPECT_TRUE(config.kinds.empty());
+}
+
+TEST(ExperimentConfig, ParsesFullFile) {
+  const auto config = experiment_from_ini(util::IniFile::parse(
+      "[grid]\n"
+      "nodes = 300\n"
+      "rms = Sy-I\n"
+      "topology = transit-stub\n"
+      "service_rate = 16\n"
+      "[workload]\n"
+      "mean_interarrival = 0.5\n"
+      "diurnal_amplitude = 0.4\n"
+      "diurnal_period = 200\n"
+      "[tuning]\n"
+      "neighborhood_size = 5\n"
+      "[procedure]\n"
+      "case = case3\n"
+      "scale_factors = 1, 2, 4\n"
+      "[tuner]\n"
+      "e0 = 0.7\n"
+      "evaluations = 9\n"
+      "[experiment]\n"
+      "rms_kinds = CENTRAL, LOWEST\n"
+      "csv_path = /tmp/out.csv\n"));
+  EXPECT_EQ(config.grid.topology.nodes, 300u);
+  EXPECT_EQ(config.grid.rms, grid::RmsKind::kSymmetric);
+  EXPECT_EQ(config.grid.topology.kind, net::TopologyKind::kTransitStub);
+  EXPECT_DOUBLE_EQ(config.grid.service_rate, 16.0);
+  EXPECT_DOUBLE_EQ(config.grid.workload.diurnal_amplitude, 0.4);
+  EXPECT_EQ(config.grid.tuning.neighborhood_size, 5u);
+  EXPECT_EQ(config.procedure.scase.variable,
+            ScalingVariableKind::kEstimators);
+  EXPECT_EQ(config.procedure.scale_factors, (std::vector<double>{1, 2, 4}));
+  EXPECT_DOUBLE_EQ(config.procedure.tuner.e0, 0.7);
+  EXPECT_EQ(config.procedure.tuner.evaluations, 9u);
+  ASSERT_EQ(config.kinds.size(), 2u);
+  EXPECT_EQ(config.kinds[0], grid::RmsKind::kCentral);
+  EXPECT_EQ(config.kinds[1], grid::RmsKind::kLowest);
+  EXPECT_EQ(config.csv_path, "/tmp/out.csv");
+}
+
+TEST(ExperimentConfig, RejectsUnknownKeys) {
+  EXPECT_THROW(experiment_from_ini(util::IniFile::parse(
+                   "[grid]\nnodez = 100\n")),
+               std::runtime_error);
+}
+
+TEST(ExperimentConfig, RejectsUnknownCaseAndTopologyAndRms) {
+  EXPECT_THROW(experiment_from_ini(
+                   util::IniFile::parse("[procedure]\ncase = case9\n")),
+               std::runtime_error);
+  EXPECT_THROW(experiment_from_ini(
+                   util::IniFile::parse("[grid]\ntopology = donut\n")),
+               std::runtime_error);
+  EXPECT_THROW(experiment_from_ini(
+                   util::IniFile::parse("[grid]\nrms = BOGUS\n")),
+               std::invalid_argument);
+}
+
+TEST(ExperimentConfig, CaseAliases) {
+  for (const auto& [name, kind] :
+       std::vector<std::pair<std::string, ScalingVariableKind>>{
+           {"network_size", ScalingVariableKind::kNetworkSize},
+           {"service_rate", ScalingVariableKind::kServiceRate},
+           {"estimators", ScalingVariableKind::kEstimators},
+           {"neighborhood", ScalingVariableKind::kNeighborhood},
+           {"lp", ScalingVariableKind::kNeighborhood}}) {
+    const auto config = experiment_from_ini(
+        util::IniFile::parse("[procedure]\ncase = " + name + "\n"));
+    EXPECT_EQ(config.procedure.scase.variable, kind) << name;
+  }
+}
+
+TEST(ExperimentConfig, RoundTripsThroughIni) {
+  ExperimentConfig original;
+  original.grid.topology.nodes = 777;
+  original.grid.rms = grid::RmsKind::kAuction;
+  original.grid.workload.mean_interarrival = 0.123;
+  original.procedure.scase = ScalingCase::case4_neighborhood();
+  original.procedure.scale_factors = {1, 3, 5};
+  original.procedure.tuner.band = 0.07;
+  original.kinds = {grid::RmsKind::kHierarchical, grid::RmsKind::kRandom};
+  original.csv_path = "/tmp/x.csv";
+
+  const auto reparsed = experiment_from_ini(experiment_to_ini(original));
+  EXPECT_EQ(reparsed.grid.topology.nodes, 777u);
+  EXPECT_EQ(reparsed.grid.rms, grid::RmsKind::kAuction);
+  EXPECT_DOUBLE_EQ(reparsed.grid.workload.mean_interarrival, 0.123);
+  EXPECT_EQ(reparsed.procedure.scase.variable,
+            ScalingVariableKind::kNeighborhood);
+  EXPECT_EQ(reparsed.procedure.scale_factors,
+            (std::vector<double>{1, 3, 5}));
+  EXPECT_DOUBLE_EQ(reparsed.procedure.tuner.band, 0.07);
+  EXPECT_EQ(reparsed.kinds, original.kinds);
+  EXPECT_EQ(reparsed.csv_path, "/tmp/x.csv");
+}
+
+TEST(ExperimentConfig, SampleConfigsInRepoParse) {
+  // The shipped example configs must stay loadable.
+  for (const char* path : {"examples/configs/small_case1.ini",
+                           "examples/configs/hotspot_case4.ini"}) {
+    const std::string full = std::string(SCAL_SOURCE_DIR) + "/" + path;
+    EXPECT_NO_THROW({
+      const auto config = load_experiment(full);
+      config.grid.validate();
+    }) << path;
+  }
+}
+
+}  // namespace
+}  // namespace scal::core

@@ -1,0 +1,118 @@
+#include "core/isoefficiency_function.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace scal::core {
+namespace {
+
+/// Fake system with a closed-form efficiency: E = 1 / (1 + load) where
+/// load = multiplier (arrival rate relative to proportional scaling) —
+/// independent of k, so the isoefficiency function is exactly linear
+/// (multiplier constant, W(k) ~ k, log-log slope 1).
+grid::SimulationResult linear_fake(const grid::GridConfig& config) {
+  const double k = static_cast<double>(config.topology.nodes) / 100.0;
+  const double rate = 1.0 / config.workload.mean_interarrival;
+  const double multiplier = rate / k;  // base interarrival is 1.0
+  grid::SimulationResult r;
+  r.F = 100.0;
+  r.H_control = 100.0 * multiplier;  // E = 1 / (1 + multiplier)
+  return r;
+}
+
+/// Fake whose efficiency erodes with k: holding E needs the multiplier
+/// to *shrink* like 1/k, so total W(k) stays flat (log-log slope ~ 0).
+grid::SimulationResult eroding_fake(const grid::GridConfig& config) {
+  const double k = static_cast<double>(config.topology.nodes) / 100.0;
+  const double rate = 1.0 / config.workload.mean_interarrival;
+  const double multiplier = rate / k;
+  grid::SimulationResult r;
+  r.F = 100.0;
+  r.H_control = 100.0 * multiplier * k;  // E = 1 / (1 + m k)
+  return r;
+}
+
+grid::GridConfig base_config() {
+  grid::GridConfig config;
+  config.topology.nodes = 100;
+  config.workload.mean_interarrival = 1.0;
+  return config;
+}
+
+IsoefficiencyFunctionConfig function_config(double e0) {
+  IsoefficiencyFunctionConfig config;
+  config.scale_factors = {1, 2, 4};
+  config.e0 = e0;
+  config.tolerance = 0.005;
+  return config;
+}
+
+TEST(IsoefficiencyFunction, LinearSystemHasUnitSlope) {
+  // E = 0.5 at multiplier 1 for every k.
+  const auto f = measure_isoefficiency_function(
+      base_config(), function_config(0.5), linear_fake);
+  ASSERT_EQ(f.points.size(), 3u);
+  for (const auto& p : f.points) {
+    EXPECT_TRUE(p.converged) << p.k;
+    EXPECT_NEAR(p.workload_multiplier, 1.0, 0.05) << p.k;
+    EXPECT_NEAR(p.achieved_efficiency, 0.5, 0.006);
+  }
+  EXPECT_NEAR(f.loglog_slope, 1.0, 0.05);
+}
+
+TEST(IsoefficiencyFunction, ErodingSystemHasFlatTotalWorkload) {
+  const auto f = measure_isoefficiency_function(
+      base_config(), function_config(0.5), eroding_fake);
+  for (const auto& p : f.points) {
+    EXPECT_TRUE(p.converged) << p.k;
+    EXPECT_NEAR(p.workload_multiplier, 1.0 / p.k, 0.05) << p.k;
+  }
+  EXPECT_NEAR(f.loglog_slope, 0.0, 0.05);
+}
+
+TEST(IsoefficiencyFunction, UnbracketedTargetReportsUnconverged) {
+  // e0 = 0.05 needs multiplier 19, far beyond the bracket [0.25, 4].
+  const auto f = measure_isoefficiency_function(
+      base_config(), function_config(0.05), linear_fake);
+  for (const auto& p : f.points) {
+    EXPECT_FALSE(p.converged);
+    EXPECT_DOUBLE_EQ(p.workload_multiplier, 4.0);  // closest endpoint
+  }
+}
+
+TEST(IsoefficiencyFunction, RejectsBadConfig) {
+  IsoefficiencyFunctionConfig bad = function_config(0.5);
+  bad.scale_factors.clear();
+  EXPECT_THROW(
+      measure_isoefficiency_function(base_config(), bad, linear_fake),
+      std::invalid_argument);
+  bad = function_config(1.5);
+  EXPECT_THROW(
+      measure_isoefficiency_function(base_config(), bad, linear_fake),
+      std::invalid_argument);
+}
+
+TEST(IsoefficiencyFunction, RealSimulatorSmoke) {
+  grid::GridConfig config;
+  config.rms = grid::RmsKind::kLowest;
+  config.topology.nodes = 80;
+  config.horizon = 300.0;
+  config.workload.mean_interarrival = 1.2;
+
+  IsoefficiencyFunctionConfig fc;
+  fc.scale_factors = {1, 2};
+  fc.e0 = 0.75;
+  fc.tolerance = 0.03;
+  fc.max_bisection_steps = 8;
+
+  const auto f = measure_isoefficiency_function(config, fc);
+  ASSERT_EQ(f.points.size(), 2u);
+  for (const auto& p : f.points) {
+    EXPECT_GT(p.workload_multiplier, 0.0);
+    EXPECT_GT(p.sim.jobs_arrived, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace scal::core

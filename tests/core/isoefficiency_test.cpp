@@ -1,0 +1,137 @@
+#include "core/isoefficiency.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scal::core {
+namespace {
+
+ScalePoint point(double k, double F, double G, double H,
+                 bool feasible = true) {
+  ScalePoint p;
+  p.k = k;
+  p.sim.F = F;
+  p.sim.G_scheduler = G;
+  p.sim.H_control = H;
+  p.feasible = feasible;
+  return p;
+}
+
+CaseResult linear_case() {
+  CaseResult r;
+  r.scase = ScalingCase::case1_network_size();
+  r.rms = grid::RmsKind::kLowest;
+  // Perfect isoefficiency: F, G, H all scale linearly.
+  for (double k = 1; k <= 4; ++k) {
+    r.points.push_back(point(k, 100 * k, 50 * k, 50 * k));
+  }
+  return r;
+}
+
+TEST(Analyze, LinearScalingIsScalableThroughout) {
+  const IsoefficiencyReport report = analyze(linear_case());
+  ASSERT_EQ(report.k.size(), 4u);
+  EXPECT_DOUBLE_EQ(report.g[0], 1.0);
+  EXPECT_DOUBLE_EQ(report.g[3], 4.0);
+  for (const double slope : report.g_slopes) {
+    EXPECT_DOUBLE_EQ(slope, 1.0);
+  }
+  for (const auto v : report.verdicts) {
+    EXPECT_EQ(v, SegmentVerdict::kScalable);
+  }
+  EXPECT_DOUBLE_EQ(report.scalable_through, 4.0);
+  EXPECT_NEAR(report.overall_slope, 1.0, 1e-12);
+  // Constant efficiency at every k.
+  for (const double e : report.E) EXPECT_DOUBLE_EQ(e, 0.5);
+}
+
+TEST(Analyze, SuperlinearOverheadFlagsUnscalable) {
+  CaseResult r;
+  r.scase = ScalingCase::case2_service_rate();
+  r.rms = grid::RmsKind::kCentral;
+  // G grows quadratically while F grows linearly.
+  for (double k = 1; k <= 5; ++k) {
+    r.points.push_back(point(k, 100 * k, 20 * k * k, 50 * k));
+  }
+  const IsoefficiencyReport report = analyze(r);
+  // Slopes increase each segment: every segment after the first fails
+  // the non-increasing-slope test.
+  EXPECT_EQ(report.verdicts[1], SegmentVerdict::kUnscalable);
+  EXPECT_EQ(report.verdicts.back(), SegmentVerdict::kUnscalable);
+  EXPECT_LT(report.scalable_through, 5.0);
+}
+
+TEST(Analyze, GrowthConditionFailureFlagsUnscalable) {
+  CaseResult r;
+  r.scase = ScalingCase::case1_network_size();
+  // F flat while G explodes: Equation (2) must fail at large k.
+  r.points.push_back(point(1, 100, 50, 50));
+  r.points.push_back(point(2, 110, 500, 50));
+  const IsoefficiencyReport report = analyze(r);
+  EXPECT_TRUE(report.growth_condition[0]);  // base trivially holds
+  EXPECT_FALSE(report.growth_condition[1]);
+  EXPECT_EQ(report.verdicts[0], SegmentVerdict::kUnscalable);
+  EXPECT_DOUBLE_EQ(report.scalable_through, 1.0);
+}
+
+TEST(Analyze, DecreasingSlopeIsScalableEvenWhenGrowing) {
+  CaseResult r;
+  r.scase = ScalingCase::case1_network_size();
+  // g: 1, 2.0, 2.8, 3.4 — growing but with shrinking slope.
+  const double gs[] = {50, 100, 140, 170};
+  for (int i = 0; i < 4; ++i) {
+    const double k = i + 1.0;
+    r.points.push_back(point(k, 200 * k, gs[i], 50 * k));
+  }
+  const IsoefficiencyReport report = analyze(r);
+  for (const auto v : report.verdicts) {
+    EXPECT_EQ(v, SegmentVerdict::kScalable);
+  }
+}
+
+TEST(Analyze, ConstantsComeFromBasePoint) {
+  const IsoefficiencyReport report = analyze(linear_case());
+  // Base: F=100, G=50, H=50, E=0.5, alpha=2.
+  EXPECT_DOUBLE_EQ(report.constants.alpha, 2.0);
+  EXPECT_DOUBLE_EQ(report.constants.c, 0.5);
+  EXPECT_DOUBLE_EQ(report.constants.c_prime, 0.5);
+}
+
+TEST(Analyze, FeasibilityCarriedThrough) {
+  CaseResult r = linear_case();
+  r.points[2].feasible = false;
+  const IsoefficiencyReport report = analyze(r);
+  EXPECT_TRUE(report.feasible[0]);
+  EXPECT_FALSE(report.feasible[2]);
+}
+
+TEST(Analyze, RejectsTooFewPoints) {
+  CaseResult r;
+  r.points.push_back(point(1, 100, 50, 50));
+  EXPECT_THROW(analyze(r), std::invalid_argument);
+}
+
+TEST(Analyze, VerdictToString) {
+  EXPECT_EQ(to_string(SegmentVerdict::kScalable), "scalable");
+  EXPECT_EQ(to_string(SegmentVerdict::kUnscalable), "unscalable");
+}
+
+TEST(Analyze, RpOverheadSlopesReported) {
+  // Future-work item (b): the framework also measures scalability from
+  // the RP overhead H(k).  H grows quadratically here while G is linear.
+  CaseResult r;
+  r.scase = ScalingCase::case1_network_size();
+  for (double k = 1; k <= 4; ++k) {
+    r.points.push_back(point(k, 100 * k, 50 * k, 10 * k * k));
+  }
+  const IsoefficiencyReport report = analyze(r);
+  ASSERT_EQ(report.h_slopes.size(), 3u);
+  // h(k) = k^2: segment slopes 3, 5, 7.
+  EXPECT_DOUBLE_EQ(report.h_slopes[0], 3.0);
+  EXPECT_DOUBLE_EQ(report.h_slopes[2], 7.0);
+  EXPECT_NEAR(report.overall_h_slope, 5.0, 1e-9);
+  // The g side stays linear.
+  EXPECT_NEAR(report.overall_slope, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace scal::core

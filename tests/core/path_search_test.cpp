@@ -1,0 +1,122 @@
+#include "core/path_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace scal::core {
+namespace {
+
+/// Fake runner that punishes node growth: G scales with nodes, and the
+/// efficiency falls out of band when the node count exceeds a cliff.
+/// The best path for this system is pure service-rate growth (r = 0).
+grid::SimulationResult node_averse_fake(const grid::GridConfig& config) {
+  const double nodes = static_cast<double>(config.topology.nodes);
+  grid::SimulationResult r;
+  r.G_scheduler = nodes;
+  r.F = 1000.0;
+  const double e = nodes <= 250.0 ? 0.6 : 0.3;  // cliff at 250 nodes
+  r.H_control = r.F / e - r.F - r.G_scheduler;
+  return r;
+}
+
+PathSearchConfig search_config() {
+  PathSearchConfig config;
+  config.scale_factors = {1, 2, 4};
+  config.splits = {0.0, 0.5, 1.0};
+  config.tuner.e0 = 0.6;
+  config.tuner.band = 0.05;
+  config.tuner.evaluations = 6;
+  return config;
+}
+
+grid::GridConfig base_config() {
+  grid::GridConfig config;
+  config.topology.nodes = 200;
+  return config;
+}
+
+TEST(PathSearch, MixedScalePreservesTotalCapacityGrowth) {
+  const grid::GridConfig base = base_config();
+  for (const double split : {0.0, 0.25, 0.5, 1.0}) {
+    const auto scaled = apply_mixed_scale(base, 4.0, split);
+    const double node_growth =
+        static_cast<double>(scaled.topology.nodes) /
+        static_cast<double>(base.topology.nodes);
+    const double rate_growth = scaled.service_rate / base.service_rate;
+    EXPECT_NEAR(node_growth * rate_growth, 4.0, 0.1) << split;
+    EXPECT_DOUBLE_EQ(scaled.workload.mean_interarrival,
+                     base.workload.mean_interarrival / 4.0);
+  }
+}
+
+TEST(PathSearch, PureSplitsMatchCases) {
+  const grid::GridConfig base = base_config();
+  const auto nodes_only = apply_mixed_scale(base, 3.0, 1.0);
+  EXPECT_EQ(nodes_only.topology.nodes, 600u);
+  EXPECT_DOUBLE_EQ(nodes_only.service_rate, base.service_rate);
+  const auto rate_only = apply_mixed_scale(base, 3.0, 0.0);
+  EXPECT_EQ(rate_only.topology.nodes, 200u);
+  EXPECT_DOUBLE_EQ(rate_only.service_rate, 3.0 * base.service_rate);
+}
+
+TEST(PathSearch, RejectsBadArguments) {
+  EXPECT_THROW(apply_mixed_scale(base_config(), 0.5, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW(apply_mixed_scale(base_config(), 2.0, 1.5),
+               std::invalid_argument);
+  PathSearchConfig empty = search_config();
+  empty.splits.clear();
+  EXPECT_THROW(search_scaling_path(base_config(), grid::RmsKind::kLowest,
+                                   empty, node_averse_fake),
+               std::invalid_argument);
+}
+
+TEST(PathSearch, FindsTheViableGrowthDirection) {
+  const PathResult result = search_scaling_path(
+      base_config(), grid::RmsKind::kLowest, search_config(),
+      node_averse_fake);
+  ASSERT_EQ(result.points.size(), 3u);
+  // Beyond k = 1 the node cliff forbids node growth: the best path must
+  // pick pure service-rate growth.
+  EXPECT_DOUBLE_EQ(result.points[1].split, 0.0);
+  EXPECT_DOUBLE_EQ(result.points[2].split, 0.0);
+  EXPECT_TRUE(result.rp_scalable);
+  EXPECT_DOUBLE_EQ(result.scalable_through, 4.0);
+  for (const auto& p : result.points) EXPECT_TRUE(p.any_feasible);
+}
+
+TEST(PathSearch, DeclaresUnscalableWhenNoSplitIsFeasible) {
+  // Every direction falls off the efficiency cliff: e is out of band
+  // whenever total capacity grew (any k > 1 config differs from base).
+  const SimRunner doomed = [](const grid::GridConfig& config) {
+    grid::SimulationResult r;
+    r.G_scheduler = 10.0;
+    r.F = 1000.0;
+    const bool grown = config.topology.nodes > 200 ||
+                       config.service_rate > grid::GridConfig{}.service_rate;
+    const double e = grown ? 0.2 : 0.6;
+    r.H_control = r.F / e - r.F - r.G_scheduler;
+    return r;
+  };
+  const PathResult result = search_scaling_path(
+      base_config(), grid::RmsKind::kLowest, search_config(), doomed);
+  EXPECT_FALSE(result.rp_scalable);
+  EXPECT_DOUBLE_EQ(result.scalable_through, 1.0);
+}
+
+TEST(PathSearch, AsCaseResultFeedsTheAnalyzer) {
+  const PathResult result = search_scaling_path(
+      base_config(), grid::RmsKind::kCentral, search_config(),
+      node_averse_fake);
+  const CaseResult as_case = result.as_case_result(grid::RmsKind::kCentral);
+  ASSERT_EQ(as_case.points.size(), 3u);
+  EXPECT_EQ(as_case.rms, grid::RmsKind::kCentral);
+  const IsoefficiencyReport report = analyze(as_case);
+  EXPECT_EQ(report.k.size(), 3u);
+  // Along the rate-only path G stays flat: maximal scalability.
+  EXPECT_NEAR(report.overall_slope, 0.0, 0.05);
+}
+
+}  // namespace
+}  // namespace scal::core

@@ -1,0 +1,133 @@
+// Procedure tests run against the analytic fake runner (fast) plus one
+// small real-simulation smoke case.
+
+#include "core/procedure.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace scal::core {
+namespace {
+
+/// Fake runner whose G depends on the configured scale (node count) and
+/// the tuned update interval; deterministic and instantaneous.
+grid::SimulationResult fake_runner(const grid::GridConfig& config) {
+  const double nodes = static_cast<double>(config.topology.nodes);
+  const double tau = config.tuning.update_interval;
+  grid::SimulationResult r;
+  r.F = 10.0 * nodes;
+  r.G_scheduler = 0.05 * nodes + 400.0 / tau + 2.0 * tau;
+  r.H_control = 8.0 * nodes;
+  r.jobs_arrived = static_cast<std::uint64_t>(nodes);
+  r.jobs_completed = r.jobs_arrived;
+  r.jobs_succeeded = r.jobs_arrived;
+  return r;
+}
+
+ProcedureConfig fast_procedure() {
+  ProcedureConfig p;
+  p.scase = ScalingCase::case1_network_size();
+  p.scale_factors = {1, 2, 3};
+  p.tuner.evaluations = 40;
+  p.warm_evaluations = 15;
+  const auto base_e = fake_runner([] {
+    grid::GridConfig c;
+    c.topology.nodes = 100;
+    return c;
+  }());
+  p.tuner.e0 = base_e.efficiency();
+  p.tuner.band = 0.05;
+  return p;
+}
+
+grid::GridConfig base_config() {
+  grid::GridConfig config;
+  config.topology.nodes = 100;
+  return config;
+}
+
+TEST(Procedure, SweepsAllScaleFactors) {
+  const CaseResult result = measure_scalability(
+      base_config(), grid::RmsKind::kLowest, fast_procedure(), fake_runner);
+  ASSERT_EQ(result.points.size(), 3u);
+  EXPECT_DOUBLE_EQ(result.points[0].k, 1.0);
+  EXPECT_DOUBLE_EQ(result.points[2].k, 3.0);
+  EXPECT_EQ(result.rms, grid::RmsKind::kLowest);
+}
+
+TEST(Procedure, TunesEachPointTowardOptimalTau) {
+  // Analytic optimum of 400/tau + 2 tau is tau = sqrt(200) ~= 14.1,
+  // independent of scale; every point should land near it.
+  const CaseResult result = measure_scalability(
+      base_config(), grid::RmsKind::kLowest, fast_procedure(), fake_runner);
+  for (const auto& p : result.points) {
+    EXPECT_NEAR(p.tuning.update_interval, std::sqrt(200.0), 5.0);
+    EXPECT_TRUE(p.feasible);
+  }
+}
+
+TEST(Procedure, ProgressCallbackFiresPerPoint) {
+  int calls = 0;
+  measure_scalability(base_config(), grid::RmsKind::kLowest,
+                      fast_procedure(), fake_runner,
+                      [&](grid::RmsKind, double, const TuneOutcome&) {
+                        ++calls;
+                      });
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(Procedure, MeasureAllCoversEveryKind) {
+  const auto results = measure_all(
+      base_config(),
+      {grid::RmsKind::kCentral, grid::RmsKind::kLowest},
+      fast_procedure(), fake_runner);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].rms, grid::RmsKind::kCentral);
+  EXPECT_EQ(results[1].rms, grid::RmsKind::kLowest);
+}
+
+TEST(Procedure, RejectsEmptyScaleFactors) {
+  ProcedureConfig p = fast_procedure();
+  p.scale_factors.clear();
+  EXPECT_THROW(measure_scalability(base_config(), grid::RmsKind::kLowest, p,
+                                   fake_runner),
+               std::invalid_argument);
+}
+
+TEST(Procedure, AnalysisOfSweepIsConsistent) {
+  const CaseResult result = measure_scalability(
+      base_config(), grid::RmsKind::kLowest, fast_procedure(), fake_runner);
+  const IsoefficiencyReport report = analyze(result);
+  EXPECT_EQ(report.k.size(), 3u);
+  EXPECT_DOUBLE_EQ(report.g[0], 1.0);
+  // F scales linearly while G grows sublinearly (fixed tau-dependent
+  // part amortizes): the growth condition must hold everywhere.
+  for (const bool ok : report.growth_condition) EXPECT_TRUE(ok);
+}
+
+TEST(Procedure, RealSimulationSmoke) {
+  // One tiny end-to-end run through the real simulator.
+  grid::GridConfig config;
+  config.topology.nodes = 60;
+  config.horizon = 250.0;
+  config.workload.mean_interarrival = 2.0;
+
+  ProcedureConfig p;
+  p.scase = ScalingCase::case1_network_size();
+  p.scale_factors = {1, 2};
+  p.tuner.evaluations = 3;
+  p.warm_evaluations = 2;
+  p.tuner.e0 = 0.9;
+  p.tuner.band = 0.5;  // wide: this smoke test is about plumbing
+
+  const CaseResult result =
+      measure_scalability(config, grid::RmsKind::kLowest, p);
+  ASSERT_EQ(result.points.size(), 2u);
+  EXPECT_GT(result.points[0].sim.G(), 0.0);
+  EXPECT_GT(result.points[1].sim.jobs_arrived,
+            result.points[0].sim.jobs_arrived);
+}
+
+}  // namespace
+}  // namespace scal::core

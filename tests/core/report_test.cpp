@@ -1,0 +1,82 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace scal::core {
+namespace {
+
+CaseResult sample_case(grid::RmsKind rms) {
+  CaseResult r;
+  r.scase = ScalingCase::case1_network_size();
+  r.rms = rms;
+  for (double k = 1; k <= 3; ++k) {
+    ScalePoint p;
+    p.k = k;
+    p.sim.F = 100 * k;
+    p.sim.G_scheduler = 40 * k;
+    p.sim.H_control = 60 * k;
+    p.sim.throughput = 2.0 * k;
+    p.sim.mean_response = 50.0 / k;
+    p.feasible = true;
+    p.tuning.update_interval = 10.0 + k;
+    r.points.push_back(p);
+  }
+  return r;
+}
+
+TEST(Report, OverheadChartListsEverySeries) {
+  const std::vector<CaseResult> results{
+      sample_case(grid::RmsKind::kCentral),
+      sample_case(grid::RmsKind::kLowest)};
+  const std::string chart = render_overhead_chart(results, "figX");
+  EXPECT_NE(chart.find("figX"), std::string::npos);
+  EXPECT_NE(chart.find("CENTRAL"), std::string::npos);
+  EXPECT_NE(chart.find("LOWEST"), std::string::npos);
+}
+
+TEST(Report, MeasureChartUsesExtractor) {
+  const std::vector<CaseResult> results{sample_case(grid::RmsKind::kLowest)};
+  const std::string chart = render_measure_chart(
+      results, "tp", "throughput",
+      [](const grid::SimulationResult& r) { return r.throughput; });
+  EXPECT_NE(chart.find("throughput"), std::string::npos);
+}
+
+TEST(Report, CaseTableHasVerdictColumnsAndConstants) {
+  const std::string table = render_case_table(sample_case(
+      grid::RmsKind::kSymmetric));
+  EXPECT_NE(table.find("Sy-I"), std::string::npos);
+  EXPECT_NE(table.find("alpha="), std::string::npos);
+  EXPECT_NE(table.find("dg/dk"), std::string::npos);
+  EXPECT_NE(table.find("scalable"), std::string::npos);
+}
+
+TEST(Report, SummaryTableOneRowPerRms) {
+  const std::vector<CaseResult> results{
+      sample_case(grid::RmsKind::kCentral),
+      sample_case(grid::RmsKind::kAuction)};
+  const std::string table = render_summary_table(results);
+  EXPECT_NE(table.find("CENTRAL"), std::string::npos);
+  EXPECT_NE(table.find("AUCTION"), std::string::npos);
+  EXPECT_NE(table.find("3/3"), std::string::npos);  // band held everywhere
+}
+
+TEST(Report, CsvRoundTripRowCount) {
+  const std::string path = ::testing::TempDir() + "/scal_report_test.csv";
+  write_case_csv({sample_case(grid::RmsKind::kCentral),
+                  sample_case(grid::RmsKind::kLowest)},
+                 path);
+  std::ifstream in(path);
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 1 + 2 * 3);  // header + 2 RMS x 3 points
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace scal::core

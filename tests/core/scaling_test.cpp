@@ -1,0 +1,144 @@
+#include "core/scaling.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scal::core {
+namespace {
+
+grid::GridConfig base_config() {
+  grid::GridConfig config;
+  config.topology.nodes = 200;
+  config.cluster_size = 20;
+  config.estimators_per_cluster = 1;
+  config.service_rate = 8.0;
+  config.tuning.neighborhood_size = 2;
+  config.workload.mean_interarrival = 1.0;
+  return config;
+}
+
+TEST(ScalingCase, FourCasesMatchPaperTables) {
+  const auto c1 = ScalingCase::case1_network_size();
+  EXPECT_EQ(c1.variable, ScalingVariableKind::kNetworkSize);
+  EXPECT_TRUE(c1.enablers.tune_update_interval);
+  EXPECT_TRUE(c1.enablers.tune_neighborhood);
+  EXPECT_TRUE(c1.enablers.tune_link_delay);
+  EXPECT_FALSE(c1.enablers.tune_volunteer_interval);
+
+  const auto c4 = ScalingCase::case4_neighborhood();
+  EXPECT_EQ(c4.variable, ScalingVariableKind::kNeighborhood);
+  EXPECT_FALSE(c4.enablers.tune_neighborhood);   // L_p is the variable
+  EXPECT_TRUE(c4.enablers.tune_volunteer_interval);
+}
+
+TEST(ScalingCase, TableRowsIncludeWorkload) {
+  for (const auto& scase :
+       {ScalingCase::case1_network_size(), ScalingCase::case2_service_rate(),
+        ScalingCase::case3_estimators(),
+        ScalingCase::case4_neighborhood()}) {
+    const auto rows = scase.scaling_variable_rows();
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_NE(rows[1].find("Workload"), std::string::npos);
+    EXPECT_EQ(scase.enabler_rows().size(), 3u);
+  }
+}
+
+TEST(ApplyScale, WorkloadAlwaysScalesWithK) {
+  for (const auto& scase :
+       {ScalingCase::case1_network_size(), ScalingCase::case2_service_rate(),
+        ScalingCase::case3_estimators(),
+        ScalingCase::case4_neighborhood()}) {
+    const auto scaled = apply_scale(base_config(), scase, 4.0);
+    EXPECT_DOUBLE_EQ(scaled.workload.mean_interarrival, 0.25);
+  }
+}
+
+TEST(ApplyScale, Case1ScalesNodes) {
+  const auto scaled =
+      apply_scale(base_config(), ScalingCase::case1_network_size(), 3.0);
+  EXPECT_EQ(scaled.topology.nodes, 600u);
+  EXPECT_DOUBLE_EQ(scaled.service_rate, 8.0);  // untouched
+}
+
+TEST(ApplyScale, Case2ScalesServiceRate) {
+  const auto scaled =
+      apply_scale(base_config(), ScalingCase::case2_service_rate(), 2.5);
+  EXPECT_DOUBLE_EQ(scaled.service_rate, 20.0);
+  EXPECT_EQ(scaled.topology.nodes, 200u);
+}
+
+TEST(ApplyScale, Case3AddsEstimatorNodesKeepsRpFixed) {
+  const grid::GridConfig base = base_config();  // 10 clusters
+  const auto scaled =
+      apply_scale(base, ScalingCase::case3_estimators(), 4.0);
+  EXPECT_EQ(scaled.estimators_per_cluster, 4u);
+  // 3 extra estimators per cluster, 10 clusters: 30 new RMS nodes.
+  EXPECT_EQ(scaled.topology.nodes, 230u);
+  EXPECT_EQ(scaled.cluster_size, 23u);
+  // Resources per cluster unchanged: cluster_size - 1 - estimators.
+  EXPECT_EQ(scaled.cluster_size - 1 - scaled.estimators_per_cluster,
+            base.cluster_size - 1 - base.estimators_per_cluster);
+}
+
+TEST(ApplyScale, Case4ScalesNeighborhood) {
+  const auto scaled =
+      apply_scale(base_config(), ScalingCase::case4_neighborhood(), 6.0);
+  EXPECT_EQ(scaled.tuning.neighborhood_size, 12u);
+}
+
+TEST(ApplyScale, KOneIsIdentityForStructure) {
+  const grid::GridConfig base = base_config();
+  for (const auto& scase :
+       {ScalingCase::case1_network_size(), ScalingCase::case2_service_rate(),
+        ScalingCase::case3_estimators(),
+        ScalingCase::case4_neighborhood()}) {
+    const auto scaled = apply_scale(base, scase, 1.0);
+    EXPECT_EQ(scaled.topology.nodes, base.topology.nodes);
+    EXPECT_DOUBLE_EQ(scaled.service_rate, base.service_rate);
+    EXPECT_EQ(scaled.estimators_per_cluster, base.estimators_per_cluster);
+    EXPECT_EQ(scaled.tuning.neighborhood_size,
+              base.tuning.neighborhood_size);
+  }
+}
+
+TEST(ApplyScale, RejectsSubUnityK) {
+  EXPECT_THROW(
+      apply_scale(base_config(), ScalingCase::case1_network_size(), 0.5),
+      std::invalid_argument);
+}
+
+TEST(EnablerSpace, VariableSetMatchesCase) {
+  const opt::Space s13 = enabler_space(ScalingCase::case1_network_size());
+  EXPECT_EQ(s13.size(), 3u);
+  EXPECT_NO_THROW(s13.index_of("update_interval"));
+  EXPECT_NO_THROW(s13.index_of("neighborhood_size"));
+  EXPECT_NO_THROW(s13.index_of("link_delay_scale"));
+
+  const opt::Space s4 = enabler_space(ScalingCase::case4_neighborhood());
+  EXPECT_EQ(s4.size(), 3u);
+  EXPECT_NO_THROW(s4.index_of("volunteer_interval"));
+  EXPECT_THROW(s4.index_of("neighborhood_size"), std::out_of_range);
+}
+
+TEST(EnablerSpace, PointTuningRoundTrip) {
+  const ScalingCase scase = ScalingCase::case1_network_size();
+  grid::Tuning tuning;
+  tuning.update_interval = 33.0;
+  tuning.neighborhood_size = 5;
+  tuning.link_delay_scale = 0.8;
+  tuning.volunteer_interval = 77.0;
+  const opt::Point p = point_from_tuning(scase, tuning);
+  const grid::Tuning back = tuning_from_point(scase, tuning, p);
+  EXPECT_DOUBLE_EQ(back.update_interval, 33.0);
+  EXPECT_EQ(back.neighborhood_size, 5u);
+  EXPECT_DOUBLE_EQ(back.link_delay_scale, 0.8);
+  EXPECT_DOUBLE_EQ(back.volunteer_interval, 77.0);  // untouched passthrough
+}
+
+TEST(EnablerSpace, TuningFromPointRejectsWrongDimension) {
+  const ScalingCase scase = ScalingCase::case1_network_size();
+  EXPECT_THROW(tuning_from_point(scase, grid::Tuning{}, {1.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace scal::core

@@ -1,0 +1,75 @@
+#include "core/sensitivity.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scal::core {
+namespace {
+
+/// Fake runner: G depends deterministically on the seed.
+grid::SimulationResult seeded_fake(const grid::GridConfig& config) {
+  grid::SimulationResult r;
+  const auto s = static_cast<double>(config.seed % 10);
+  r.G_scheduler = 100.0 + s;
+  r.F = 1000.0;
+  r.H_control = 200.0;
+  r.throughput = 5.0 + 0.1 * s;
+  r.mean_response = 50.0;
+  return r;
+}
+
+grid::GridConfig any_config() {
+  grid::GridConfig config;
+  config.topology.nodes = 100;
+  return config;
+}
+
+TEST(Replicate, AggregatesAcrossSeeds) {
+  const auto stats = replicate(any_config(), {0, 1, 2, 3, 4}, seeded_fake);
+  EXPECT_EQ(stats.G.count(), 5u);
+  EXPECT_DOUBLE_EQ(stats.G.mean(), 102.0);  // 100 + mean(0..4)
+  EXPECT_DOUBLE_EQ(stats.G.min(), 100.0);
+  EXPECT_DOUBLE_EQ(stats.G.max(), 104.0);
+  EXPECT_DOUBLE_EQ(stats.F.mean(), 1000.0);
+  EXPECT_EQ(stats.seeds.size(), 5u);
+}
+
+TEST(Replicate, ConvenienceSeedRange) {
+  const auto stats = replicate(any_config(), 3, 7, seeded_fake);
+  EXPECT_EQ(stats.seeds, (std::vector<std::uint64_t>{7, 8, 9}));
+  EXPECT_DOUBLE_EQ(stats.G.mean(), 108.0);
+}
+
+TEST(Replicate, CvIsZeroForConstantG) {
+  const auto stats =
+      replicate(any_config(), {10, 20, 30}, seeded_fake);  // all seed%10==0
+  EXPECT_DOUBLE_EQ(stats.g_cv(), 0.0);
+}
+
+TEST(Replicate, CvPositiveForVaryingG) {
+  const auto stats = replicate(any_config(), {0, 5}, seeded_fake);
+  EXPECT_GT(stats.g_cv(), 0.0);
+}
+
+TEST(Replicate, RejectsEmptySeedList) {
+  EXPECT_THROW(replicate(any_config(), std::vector<std::uint64_t>{},
+                         seeded_fake),
+               std::invalid_argument);
+}
+
+TEST(Replicate, RealSimulatorSmallSpread) {
+  // Across seeds the same configuration should produce G values within
+  // a sane coefficient of variation — the paper's single-run comparisons
+  // rely on this.
+  grid::GridConfig config;
+  config.topology.nodes = 100;
+  config.horizon = 400.0;
+  config.workload.mean_interarrival = 1.0;
+  config.rms = grid::RmsKind::kLowest;
+  const auto stats = replicate(config, 5);
+  EXPECT_EQ(stats.G.count(), 5u);
+  EXPECT_GT(stats.G.mean(), 0.0);
+  EXPECT_LT(stats.g_cv(), 0.35);
+}
+
+}  // namespace
+}  // namespace scal::core

@@ -1,0 +1,115 @@
+// Tuner tests use an analytic fake runner so they are fast and the
+// optimum is known in closed form.
+
+#include "core/tuner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace scal::core {
+namespace {
+
+/// Fake grid with a known interior optimum: G = 100 + 2000/tau + 3*tau
+/// is minimized at tau = sqrt(2000/3) ~= 25.8, which lies inside the
+/// efficiency band (efficiency peaks at tau = 20 and decays away).
+grid::SimulationResult fake_sim(const grid::GridConfig& config) {
+  const double tau = config.tuning.update_interval;
+  grid::SimulationResult r;
+  r.G_scheduler = 100.0 + 2000.0 / tau + 3.0 * tau;
+  const double e = 0.60 - 0.004 * std::abs(tau - 20.0);
+  // Back out F/H so that efficiency() returns e.
+  r.F = 1000.0;
+  r.H_control = r.F / e - r.F - r.G_scheduler;
+  return r;
+}
+
+TunerConfig tuner_config() {
+  TunerConfig t;
+  t.e0 = 0.58;
+  t.band = 0.02;  // tau within [10, 30] keeps e in [0.56, 0.60]
+  t.evaluations = 120;
+  return t;
+}
+
+grid::GridConfig any_config() {
+  grid::GridConfig config;
+  config.topology.nodes = 100;
+  return config;
+}
+
+TEST(PenalizedObjective, NoPenaltyInsideBand) {
+  TunerConfig t = tuner_config();
+  grid::SimulationResult r;
+  r.F = 58.0;
+  r.G_scheduler = 10.0;
+  r.H_control = 32.0;  // E = 0.58 exactly
+  EXPECT_DOUBLE_EQ(penalized_objective(r, t), 10.0);
+}
+
+TEST(PenalizedObjective, QuadraticPenaltyOutsideBand) {
+  TunerConfig t = tuner_config();
+  t.penalty_weight = 10.0;
+  grid::SimulationResult r;
+  r.F = 100.0;
+  r.G_scheduler = 50.0;
+  r.H_control = 0.0;  // E = 2/3, far above the band
+  const double excess =
+      (std::abs(100.0 / 150.0 - t.e0) - t.band) / t.band;
+  EXPECT_NEAR(penalized_objective(r, t),
+              50.0 * (1.0 + 10.0 * excess * excess), 1e-9);
+}
+
+TEST(Tuner, FindsBandFeasibleMinimum) {
+  const ScalingCase scase = ScalingCase::case1_network_size();
+  const auto outcome =
+      tune_enablers(any_config(), scase, tuner_config(), fake_sim);
+  EXPECT_TRUE(outcome.feasible);
+  // The analytic optimum is tau = sqrt(2000/3) ~= 25.8, inside the band.
+  EXPECT_NEAR(outcome.tuning.update_interval, 25.8, 5.0);
+  EXPECT_EQ(outcome.evaluations, tuner_config().evaluations);
+}
+
+TEST(Tuner, WarmStartConvergesWithTinyBudget) {
+  const ScalingCase scase = ScalingCase::case1_network_size();
+  TunerConfig t = tuner_config();
+  t.evaluations = 5;
+  grid::Tuning warm;
+  warm.update_interval = 24.0;
+  warm.neighborhood_size = 3;
+  warm.link_delay_scale = 1.0;
+  const auto outcome =
+      tune_enablers(any_config(), scase, t, fake_sim, warm);
+  EXPECT_TRUE(outcome.feasible);
+  EXPECT_NEAR(outcome.tuning.update_interval, 24.0, 6.0);
+}
+
+TEST(Tuner, InfeasibleBandReported) {
+  const ScalingCase scase = ScalingCase::case1_network_size();
+  TunerConfig t = tuner_config();
+  t.e0 = 0.99;  // unreachable for the fake system
+  const auto outcome = tune_enablers(any_config(), scase, t, fake_sim);
+  EXPECT_FALSE(outcome.feasible);
+}
+
+TEST(Tuner, OutcomeResultMatchesBestTuning) {
+  const ScalingCase scase = ScalingCase::case1_network_size();
+  const auto outcome =
+      tune_enablers(any_config(), scase, tuner_config(), fake_sim);
+  grid::GridConfig best = any_config();
+  best.tuning = outcome.tuning;
+  const auto rerun = fake_sim(best);
+  EXPECT_DOUBLE_EQ(outcome.result.G(), rerun.G());
+  EXPECT_DOUBLE_EQ(outcome.result.efficiency(), rerun.efficiency());
+}
+
+TEST(Tuner, DeterministicForFixedSearchSeed) {
+  const ScalingCase scase = ScalingCase::case1_network_size();
+  const auto a = tune_enablers(any_config(), scase, tuner_config(), fake_sim);
+  const auto b = tune_enablers(any_config(), scase, tuner_config(), fake_sim);
+  EXPECT_DOUBLE_EQ(a.objective, b.objective);
+  EXPECT_DOUBLE_EQ(a.tuning.update_interval, b.tuning.update_interval);
+}
+
+}  // namespace
+}  // namespace scal::core

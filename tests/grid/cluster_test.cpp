@@ -1,0 +1,124 @@
+#include "grid/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/topology.hpp"
+
+namespace scal::grid {
+namespace {
+
+net::Graph make_graph(std::size_t nodes, std::uint64_t seed = 42) {
+  net::TopologyConfig config;
+  config.nodes = nodes;
+  util::RandomStream rng(seed, "cluster-test");
+  return net::generate_topology(config, rng);
+}
+
+TEST(Cluster, EveryNodeAssignedExactlyOnce) {
+  const net::Graph g = make_graph(100);
+  util::RandomStream rng(1, "p");
+  const ClusterLayout layout = partition_into_clusters(g, 5, 1, rng);
+  ASSERT_EQ(layout.clusters.size(), 5u);
+  std::set<net::NodeId> seen;
+  for (const auto& c : layout.clusters) {
+    seen.insert(c.scheduler_node);
+    seen.insert(c.estimator_nodes.begin(), c.estimator_nodes.end());
+    seen.insert(c.resource_nodes.begin(), c.resource_nodes.end());
+  }
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(Cluster, ClusterOfIsConsistentWithMembership) {
+  const net::Graph g = make_graph(80);
+  util::RandomStream rng(2, "p");
+  const ClusterLayout layout = partition_into_clusters(g, 4, 2, rng);
+  for (std::size_t c = 0; c < layout.clusters.size(); ++c) {
+    const auto& cluster = layout.clusters[c];
+    EXPECT_EQ(layout.cluster_of[cluster.scheduler_node], c);
+    for (const auto n : cluster.estimator_nodes) {
+      EXPECT_EQ(layout.cluster_of[n], c);
+    }
+    for (const auto n : cluster.resource_nodes) {
+      EXPECT_EQ(layout.cluster_of[n], c);
+    }
+  }
+}
+
+TEST(Cluster, RolesSizedPerConfig) {
+  const net::Graph g = make_graph(100);
+  util::RandomStream rng(3, "p");
+  const ClusterLayout layout = partition_into_clusters(g, 5, 3, rng);
+  for (const auto& c : layout.clusters) {
+    EXPECT_EQ(c.estimator_nodes.size(), 3u);
+    EXPECT_GE(c.resource_nodes.size(), 1u);
+  }
+  EXPECT_EQ(layout.total_estimators(), 15u);
+  EXPECT_EQ(layout.total_resources(), 100u - 5u - 15u);
+}
+
+TEST(Cluster, BalancedSizes) {
+  const net::Graph g = make_graph(200);
+  util::RandomStream rng(4, "p");
+  const ClusterLayout layout = partition_into_clusters(g, 10, 1, rng);
+  std::size_t min_size = SIZE_MAX, max_size = 0;
+  for (const auto& c : layout.clusters) {
+    const std::size_t size =
+        1 + c.estimator_nodes.size() + c.resource_nodes.size();
+    min_size = std::min(min_size, size);
+    max_size = std::max(max_size, size);
+  }
+  // BFS growth with caps keeps sizes within a small spread.
+  EXPECT_LE(max_size - min_size, 4u);
+}
+
+TEST(Cluster, SchedulerIsHighestDegreeMember) {
+  const net::Graph g = make_graph(60);
+  util::RandomStream rng(5, "p");
+  const ClusterLayout layout = partition_into_clusters(g, 3, 1, rng);
+  for (const auto& c : layout.clusters) {
+    for (const auto n : c.resource_nodes) {
+      EXPECT_GE(g.degree(c.scheduler_node), g.degree(n));
+    }
+  }
+}
+
+TEST(Cluster, DeterministicGivenSeed) {
+  const net::Graph g = make_graph(90);
+  util::RandomStream rng1(6, "p");
+  util::RandomStream rng2(6, "p");
+  const ClusterLayout a = partition_into_clusters(g, 4, 1, rng1);
+  const ClusterLayout b = partition_into_clusters(g, 4, 1, rng2);
+  EXPECT_EQ(a.cluster_of, b.cluster_of);
+}
+
+TEST(Cluster, SingleClusterTakesEverything) {
+  const net::Graph g = make_graph(30);
+  util::RandomStream rng(7, "p");
+  const ClusterLayout layout = partition_into_clusters(g, 1, 1, rng);
+  EXPECT_EQ(layout.clusters.size(), 1u);
+  EXPECT_EQ(layout.total_resources(), 28u);
+}
+
+TEST(Cluster, RejectsImpossibleRequests) {
+  const net::Graph g = make_graph(10);
+  util::RandomStream rng(8, "p");
+  EXPECT_THROW(partition_into_clusters(g, 0, 1, rng),
+               std::invalid_argument);
+  EXPECT_THROW(partition_into_clusters(g, 5, 1, rng),
+               std::invalid_argument);  // 5 clusters x 3 min > 10 nodes
+}
+
+TEST(Cluster, RejectsDisconnectedGraph) {
+  net::Graph g(6);
+  g.add_edge(0, 1, 1, 1);
+  g.add_edge(2, 3, 1, 1);
+  g.add_edge(4, 5, 1, 1);
+  util::RandomStream rng(9, "p");
+  EXPECT_THROW(partition_into_clusters(g, 2, 1, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace scal::grid

@@ -1,0 +1,46 @@
+#include "grid/middleware.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scal::grid {
+namespace {
+
+TEST(Middleware, RelaysAfterServiceTime) {
+  sim::Simulator sim;
+  Middleware mw(sim, 0, 0.5);
+  double delivered_at = -1.0;
+  mw.relay([&] { delivered_at = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(delivered_at, 0.5);
+  EXPECT_DOUBLE_EQ(mw.busy_time(), 0.5);
+}
+
+TEST(Middleware, QueueIsFifoSingleServer) {
+  sim::Simulator sim;
+  Middleware mw(sim, 0, 1.0);
+  std::vector<int> order;
+  mw.relay([&] { order.push_back(1); });
+  mw.relay([&] { order.push_back(2); });
+  mw.relay([&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);  // serial service
+}
+
+TEST(Middleware, WorkInSystemGrowsUnderBurst) {
+  sim::Simulator sim;
+  Middleware mw(sim, 0, 1.0);
+  for (int i = 0; i < 10; ++i) mw.relay({});
+  sim.run();
+  // Busy 10; waits 1+2+...+9 = 45.
+  EXPECT_DOUBLE_EQ(mw.work_in_system_time(), 55.0);
+}
+
+TEST(Middleware, ServiceTimeAccessor) {
+  sim::Simulator sim;
+  Middleware mw(sim, 0, 0.025);
+  EXPECT_DOUBLE_EQ(mw.service_time(), 0.025);
+}
+
+}  // namespace
+}  // namespace scal::grid

@@ -1,0 +1,107 @@
+#include "net/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+
+namespace scal::net {
+namespace {
+
+Graph triangle_plus_tail() {
+  // Triangle 0-1-2 with a tail 2-3.
+  Graph g(4);
+  g.add_edge(0, 1, 1, 1);
+  g.add_edge(1, 2, 1, 1);
+  g.add_edge(0, 2, 1, 1);
+  g.add_edge(2, 3, 1, 1);
+  return g;
+}
+
+TEST(GraphMetrics, ExactSmallGraph) {
+  const Graph g = triangle_plus_tail();
+  util::RandomStream rng(1, "gm");
+  const GraphMetrics m = analyze_graph(g, g.node_count(), rng);
+  EXPECT_EQ(m.nodes, 4u);
+  EXPECT_EQ(m.edges, 4u);
+  EXPECT_DOUBLE_EQ(m.mean_degree, 2.0);
+  EXPECT_EQ(m.max_degree, 3u);
+  EXPECT_EQ(m.diameter, 2u);
+  // Triples: deg 2,2,3,1 -> 1+1+3+0 = 5; ordered triangles = 3.
+  EXPECT_NEAR(m.clustering, 3.0 / 5.0, 1e-12);
+}
+
+TEST(GraphMetrics, MeanPathOfPathGraph) {
+  // 0-1-2: pairwise hops 1,1,2 twice (directed) / 6 ordered pairs.
+  Graph g(3);
+  g.add_edge(0, 1, 1, 1);
+  g.add_edge(1, 2, 1, 1);
+  util::RandomStream rng(1, "gm");
+  const GraphMetrics m = analyze_graph(g, 3, rng);
+  EXPECT_NEAR(m.mean_path_hops, (1 + 1 + 1 + 1 + 2 + 2) / 6.0, 1e-12);
+  EXPECT_EQ(m.diameter, 2u);
+  EXPECT_DOUBLE_EQ(m.clustering, 0.0);  // no triangles
+}
+
+TEST(GraphMetrics, StarHubOwnsHalfTheEndpoints) {
+  TopologyConfig config;
+  config.kind = TopologyKind::kStar;
+  config.nodes = 100;
+  util::RandomStream rng(2, "gm");
+  const Graph g = generate_topology(config, rng);
+  const GraphMetrics m = analyze_graph(g, 30, rng);
+  // Hub endpoint share: top 10% (10 nodes) own 99 + 9 = 108 of 198.
+  EXPECT_NEAR(m.hub_endpoint_share, 108.0 / 198.0, 1e-9);
+  EXPECT_EQ(m.diameter, 2u);
+}
+
+TEST(GraphMetrics, PrefAttachLooksInternetLike) {
+  TopologyConfig config;
+  config.nodes = 500;
+  config.pa_edges_per_node = 2;
+  util::RandomStream rng(3, "gm");
+  const Graph g = generate_topology(config, rng);
+  const GraphMetrics m = analyze_graph(g, 40, rng);
+  // Small-world: diameter far below n, hubs carry disproportionate load.
+  EXPECT_LT(m.diameter, 12u);
+  EXPECT_GT(m.hub_endpoint_share, 0.3);
+  EXPECT_LT(m.mean_path_hops, 6.0);
+}
+
+TEST(GraphMetrics, TransitStubIsHierarchical) {
+  TopologyConfig config;
+  config.kind = TopologyKind::kTransitStub;
+  config.nodes = 200;
+  util::RandomStream rng(4, "gm");
+  const Graph g = generate_topology(config, rng);
+  ASSERT_TRUE(g.connected());
+  const GraphMetrics m = analyze_graph(g, 40, rng);
+  // Stub hubs and transit routers own an outsized share of endpoints
+  // (a uniform-degree graph would give the top decile exactly 0.10).
+  EXPECT_GT(m.hub_endpoint_share, 0.20);
+  EXPECT_LT(m.diameter, 12u);
+}
+
+TEST(GraphMetrics, SamplingSubsetStillBoundsDiameter) {
+  TopologyConfig config;
+  config.kind = TopologyKind::kRingLattice;
+  config.nodes = 60;
+  config.lattice_neighbors = 1;  // plain ring: diameter 30
+  util::RandomStream rng(5, "gm");
+  const Graph g = generate_topology(config, rng);
+  const GraphMetrics exact = analyze_graph(g, 60, rng);
+  const GraphMetrics sampled = analyze_graph(g, 5, rng);
+  EXPECT_EQ(exact.diameter, 30u);
+  // Every BFS from a ring node reaches hop 30, so sampling is exact here.
+  EXPECT_EQ(sampled.diameter, 30u);
+}
+
+TEST(GraphMetrics, EmptyGraph) {
+  Graph g;
+  util::RandomStream rng(6, "gm");
+  const GraphMetrics m = analyze_graph(g, 10, rng);
+  EXPECT_EQ(m.nodes, 0u);
+  EXPECT_DOUBLE_EQ(m.mean_degree, 0.0);
+}
+
+}  // namespace
+}  // namespace scal::net

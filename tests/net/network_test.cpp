@@ -1,0 +1,79 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scal::net {
+namespace {
+
+Graph pair_graph() {
+  Graph g(2);
+  g.add_edge(0, 1, 3.0, 10.0);
+  return g;
+}
+
+TEST(Network, DeliversAfterRoutedDelay) {
+  sim::Simulator sim;
+  const Graph g = pair_graph();
+  Network net(sim, 0, g);
+  double delivered_at = -1.0;
+  net.send(0, 1, 20.0, [&] { delivered_at = sim.now(); });
+  sim.run();
+  // latency 3 + size 20 / bandwidth 10 = 5.
+  EXPECT_DOUBLE_EQ(delivered_at, 5.0);
+}
+
+TEST(Network, PredictMatchesDelivery) {
+  sim::Simulator sim;
+  const Graph g = pair_graph();
+  Network net(sim, 0, g);
+  const double predicted = net.predict_delay(0, 1, 20.0);
+  double delivered_at = -1.0;
+  net.send(0, 1, 20.0, [&] { delivered_at = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(delivered_at, predicted);
+}
+
+TEST(Network, SelfSendIsImmediateButAsync) {
+  sim::Simulator sim;
+  const Graph g = pair_graph();
+  Network net(sim, 0, g);
+  bool delivered = false;
+  net.send(1, 1, 5.0, [&] { delivered = true; });
+  EXPECT_FALSE(delivered);  // still causal: goes through the event queue
+  sim.run();
+  EXPECT_TRUE(delivered);
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+}
+
+TEST(Network, DelayScaleMultiplies) {
+  sim::Simulator sim;
+  const Graph g = pair_graph();
+  Network net(sim, 0, g);
+  net.set_delay_scale(0.5);
+  EXPECT_DOUBLE_EQ(net.predict_delay(0, 1, 20.0), 2.5);
+  EXPECT_THROW(net.set_delay_scale(0.0), std::invalid_argument);
+}
+
+TEST(Network, CountsTraffic) {
+  sim::Simulator sim;
+  const Graph g = pair_graph();
+  Network net(sim, 0, g);
+  net.send(0, 1, 2.0, [] {});
+  net.send(1, 0, 3.0, [] {});
+  EXPECT_EQ(net.messages_sent(), 2u);
+  EXPECT_DOUBLE_EQ(net.bytes_sent(), 5.0);
+}
+
+TEST(Network, OrderingPreservedForEqualDelays) {
+  sim::Simulator sim;
+  const Graph g = pair_graph();
+  Network net(sim, 0, g);
+  std::vector<int> order;
+  net.send(0, 1, 10.0, [&] { order.push_back(1); });
+  net.send(0, 1, 10.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+}  // namespace
+}  // namespace scal::net

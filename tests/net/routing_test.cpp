@@ -1,0 +1,128 @@
+#include "net/routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "net/topology.hpp"
+
+namespace scal::net {
+namespace {
+
+/// Brute-force Bellman-Ford distances for cross-checking Dijkstra.
+std::vector<double> bellman_ford(const Graph& g, NodeId src) {
+  std::vector<double> dist(g.node_count(),
+                           std::numeric_limits<double>::infinity());
+  dist[src] = 0.0;
+  for (std::size_t pass = 0; pass + 1 < g.node_count(); ++pass) {
+    bool relaxed = false;
+    for (NodeId u = 0; u < g.node_count(); ++u) {
+      if (dist[u] == std::numeric_limits<double>::infinity()) continue;
+      for (const Link& l : g.neighbors(u)) {
+        if (dist[u] + l.latency < dist[l.to]) {
+          dist[l.to] = dist[u] + l.latency;
+          relaxed = true;
+        }
+      }
+    }
+    if (!relaxed) break;
+  }
+  return dist;
+}
+
+Graph line_graph() {
+  Graph g(4);
+  g.add_edge(0, 1, 1.0, 10.0);
+  g.add_edge(1, 2, 2.0, 20.0);
+  g.add_edge(2, 3, 3.0, 30.0);
+  return g;
+}
+
+TEST(Router, LineGraphAccumulatesLatencyAndBandwidth) {
+  const Graph g = line_graph();
+  Router router(g);
+  const RouteInfo info = router.route(0, 3);
+  EXPECT_TRUE(info.reachable);
+  EXPECT_DOUBLE_EQ(info.latency, 6.0);
+  EXPECT_DOUBLE_EQ(info.inv_bandwidth, 1.0 / 10 + 1.0 / 20 + 1.0 / 30);
+  EXPECT_EQ(info.hops, 3u);
+}
+
+TEST(Router, DelayIncludesTransmission) {
+  const Graph g = line_graph();
+  Router router(g);
+  const double d = router.delay(0, 3, 60.0);
+  EXPECT_DOUBLE_EQ(d, 6.0 + 60.0 * (1.0 / 10 + 1.0 / 20 + 1.0 / 30));
+}
+
+TEST(Router, SelfDelayIsZero) {
+  const Graph g = line_graph();
+  Router router(g);
+  EXPECT_DOUBLE_EQ(router.delay(2, 2, 100.0), 0.0);
+}
+
+TEST(Router, PicksShorterOfTwoPaths) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0, 1.0);
+  g.add_edge(1, 2, 1.0, 1.0);
+  g.add_edge(0, 2, 5.0, 1.0);  // direct but slower
+  Router router(g);
+  const RouteInfo info = router.route(0, 2);
+  EXPECT_DOUBLE_EQ(info.latency, 2.0);
+  EXPECT_EQ(info.hops, 2u);
+}
+
+TEST(Router, PathReconstruction) {
+  const Graph g = line_graph();
+  Router router(g);
+  EXPECT_EQ(router.path(0, 3), (std::vector<NodeId>{0, 1, 2, 3}));
+  EXPECT_EQ(router.path(3, 0), (std::vector<NodeId>{3, 2, 1, 0}));
+  EXPECT_EQ(router.path(1, 1), (std::vector<NodeId>{1}));
+}
+
+TEST(Router, UnreachableDetected) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0, 1.0);
+  Router router(g);
+  EXPECT_FALSE(router.route(0, 2).reachable);
+  EXPECT_TRUE(router.path(0, 2).empty());
+  EXPECT_THROW(router.delay(0, 2, 1.0), std::runtime_error);
+}
+
+TEST(Router, MatchesBellmanFordOnRandomTopology) {
+  TopologyConfig config;
+  config.nodes = 120;
+  util::RandomStream rng(42, "routing-test");
+  const Graph g = generate_topology(config, rng);
+  Router router(g);
+  for (const NodeId src : {NodeId{0}, NodeId{17}, NodeId{119}}) {
+    const auto expect = bellman_ford(g, src);
+    for (NodeId dst = 0; dst < g.node_count(); ++dst) {
+      EXPECT_NEAR(router.route(src, dst).latency, expect[dst], 1e-9)
+          << src << "->" << dst;
+    }
+  }
+}
+
+TEST(Router, CachesSourceTrees) {
+  const Graph g = line_graph();
+  Router router(g);
+  EXPECT_EQ(router.cached_sources(), 0u);
+  router.route(0, 3);
+  router.route(0, 1);
+  EXPECT_EQ(router.cached_sources(), 1u);
+  router.route(2, 0);
+  EXPECT_EQ(router.cached_sources(), 2u);
+  router.clear_cache();
+  EXPECT_EQ(router.cached_sources(), 0u);
+}
+
+TEST(Router, RejectsOutOfRange) {
+  const Graph g = line_graph();
+  Router router(g);
+  EXPECT_THROW(router.route(0, 99), std::out_of_range);
+  EXPECT_THROW(router.route(99, 0), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace scal::net

@@ -1,0 +1,85 @@
+#include "opt/search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace scal::opt {
+namespace {
+
+double sphere(const Point& p) {
+  double s = 0.0;
+  for (const double x : p) s += x * x;
+  return s;
+}
+
+Space box2() {
+  return Space({
+      {"x", VarKind::kContinuous, -2.0, 2.0, false},
+      {"y", VarKind::kContinuous, -2.0, 2.0, false},
+  });
+}
+
+TEST(RandomSearch, FindsReasonablePoint) {
+  util::RandomStream rng(42, "rs");
+  const auto result = random_search(box2(), sphere, 500, rng);
+  EXPECT_EQ(result.evaluations, 500u);
+  EXPECT_LT(result.best_value, 0.5);
+}
+
+TEST(RandomSearch, BudgetOfOne) {
+  util::RandomStream rng(1, "rs");
+  const auto result = random_search(box2(), sphere, 1, rng);
+  EXPECT_EQ(result.evaluations, 1u);
+}
+
+TEST(RandomSearch, RejectsZeroBudget) {
+  util::RandomStream rng(1, "rs");
+  EXPECT_THROW(random_search(box2(), sphere, 0, rng),
+               std::invalid_argument);
+}
+
+TEST(GridSearch, HitsExactGridOptimum) {
+  // 5 levels over [-2, 2] include 0 exactly.
+  const auto result = grid_search(box2(), sphere, 5);
+  EXPECT_EQ(result.evaluations, 25u);
+  EXPECT_DOUBLE_EQ(result.best_value, 0.0);
+  EXPECT_EQ(result.best_point, (Point{0.0, 0.0}));
+}
+
+TEST(GridSearch, EnumeratesNarrowIntegerRangesExactly) {
+  const Space s({
+      {"i", VarKind::kInteger, 1.0, 3.0, false},
+      {"j", VarKind::kInteger, 1.0, 2.0, false},
+  });
+  std::size_t calls = 0;
+  grid_search(s, [&](const Point&) { return static_cast<double>(++calls); },
+              10);
+  EXPECT_EQ(calls, 6u);  // 3 x 2 full enumeration
+}
+
+TEST(GridSearch, SingleLevelUsesCenter) {
+  const auto result = grid_search(box2(), sphere, 1);
+  EXPECT_EQ(result.evaluations, 1u);
+  EXPECT_DOUBLE_EQ(result.best_point[0], 0.0);
+}
+
+TEST(GridSearch, LogScaleLevelsAreGeometric) {
+  const Space s({{"x", VarKind::kContinuous, 1.0, 100.0, true}});
+  std::vector<double> seen;
+  grid_search(s,
+              [&](const Point& p) {
+                seen.push_back(p[0]);
+                return 0.0;
+              },
+              3);
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_NEAR(seen[1], 10.0, 1e-9);  // geometric midpoint of [1, 100]
+}
+
+TEST(GridSearch, RejectsZeroLevels) {
+  EXPECT_THROW(grid_search(box2(), sphere, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace scal::opt

@@ -1,0 +1,102 @@
+#include "opt/space.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace scal::opt {
+namespace {
+
+Space mixed_space() {
+  return Space({
+      {"interval", VarKind::kContinuous, 1.0, 100.0, true},
+      {"neighbors", VarKind::kInteger, 1.0, 8.0, false},
+      {"scale", VarKind::kContinuous, 0.25, 1.6, false},
+  });
+}
+
+TEST(Space, IndexOfFindsByName) {
+  const Space s = mixed_space();
+  EXPECT_EQ(s.index_of("interval"), 0u);
+  EXPECT_EQ(s.index_of("scale"), 2u);
+  EXPECT_THROW(s.index_of("nope"), std::out_of_range);
+}
+
+TEST(Space, ClampBoundsAndRoundsIntegers) {
+  const Space s = mixed_space();
+  const Point p = s.clamp({1000.0, 3.4, -5.0});
+  EXPECT_DOUBLE_EQ(p[0], 100.0);
+  EXPECT_DOUBLE_EQ(p[1], 3.0);
+  EXPECT_DOUBLE_EQ(p[2], 0.25);
+  EXPECT_TRUE(s.contains(p));
+}
+
+TEST(Space, ContainsRejectsOffGridIntegers) {
+  const Space s = mixed_space();
+  EXPECT_FALSE(s.contains({10.0, 2.5, 1.0}));
+  EXPECT_TRUE(s.contains({10.0, 2.0, 1.0}));
+  EXPECT_FALSE(s.contains({10.0, 2.0}));  // wrong dimension
+}
+
+TEST(Space, SampleAlwaysInBounds) {
+  const Space s = mixed_space();
+  util::RandomStream rng(42, "space");
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_TRUE(s.contains(s.sample(rng)));
+  }
+}
+
+TEST(Space, LogScaleSamplingCoversDecades) {
+  const Space s({{"x", VarKind::kContinuous, 1.0, 1000.0, true}});
+  util::RandomStream rng(1, "space");
+  int low = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (s.sample(rng)[0] < 10.0) ++low;
+  }
+  // Log-uniform: a third of the mass per decade.
+  EXPECT_NEAR(static_cast<double>(low) / n, 1.0 / 3.0, 0.03);
+}
+
+TEST(Space, NeighborStaysInBoundsAndMoves) {
+  const Space s = mixed_space();
+  util::RandomStream rng(7, "space");
+  Point p = s.center();
+  int moved = 0;
+  for (int i = 0; i < 500; ++i) {
+    const Point q = s.neighbor(p, 0.5, rng);
+    EXPECT_TRUE(s.contains(q));
+    if (q != p) ++moved;
+  }
+  EXPECT_GT(moved, 400);
+}
+
+TEST(Space, NeighborTemperatureShrinksSteps) {
+  const Space s({{"x", VarKind::kContinuous, 0.0, 1.0, false}});
+  util::RandomStream rng(8, "space");
+  double hot = 0.0, cold = 0.0;
+  const Point p{0.5};
+  for (int i = 0; i < 2000; ++i) {
+    hot += std::abs(s.neighbor(p, 1.0, rng)[0] - 0.5);
+    cold += std::abs(s.neighbor(p, 0.05, rng)[0] - 0.5);
+  }
+  EXPECT_GT(hot, 3.0 * cold);
+}
+
+TEST(Space, CenterIsMidpointOrGeometricMean) {
+  const Space s = mixed_space();
+  const Point c = s.center();
+  EXPECT_NEAR(c[0], std::sqrt(1.0 * 100.0), 1e-9);
+  EXPECT_DOUBLE_EQ(c[1], std::round(0.5 * (1.0 + 8.0)));
+  EXPECT_NEAR(c[2], 0.5 * (0.25 + 1.6), 1e-12);
+}
+
+TEST(Space, RejectsBadBounds) {
+  EXPECT_THROW(Space({{"x", VarKind::kContinuous, 2.0, 1.0, false}}),
+               std::invalid_argument);
+  EXPECT_THROW(Space({{"x", VarKind::kContinuous, 0.0, 1.0, true}}),
+               std::invalid_argument);  // log scale needs lo > 0
+}
+
+}  // namespace
+}  // namespace scal::opt

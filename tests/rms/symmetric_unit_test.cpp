@@ -1,0 +1,96 @@
+// Sy-I protocol corner cases: advertisement use, consumption, and the
+// S-I fallback.  The volunteering interval is pushed past the horizon
+// so the periodic PUSH side stays quiet and the hand-delivered messages
+// are the only advertisements in play.
+
+#include <gtest/gtest.h>
+
+#include "rms/factory.hpp"
+
+namespace scal::rms {
+namespace {
+
+struct SyGrid {
+  std::unique_ptr<grid::GridSystem> system;
+
+  SyGrid() {
+    grid::GridConfig config;
+    config.rms = grid::RmsKind::kSymmetric;
+    config.topology.nodes = 60;
+    config.cluster_size = 20;
+    config.horizon = 400.0;
+    config.workload.mean_interarrival = 1e9;
+    config.tuning.volunteer_interval = 1e9;  // periodic side silent
+    config.tuning.neighborhood_size = 2;
+    system = rms::make_grid(config);
+  }
+
+  grid::SchedulerBase& sched(grid::ClusterId c) {
+    return system->scheduler_for(c);
+  }
+
+  workload::Job remote(workload::JobId id) {
+    workload::Job j;
+    j.id = id;
+    j.exec_time = 900.0;
+    j.job_class = workload::JobClass::kRemote;
+    j.benefit_factor = 100.0;
+    j.arrival = system->simulator().now();
+    return j;
+  }
+
+  void deliver_advert(grid::ClusterId from, grid::ClusterId to,
+                      double stamp) {
+    grid::RmsMessage advert;
+    advert.kind = grid::MsgKind::kVolunteer;
+    advert.from = from;
+    advert.to = to;
+    advert.stamp = stamp;
+    sched(to).deliver_message(advert);
+  }
+};
+
+TEST(SymmetricUnit, FreshAdvertTriggersDemandHandshakeNotPoll) {
+  SyGrid grid;
+  auto& sim = grid.system->simulator();
+  sim.schedule_at(5.0, [&grid]() { grid.deliver_advert(1, 0, 5.0); });
+  sim.schedule_at(10.0, [&grid]() {
+    grid.sched(0).deliver_job(grid.remote(1));
+  });
+  grid.system->run();
+  // One demand request (counted as a poll), not an L_p-wide round.
+  EXPECT_EQ(grid.system->metrics().polls(), 1u);
+  // Both clusters are idle, so the turnaround comparison keeps the job
+  // local (transfer would only add delay) — no transfer is correct.
+  EXPECT_EQ(grid.system->metrics().transfers(), 0u);
+}
+
+TEST(SymmetricUnit, NoAdvertFallsBackToPollRound) {
+  SyGrid grid;
+  auto& sim = grid.system->simulator();
+  sim.schedule_at(10.0, [&grid]() {
+    grid.sched(0).deliver_job(grid.remote(1));
+  });
+  grid.system->run();
+  // Full S-I round: L_p = 2 polls.
+  EXPECT_EQ(grid.system->metrics().polls(), 2u);
+}
+
+TEST(SymmetricUnit, AdvertIsConsumedOnce) {
+  SyGrid grid;
+  auto& sim = grid.system->simulator();
+  sim.schedule_at(5.0, [&grid]() { grid.deliver_advert(1, 0, 5.0); });
+  // Two REMOTE jobs: the first consumes the advert (1 demand poll), the
+  // second must fall back to the S-I round (L_p = 2 polls).
+  sim.schedule_at(10.0, [&grid]() {
+    grid.sched(0).deliver_job(grid.remote(1));
+  });
+  sim.schedule_at(20.0, [&grid]() {
+    grid.sched(0).deliver_job(grid.remote(2));
+  });
+  grid.system->run();
+  EXPECT_EQ(grid.system->metrics().polls(), 3u);
+}
+
+}  // namespace
+}  // namespace scal::rms

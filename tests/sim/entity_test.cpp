@@ -1,0 +1,36 @@
+#include "sim/entity.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scal::sim {
+namespace {
+
+class ProbeEntity : public Entity {
+ public:
+  using Entity::Entity;
+  Time visible_now() const { return now(); }
+};
+
+TEST(Entity, CarriesIdentity) {
+  Simulator sim;
+  ProbeEntity e(sim, 42, "probe");
+  EXPECT_EQ(e.id(), 42u);
+  EXPECT_EQ(e.name(), "probe");
+}
+
+TEST(Entity, NowTracksSimulatorClock) {
+  Simulator sim;
+  ProbeEntity e(sim, 0, "probe");
+  EXPECT_DOUBLE_EQ(e.visible_now(), 0.0);
+  sim.schedule_in(7.5, [] {});
+  sim.run();
+  EXPECT_DOUBLE_EQ(e.visible_now(), 7.5);
+}
+
+TEST(Entity, NotCopyable) {
+  static_assert(!std::is_copy_constructible_v<Entity>);
+  static_assert(!std::is_copy_assignable_v<Entity>);
+}
+
+}  // namespace
+}  // namespace scal::sim

@@ -1,0 +1,102 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace scal::sim {
+namespace {
+
+TEST(EventQueue, EmptyInitially) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_THROW(q.pop(), std::logic_error);
+  EXPECT_THROW(q.next_time(), std::logic_error);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.push(3.0, [&] { fired.push_back(3); });
+  q.push(1.0, [&] { fired.push_back(1); });
+  q.push(2.0, [&] { fired.push_back(2); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    q.push(5.0, [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.empty()) q.pop().fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, NextTimeMatchesEarliest) {
+  EventQueue q;
+  q.push(7.0, [] {});
+  q.push(2.5, [] {});
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.5);
+}
+
+TEST(EventQueue, CancelPendingEvent) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.push(1.0, [&] { fired = true; });
+  q.push(2.0, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
+  while (!q.empty()) q.pop().fn();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelTwiceReturnsFalse) {
+  EventQueue q;
+  const EventId id = q.push(1.0, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelFiredEventReturnsFalse) {
+  EventQueue q;
+  const EventId id = q.push(1.0, [] {});
+  q.pop();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelAllThenEmpty) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 5; ++i) ids.push_back(q.push(i, [] {}));
+  for (const EventId id : ids) EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_THROW(q.pop(), std::logic_error);
+}
+
+TEST(EventQueue, InterleavedPushPopKeepsOrder) {
+  EventQueue q;
+  std::vector<double> popped;
+  q.push(10.0, [] {});
+  q.push(1.0, [] {});
+  popped.push_back(q.pop().at);
+  q.push(5.0, [] {});
+  q.push(0.5, [] {});  // earlier than already-popped is allowed here;
+                       // the Simulator is what enforces causality
+  popped.push_back(q.pop().at);
+  popped.push_back(q.pop().at);
+  popped.push_back(q.pop().at);
+  EXPECT_EQ(popped, (std::vector<double>{1.0, 0.5, 5.0, 10.0}));
+}
+
+TEST(EventQueue, TracksTotalPushed) {
+  EventQueue q;
+  for (int i = 0; i < 4; ++i) q.push(1.0, [] {});
+  EXPECT_EQ(q.total_pushed(), 4u);
+}
+
+}  // namespace
+}  // namespace scal::sim

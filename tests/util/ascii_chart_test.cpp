@@ -1,0 +1,56 @@
+#include "util/ascii_chart.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scal::util {
+namespace {
+
+TEST(AsciiChart, RendersTitleAxesAndLegend) {
+  AsciiChart chart("my chart", "k", "G");
+  chart.add_series({"CENTRAL", {1, 2, 3}, {10, 20, 30}});
+  const std::string s = chart.render();
+  EXPECT_NE(s.find("my chart"), std::string::npos);
+  EXPECT_NE(s.find("[k]"), std::string::npos);
+  EXPECT_NE(s.find("o=CENTRAL"), std::string::npos);
+  // Series glyph appears somewhere on the canvas.
+  EXPECT_NE(s.find('o'), std::string::npos);
+}
+
+TEST(AsciiChart, MultipleSeriesDistinctGlyphs) {
+  AsciiChart chart("t", "x", "y");
+  chart.add_series({"a", {1, 2}, {1, 2}});
+  chart.add_series({"b", {1, 2}, {2, 1}});
+  const std::string s = chart.render();
+  EXPECT_NE(s.find("o=a"), std::string::npos);
+  EXPECT_NE(s.find("x=b"), std::string::npos);
+}
+
+TEST(AsciiChart, EmptyChartSaysNoData) {
+  AsciiChart chart("t", "x", "y");
+  EXPECT_NE(chart.render().find("(no data)"), std::string::npos);
+}
+
+TEST(AsciiChart, SinglePointSeries) {
+  AsciiChart chart("t", "x", "y");
+  chart.add_series({"pt", {5}, {7}});
+  EXPECT_NE(chart.render().find('o'), std::string::npos);
+}
+
+TEST(AsciiChart, ConstantSeriesDoesNotDivideByZero) {
+  AsciiChart chart("t", "x", "y");
+  chart.add_series({"flat", {1, 2, 3}, {4, 4, 4}});
+  EXPECT_FALSE(chart.render().empty());
+}
+
+TEST(AsciiChart, RejectsMismatchedSeries) {
+  AsciiChart chart("t", "x", "y");
+  EXPECT_THROW(chart.add_series({"bad", {1, 2}, {1}}),
+               std::invalid_argument);
+}
+
+TEST(AsciiChart, RejectsTinyCanvas) {
+  EXPECT_THROW(AsciiChart("t", "x", "y", 4, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace scal::util

@@ -1,0 +1,65 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace scal::util {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  // Unique per test case: ctest runs cases as parallel processes.
+  std::string path_ =
+      ::testing::TempDir() + "/scal_csv_" +
+      ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+      ".csv";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(CsvTest, WritesHeaderAndRows) {
+  {
+    CsvWriter csv(path_, {"a", "b"});
+    csv.add_row(std::vector<std::string>{"1", "2"});
+    csv.add_row(std::vector<double>{3.5, 4.25});
+    EXPECT_EQ(csv.rows_written(), 2u);
+  }
+  EXPECT_EQ(slurp(path_), "a,b\n1,2\n3.5,4.25\n");
+}
+
+TEST_F(CsvTest, EscapesSpecialCharacters) {
+  {
+    CsvWriter csv(path_, {"text"});
+    csv.add_row(std::vector<std::string>{"has,comma"});
+    csv.add_row(std::vector<std::string>{"has\"quote"});
+  }
+  EXPECT_EQ(slurp(path_), "text\n\"has,comma\"\n\"has\"\"quote\"\n");
+}
+
+TEST_F(CsvTest, RejectsWidthMismatch) {
+  CsvWriter csv(path_, {"a", "b"});
+  EXPECT_THROW(csv.add_row(std::vector<std::string>{"1"}),
+               std::invalid_argument);
+}
+
+TEST(CsvEscape, PassthroughForPlainCells) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("with space"), "with space");
+}
+
+TEST(CsvWriter, RejectsEmptyHeader) {
+  EXPECT_THROW(CsvWriter(::testing::TempDir() + "/x.csv", {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace scal::util

@@ -1,0 +1,48 @@
+#include "util/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace scal::util {
+namespace {
+
+class EnvTest : public ::testing::Test {
+ protected:
+  void SetUp() override { unsetenv("SCAL_TEST_VAR"); }
+  void TearDown() override { unsetenv("SCAL_TEST_VAR"); }
+};
+
+TEST_F(EnvTest, FallbackWhenUnset) {
+  EXPECT_EQ(env_or("SCAL_TEST_VAR", "dflt"), "dflt");
+  EXPECT_EQ(env_int("SCAL_TEST_VAR", 7), 7);
+  EXPECT_FALSE(env_flag("SCAL_TEST_VAR"));
+}
+
+TEST_F(EnvTest, ReadsValue) {
+  setenv("SCAL_TEST_VAR", "hello", 1);
+  EXPECT_EQ(env_or("SCAL_TEST_VAR", "dflt"), "hello");
+}
+
+TEST_F(EnvTest, FlagSemantics) {
+  for (const char* falsy : {"0", "false", "off", ""}) {
+    setenv("SCAL_TEST_VAR", falsy, 1);
+    EXPECT_FALSE(env_flag("SCAL_TEST_VAR")) << falsy;
+  }
+  for (const char* truthy : {"1", "yes", "on", "true"}) {
+    setenv("SCAL_TEST_VAR", truthy, 1);
+    EXPECT_TRUE(env_flag("SCAL_TEST_VAR")) << truthy;
+  }
+}
+
+TEST_F(EnvTest, IntParsing) {
+  setenv("SCAL_TEST_VAR", "42", 1);
+  EXPECT_EQ(env_int("SCAL_TEST_VAR", 0), 42);
+  setenv("SCAL_TEST_VAR", "-5", 1);
+  EXPECT_EQ(env_int("SCAL_TEST_VAR", 0), -5);
+  setenv("SCAL_TEST_VAR", "not-a-number", 1);
+  EXPECT_EQ(env_int("SCAL_TEST_VAR", 9), 9);
+}
+
+}  // namespace
+}  // namespace scal::util

@@ -1,0 +1,55 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scal::util {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  LogLevel saved_ = log_level();
+  void TearDown() override { set_log_level(saved_); }
+};
+
+TEST_F(LogTest, LevelRoundTrip) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+TEST_F(LogTest, ParseKnownNames) {
+  EXPECT_EQ(parse_log_level("trace"), LogLevel::kTrace);
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("garbage"), LogLevel::kOff);
+}
+
+TEST_F(LogTest, FilteredMessageDoesNotEvaluateStream) {
+  set_log_level(LogLevel::kError);
+  int evaluations = 0;
+  auto side_effect = [&]() {
+    ++evaluations;
+    return "x";
+  };
+  SCAL_DEBUG("never built: " << side_effect());
+  EXPECT_EQ(evaluations, 0);
+  SCAL_ERROR("built: " << side_effect());
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LogTest, OffSilencesEverything) {
+  set_log_level(LogLevel::kOff);
+  int evaluations = 0;
+  auto side_effect = [&]() {
+    ++evaluations;
+    return "x";
+  };
+  SCAL_ERROR("never built: " << side_effect());
+  EXPECT_EQ(evaluations, 0);
+}
+
+}  // namespace
+}  // namespace scal::util

@@ -1,0 +1,199 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace scal::util {
+namespace {
+
+TEST(Splitmix64, KnownSequenceIsDeterministic) {
+  std::uint64_t s1 = 1234;
+  std::uint64_t s2 = 1234;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  }
+}
+
+TEST(Splitmix64, DifferentSeedsDiverge) {
+  std::uint64_t a = 1, b = 2;
+  EXPECT_NE(splitmix64(a), splitmix64(b));
+}
+
+TEST(Fnv1a, EmptyStringHashesToOffsetBasis) {
+  EXPECT_EQ(fnv1a(""), 0xCBF29CE484222325ULL);
+}
+
+TEST(Fnv1a, DistinctNamesDistinctHashes) {
+  EXPECT_NE(fnv1a("scheduler/1"), fnv1a("scheduler/2"));
+  EXPECT_NE(fnv1a("a"), fnv1a("b"));
+}
+
+TEST(Xoshiro256, SameSeedSameStream) {
+  Xoshiro256 a(99), b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, JumpProducesDisjointStream) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(7);
+  b.jump();
+  std::set<std::uint64_t> from_a;
+  for (int i = 0; i < 1000; ++i) from_a.insert(a());
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(from_a.count(b()));
+}
+
+TEST(RandomStream, NamedSubstreamsAreIndependent) {
+  RandomStream a(42, "workload");
+  RandomStream b(42, "topology");
+  // Practically guaranteed distinct first draws.
+  EXPECT_NE(a.bits(), b.bits());
+}
+
+TEST(RandomStream, SameNameSameSeedReproduces) {
+  RandomStream a(42, "workload");
+  RandomStream b(42, "workload");
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(RandomStream, UniformInUnitInterval) {
+  RandomStream rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RandomStream, UniformMeanIsHalf) {
+  RandomStream rng(2);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RandomStream, UniformIntCoversRangeInclusive) {
+  RandomStream rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(2, 5));
+  EXPECT_EQ(seen, (std::set<std::int64_t>{2, 3, 4, 5}));
+}
+
+TEST(RandomStream, UniformIntSingletonRange) {
+  RandomStream rng(4);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(7, 7), 7);
+}
+
+TEST(RandomStream, UniformIntNegativeRange) {
+  RandomStream rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-3, -1);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, -1);
+  }
+}
+
+TEST(RandomStream, ExponentialMeanMatches) {
+  RandomStream rng(6);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(10.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.15);
+}
+
+TEST(RandomStream, ExponentialIsNonNegative) {
+  RandomStream rng(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.exponential(1.0), 0.0);
+}
+
+TEST(RandomStream, NormalMomentsMatch) {
+  RandomStream rng(8);
+  const int n = 200000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(RandomStream, LognormalMedianIsExpMu) {
+  RandomStream rng(9);
+  std::vector<double> xs;
+  const int n = 50001;
+  xs.reserve(n);
+  for (int i = 0; i < n; ++i) xs.push_back(rng.lognormal(6.0, 0.9));
+  std::nth_element(xs.begin(), xs.begin() + n / 2, xs.end());
+  EXPECT_NEAR(xs[n / 2], std::exp(6.0), std::exp(6.0) * 0.05);
+}
+
+TEST(RandomStream, BoundedParetoStaysInBounds) {
+  RandomStream rng(10);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.bounded_pareto(1.3, 50.0, 20000.0);
+    EXPECT_GE(x, 50.0 * 0.999);
+    EXPECT_LE(x, 20000.0 * 1.001);
+  }
+}
+
+TEST(RandomStream, BernoulliFrequencyMatches) {
+  RandomStream rng(11);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RandomStream, SampleWithoutReplacementDistinct) {
+  RandomStream rng(12);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto sample = rng.sample_without_replacement(10, 4);
+    ASSERT_EQ(sample.size(), 4u);
+    std::set<std::size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 4u);
+    for (const auto v : sample) EXPECT_LT(v, 10u);
+  }
+}
+
+TEST(RandomStream, SampleWithoutReplacementFull) {
+  RandomStream rng(13);
+  const auto sample = rng.sample_without_replacement(5, 5);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(RandomStream, SampleWithoutReplacementUniformish) {
+  RandomStream rng(14);
+  std::vector<int> counts(6, 0);
+  const int trials = 60000;
+  for (int t = 0; t < trials; ++t) {
+    for (const auto v : rng.sample_without_replacement(6, 2)) {
+      ++counts[v];
+    }
+  }
+  // Each element appears with probability 2/6 per trial.
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / trials, 2.0 / 6.0, 0.02);
+  }
+}
+
+TEST(RandomStream, ShuffleIsPermutation) {
+  RandomStream rng(15);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+}  // namespace
+}  // namespace scal::util
