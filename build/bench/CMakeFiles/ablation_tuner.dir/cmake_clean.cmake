@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tuner.dir/ablation_tuner.cpp.o"
+  "CMakeFiles/ablation_tuner.dir/ablation_tuner.cpp.o.d"
+  "ablation_tuner"
+  "ablation_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

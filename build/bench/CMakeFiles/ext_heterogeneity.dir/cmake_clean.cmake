@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_heterogeneity.dir/ext_heterogeneity.cpp.o"
+  "CMakeFiles/ext_heterogeneity.dir/ext_heterogeneity.cpp.o.d"
+  "ext_heterogeneity"
+  "ext_heterogeneity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_heterogeneity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_hierarchical.dir/ext_hierarchical.cpp.o"
+  "CMakeFiles/ext_hierarchical.dir/ext_hierarchical.cpp.o.d"
+  "ext_hierarchical"
+  "ext_hierarchical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_hierarchical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_isoefficiency_function.dir/ext_isoefficiency_function.cpp.o"
+  "CMakeFiles/ext_isoefficiency_function.dir/ext_isoefficiency_function.cpp.o.d"
+  "ext_isoefficiency_function"
+  "ext_isoefficiency_function.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_isoefficiency_function.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_path_search.dir/ext_path_search.cpp.o"
+  "CMakeFiles/ext_path_search.dir/ext_path_search.cpp.o.d"
+  "ext_path_search"
+  "ext_path_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_path_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_scale_network.dir/fig2_scale_network.cpp.o"
+  "CMakeFiles/fig2_scale_network.dir/fig2_scale_network.cpp.o.d"
+  "fig2_scale_network"
+  "fig2_scale_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_scale_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

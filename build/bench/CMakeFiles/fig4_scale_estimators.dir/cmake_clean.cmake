@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_scale_estimators.dir/fig4_scale_estimators.cpp.o"
+  "CMakeFiles/fig4_scale_estimators.dir/fig4_scale_estimators.cpp.o.d"
+  "fig4_scale_estimators"
+  "fig4_scale_estimators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_scale_estimators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_scale_lp.dir/fig5_scale_lp.cpp.o"
+  "CMakeFiles/fig5_scale_lp.dir/fig5_scale_lp.cpp.o.d"
+  "fig5_scale_lp"
+  "fig5_scale_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_scale_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_rms.dir/compare_rms.cpp.o"
+  "CMakeFiles/compare_rms.dir/compare_rms.cpp.o.d"
+  "compare_rms"
+  "compare_rms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_rms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

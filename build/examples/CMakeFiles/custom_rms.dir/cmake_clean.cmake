@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_rms.dir/custom_rms.cpp.o"
+  "CMakeFiles/custom_rms.dir/custom_rms.cpp.o.d"
+  "custom_rms"
+  "custom_rms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_rms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

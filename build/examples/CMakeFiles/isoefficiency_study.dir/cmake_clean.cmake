@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isoefficiency_study.dir/isoefficiency_study.cpp.o"
+  "CMakeFiles/isoefficiency_study.dir/isoefficiency_study.cpp.o.d"
+  "isoefficiency_study"
+  "isoefficiency_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isoefficiency_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

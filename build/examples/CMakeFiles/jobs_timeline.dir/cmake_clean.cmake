@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jobs_timeline.dir/jobs_timeline.cpp.o"
+  "CMakeFiles/jobs_timeline.dir/jobs_timeline.cpp.o.d"
+  "jobs_timeline"
+  "jobs_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jobs_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/utilization_timeline.dir/utilization_timeline.cpp.o"
+  "CMakeFiles/utilization_timeline.dir/utilization_timeline.cpp.o.d"
+  "utilization_timeline"
+  "utilization_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/utilization_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

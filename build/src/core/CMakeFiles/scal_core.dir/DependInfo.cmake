@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/efficiency.cpp" "src/core/CMakeFiles/scal_core.dir/efficiency.cpp.o" "gcc" "src/core/CMakeFiles/scal_core.dir/efficiency.cpp.o.d"
+  "/root/repo/src/core/experiment_config.cpp" "src/core/CMakeFiles/scal_core.dir/experiment_config.cpp.o" "gcc" "src/core/CMakeFiles/scal_core.dir/experiment_config.cpp.o.d"
+  "/root/repo/src/core/isoefficiency.cpp" "src/core/CMakeFiles/scal_core.dir/isoefficiency.cpp.o" "gcc" "src/core/CMakeFiles/scal_core.dir/isoefficiency.cpp.o.d"
+  "/root/repo/src/core/isoefficiency_function.cpp" "src/core/CMakeFiles/scal_core.dir/isoefficiency_function.cpp.o" "gcc" "src/core/CMakeFiles/scal_core.dir/isoefficiency_function.cpp.o.d"
+  "/root/repo/src/core/path_search.cpp" "src/core/CMakeFiles/scal_core.dir/path_search.cpp.o" "gcc" "src/core/CMakeFiles/scal_core.dir/path_search.cpp.o.d"
+  "/root/repo/src/core/procedure.cpp" "src/core/CMakeFiles/scal_core.dir/procedure.cpp.o" "gcc" "src/core/CMakeFiles/scal_core.dir/procedure.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/scal_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/scal_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/scaling.cpp" "src/core/CMakeFiles/scal_core.dir/scaling.cpp.o" "gcc" "src/core/CMakeFiles/scal_core.dir/scaling.cpp.o.d"
+  "/root/repo/src/core/sensitivity.cpp" "src/core/CMakeFiles/scal_core.dir/sensitivity.cpp.o" "gcc" "src/core/CMakeFiles/scal_core.dir/sensitivity.cpp.o.d"
+  "/root/repo/src/core/tuner.cpp" "src/core/CMakeFiles/scal_core.dir/tuner.cpp.o" "gcc" "src/core/CMakeFiles/scal_core.dir/tuner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/grid/CMakeFiles/scal_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/rms/CMakeFiles/scal_rms.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/scal_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/scal_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/scal_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/scal_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/scal_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

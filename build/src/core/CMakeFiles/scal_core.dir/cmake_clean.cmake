@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scal_core.dir/efficiency.cpp.o"
+  "CMakeFiles/scal_core.dir/efficiency.cpp.o.d"
+  "CMakeFiles/scal_core.dir/experiment_config.cpp.o"
+  "CMakeFiles/scal_core.dir/experiment_config.cpp.o.d"
+  "CMakeFiles/scal_core.dir/isoefficiency.cpp.o"
+  "CMakeFiles/scal_core.dir/isoefficiency.cpp.o.d"
+  "CMakeFiles/scal_core.dir/isoefficiency_function.cpp.o"
+  "CMakeFiles/scal_core.dir/isoefficiency_function.cpp.o.d"
+  "CMakeFiles/scal_core.dir/path_search.cpp.o"
+  "CMakeFiles/scal_core.dir/path_search.cpp.o.d"
+  "CMakeFiles/scal_core.dir/procedure.cpp.o"
+  "CMakeFiles/scal_core.dir/procedure.cpp.o.d"
+  "CMakeFiles/scal_core.dir/report.cpp.o"
+  "CMakeFiles/scal_core.dir/report.cpp.o.d"
+  "CMakeFiles/scal_core.dir/scaling.cpp.o"
+  "CMakeFiles/scal_core.dir/scaling.cpp.o.d"
+  "CMakeFiles/scal_core.dir/sensitivity.cpp.o"
+  "CMakeFiles/scal_core.dir/sensitivity.cpp.o.d"
+  "CMakeFiles/scal_core.dir/tuner.cpp.o"
+  "CMakeFiles/scal_core.dir/tuner.cpp.o.d"
+  "libscal_core.a"
+  "libscal_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scal_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

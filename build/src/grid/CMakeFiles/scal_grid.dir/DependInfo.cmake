@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grid/cluster.cpp" "src/grid/CMakeFiles/scal_grid.dir/cluster.cpp.o" "gcc" "src/grid/CMakeFiles/scal_grid.dir/cluster.cpp.o.d"
+  "/root/repo/src/grid/config.cpp" "src/grid/CMakeFiles/scal_grid.dir/config.cpp.o" "gcc" "src/grid/CMakeFiles/scal_grid.dir/config.cpp.o.d"
+  "/root/repo/src/grid/estimator.cpp" "src/grid/CMakeFiles/scal_grid.dir/estimator.cpp.o" "gcc" "src/grid/CMakeFiles/scal_grid.dir/estimator.cpp.o.d"
+  "/root/repo/src/grid/joblog.cpp" "src/grid/CMakeFiles/scal_grid.dir/joblog.cpp.o" "gcc" "src/grid/CMakeFiles/scal_grid.dir/joblog.cpp.o.d"
+  "/root/repo/src/grid/metrics.cpp" "src/grid/CMakeFiles/scal_grid.dir/metrics.cpp.o" "gcc" "src/grid/CMakeFiles/scal_grid.dir/metrics.cpp.o.d"
+  "/root/repo/src/grid/middleware.cpp" "src/grid/CMakeFiles/scal_grid.dir/middleware.cpp.o" "gcc" "src/grid/CMakeFiles/scal_grid.dir/middleware.cpp.o.d"
+  "/root/repo/src/grid/resource.cpp" "src/grid/CMakeFiles/scal_grid.dir/resource.cpp.o" "gcc" "src/grid/CMakeFiles/scal_grid.dir/resource.cpp.o.d"
+  "/root/repo/src/grid/sampler.cpp" "src/grid/CMakeFiles/scal_grid.dir/sampler.cpp.o" "gcc" "src/grid/CMakeFiles/scal_grid.dir/sampler.cpp.o.d"
+  "/root/repo/src/grid/scheduler.cpp" "src/grid/CMakeFiles/scal_grid.dir/scheduler.cpp.o" "gcc" "src/grid/CMakeFiles/scal_grid.dir/scheduler.cpp.o.d"
+  "/root/repo/src/grid/system.cpp" "src/grid/CMakeFiles/scal_grid.dir/system.cpp.o" "gcc" "src/grid/CMakeFiles/scal_grid.dir/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/scal_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/scal_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/scal_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/scal_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scal_grid.dir/cluster.cpp.o"
+  "CMakeFiles/scal_grid.dir/cluster.cpp.o.d"
+  "CMakeFiles/scal_grid.dir/config.cpp.o"
+  "CMakeFiles/scal_grid.dir/config.cpp.o.d"
+  "CMakeFiles/scal_grid.dir/estimator.cpp.o"
+  "CMakeFiles/scal_grid.dir/estimator.cpp.o.d"
+  "CMakeFiles/scal_grid.dir/joblog.cpp.o"
+  "CMakeFiles/scal_grid.dir/joblog.cpp.o.d"
+  "CMakeFiles/scal_grid.dir/metrics.cpp.o"
+  "CMakeFiles/scal_grid.dir/metrics.cpp.o.d"
+  "CMakeFiles/scal_grid.dir/middleware.cpp.o"
+  "CMakeFiles/scal_grid.dir/middleware.cpp.o.d"
+  "CMakeFiles/scal_grid.dir/resource.cpp.o"
+  "CMakeFiles/scal_grid.dir/resource.cpp.o.d"
+  "CMakeFiles/scal_grid.dir/sampler.cpp.o"
+  "CMakeFiles/scal_grid.dir/sampler.cpp.o.d"
+  "CMakeFiles/scal_grid.dir/scheduler.cpp.o"
+  "CMakeFiles/scal_grid.dir/scheduler.cpp.o.d"
+  "CMakeFiles/scal_grid.dir/system.cpp.o"
+  "CMakeFiles/scal_grid.dir/system.cpp.o.d"
+  "libscal_grid.a"
+  "libscal_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scal_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

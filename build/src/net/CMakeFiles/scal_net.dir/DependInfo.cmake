@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/graph.cpp" "src/net/CMakeFiles/scal_net.dir/graph.cpp.o" "gcc" "src/net/CMakeFiles/scal_net.dir/graph.cpp.o.d"
+  "/root/repo/src/net/metrics.cpp" "src/net/CMakeFiles/scal_net.dir/metrics.cpp.o" "gcc" "src/net/CMakeFiles/scal_net.dir/metrics.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/net/CMakeFiles/scal_net.dir/network.cpp.o" "gcc" "src/net/CMakeFiles/scal_net.dir/network.cpp.o.d"
+  "/root/repo/src/net/routing.cpp" "src/net/CMakeFiles/scal_net.dir/routing.cpp.o" "gcc" "src/net/CMakeFiles/scal_net.dir/routing.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/net/CMakeFiles/scal_net.dir/topology.cpp.o" "gcc" "src/net/CMakeFiles/scal_net.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/scal_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/scal_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scal_net.dir/graph.cpp.o"
+  "CMakeFiles/scal_net.dir/graph.cpp.o.d"
+  "CMakeFiles/scal_net.dir/metrics.cpp.o"
+  "CMakeFiles/scal_net.dir/metrics.cpp.o.d"
+  "CMakeFiles/scal_net.dir/network.cpp.o"
+  "CMakeFiles/scal_net.dir/network.cpp.o.d"
+  "CMakeFiles/scal_net.dir/routing.cpp.o"
+  "CMakeFiles/scal_net.dir/routing.cpp.o.d"
+  "CMakeFiles/scal_net.dir/topology.cpp.o"
+  "CMakeFiles/scal_net.dir/topology.cpp.o.d"
+  "libscal_net.a"
+  "libscal_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scal_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

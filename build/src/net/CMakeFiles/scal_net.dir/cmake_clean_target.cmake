@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libscal_net.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scal_opt.dir/annealing.cpp.o"
+  "CMakeFiles/scal_opt.dir/annealing.cpp.o.d"
+  "CMakeFiles/scal_opt.dir/search.cpp.o"
+  "CMakeFiles/scal_opt.dir/search.cpp.o.d"
+  "CMakeFiles/scal_opt.dir/space.cpp.o"
+  "CMakeFiles/scal_opt.dir/space.cpp.o.d"
+  "libscal_opt.a"
+  "libscal_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scal_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

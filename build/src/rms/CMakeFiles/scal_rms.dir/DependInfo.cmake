@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rms/auction.cpp" "src/rms/CMakeFiles/scal_rms.dir/auction.cpp.o" "gcc" "src/rms/CMakeFiles/scal_rms.dir/auction.cpp.o.d"
+  "/root/repo/src/rms/base.cpp" "src/rms/CMakeFiles/scal_rms.dir/base.cpp.o" "gcc" "src/rms/CMakeFiles/scal_rms.dir/base.cpp.o.d"
+  "/root/repo/src/rms/central.cpp" "src/rms/CMakeFiles/scal_rms.dir/central.cpp.o" "gcc" "src/rms/CMakeFiles/scal_rms.dir/central.cpp.o.d"
+  "/root/repo/src/rms/factory.cpp" "src/rms/CMakeFiles/scal_rms.dir/factory.cpp.o" "gcc" "src/rms/CMakeFiles/scal_rms.dir/factory.cpp.o.d"
+  "/root/repo/src/rms/hierarchical.cpp" "src/rms/CMakeFiles/scal_rms.dir/hierarchical.cpp.o" "gcc" "src/rms/CMakeFiles/scal_rms.dir/hierarchical.cpp.o.d"
+  "/root/repo/src/rms/lowest.cpp" "src/rms/CMakeFiles/scal_rms.dir/lowest.cpp.o" "gcc" "src/rms/CMakeFiles/scal_rms.dir/lowest.cpp.o.d"
+  "/root/repo/src/rms/random_policy.cpp" "src/rms/CMakeFiles/scal_rms.dir/random_policy.cpp.o" "gcc" "src/rms/CMakeFiles/scal_rms.dir/random_policy.cpp.o.d"
+  "/root/repo/src/rms/receiver_initiated.cpp" "src/rms/CMakeFiles/scal_rms.dir/receiver_initiated.cpp.o" "gcc" "src/rms/CMakeFiles/scal_rms.dir/receiver_initiated.cpp.o.d"
+  "/root/repo/src/rms/reserve.cpp" "src/rms/CMakeFiles/scal_rms.dir/reserve.cpp.o" "gcc" "src/rms/CMakeFiles/scal_rms.dir/reserve.cpp.o.d"
+  "/root/repo/src/rms/sender_initiated.cpp" "src/rms/CMakeFiles/scal_rms.dir/sender_initiated.cpp.o" "gcc" "src/rms/CMakeFiles/scal_rms.dir/sender_initiated.cpp.o.d"
+  "/root/repo/src/rms/symmetric.cpp" "src/rms/CMakeFiles/scal_rms.dir/symmetric.cpp.o" "gcc" "src/rms/CMakeFiles/scal_rms.dir/symmetric.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/grid/CMakeFiles/scal_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/scal_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/scal_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/scal_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/scal_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

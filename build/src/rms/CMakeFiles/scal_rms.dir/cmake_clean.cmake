@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scal_rms.dir/auction.cpp.o"
+  "CMakeFiles/scal_rms.dir/auction.cpp.o.d"
+  "CMakeFiles/scal_rms.dir/base.cpp.o"
+  "CMakeFiles/scal_rms.dir/base.cpp.o.d"
+  "CMakeFiles/scal_rms.dir/central.cpp.o"
+  "CMakeFiles/scal_rms.dir/central.cpp.o.d"
+  "CMakeFiles/scal_rms.dir/factory.cpp.o"
+  "CMakeFiles/scal_rms.dir/factory.cpp.o.d"
+  "CMakeFiles/scal_rms.dir/hierarchical.cpp.o"
+  "CMakeFiles/scal_rms.dir/hierarchical.cpp.o.d"
+  "CMakeFiles/scal_rms.dir/lowest.cpp.o"
+  "CMakeFiles/scal_rms.dir/lowest.cpp.o.d"
+  "CMakeFiles/scal_rms.dir/random_policy.cpp.o"
+  "CMakeFiles/scal_rms.dir/random_policy.cpp.o.d"
+  "CMakeFiles/scal_rms.dir/receiver_initiated.cpp.o"
+  "CMakeFiles/scal_rms.dir/receiver_initiated.cpp.o.d"
+  "CMakeFiles/scal_rms.dir/reserve.cpp.o"
+  "CMakeFiles/scal_rms.dir/reserve.cpp.o.d"
+  "CMakeFiles/scal_rms.dir/sender_initiated.cpp.o"
+  "CMakeFiles/scal_rms.dir/sender_initiated.cpp.o.d"
+  "CMakeFiles/scal_rms.dir/symmetric.cpp.o"
+  "CMakeFiles/scal_rms.dir/symmetric.cpp.o.d"
+  "libscal_rms.a"
+  "libscal_rms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scal_rms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

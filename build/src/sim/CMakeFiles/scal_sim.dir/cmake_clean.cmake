@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scal_sim.dir/entity.cpp.o"
+  "CMakeFiles/scal_sim.dir/entity.cpp.o.d"
+  "CMakeFiles/scal_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/scal_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/scal_sim.dir/server.cpp.o"
+  "CMakeFiles/scal_sim.dir/server.cpp.o.d"
+  "CMakeFiles/scal_sim.dir/simulator.cpp.o"
+  "CMakeFiles/scal_sim.dir/simulator.cpp.o.d"
+  "libscal_sim.a"
+  "libscal_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scal_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

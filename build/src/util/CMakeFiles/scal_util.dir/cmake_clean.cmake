@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scal_util.dir/ascii_chart.cpp.o"
+  "CMakeFiles/scal_util.dir/ascii_chart.cpp.o.d"
+  "CMakeFiles/scal_util.dir/csv.cpp.o"
+  "CMakeFiles/scal_util.dir/csv.cpp.o.d"
+  "CMakeFiles/scal_util.dir/env.cpp.o"
+  "CMakeFiles/scal_util.dir/env.cpp.o.d"
+  "CMakeFiles/scal_util.dir/ini.cpp.o"
+  "CMakeFiles/scal_util.dir/ini.cpp.o.d"
+  "CMakeFiles/scal_util.dir/log.cpp.o"
+  "CMakeFiles/scal_util.dir/log.cpp.o.d"
+  "CMakeFiles/scal_util.dir/rng.cpp.o"
+  "CMakeFiles/scal_util.dir/rng.cpp.o.d"
+  "CMakeFiles/scal_util.dir/stats.cpp.o"
+  "CMakeFiles/scal_util.dir/stats.cpp.o.d"
+  "CMakeFiles/scal_util.dir/table.cpp.o"
+  "CMakeFiles/scal_util.dir/table.cpp.o.d"
+  "libscal_util.a"
+  "libscal_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scal_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

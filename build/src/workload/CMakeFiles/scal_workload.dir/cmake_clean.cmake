@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scal_workload.dir/generator.cpp.o"
+  "CMakeFiles/scal_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/scal_workload.dir/job.cpp.o"
+  "CMakeFiles/scal_workload.dir/job.cpp.o.d"
+  "CMakeFiles/scal_workload.dir/trace.cpp.o"
+  "CMakeFiles/scal_workload.dir/trace.cpp.o.d"
+  "libscal_workload.a"
+  "libscal_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scal_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/efficiency_test.cpp" "tests/CMakeFiles/core_test.dir/core/efficiency_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/efficiency_test.cpp.o.d"
+  "/root/repo/tests/core/experiment_config_test.cpp" "tests/CMakeFiles/core_test.dir/core/experiment_config_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/experiment_config_test.cpp.o.d"
+  "/root/repo/tests/core/isoefficiency_function_test.cpp" "tests/CMakeFiles/core_test.dir/core/isoefficiency_function_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/isoefficiency_function_test.cpp.o.d"
+  "/root/repo/tests/core/isoefficiency_test.cpp" "tests/CMakeFiles/core_test.dir/core/isoefficiency_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/isoefficiency_test.cpp.o.d"
+  "/root/repo/tests/core/path_search_test.cpp" "tests/CMakeFiles/core_test.dir/core/path_search_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/path_search_test.cpp.o.d"
+  "/root/repo/tests/core/procedure_test.cpp" "tests/CMakeFiles/core_test.dir/core/procedure_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/procedure_test.cpp.o.d"
+  "/root/repo/tests/core/report_test.cpp" "tests/CMakeFiles/core_test.dir/core/report_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/report_test.cpp.o.d"
+  "/root/repo/tests/core/scaling_test.cpp" "tests/CMakeFiles/core_test.dir/core/scaling_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/scaling_test.cpp.o.d"
+  "/root/repo/tests/core/sensitivity_test.cpp" "tests/CMakeFiles/core_test.dir/core/sensitivity_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/sensitivity_test.cpp.o.d"
+  "/root/repo/tests/core/tuner_test.cpp" "tests/CMakeFiles/core_test.dir/core/tuner_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/tuner_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/scal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rms/CMakeFiles/scal_rms.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/scal_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/scal_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/scal_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/scal_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/scal_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/scal_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

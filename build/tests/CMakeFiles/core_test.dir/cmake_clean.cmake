@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/efficiency_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/efficiency_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/experiment_config_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/experiment_config_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/isoefficiency_function_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/isoefficiency_function_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/isoefficiency_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/isoefficiency_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/path_search_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/path_search_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/procedure_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/procedure_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/report_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/report_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/scaling_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/scaling_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/sensitivity_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/sensitivity_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/tuner_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/tuner_test.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

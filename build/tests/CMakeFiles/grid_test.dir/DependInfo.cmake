@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/grid/cluster_test.cpp" "tests/CMakeFiles/grid_test.dir/grid/cluster_test.cpp.o" "gcc" "tests/CMakeFiles/grid_test.dir/grid/cluster_test.cpp.o.d"
+  "/root/repo/tests/grid/config_test.cpp" "tests/CMakeFiles/grid_test.dir/grid/config_test.cpp.o" "gcc" "tests/CMakeFiles/grid_test.dir/grid/config_test.cpp.o.d"
+  "/root/repo/tests/grid/estimator_test.cpp" "tests/CMakeFiles/grid_test.dir/grid/estimator_test.cpp.o" "gcc" "tests/CMakeFiles/grid_test.dir/grid/estimator_test.cpp.o.d"
+  "/root/repo/tests/grid/joblog_test.cpp" "tests/CMakeFiles/grid_test.dir/grid/joblog_test.cpp.o" "gcc" "tests/CMakeFiles/grid_test.dir/grid/joblog_test.cpp.o.d"
+  "/root/repo/tests/grid/metrics_test.cpp" "tests/CMakeFiles/grid_test.dir/grid/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/grid_test.dir/grid/metrics_test.cpp.o.d"
+  "/root/repo/tests/grid/middleware_test.cpp" "tests/CMakeFiles/grid_test.dir/grid/middleware_test.cpp.o" "gcc" "tests/CMakeFiles/grid_test.dir/grid/middleware_test.cpp.o.d"
+  "/root/repo/tests/grid/queueing_theory_test.cpp" "tests/CMakeFiles/grid_test.dir/grid/queueing_theory_test.cpp.o" "gcc" "tests/CMakeFiles/grid_test.dir/grid/queueing_theory_test.cpp.o.d"
+  "/root/repo/tests/grid/resource_test.cpp" "tests/CMakeFiles/grid_test.dir/grid/resource_test.cpp.o" "gcc" "tests/CMakeFiles/grid_test.dir/grid/resource_test.cpp.o.d"
+  "/root/repo/tests/grid/sampler_test.cpp" "tests/CMakeFiles/grid_test.dir/grid/sampler_test.cpp.o" "gcc" "tests/CMakeFiles/grid_test.dir/grid/sampler_test.cpp.o.d"
+  "/root/repo/tests/grid/scheduler_base_test.cpp" "tests/CMakeFiles/grid_test.dir/grid/scheduler_base_test.cpp.o" "gcc" "tests/CMakeFiles/grid_test.dir/grid/scheduler_base_test.cpp.o.d"
+  "/root/repo/tests/grid/system_test.cpp" "tests/CMakeFiles/grid_test.dir/grid/system_test.cpp.o" "gcc" "tests/CMakeFiles/grid_test.dir/grid/system_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/scal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rms/CMakeFiles/scal_rms.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/scal_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/scal_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/scal_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/scal_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/scal_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/scal_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_test.dir/grid/cluster_test.cpp.o"
+  "CMakeFiles/grid_test.dir/grid/cluster_test.cpp.o.d"
+  "CMakeFiles/grid_test.dir/grid/config_test.cpp.o"
+  "CMakeFiles/grid_test.dir/grid/config_test.cpp.o.d"
+  "CMakeFiles/grid_test.dir/grid/estimator_test.cpp.o"
+  "CMakeFiles/grid_test.dir/grid/estimator_test.cpp.o.d"
+  "CMakeFiles/grid_test.dir/grid/joblog_test.cpp.o"
+  "CMakeFiles/grid_test.dir/grid/joblog_test.cpp.o.d"
+  "CMakeFiles/grid_test.dir/grid/metrics_test.cpp.o"
+  "CMakeFiles/grid_test.dir/grid/metrics_test.cpp.o.d"
+  "CMakeFiles/grid_test.dir/grid/middleware_test.cpp.o"
+  "CMakeFiles/grid_test.dir/grid/middleware_test.cpp.o.d"
+  "CMakeFiles/grid_test.dir/grid/queueing_theory_test.cpp.o"
+  "CMakeFiles/grid_test.dir/grid/queueing_theory_test.cpp.o.d"
+  "CMakeFiles/grid_test.dir/grid/resource_test.cpp.o"
+  "CMakeFiles/grid_test.dir/grid/resource_test.cpp.o.d"
+  "CMakeFiles/grid_test.dir/grid/sampler_test.cpp.o"
+  "CMakeFiles/grid_test.dir/grid/sampler_test.cpp.o.d"
+  "CMakeFiles/grid_test.dir/grid/scheduler_base_test.cpp.o"
+  "CMakeFiles/grid_test.dir/grid/scheduler_base_test.cpp.o.d"
+  "CMakeFiles/grid_test.dir/grid/system_test.cpp.o"
+  "CMakeFiles/grid_test.dir/grid/system_test.cpp.o.d"
+  "grid_test"
+  "grid_test.pdb"
+  "grid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

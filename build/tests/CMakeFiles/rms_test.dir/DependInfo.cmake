@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rms/auction_unit_test.cpp" "tests/CMakeFiles/rms_test.dir/rms/auction_unit_test.cpp.o" "gcc" "tests/CMakeFiles/rms_test.dir/rms/auction_unit_test.cpp.o.d"
+  "/root/repo/tests/rms/base_behavior_test.cpp" "tests/CMakeFiles/rms_test.dir/rms/base_behavior_test.cpp.o" "gcc" "tests/CMakeFiles/rms_test.dir/rms/base_behavior_test.cpp.o.d"
+  "/root/repo/tests/rms/factory_test.cpp" "tests/CMakeFiles/rms_test.dir/rms/factory_test.cpp.o" "gcc" "tests/CMakeFiles/rms_test.dir/rms/factory_test.cpp.o.d"
+  "/root/repo/tests/rms/hierarchical_test.cpp" "tests/CMakeFiles/rms_test.dir/rms/hierarchical_test.cpp.o" "gcc" "tests/CMakeFiles/rms_test.dir/rms/hierarchical_test.cpp.o.d"
+  "/root/repo/tests/rms/policies_test.cpp" "tests/CMakeFiles/rms_test.dir/rms/policies_test.cpp.o" "gcc" "tests/CMakeFiles/rms_test.dir/rms/policies_test.cpp.o.d"
+  "/root/repo/tests/rms/protocol_test.cpp" "tests/CMakeFiles/rms_test.dir/rms/protocol_test.cpp.o" "gcc" "tests/CMakeFiles/rms_test.dir/rms/protocol_test.cpp.o.d"
+  "/root/repo/tests/rms/random_test.cpp" "tests/CMakeFiles/rms_test.dir/rms/random_test.cpp.o" "gcc" "tests/CMakeFiles/rms_test.dir/rms/random_test.cpp.o.d"
+  "/root/repo/tests/rms/reserve_unit_test.cpp" "tests/CMakeFiles/rms_test.dir/rms/reserve_unit_test.cpp.o" "gcc" "tests/CMakeFiles/rms_test.dir/rms/reserve_unit_test.cpp.o.d"
+  "/root/repo/tests/rms/symmetric_unit_test.cpp" "tests/CMakeFiles/rms_test.dir/rms/symmetric_unit_test.cpp.o" "gcc" "tests/CMakeFiles/rms_test.dir/rms/symmetric_unit_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/scal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rms/CMakeFiles/scal_rms.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/scal_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/scal_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/scal_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/scal_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/scal_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/scal_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

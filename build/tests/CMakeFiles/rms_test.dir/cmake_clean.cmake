@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rms_test.dir/rms/auction_unit_test.cpp.o"
+  "CMakeFiles/rms_test.dir/rms/auction_unit_test.cpp.o.d"
+  "CMakeFiles/rms_test.dir/rms/base_behavior_test.cpp.o"
+  "CMakeFiles/rms_test.dir/rms/base_behavior_test.cpp.o.d"
+  "CMakeFiles/rms_test.dir/rms/factory_test.cpp.o"
+  "CMakeFiles/rms_test.dir/rms/factory_test.cpp.o.d"
+  "CMakeFiles/rms_test.dir/rms/hierarchical_test.cpp.o"
+  "CMakeFiles/rms_test.dir/rms/hierarchical_test.cpp.o.d"
+  "CMakeFiles/rms_test.dir/rms/policies_test.cpp.o"
+  "CMakeFiles/rms_test.dir/rms/policies_test.cpp.o.d"
+  "CMakeFiles/rms_test.dir/rms/protocol_test.cpp.o"
+  "CMakeFiles/rms_test.dir/rms/protocol_test.cpp.o.d"
+  "CMakeFiles/rms_test.dir/rms/random_test.cpp.o"
+  "CMakeFiles/rms_test.dir/rms/random_test.cpp.o.d"
+  "CMakeFiles/rms_test.dir/rms/reserve_unit_test.cpp.o"
+  "CMakeFiles/rms_test.dir/rms/reserve_unit_test.cpp.o.d"
+  "CMakeFiles/rms_test.dir/rms/symmetric_unit_test.cpp.o"
+  "CMakeFiles/rms_test.dir/rms/symmetric_unit_test.cpp.o.d"
+  "rms_test"
+  "rms_test.pdb"
+  "rms_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

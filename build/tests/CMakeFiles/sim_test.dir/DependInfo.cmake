@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/entity_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/entity_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/entity_test.cpp.o.d"
+  "/root/repo/tests/sim/event_queue_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/event_queue_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/event_queue_test.cpp.o.d"
+  "/root/repo/tests/sim/server_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/server_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/server_test.cpp.o.d"
+  "/root/repo/tests/sim/simulator_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/simulator_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/simulator_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/scal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rms/CMakeFiles/scal_rms.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/scal_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/scal_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/scal_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/scal_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/scal_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/scal_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

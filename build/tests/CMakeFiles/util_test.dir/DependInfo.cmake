@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/ascii_chart_test.cpp" "tests/CMakeFiles/util_test.dir/util/ascii_chart_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/ascii_chart_test.cpp.o.d"
+  "/root/repo/tests/util/csv_test.cpp" "tests/CMakeFiles/util_test.dir/util/csv_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/csv_test.cpp.o.d"
+  "/root/repo/tests/util/env_test.cpp" "tests/CMakeFiles/util_test.dir/util/env_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/env_test.cpp.o.d"
+  "/root/repo/tests/util/ini_test.cpp" "tests/CMakeFiles/util_test.dir/util/ini_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/ini_test.cpp.o.d"
+  "/root/repo/tests/util/log_test.cpp" "tests/CMakeFiles/util_test.dir/util/log_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/log_test.cpp.o.d"
+  "/root/repo/tests/util/rng_test.cpp" "tests/CMakeFiles/util_test.dir/util/rng_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/rng_test.cpp.o.d"
+  "/root/repo/tests/util/stats_test.cpp" "tests/CMakeFiles/util_test.dir/util/stats_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/stats_test.cpp.o.d"
+  "/root/repo/tests/util/table_test.cpp" "tests/CMakeFiles/util_test.dir/util/table_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/table_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/scal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rms/CMakeFiles/scal_rms.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/scal_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/scal_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/scal_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/scal_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/scal_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/scal_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
