@@ -11,9 +11,12 @@
 #include "rms/factory.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace scal;
   using util::Table;
+
+  obs::Telemetry telemetry(
+      bench::parse_telemetry_cli(argc, argv, "ablation_tuner"));
 
   grid::GridConfig base = bench::case2_base();
   base.rms = grid::RmsKind::kLowest;
@@ -23,6 +26,9 @@ int main() {
   tuner.evaluations = bench::fast_mode() ? 8 : 27;
   tuner.e0 = bench::calibrate_e0(base, scase, 1.0);
   tuner.band = 0.03;
+  if (telemetry.config().anneal_enabled()) {
+    tuner.anneal_log = &telemetry.anneal();
+  }
 
   std::cout << "Ablation: enabler search strategies (LOWEST, Case 2 base, "
             << "budget " << tuner.evaluations << " evaluations, E0="
@@ -39,6 +45,7 @@ int main() {
   Table table({"search", "best objective", "evaluations"});
 
   {  // Simulated annealing (the paper's choice), via the real tuner.
+    tuner.anneal_label = "sa";
     const auto outcome = core::tune_enablers(base, scase, tuner, runner);
     table.add_row({"simulated annealing",
                    Table::fixed(outcome.objective, 2),
@@ -46,6 +53,7 @@ int main() {
   }
   {  // SA as the sweeps actually run it: anchored on the default tuning
      // (the warm-start role the k-chain plays).
+    tuner.anneal_label = "sa-anchored";
     const auto outcome =
         core::tune_enablers(base, scase, tuner, runner, base.tuning);
     table.add_row({"simulated annealing (anchored)",
@@ -71,5 +79,13 @@ int main() {
                "strong baseline; the\nsweeps run SA anchored on the "
                "previous scale point's optimum, where its local\n"
                "refinement is what keeps the k-chain smooth.\n";
+  if (telemetry.config().any_enabled()) {
+    if (!telemetry.export_all()) {
+      std::cout << "\ntelemetry export incomplete (see warnings above)\n";
+    } else if (telemetry.config().anneal_enabled()) {
+      std::cout << "\nanneal telemetry written to "
+                << telemetry.config().anneal_path << "\n";
+    }
+  }
   return 0;
 }

@@ -1,12 +1,58 @@
 #include "common.hpp"
 
 #include <chrono>
+#include <cstdlib>
 #include <iostream>
 
 #include "rms/factory.hpp"
 #include "util/env.hpp"
 
 namespace scal::bench {
+
+obs::TelemetryConfig parse_telemetry_cli(int argc, char** argv,
+                                         const std::string& default_label) {
+  obs::TelemetryConfig tc;
+  tc.probe_interval = 25.0;
+  tc.label = default_label;
+
+  auto usage = [&](const std::string& complaint) {
+    std::cerr << argv[0] << ": " << complaint << "\n"
+              << "usage: " << argv[0]
+              << " [--trace PATH] [--probe PATH] [--probe-interval T]\n"
+              << "       [--manifest PATH] [--anneal PATH] [--label NAME]\n";
+    std::exit(2);
+  };
+  auto value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) {
+      usage("missing value for " + std::string(argv[i]));
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--trace") {
+      tc.trace_path = value(i);
+    } else if (flag == "--probe") {
+      tc.probe_path = value(i);
+    } else if (flag == "--probe-interval") {
+      const std::string text = value(i);
+      char* end = nullptr;
+      tc.probe_interval = std::strtod(text.c_str(), &end);
+      if (end == text.c_str() || *end != '\0') {
+        usage("--probe-interval expects a number, got '" + text + "'");
+      }
+    } else if (flag == "--manifest") {
+      tc.manifest_path = value(i);
+    } else if (flag == "--anneal") {
+      tc.anneal_path = value(i);
+    } else if (flag == "--label") {
+      tc.label = value(i);
+    } else {
+      usage("unexpected argument '" + flag + "'");
+    }
+  }
+  return tc;
+}
 
 bool fast_mode() { return util::env_flag("SCAL_BENCH_FAST"); }
 
@@ -117,23 +163,30 @@ core::ProcedureConfig procedure_for(core::ScalingCase scase) {
 }
 
 double calibrate_e0(const grid::GridConfig& base,
-                    const core::ScalingCase& scase, double k_mid) {
+                    const core::ScalingCase& scase, double k_mid,
+                    obs::Telemetry* telemetry) {
   grid::GridConfig reference = core::apply_scale(base, scase, k_mid);
   reference.rms = grid::RmsKind::kLowest;
+  reference.telemetry = telemetry;
   const grid::SimulationResult result = rms::simulate(reference);
   return result.efficiency();
 }
 
 std::vector<core::CaseResult> run_overhead_figure(
     const std::string& figure_name, const grid::GridConfig& base,
-    core::ProcedureConfig procedure) {
+    core::ProcedureConfig procedure, obs::Telemetry* telemetry) {
   const auto t0 = std::chrono::steady_clock::now();
 
   // Step 1 (paper Figure 1): choose a feasible efficiency to hold.
+  // This reference run doubles as the figure's instrumented run.
   const double k_mid =
       procedure.scale_factors[procedure.scale_factors.size() / 2];
-  const double e0 = calibrate_e0(base, procedure.scase, k_mid);
+  const double e0 = calibrate_e0(base, procedure.scase, k_mid, telemetry);
   procedure.tuner.e0 = e0;
+  if (telemetry != nullptr && telemetry->config().anneal_enabled()) {
+    procedure.tuner.anneal_log = &telemetry->anneal();
+    procedure.tuner.anneal_label = figure_name;
+  }
   std::cout << figure_name << "\n" << procedure.scase.name
             << "\nholding E(k) = " << e0 << " +/- "
             << procedure.tuner.band << " (paper band: [0.38, 0.42]; see "
@@ -165,6 +218,27 @@ std::vector<core::CaseResult> run_overhead_figure(
                            std::chrono::steady_clock::now() - t0)
                            .count();
   std::cout << "series written to " << csv << "  (" << seconds << " s)\n";
+
+  if (telemetry != nullptr) {
+    const obs::TelemetryConfig& tc = telemetry->config();
+    if (!telemetry->export_all()) {
+      std::cout << "telemetry export incomplete (see warnings above)\n";
+    } else {
+      if (tc.trace_enabled()) {
+        std::cout << "trace written to " << tc.trace_path
+                  << "  (load in Perfetto / chrome://tracing)\n";
+      }
+      if (tc.probe_enabled()) {
+        std::cout << "probe series written to " << tc.probe_path << "\n";
+      }
+      if (tc.manifest_enabled()) {
+        std::cout << "run manifest appended to " << tc.manifest_path << "\n";
+      }
+      if (tc.anneal_enabled()) {
+        std::cout << "anneal telemetry written to " << tc.anneal_path << "\n";
+      }
+    }
+  }
   return results;
 }
 

@@ -20,8 +20,20 @@
 #include "core/procedure.hpp"
 #include "core/report.hpp"
 #include "grid/config.hpp"
+#include "obs/telemetry.hpp"
 
 namespace scal::bench {
+
+/// Parse the telemetry CLI shared by the benches (all flags optional):
+///   --trace PATH        Chrome trace JSON of the instrumented run
+///   --probe PATH        time-series CSV of the instrumented run
+///   --probe-interval T  probe cadence in sim time units (default 25)
+///   --manifest PATH     append one JSONL run record
+///   --anneal PATH       per-iteration tuner telemetry CSV
+///   --label NAME        manifest / anneal label (default: figure name)
+/// Unknown flags print usage to stderr and exit(2).
+obs::TelemetryConfig parse_telemetry_cli(int argc, char** argv,
+                                         const std::string& default_label);
 
 /// The paper's four experimental cases (Tables 2-5) with calibrated
 /// base configurations.
@@ -39,15 +51,20 @@ std::vector<grid::RmsKind> all_rms();
 /// Step 1 of the measurement procedure: pick a feasible E0 by running
 /// the reference RMS (LOWEST) with default enablers at the sweep's
 /// middle scale point, so the band covers the whole sweep as well as
-/// the enablers allow.
+/// the enablers allow.  When `telemetry` is non-null this calibration
+/// run is the figure's instrumented run (trace / probe / manifest).
 double calibrate_e0(const grid::GridConfig& base,
-                    const core::ScalingCase& scase, double k_mid);
+                    const core::ScalingCase& scase, double k_mid,
+                    obs::Telemetry* telemetry = nullptr);
 
 /// Run a full figure sweep: measure all RMS kinds, print the per-RMS
-/// tables, the overhead chart, the summary, and write the CSV.
+/// tables, the overhead chart, the summary, and write the CSV.  A
+/// non-null `telemetry` instruments the calibration run, collects
+/// annealing telemetry from every tuner search, and exports all
+/// configured artifacts at the end.
 std::vector<core::CaseResult> run_overhead_figure(
     const std::string& figure_name, const grid::GridConfig& base,
-    core::ProcedureConfig procedure);
+    core::ProcedureConfig procedure, obs::Telemetry* telemetry = nullptr);
 
 bool fast_mode();
 std::string csv_dir();

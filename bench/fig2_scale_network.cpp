@@ -12,10 +12,13 @@
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace scal;
-  bench::run_overhead_figure("fig2_scale_network", bench::case1_base(),
-                             bench::procedure_for(
-                                 core::ScalingCase::case1_network_size()));
+  obs::Telemetry telemetry(
+      bench::parse_telemetry_cli(argc, argv, "fig2_scale_network"));
+  bench::run_overhead_figure(
+      "fig2_scale_network", bench::case1_base(),
+      bench::procedure_for(core::ScalingCase::case1_network_size()),
+      telemetry.config().any_enabled() ? &telemetry : nullptr);
   return 0;
 }

@@ -10,10 +10,13 @@
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace scal;
-  bench::run_overhead_figure("fig3_scale_service_rate", bench::case2_base(),
-                             bench::procedure_for(
-                                 core::ScalingCase::case2_service_rate()));
+  obs::Telemetry telemetry(
+      bench::parse_telemetry_cli(argc, argv, "fig3_scale_service_rate"));
+  bench::run_overhead_figure(
+      "fig3_scale_service_rate", bench::case2_base(),
+      bench::procedure_for(core::ScalingCase::case2_service_rate()),
+      telemetry.config().any_enabled() ? &telemetry : nullptr);
   return 0;
 }

@@ -10,10 +10,13 @@
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace scal;
-  bench::run_overhead_figure("fig4_scale_estimators", bench::case3_base(),
-                             bench::procedure_for(
-                                 core::ScalingCase::case3_estimators()));
+  obs::Telemetry telemetry(
+      bench::parse_telemetry_cli(argc, argv, "fig4_scale_estimators"));
+  bench::run_overhead_figure(
+      "fig4_scale_estimators", bench::case3_base(),
+      bench::procedure_for(core::ScalingCase::case3_estimators()),
+      telemetry.config().any_enabled() ? &telemetry : nullptr);
   return 0;
 }

@@ -11,10 +11,13 @@
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace scal;
-  bench::run_overhead_figure("fig5_scale_lp", bench::case4_base(),
-                             bench::procedure_for(
-                                 core::ScalingCase::case4_neighborhood()));
+  obs::Telemetry telemetry(
+      bench::parse_telemetry_cli(argc, argv, "fig5_scale_lp"));
+  bench::run_overhead_figure(
+      "fig5_scale_lp", bench::case4_base(),
+      bench::procedure_for(core::ScalingCase::case4_neighborhood()),
+      telemetry.config().any_enabled() ? &telemetry : nullptr);
   return 0;
 }

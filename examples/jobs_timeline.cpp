@@ -3,11 +3,16 @@
 // response into placement latency (arrival -> dispatch), queueing
 // (dispatch -> start), and service (start -> complete) per policy.
 //
-//   ./jobs_timeline [RMS] [nodes]
+//   ./jobs_timeline [RMS] [nodes] [trace.json]
+//
+// The optional third argument writes a Chrome trace of the run — job
+// lifecycle spans, scheduler busy spans, protocol message instants —
+// loadable in Perfetto (https://ui.perfetto.dev) or chrome://tracing.
 
 #include <cstdlib>
 #include <iostream>
 
+#include "obs/telemetry.hpp"
 #include "rms/factory.hpp"
 #include "util/table.hpp"
 
@@ -22,6 +27,12 @@ int main(int argc, char** argv) {
   config.horizon = 1200.0;
   config.workload.mean_interarrival = 0.45;
   config.job_log = true;
+
+  obs::TelemetryConfig tc;
+  if (argc > 3) tc.trace_path = argv[3];
+  tc.label = "jobs_timeline";
+  obs::Telemetry telemetry(tc);
+  if (tc.any_enabled()) config.telemetry = &telemetry;
 
   auto system = rms::make_grid(config);
   const grid::SimulationResult r = system->run();
@@ -66,5 +77,15 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "\nOverall mean response: " << Table::fixed(r.mean_response, 2)
             << "  (policies differ mostly in the first two rows)\n";
+
+  if (config.telemetry != nullptr) {
+    if (telemetry.export_all()) {
+      std::cout << "\ntrace written to " << tc.trace_path
+                << " — load it in Perfetto to see the spans this table "
+                << "summarizes\n";
+    } else {
+      std::cout << "\ntelemetry export failed (see warnings above)\n";
+    }
+  }
   return 0;
 }

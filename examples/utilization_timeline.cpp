@@ -2,12 +2,17 @@
 // a pulsing (diurnal) workload, then chart pool utilization, the
 // hottest cluster, and the scheduler backlog over time.
 //
-//   ./utilization_timeline [RMS] [amplitude]
+//   ./utilization_timeline [RMS] [amplitude] [probe.csv]
+//
+// The optional third argument writes the run's time-series probe CSV
+// (cumulative F/G/H, windowed efficiency, utilizations) on the same
+// cadence as the charts below.
 
 #include <cstdlib>
 #include <iostream>
 
 #include "grid/sampler.hpp"
+#include "obs/telemetry.hpp"
 #include "rms/factory.hpp"
 #include "util/ascii_chart.hpp"
 
@@ -24,6 +29,15 @@ int main(int argc, char** argv) {
       argc > 2 ? std::strtod(argv[2], nullptr) : 0.6;
   config.workload.diurnal_period = 600.0;
   config.sample_interval = 20.0;
+
+  obs::TelemetryConfig tc;
+  if (argc > 3) {
+    tc.probe_path = argv[3];
+    tc.probe_interval = config.sample_interval;
+  }
+  tc.label = "utilization_timeline";
+  obs::Telemetry telemetry(tc);
+  if (tc.any_enabled()) config.telemetry = &telemetry;
 
   auto system = rms::make_grid(config);
   const grid::SimulationResult r = system->run();
@@ -56,5 +70,13 @@ int main(int argc, char** argv) {
 
   std::cout << "jobs " << r.jobs_succeeded << "/" << r.jobs_arrived
             << " within deadline; E = " << r.efficiency() << "\n";
+
+  if (config.telemetry != nullptr) {
+    if (telemetry.export_all()) {
+      std::cout << "probe series written to " << tc.probe_path << "\n";
+    } else {
+      std::cout << "telemetry export failed (see warnings above)\n";
+    }
+  }
   return 0;
 }

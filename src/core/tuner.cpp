@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/anneal_log.hpp"
 #include "opt/annealing.hpp"
 #include "rms/factory.hpp"
 
@@ -39,6 +40,9 @@ TuneOutcome tune_enablers(const grid::GridConfig& config,
         tuning_from_point(scase, config.tuning, point);
     grid::GridConfig candidate = config;
     candidate.tuning = tuning;
+    // Search evaluations stay silent: only the caller's own instrumented
+    // run records traces/probes, never the tuner's probing.
+    candidate.telemetry = nullptr;
     const grid::SimulationResult result = runner(candidate);
     const double value = penalized_objective(result, tuner);
     ++outcome.evaluations;
@@ -59,6 +63,33 @@ TuneOutcome tune_enablers(const grid::GridConfig& config,
   // exploration at T ~ 1 wastes evaluations random-walking.
   anneal_config.initial_temperature = 0.35;
   anneal_config.final_temperature = 0.005;
+  if (tuner.anneal_log != nullptr) {
+    anneal_config.observer = [&tuner](const opt::AnnealStep& step) {
+      obs::AnnealRecord rec;
+      rec.label = tuner.anneal_label;
+      rec.chain = step.chain;
+      rec.iteration = step.iteration;
+      rec.temperature = step.temperature;
+      rec.candidate_value = step.candidate_value;
+      rec.current_value = step.current_value;
+      rec.best_value = step.best_value;
+      rec.accepted = step.accepted;
+      rec.improved = step.improved;
+      tuner.anneal_log->add(std::move(rec));
+    };
+  }
+  // Warm-start anchor probes are telemetry-visible too (temperature 0,
+  // outside any chain's numbering).
+  auto log_anchor = [&](double value) {
+    if (tuner.anneal_log == nullptr) return;
+    obs::AnnealRecord rec;
+    rec.label = tuner.anneal_label;
+    rec.candidate_value = value;
+    rec.current_value = value;
+    rec.best_value = best_value;
+    rec.accepted = true;
+    tuner.anneal_log->add(std::move(rec));
+  };
   if (warm_start) {
     // A warm-start chain can drift into a region that stops being
     // band-feasible as k grows; anchoring each point on the untouched
@@ -69,9 +100,11 @@ TuneOutcome tune_enablers(const grid::GridConfig& config,
     const opt::Point default_point =
         space.clamp(point_from_tuning(scase, config.tuning));
     const double warm_value = objective(warm_point);
+    log_anchor(warm_value);
     double default_value = warm_value;
     if (default_point != warm_point) {
       default_value = objective(default_point);
+      log_anchor(default_value);
     }
     anneal_config.initial_point =
         default_value < warm_value ? default_point : warm_point;

@@ -6,9 +6,14 @@
 
 #include <functional>
 #include <optional>
+#include <string>
 
 #include "core/scaling.hpp"
 #include "grid/metrics.hpp"
+
+namespace scal::obs {
+class AnnealLog;
+}
 
 namespace scal::core {
 
@@ -33,6 +38,15 @@ struct TunerConfig {
   /// quadratic penalty.
   double penalty_weight = 60.0;
   std::uint64_t seed = 1234;  ///< search seed (independent of sim seed)
+
+  /// Optional annealing telemetry sink (non-owning; null = off).  Every
+  /// objective evaluation — including the warm-start anchor probes,
+  /// which are logged with temperature 0 — lands here as one
+  /// obs::AnnealRecord tagged with `anneal_label`.  Purely
+  /// observational: the search trajectory is identical with or without
+  /// it.
+  obs::AnnealLog* anneal_log = nullptr;
+  std::string anneal_label;  ///< e.g. "LOWEST k=3"
 };
 
 struct TuneOutcome {

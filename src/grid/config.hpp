@@ -10,6 +10,10 @@
 #include "net/topology.hpp"
 #include "workload/generator.hpp"
 
+namespace scal::obs {
+class Telemetry;
+}
+
 namespace scal::grid {
 
 /// The seven RMS models evaluated in the paper (Section 3.3), plus the
@@ -161,6 +165,14 @@ struct GridConfig {
   /// (paper: "if loading conditions ... did not change significantly from
   /// the previous update, an update might be suppressed").
   bool update_suppression = true;
+
+  /// Run telemetry handle (non-owning; null = telemetry off, the
+  /// default).  When set, the system threads it through the simulator,
+  /// the servers, and the metrics assembly: sim-time tracing, the
+  /// time-series probe, and the run manifest all record into it.  One
+  /// handle describes one instrumented run — the enabler tuner strips it
+  /// from candidate configs so search evaluations stay silent.
+  obs::Telemetry* telemetry = nullptr;
 
   /// Validate invariants; throws std::invalid_argument on nonsense.
   void validate() const;

@@ -36,4 +36,34 @@ void MetricsCollector::record_unfinished(double partial_service_time) {
   wasted_work_ += partial_service_time;
 }
 
+MetricsSnapshot MetricsCollector::snapshot() const noexcept {
+  MetricsSnapshot s;
+  s.useful_work = useful_work_;
+  s.wasted_work = wasted_work_;
+  s.control_overhead = control_overhead_;
+  s.jobs_arrived = arrived_;
+  s.jobs_local = local_;
+  s.jobs_remote = remote_;
+  s.jobs_completed = completed_;
+  s.jobs_succeeded = succeeded_;
+  s.jobs_missed_deadline = missed_;
+  s.jobs_unfinished = unfinished_;
+  s.polls = polls_;
+  s.transfers = transfers_;
+  s.auctions = auctions_;
+  s.adverts = adverts_;
+  s.updates_received = updates_received_;
+  s.updates_suppressed = updates_suppressed_;
+  return s;
+}
+
+void MetricsCollector::reset() {
+  useful_work_ = wasted_work_ = control_overhead_ = 0.0;
+  arrived_ = local_ = remote_ = 0;
+  completed_ = succeeded_ = missed_ = unfinished_ = 0;
+  polls_ = transfers_ = auctions_ = adverts_ = 0;
+  updates_received_ = updates_suppressed_ = 0;
+  response_ = util::Samples{};
+}
+
 }  // namespace scal::grid

@@ -17,7 +17,33 @@
 #include "util/stats.hpp"
 #include "workload/job.hpp"
 
+namespace scal::obs {
+class Telemetry;
+}
+
 namespace scal::grid {
+
+/// Value snapshot of every MetricsCollector counter, so probes and
+/// exporters can read a consistent mid-run view without reaching into
+/// the collector's internals.
+struct MetricsSnapshot {
+  double useful_work = 0.0;
+  double wasted_work = 0.0;
+  double control_overhead = 0.0;
+  std::uint64_t jobs_arrived = 0;
+  std::uint64_t jobs_local = 0;
+  std::uint64_t jobs_remote = 0;
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t jobs_succeeded = 0;
+  std::uint64_t jobs_missed_deadline = 0;
+  std::uint64_t jobs_unfinished = 0;
+  std::uint64_t polls = 0;
+  std::uint64_t transfers = 0;
+  std::uint64_t auctions = 0;
+  std::uint64_t adverts = 0;
+  std::uint64_t updates_received = 0;
+  std::uint64_t updates_suppressed = 0;
+};
 
 class MetricsCollector {
  public:
@@ -63,6 +89,13 @@ class MetricsCollector {
   }
 
   const util::Samples& response_times() const noexcept { return response_; }
+
+  /// Consistent value copy of all counters (valid mid-run).
+  MetricsSnapshot snapshot() const noexcept;
+
+  /// Zero every counter and drop the response samples; the attached job
+  /// log (if any) is left untouched.
+  void reset();
 
  private:
   double useful_work_ = 0.0;
@@ -128,6 +161,12 @@ struct SimulationResult {
   std::uint64_t messages_dropped = 0;  ///< failure injection casualties
   std::uint64_t events_dispatched = 0;
   double horizon = 0.0;
+
+  /// The telemetry handle the run was instrumented with (null when
+  /// telemetry was off); points at the object the caller attached to
+  /// GridConfig::telemetry, so `result.telemetry->export_all()` works
+  /// even through convenience wrappers like rms::simulate.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 }  // namespace scal::grid

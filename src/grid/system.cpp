@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "grid/sampler.hpp"
+#include "grid/telemetry.hpp"
 #include "util/log.hpp"
 #include "workload/trace.hpp"
 
@@ -137,6 +138,170 @@ GridSystem::GridSystem(GridConfig config, SchedulerFactory factory)
     sampler_ = std::make_unique<StateSampler>(*this, next_entity_id_++,
                                               config_.sample_interval);
   }
+
+  if (config_.telemetry != nullptr) setup_telemetry();
+}
+
+void GridSystem::setup_telemetry() {
+  obs::Telemetry& telemetry = *config_.telemetry;
+  const obs::TelemetryConfig& tc = telemetry.config();
+  if (!tc.trace_enabled()) {
+    // Probe / manifest need no construction-time wiring.
+    trace_jobs_ = false;
+    return;
+  }
+  trace_ = &telemetry.trace();
+
+  if (tc.dispatch_sample_every > 0) {
+    const obs::TraceTid kernel_tid = trace_->register_track("sim/kernel");
+    sim_.set_dispatch_observer(
+        tc.dispatch_sample_every,
+        [this, kernel_tid](sim::Time at, std::uint64_t dispatched,
+                           std::size_t pending) {
+          trace_->counter(kernel_tid, "events_dispatched", at,
+                          static_cast<double>(dispatched));
+          trace_->counter(kernel_tid, "pending_events", at,
+                          static_cast<double>(pending));
+        });
+  }
+
+  if (tc.trace_spans) {
+    for (auto& sched : schedulers_) {
+      sched->attach_trace(trace_, trace_->register_track(sched->name()));
+    }
+    for (std::size_t c = 0; c < estimators_.size(); ++c) {
+      for (std::size_t e = 0; e < estimators_[c].size(); ++e) {
+        estimators_[c][e]->attach_trace(
+            trace_, trace_->register_track(
+                        "estimator/" + std::to_string(c) + "." +
+                        std::to_string(e)));
+      }
+    }
+    middleware_->attach_trace(trace_, trace_->register_track("middleware"));
+  }
+
+  if (tc.trace_messages) {
+    trace_messages_ = true;
+    msg_tid_ = trace_->register_track("rms/messages");
+  }
+
+  if (tc.trace_jobs) {
+    // Job spans are reconstructed from the lifecycle log after the run.
+    trace_jobs_ = true;
+    job_log_.set_enabled(true);
+    jobs_tid_ = trace_->register_track("jobs");
+  }
+}
+
+void GridSystem::probe_tick() {
+  obs::TimeSeriesProbe* probe = config_.telemetry->probe();
+  obs::ProbeSample sample;
+  sample.at = sim_.now();
+  sample.F = metrics_.useful_work();
+  sample.G = current_overhead_work();
+  sample.H = metrics_.control_overhead() + metrics_.wasted_work();
+  fill_probe_state(sample);
+  probe->add(sample);
+  // The final row lands exactly at the horizon (appended from the
+  // assembled result), so periodic ticks stop strictly before it.
+  const double next = sim_.now() + probe->interval();
+  if (next < config_.horizon) {
+    sim_.schedule_at(next, [this]() { probe_tick(); });
+  }
+}
+
+void GridSystem::fill_probe_state(obs::ProbeSample& sample) {
+  std::size_t resources = 0, busy = 0;
+  double load_sum = 0.0;
+  for (const auto& cluster : resources_) {
+    for (const auto& res : cluster) {
+      ++resources;
+      if (res->busy()) ++busy;
+      load_sum += res->load();
+    }
+  }
+  if (resources > 0) {
+    sample.pool_busy_fraction =
+        static_cast<double>(busy) / static_cast<double>(resources);
+    sample.mean_resource_load = load_sum / static_cast<double>(resources);
+  }
+  for (const auto& sched : schedulers_) {
+    sample.scheduler_backlog += sched->queue_length();
+  }
+  sample.middleware_backlog = middleware_->queue_length();
+
+  // Per-class utilization over the window since the previous sample:
+  // busy-time delta divided by the window's capacity (window x servers).
+  double sched_busy = 0.0, est_busy = 0.0;
+  for (const auto& sched : schedulers_) sched_busy += sched->busy_time();
+  std::size_t est_count = 0;
+  for (const auto& cluster : estimators_) {
+    for (const auto& est : cluster) {
+      est_busy += est->busy_time();
+      ++est_count;
+    }
+  }
+  const double mw_busy = middleware_->busy_time();
+  const double window = sample.at - probe_prev_time_;
+  if (window > 0.0) {
+    sample.scheduler_util = (sched_busy - probe_prev_sched_busy_) /
+                            (window * static_cast<double>(schedulers_.size()));
+    if (est_count > 0) {
+      sample.estimator_util = (est_busy - probe_prev_est_busy_) /
+                              (window * static_cast<double>(est_count));
+    }
+    sample.middleware_util = (mw_busy - probe_prev_mw_busy_) / window;
+  }
+  probe_prev_time_ = sample.at;
+  probe_prev_sched_busy_ = sched_busy;
+  probe_prev_est_busy_ = est_busy;
+  probe_prev_mw_busy_ = mw_busy;
+
+  sample.jobs_arrived = metrics_.jobs_arrived();
+  sample.jobs_completed = metrics_.jobs_completed();
+  sample.events_dispatched = sim_.dispatched_events();
+}
+
+double GridSystem::current_overhead_work() const {
+  double g = 0.0;
+  for (const auto& sched : schedulers_) g += sched->work_in_system_time();
+  for (const auto& cluster : estimators_) {
+    for (const auto& est : cluster) g += est->work_in_system_time();
+  }
+  g += middleware_->work_in_system_time();
+  return g;
+}
+
+void GridSystem::finish_telemetry(const SimulationResult& result) {
+  obs::Telemetry& telemetry = *config_.telemetry;
+  if (trace_ != nullptr) {
+    for (auto& sched : schedulers_) sched->close_open_span(config_.horizon);
+    for (auto& cluster : estimators_) {
+      for (auto& est : cluster) est->close_open_span(config_.horizon);
+    }
+    middleware_->close_open_span(config_.horizon);
+    if (trace_jobs_) {
+      export_job_spans(job_log_, *trace_, jobs_tid_, config_.horizon);
+    }
+  }
+  if (obs::TimeSeriesProbe* probe = telemetry.probe()) {
+    // Final row at the horizon, cumulative terms copied from the
+    // assembled result so the CSV's last row matches it digit-exactly.
+    obs::ProbeSample last;
+    last.at = config_.horizon;
+    last.F = result.F;
+    last.G = result.G();
+    last.H = result.H();
+    fill_probe_state(last);
+    last.jobs_arrived = result.jobs_arrived;
+    last.jobs_completed = result.jobs_completed;
+    last.events_dispatched = result.events_dispatched;
+    probe->add(last);
+  }
+  if (telemetry.config().manifest_enabled()) {
+    fill_manifest(telemetry.manifest(), config_, result);
+  }
+  telemetry.mark_run_end();
 }
 
 GridSystem::~GridSystem() = default;
@@ -154,6 +319,11 @@ void GridSystem::route_message(net::NodeId from_node, RmsMessage msg,
                                bool via_middleware) {
   if (msg.kind == MsgKind::kJobTransfer && msg.job) {
     job_log_.record(msg.job->id, JobEvent::kTransfer, sim_.now(), msg.to);
+  }
+  if (trace_messages_) {
+    trace_->instant(msg_tid_, to_string(msg.kind), "rms", sim_.now(),
+                    {{"from", static_cast<double>(msg.from)},
+                     {"to", static_cast<double>(msg.to)}});
   }
   SchedulerBase& dst = scheduler_for(msg.to);
   // Job transfers carry state that must not vanish; everything else is
@@ -249,6 +419,16 @@ SimulationResult GridSystem::run() {
   if (ran_) throw std::logic_error("GridSystem::run: already ran");
   ran_ = true;
 
+  obs::Telemetry* telemetry = config_.telemetry;
+  if (telemetry != nullptr) {
+    telemetry->mark_run_start();
+    // Log lines carry the simulated clock for the duration of the run.
+    util::set_log_time_source([this]() { return sim_.now(); });
+    if (telemetry->probe() != nullptr) {
+      sim_.schedule_at(0.0, [this]() { probe_tick(); });
+    }
+  }
+
   schedule_arrivals();
 
   util::RandomStream offset_rng(config_.seed, "report-offsets");
@@ -271,7 +451,12 @@ SimulationResult GridSystem::run() {
       if (res->busy()) metrics_.record_unfinished(res->in_service_partial());
     }
   }
-  return assemble_result();
+  SimulationResult result = assemble_result();
+  if (telemetry != nullptr) {
+    finish_telemetry(result);
+    util::set_log_time_source(nullptr);
+  }
+  return result;
 }
 
 SimulationResult GridSystem::assemble_result() {
@@ -317,6 +502,7 @@ SimulationResult GridSystem::assemble_result() {
                      : 0.0;
   r.mean_response = metrics_.response_times().mean();
   r.p95_response = metrics_.response_times().percentile(95.0);
+  r.telemetry = config_.telemetry;
   return r;
 }
 

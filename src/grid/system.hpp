@@ -18,6 +18,7 @@
 #include "grid/resource.hpp"
 #include "grid/scheduler.hpp"
 #include "net/network.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/simulator.hpp"
 #include "workload/generator.hpp"
 
@@ -79,6 +80,9 @@ class GridSystem {
   /// Time-series sampler (null unless config.sample_interval > 0).
   const StateSampler* sampler() const noexcept { return sampler_.get(); }
 
+  /// Run telemetry handle (null unless config.telemetry was set).
+  obs::Telemetry* telemetry() noexcept { return config_.telemetry; }
+
   /// Ship a job to a resource (network hop), then enqueue it there.
   void ship_job_to_resource(net::NodeId from_node, ClusterId cluster,
                             ResourceIndex index, workload::Job job);
@@ -89,6 +93,16 @@ class GridSystem {
   void build();
   void schedule_arrivals();
   SimulationResult assemble_result();
+
+  // -- Telemetry plumbing (all no-ops when config_.telemetry is null).
+  void setup_telemetry();
+  void probe_tick();
+  /// Fill the state fields of a probe sample (busy fractions, backlogs,
+  /// windowed utilizations) at the current sim time.
+  void fill_probe_state(obs::ProbeSample& sample);
+  /// Current cumulative G across all RMS servers (valid mid-run).
+  double current_overhead_work() const;
+  void finish_telemetry(const SimulationResult& result);
 
   GridConfig config_;
   sim::Simulator sim_;
@@ -107,6 +121,18 @@ class GridSystem {
   double mean_service_time_ = 1.0;
   bool ran_ = false;
   sim::EntityId next_entity_id_ = 0;
+
+  // Telemetry state (inert when config_.telemetry is null).
+  obs::TraceRecorder* trace_ = nullptr;  ///< cached from the handle
+  bool trace_messages_ = false;
+  obs::TraceTid msg_tid_ = 0;
+  obs::TraceTid jobs_tid_ = 0;
+  bool trace_jobs_ = false;
+  // Previous probe window, for busy-time-delta utilizations.
+  double probe_prev_time_ = 0.0;
+  double probe_prev_sched_busy_ = 0.0;
+  double probe_prev_est_busy_ = 0.0;
+  double probe_prev_mw_busy_ = 0.0;
 };
 
 }  // namespace scal::grid

@@ -1,0 +1,83 @@
+#include "grid/telemetry.hpp"
+
+#include <unordered_set>
+
+namespace scal::grid {
+
+void export_job_spans(const JobLog& log, obs::TraceRecorder& trace,
+                      obs::TraceTid tid, double horizon) {
+  std::unordered_set<workload::JobId> open;
+  for (const JobLogRecord& rec : log.records()) {
+    switch (rec.event) {
+      case JobEvent::kArrival:
+        trace.async_begin(tid, rec.job, "job", "job", rec.at);
+        open.insert(rec.job);
+        break;
+      case JobEvent::kComplete:
+        trace.async_end(tid, rec.job, "job", rec.at);
+        open.erase(rec.job);
+        break;
+      case JobEvent::kTransfer:
+      case JobEvent::kDispatch:
+      case JobEvent::kStart:
+        trace.async_instant(tid, rec.job, to_string(rec.event), "job",
+                            rec.at);
+        break;
+    }
+  }
+  for (const workload::JobId job : open) {
+    trace.async_end(tid, job, "job", horizon);
+  }
+}
+
+void fill_manifest(obs::RunManifest& manifest, const GridConfig& config,
+                   const SimulationResult& result) {
+  manifest.rms = to_string(config.rms);
+  manifest.seed = config.seed;
+  manifest.horizon = config.horizon;
+  manifest.nodes = config.topology.nodes;
+  manifest.clusters = config.cluster_count();
+  manifest.estimators_per_cluster = config.estimators_per_cluster;
+  manifest.service_rate = config.service_rate;
+  manifest.heterogeneity = config.heterogeneity;
+  manifest.control_loss_probability = config.control_loss_probability;
+  manifest.update_interval = config.tuning.update_interval;
+  manifest.neighborhood_size = config.tuning.neighborhood_size;
+  manifest.link_delay_scale = config.tuning.link_delay_scale;
+  manifest.volunteer_interval = config.tuning.volunteer_interval;
+  manifest.mean_interarrival = config.workload.mean_interarrival;
+
+  manifest.F = result.F;
+  manifest.G = result.G();
+  manifest.H = result.H();
+  manifest.efficiency = result.efficiency();
+  manifest.throughput = result.throughput;
+  manifest.mean_response = result.mean_response;
+  manifest.p95_response = result.p95_response;
+  manifest.G_scheduler_max_share = result.G_scheduler_max_share;
+
+  obs::CounterRegistry& counters = manifest.counters;
+  counters.set("jobs_arrived", result.jobs_arrived);
+  counters.set("jobs_local", result.jobs_local);
+  counters.set("jobs_remote", result.jobs_remote);
+  counters.set("jobs_completed", result.jobs_completed);
+  counters.set("jobs_succeeded", result.jobs_succeeded);
+  counters.set("jobs_missed_deadline", result.jobs_missed_deadline);
+  counters.set("jobs_unfinished", result.jobs_unfinished);
+  counters.set("polls", result.polls);
+  counters.set("transfers", result.transfers);
+  counters.set("auctions", result.auctions);
+  counters.set("adverts", result.adverts);
+  counters.set("updates_received", result.updates_received);
+  counters.set("updates_suppressed", result.updates_suppressed);
+  counters.set("network_messages", result.network_messages);
+  counters.set("messages_dropped", result.messages_dropped);
+  counters.set("events_dispatched", result.events_dispatched);
+  counters.set_real("G_scheduler", result.G_scheduler);
+  counters.set_real("G_estimator", result.G_estimator);
+  counters.set_real("G_middleware", result.G_middleware);
+  counters.set_real("H_control", result.H_control);
+  counters.set_real("H_wasted", result.H_wasted);
+}
+
+}  // namespace scal::grid

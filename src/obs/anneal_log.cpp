@@ -1,0 +1,56 @@
+#include "obs/anneal_log.hpp"
+
+#include <fstream>
+#include <limits>
+#include <ostream>
+
+#include "obs/json.hpp"
+#include "util/csv.hpp"
+#include "util/log.hpp"
+
+namespace scal::obs {
+
+std::uint64_t AnnealLog::accepted_count() const noexcept {
+  std::uint64_t n = 0;
+  for (const AnnealRecord& r : records_) n += r.accepted ? 1 : 0;
+  return n;
+}
+
+std::uint64_t AnnealLog::improving_count() const noexcept {
+  std::uint64_t n = 0;
+  for (const AnnealRecord& r : records_) n += r.improved ? 1 : 0;
+  return n;
+}
+
+double AnnealLog::best_value() const noexcept {
+  if (records_.empty()) return 0.0;
+  double best = std::numeric_limits<double>::infinity();
+  for (const AnnealRecord& r : records_) {
+    if (r.candidate_value < best) best = r.candidate_value;
+  }
+  return best;
+}
+
+void AnnealLog::write_csv(std::ostream& os) const {
+  os << "label,chain,iteration,temperature,candidate,current,best,"
+        "accepted,improved\n";
+  for (const AnnealRecord& r : records_) {
+    os << util::CsvWriter::escape(r.label) << ',' << r.chain << ','
+       << r.iteration << ',' << json_number(r.temperature) << ','
+       << json_number(r.candidate_value) << ','
+       << json_number(r.current_value) << ',' << json_number(r.best_value)
+       << ',' << (r.accepted ? 1 : 0) << ',' << (r.improved ? 1 : 0) << '\n';
+  }
+}
+
+bool AnnealLog::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    SCAL_WARN("anneal log: cannot open " << path);
+    return false;
+  }
+  write_csv(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace scal::obs

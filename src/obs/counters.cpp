@@ -1,0 +1,70 @@
+#include "obs/counters.hpp"
+
+#include "obs/json.hpp"
+
+namespace scal::obs {
+
+CounterRegistry::Counter* CounterRegistry::find(
+    const std::string& name) noexcept {
+  for (Counter& c : counters_) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const CounterRegistry::Counter* CounterRegistry::find(
+    const std::string& name) const noexcept {
+  for (const Counter& c : counters_) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+void CounterRegistry::set(const std::string& name, std::uint64_t value) {
+  if (Counter* c = find(name)) {
+    c->value = static_cast<double>(value);
+    c->integral = true;
+    return;
+  }
+  counters_.push_back({name, static_cast<double>(value), true});
+}
+
+void CounterRegistry::set_real(const std::string& name, double value) {
+  if (Counter* c = find(name)) {
+    c->value = value;
+    c->integral = false;
+    return;
+  }
+  counters_.push_back({name, value, false});
+}
+
+void CounterRegistry::increment(const std::string& name, std::uint64_t by) {
+  if (Counter* c = find(name)) {
+    c->value += static_cast<double>(by);
+    return;
+  }
+  counters_.push_back({name, static_cast<double>(by), true});
+}
+
+double CounterRegistry::value(const std::string& name) const noexcept {
+  const Counter* c = find(name);
+  return c ? c->value : 0.0;
+}
+
+bool CounterRegistry::contains(const std::string& name) const noexcept {
+  return find(name) != nullptr;
+}
+
+std::string CounterRegistry::to_json() const {
+  JsonObject obj;
+  for (const Counter& c : counters_) {
+    if (c.integral) {
+      obj.field(c.name, static_cast<std::uint64_t>(c.value));
+    } else {
+      obj.field(c.name, c.value);
+    }
+  }
+  return obj.str();
+}
+
+}  // namespace scal::obs

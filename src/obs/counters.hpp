@@ -1,0 +1,44 @@
+#pragma once
+// CounterRegistry: an ordered name -> value map for end-of-run counter
+// snapshots (protocol message counts, event totals, drop counts).  Kept
+// deliberately simple: counters are written once per run by the grid
+// layer and serialized into the run manifest.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scal::obs {
+
+class CounterRegistry {
+ public:
+  struct Counter {
+    std::string name;
+    double value = 0.0;
+    bool integral = true;
+  };
+
+  void set(const std::string& name, std::uint64_t value);
+  void set_real(const std::string& name, double value);
+  void increment(const std::string& name, std::uint64_t by = 1);
+
+  /// Value of `name`, or 0 when absent.
+  double value(const std::string& name) const noexcept;
+  bool contains(const std::string& name) const noexcept;
+
+  std::size_t size() const noexcept { return counters_.size(); }
+  bool empty() const noexcept { return counters_.empty(); }
+  const std::vector<Counter>& counters() const noexcept { return counters_; }
+  void clear() { counters_.clear(); }
+
+  /// One JSON object {"name": value, ...} in insertion order.
+  std::string to_json() const;
+
+ private:
+  Counter* find(const std::string& name) noexcept;
+  const Counter* find(const std::string& name) const noexcept;
+
+  std::vector<Counter> counters_;
+};
+
+}  // namespace scal::obs

@@ -1,0 +1,63 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace scal::obs {
+
+std::string json_string(const std::string& value) {
+  std::string out;
+  out.reserve(value.size() + 2);
+  out += '"';
+  for (const char c : value) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[32];
+  // %.17g round-trips every double; trim to something readable when the
+  // value is exactly representable shorter.
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  double parsed = 0.0;
+  std::sscanf(buf, "%lf", &parsed);
+  for (int precision = 1; precision < 17; ++precision) {
+    char shorter[32];
+    std::snprintf(shorter, sizeof shorter, "%.*g", precision, value);
+    std::sscanf(shorter, "%lf", &parsed);
+    if (parsed == value) return shorter;
+  }
+  return buf;
+}
+
+std::string json_number(std::uint64_t value) { return std::to_string(value); }
+std::string json_number(std::int64_t value) { return std::to_string(value); }
+
+JsonObject& JsonObject::raw(const std::string& key,
+                            const std::string& value_json) {
+  if (!first_) out_ += ',';
+  first_ = false;
+  out_ += json_string(key);
+  out_ += ':';
+  out_ += value_json;
+  return *this;
+}
+
+}  // namespace scal::obs

@@ -1,0 +1,59 @@
+#pragma once
+// Minimal JSON emission helpers for the observability exporters (Chrome
+// trace files, run manifests).  Writing only — the telemetry formats are
+// consumed by external tools (Perfetto, jq), not parsed back by us.
+
+#include <cstdint>
+#include <string>
+
+namespace scal::obs {
+
+/// Escape and double-quote a string for JSON.
+std::string json_string(const std::string& value);
+
+/// Render a finite double as a JSON number; non-finite values (which
+/// JSON cannot represent) become null.
+std::string json_number(double value);
+
+std::string json_number(std::uint64_t value);
+std::string json_number(std::int64_t value);
+
+/// Incremental writer for one JSON object: field() calls add
+/// comma-separated "key": value pairs, str() closes the brace.
+class JsonObject {
+ public:
+  JsonObject() : out_("{") {}
+
+  JsonObject& field(const std::string& key, const std::string& string_value) {
+    return raw(key, json_string(string_value));
+  }
+  JsonObject& field(const std::string& key, const char* string_value) {
+    return raw(key, json_string(string_value));
+  }
+  JsonObject& field(const std::string& key, double value) {
+    return raw(key, json_number(value));
+  }
+  JsonObject& field(const std::string& key, std::uint64_t value) {
+    return raw(key, json_number(value));
+  }
+  JsonObject& field(const std::string& key, std::int64_t value) {
+    return raw(key, json_number(value));
+  }
+  JsonObject& field(const std::string& key, bool value) {
+    return raw(key, value ? "true" : "false");
+  }
+  /// `value_json` must already be valid JSON (nested object/array).
+  JsonObject& raw(const std::string& key, const std::string& value_json);
+
+  /// Close the object and return it.  The writer is spent afterwards.
+  std::string str() {
+    out_ += '}';
+    return std::move(out_);
+  }
+
+ private:
+  std::string out_;
+  bool first_ = true;
+};
+
+}  // namespace scal::obs

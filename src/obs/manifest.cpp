@@ -1,0 +1,86 @@
+#include "obs/manifest.hpp"
+
+#include <ctime>
+#include <fstream>
+
+#include "obs/json.hpp"
+#include "util/log.hpp"
+
+#ifndef SCAL_GIT_DESCRIBE
+#define SCAL_GIT_DESCRIBE "unknown"
+#endif
+
+namespace scal::obs {
+
+std::string git_describe() { return SCAL_GIT_DESCRIBE; }
+
+std::string utc_timestamp() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+std::string RunManifest::to_json() const {
+  JsonObject obj;
+  obj.field("label", label)
+      .field("started_at", started_at)
+      .field("git", git_version)
+      .field("wall_seconds", wall_seconds);
+
+  JsonObject config;
+  config.field("rms", rms)
+      .field("seed", seed)
+      .field("horizon", horizon)
+      .field("nodes", nodes)
+      .field("clusters", clusters)
+      .field("estimators_per_cluster", estimators_per_cluster)
+      .field("service_rate", service_rate)
+      .field("heterogeneity", heterogeneity)
+      .field("control_loss_probability", control_loss_probability)
+      .field("mean_interarrival", mean_interarrival);
+  JsonObject tuning;
+  tuning.field("update_interval", update_interval)
+      .field("neighborhood_size", neighborhood_size)
+      .field("link_delay_scale", link_delay_scale)
+      .field("volunteer_interval", volunteer_interval);
+  config.raw("tuning", tuning.str());
+  obj.raw("config", config.str());
+
+  JsonObject result;
+  result.field("F", F)
+      .field("G", G)
+      .field("H", H)
+      .field("efficiency", efficiency)
+      .field("throughput", throughput)
+      .field("mean_response", mean_response)
+      .field("p95_response", p95_response)
+      .field("G_scheduler_max_share", G_scheduler_max_share);
+  obj.raw("result", result.str());
+
+  obj.raw("counters", counters.to_json());
+
+  if (anneal_iterations > 0) {
+    JsonObject anneal;
+    anneal.field("iterations", anneal_iterations)
+        .field("accepted", anneal_accepted)
+        .field("improving", anneal_improving)
+        .field("best_objective", anneal_best_objective);
+    obj.raw("anneal", anneal.str());
+  }
+  return obj.str();
+}
+
+bool RunManifest::append_jsonl(const std::string& path) const {
+  std::ofstream out(path, std::ios::app);
+  if (!out) {
+    SCAL_WARN("manifest: cannot open " << path);
+    return false;
+  }
+  out << to_json() << '\n';
+  return static_cast<bool>(out);
+}
+
+}  // namespace scal::obs

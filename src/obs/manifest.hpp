@@ -1,0 +1,72 @@
+#pragma once
+// RunManifest: one structured record per simulation run — configuration,
+// seed, code version, wall-clock timings, result scalars, the full
+// protocol counter snapshot, and an annealing-search summary — appended
+// as one JSON line to a .jsonl file.  A directory of manifests is a
+// queryable lab notebook (jq-friendly) tying every result CSV/trace back
+// to exactly what produced it.
+
+#include <cstdint>
+#include <string>
+
+#include "obs/counters.hpp"
+
+namespace scal::obs {
+
+/// `git describe --always --dirty` at configure time ("unknown" outside
+/// a git checkout).
+std::string git_describe();
+
+/// Current wall-clock time as UTC ISO-8601 ("2026-08-05T12:34:56Z").
+std::string utc_timestamp();
+
+struct RunManifest {
+  // Identity.
+  std::string label;          ///< caller-chosen run label
+  std::string started_at;     ///< wall-clock UTC ISO-8601
+  std::string git_version;    ///< git describe of the binary's source
+  double wall_seconds = 0.0;  ///< wall-clock duration of the run
+
+  // Configuration snapshot.
+  std::string rms;
+  std::uint64_t seed = 0;
+  double horizon = 0.0;
+  std::uint64_t nodes = 0;
+  std::uint64_t clusters = 0;
+  std::uint64_t estimators_per_cluster = 0;
+  double service_rate = 0.0;
+  double heterogeneity = 0.0;
+  double control_loss_probability = 0.0;
+  double update_interval = 0.0;
+  std::uint64_t neighborhood_size = 0;
+  double link_delay_scale = 0.0;
+  double volunteer_interval = 0.0;
+  double mean_interarrival = 0.0;
+
+  // Result scalars.
+  double F = 0.0;
+  double G = 0.0;
+  double H = 0.0;
+  double efficiency = 0.0;
+  double throughput = 0.0;
+  double mean_response = 0.0;
+  double p95_response = 0.0;
+  double G_scheduler_max_share = 0.0;
+
+  // Protocol / bookkeeping counters.
+  CounterRegistry counters;
+
+  // Annealing-search summary (zero when no tuning ran).
+  std::uint64_t anneal_iterations = 0;
+  std::uint64_t anneal_accepted = 0;
+  std::uint64_t anneal_improving = 0;
+  double anneal_best_objective = 0.0;
+
+  std::string to_json() const;
+
+  /// Append this record as one line to `path` (creates the file).
+  /// Returns false (and logs) on I/O failure.
+  bool append_jsonl(const std::string& path) const;
+};
+
+}  // namespace scal::obs

@@ -1,0 +1,70 @@
+#include "obs/telemetry.hpp"
+
+#include <chrono>
+
+namespace scal::obs {
+
+namespace {
+double monotonic_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+Telemetry::Telemetry(TelemetryConfig config)
+    : config_(std::move(config)),
+      trace_(config_.trace_time_scale),
+      probe_(config_.probe_interval > 0.0 ? config_.probe_interval : 1.0),
+      probe_enabled_(config_.probe_enabled()) {
+  trace_.set_enabled(config_.trace_enabled());
+  manifest_.label = config_.label;
+  manifest_.git_version = git_describe();
+}
+
+void Telemetry::mark_run_start() {
+  manifest_.started_at = utc_timestamp();
+  run_started_wall_ = monotonic_seconds();
+}
+
+void Telemetry::mark_run_end() {
+  if (run_started_wall_ > 0.0) {
+    manifest_.wall_seconds = monotonic_seconds() - run_started_wall_;
+  }
+}
+
+void Telemetry::reset_run() {
+  trace_.clear();
+  probe_.clear();
+  anneal_.clear();
+  const std::string label = manifest_.label;
+  const std::string git = manifest_.git_version;
+  manifest_ = RunManifest{};
+  manifest_.label = label;
+  manifest_.git_version = git;
+  run_started_wall_ = 0.0;
+}
+
+bool Telemetry::export_all() const {
+  bool ok = true;
+  if (config_.trace_enabled()) {
+    ok = trace_.write_file(config_.trace_path) && ok;
+  }
+  if (config_.probe_enabled()) {
+    ok = probe_.write_file(config_.probe_path) && ok;
+  }
+  if (config_.manifest_enabled()) {
+    RunManifest m = manifest_;
+    m.anneal_iterations = anneal_.size();
+    m.anneal_accepted = anneal_.accepted_count();
+    m.anneal_improving = anneal_.improving_count();
+    m.anneal_best_objective = anneal_.best_value();
+    ok = m.append_jsonl(config_.manifest_path) && ok;
+  }
+  if (config_.anneal_enabled()) {
+    ok = anneal_.write_file(config_.anneal_path) && ok;
+  }
+  return ok;
+}
+
+}  // namespace scal::obs

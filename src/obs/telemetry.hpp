@@ -1,0 +1,108 @@
+#pragma once
+// Telemetry: the per-run observability handle.  One Telemetry object is
+// created by the caller (bench, example, test), attached to a
+// GridConfig, and threaded by the grid layer through the simulator, the
+// servers, and the metrics assembly.  After the run, export_all() writes
+// every configured artifact:
+//
+//   trace_path     Chrome trace_event JSON (Perfetto-loadable)
+//   probe_path     time-series CSV on probe_interval cadence
+//   manifest_path  one JSONL record (config + counters + results)
+//   anneal_path    per-iteration tuner telemetry CSV
+//
+// A Telemetry instance describes ONE instrumented run; reuse across runs
+// without reset_run() concatenates their events.  The handle is
+// non-owning from the config's point of view (GridConfig carries a raw
+// pointer, null by default), so the zero-telemetry path costs a null
+// check and nothing else.
+
+#include <string>
+
+#include "obs/anneal_log.hpp"
+#include "obs/counters.hpp"
+#include "obs/manifest.hpp"
+#include "obs/probe.hpp"
+#include "obs/trace.hpp"
+
+namespace scal::obs {
+
+struct TelemetryConfig {
+  /// Chrome trace JSON output; empty disables tracing.
+  std::string trace_path;
+  /// Trace microseconds per sim time unit (1000 displays 1 unit as 1ms).
+  double trace_time_scale = 1000.0;
+  /// Emit an events-dispatched counter sample every N kernel events;
+  /// 0 disables the kernel dispatch track.  Sampling (not per-event
+  /// tracing) keeps instrumentation from distorting G(k) measurements.
+  std::uint64_t dispatch_sample_every = 256;
+  bool trace_spans = true;     ///< scheduler/estimator/middleware busy spans
+  bool trace_messages = true;  ///< per-protocol message instants
+  bool trace_jobs = true;      ///< job lifecycle async spans (needs job log)
+
+  /// Time-series CSV output; interval <= 0 disables the probe.
+  std::string probe_path;
+  double probe_interval = 0.0;
+
+  /// JSONL manifest output (appended); empty disables.
+  std::string manifest_path;
+
+  /// Annealing telemetry CSV; empty disables.
+  std::string anneal_path;
+
+  /// Label recorded in the manifest and anneal rows.
+  std::string label;
+
+  bool trace_enabled() const noexcept { return !trace_path.empty(); }
+  bool probe_enabled() const noexcept {
+    return probe_interval > 0.0 && !probe_path.empty();
+  }
+  bool manifest_enabled() const noexcept { return !manifest_path.empty(); }
+  bool anneal_enabled() const noexcept { return !anneal_path.empty(); }
+  bool any_enabled() const noexcept {
+    return trace_enabled() || probe_enabled() || manifest_enabled() ||
+           anneal_enabled();
+  }
+};
+
+class Telemetry {
+ public:
+  explicit Telemetry(TelemetryConfig config);
+
+  const TelemetryConfig& config() const noexcept { return config_; }
+
+  TraceRecorder& trace() noexcept { return trace_; }
+  const TraceRecorder& trace() const noexcept { return trace_; }
+  /// Null when the probe is not configured.
+  TimeSeriesProbe* probe() noexcept { return probe_enabled_ ? &probe_ : nullptr; }
+  const TimeSeriesProbe* probe() const noexcept {
+    return probe_enabled_ ? &probe_ : nullptr;
+  }
+  CounterRegistry& counters() noexcept { return manifest_.counters; }
+  RunManifest& manifest() noexcept { return manifest_; }
+  const RunManifest& manifest() const noexcept { return manifest_; }
+  AnnealLog& anneal() noexcept { return anneal_; }
+  const AnnealLog& anneal() const noexcept { return anneal_; }
+
+  /// Stamp the run start (wall clock); called by GridSystem::run().
+  void mark_run_start();
+  /// Stamp the run end; fills manifest wall_seconds.
+  void mark_run_end();
+
+  /// Drop all recorded data so the handle can instrument another run.
+  void reset_run();
+
+  /// Write every configured artifact.  Returns true when all writes
+  /// succeeded; failures are logged and do not abort the others.
+  bool export_all() const;
+
+ private:
+  TelemetryConfig config_;
+  TraceRecorder trace_;
+  TimeSeriesProbe probe_;
+  bool probe_enabled_ = false;
+  RunManifest manifest_;
+  AnnealLog anneal_;
+  double run_started_wall_ = 0.0;  ///< monotonic seconds
+};
+
+}  // namespace scal::obs

@@ -42,6 +42,17 @@ AnnealingResult anneal(const Space& space, const Objective& objective,
       result.best_value = current_value;
       have_best = true;
     }
+    if (config.observer) {
+      AnnealStep step;
+      step.chain = chain;
+      step.iteration = 0;
+      step.temperature = config.initial_temperature;
+      step.candidate_value = current_value;
+      step.current_value = current_value;
+      step.best_value = result.best_value;
+      step.accepted = true;
+      config.observer(step);
+    }
 
     double temperature = config.initial_temperature;
     for (std::size_t it = 1; it < per_chain; ++it) {
@@ -68,6 +79,18 @@ AnnealingResult anneal(const Space& space, const Objective& objective,
           result.best_point = current;
           result.best_value = current_value;
         }
+      }
+      if (config.observer) {
+        AnnealStep step;
+        step.chain = chain;
+        step.iteration = it;
+        step.temperature = temperature;
+        step.candidate_value = candidate_value;
+        step.current_value = current_value;
+        step.best_value = result.best_value;
+        step.accepted = accept;
+        step.improved = accept && delta < 0.0;
+        config.observer(step);
       }
       temperature *= ratio;
     }

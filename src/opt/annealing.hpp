@@ -14,6 +14,24 @@ namespace scal::opt {
 /// done by the caller via penalties folded into the objective.
 using Objective = std::function<double(const Point&)>;
 
+/// One objective evaluation, as reported to AnnealingConfig::observer.
+/// Defined here (not in obs) so opt stays free of telemetry deps; the
+/// tuner layer converts these into obs::AnnealRecord rows.
+struct AnnealStep {
+  std::size_t chain = 0;
+  std::size_t iteration = 0;  ///< 0 = the chain's initial evaluation
+  double temperature = 0.0;
+  double candidate_value = 0.0;  ///< value of the point just evaluated
+  double current_value = 0.0;    ///< chain state after the accept decision
+  double best_value = 0.0;       ///< global best across chains so far
+  bool accepted = false;
+  bool improved = false;  ///< accepted and strictly better than current
+};
+
+/// Per-evaluation telemetry hook.  Called once per objective evaluation;
+/// must not mutate search state (it sees values, not points).
+using AnnealObserver = std::function<void(const AnnealStep&)>;
+
 struct AnnealingConfig {
   std::size_t iterations = 400;    ///< total objective evaluations
   double initial_temperature = 1.0;
@@ -21,6 +39,8 @@ struct AnnealingConfig {
   std::size_t restarts = 1;        ///< independent chains (best-of)
   /// Optional warm start; defaults to Space::center().
   std::optional<Point> initial_point;
+  /// Optional per-iteration observer (empty = no telemetry).
+  AnnealObserver observer;
 };
 
 struct AnnealingResult {

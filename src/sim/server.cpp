@@ -39,8 +39,14 @@ void Server::start_next() {
   queue_.pop_front();
   in_service_ = true;
   busy_time_ += item.cost;
+  if (trace_ != nullptr) {
+    trace_->begin(trace_tid_, "serve", "server", now(),
+                  {{"cost", item.cost},
+                   {"backlog", static_cast<double>(queue_.size())}});
+  }
   sim().schedule_in(item.cost, [this, done = std::move(item.done)]() {
     ++completed_;
+    if (trace_ != nullptr) trace_->end(trace_tid_, now());
     if (done) done();
     start_next();
   });

@@ -14,6 +14,7 @@
 #include <deque>
 #include <functional>
 
+#include "obs/trace.hpp"
 #include "sim/entity.hpp"
 
 namespace scal::sim {
@@ -49,6 +50,19 @@ class Server : public Entity {
   /// Largest backlog observed.
   std::size_t max_queue_length() const noexcept { return max_queue_; }
 
+  /// Telemetry hook: record a B/E busy span on `tid` of `trace` for
+  /// every service period.  Null detaches; the disabled cost in the
+  /// service path is one pointer test.
+  void attach_trace(obs::TraceRecorder* trace, obs::TraceTid tid) noexcept {
+    trace_ = trace;
+    trace_tid_ = tid;
+  }
+  /// Close a span left open by an item still in service (call once after
+  /// the simulation ends so exported traces have matched B/E pairs).
+  void close_open_span(Time at) {
+    if (trace_ != nullptr && in_service_) trace_->end(trace_tid_, at);
+  }
+
  private:
   struct Item {
     Time cost;
@@ -59,6 +73,8 @@ class Server : public Entity {
   void note_queue_change();
 
   std::deque<Item> queue_;
+  obs::TraceRecorder* trace_ = nullptr;
+  obs::TraceTid trace_tid_ = 0;
   bool in_service_ = false;
   Time busy_time_ = 0.0;
   Time offered_work_ = 0.0;

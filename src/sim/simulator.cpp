@@ -31,6 +31,9 @@ std::uint64_t Simulator::run(Time until) {
     ev.fn();
     ++count;
     ++dispatched_;
+    if (observe_every_ != 0 && dispatched_ % observe_every_ == 0) {
+      dispatch_observer_(now_, dispatched_, queue_.size());
+    }
   }
   // If we reached the horizon (queue drained or next event beyond it),
   // advance the clock to it so measurements see a consistent end time.

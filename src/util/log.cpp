@@ -1,11 +1,13 @@
 #include "util/log.hpp"
 
 #include <iostream>
+#include <utility>
 
 namespace scal::util {
 
 namespace {
 LogLevel g_level = LogLevel::kWarn;
+LogTimeSource g_time_source;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -23,18 +25,33 @@ const char* level_name(LogLevel level) {
 LogLevel log_level() noexcept { return g_level; }
 void set_log_level(LogLevel level) noexcept { g_level = level; }
 
+void set_log_time_source(LogTimeSource source) {
+  g_time_source = std::move(source);
+}
+
 LogLevel parse_log_level(const std::string& name) noexcept {
   if (name == "trace") return LogLevel::kTrace;
   if (name == "debug") return LogLevel::kDebug;
   if (name == "info") return LogLevel::kInfo;
   if (name == "warn") return LogLevel::kWarn;
   if (name == "error") return LogLevel::kError;
-  return LogLevel::kOff;
+  if (name == "off" || name == "none") return LogLevel::kOff;
+  static bool warned = false;
+  if (!warned) {
+    warned = true;
+    std::clog << "[WARN] unknown log level \"" << name
+              << "\"; falling back to warn\n";
+  }
+  return LogLevel::kWarn;
 }
 
 namespace detail {
 void emit(LogLevel level, const std::string& message) {
-  std::clog << '[' << level_name(level) << "] " << message << '\n';
+  std::clog << '[' << level_name(level);
+  if (g_time_source) {
+    std::clog << " t=" << g_time_source();
+  }
+  std::clog << "] " << message << '\n';
 }
 }  // namespace detail
 

@@ -2,6 +2,7 @@
 // Leveled logging.  Off by default in library code; benches and examples
 // raise the level.  Controlled globally (the simulator is single-threaded).
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -12,8 +13,16 @@ enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 LogLevel log_level() noexcept;
 void set_log_level(LogLevel level) noexcept;
 
-/// Parse "trace"/"debug"/"info"/"warn"/"error"/"off"; unknown -> kOff.
+/// Parse "trace"/"debug"/"info"/"warn"/"error"/"off".  Unknown input
+/// falls back to kWarn (never a silent kOff) and emits a one-time
+/// warning naming the bad value.
 LogLevel parse_log_level(const std::string& name) noexcept;
+
+/// Clock for log timestamps.  When set (the grid system installs its
+/// simulator clock for the duration of a run), every emitted line
+/// carries the simulated time; null clears it.
+using LogTimeSource = std::function<double()>;
+void set_log_time_source(LogTimeSource source);
 
 namespace detail {
 void emit(LogLevel level, const std::string& message);

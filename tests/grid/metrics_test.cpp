@@ -101,5 +101,48 @@ TEST(MetricsCollector, ProtocolCounters) {
   EXPECT_EQ(m.updates_suppressed(), 1u);
 }
 
+TEST(MetricsCollector, SnapshotMirrorsAccessors) {
+  MetricsCollector m;
+  m.record_arrival(job_with(100.0, 0.0, 3.0));
+  m.record_completion(job_with(100.0, 10.0, 2.0), 29.0, 10.0, 0.5);
+  m.record_unfinished(3.0);
+  m.count_poll();
+  m.count_transfer();
+  m.count_update_received();
+
+  const MetricsSnapshot s = m.snapshot();
+  EXPECT_DOUBLE_EQ(s.useful_work, m.useful_work());
+  EXPECT_DOUBLE_EQ(s.wasted_work, m.wasted_work());
+  EXPECT_DOUBLE_EQ(s.control_overhead, m.control_overhead());
+  EXPECT_EQ(s.jobs_arrived, m.jobs_arrived());
+  EXPECT_EQ(s.jobs_completed, m.jobs_completed());
+  EXPECT_EQ(s.jobs_succeeded, m.jobs_succeeded());
+  EXPECT_EQ(s.polls, m.polls());
+  EXPECT_EQ(s.transfers, m.transfers());
+  EXPECT_EQ(s.updates_received, m.updates_received());
+}
+
+TEST(MetricsCollector, ResetClearsEverythingButKeepsJobLog) {
+  JobLog log;
+  log.set_enabled(true);
+  MetricsCollector m;
+  m.attach_job_log(&log);
+  m.record_arrival(job_with(100.0, 0.0, 3.0));
+  m.record_completion(job_with(100.0, 10.0, 2.0), 29.0, 10.0, 0.5);
+  m.count_poll();
+  m.count_auction();
+
+  m.reset();
+  const MetricsSnapshot s = m.snapshot();
+  EXPECT_DOUBLE_EQ(s.useful_work, 0.0);
+  EXPECT_DOUBLE_EQ(s.control_overhead, 0.0);
+  EXPECT_EQ(s.jobs_arrived, 0u);
+  EXPECT_EQ(s.polls, 0u);
+  EXPECT_EQ(s.auctions, 0u);
+  EXPECT_EQ(m.response_times().count(), 0u);
+  // The attached log survives a reset (it belongs to the caller).
+  EXPECT_EQ(m.job_log(), &log);
+}
+
 }  // namespace
 }  // namespace scal::grid

@@ -1,0 +1,90 @@
+#include "obs/anneal_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "core/tuner.hpp"
+#include "grid/metrics.hpp"
+#include "obs/telemetry.hpp"
+
+namespace scal::obs {
+namespace {
+
+AnnealRecord record(double candidate, double best, bool accepted,
+                    bool improved) {
+  AnnealRecord r;
+  r.label = "t";
+  r.candidate_value = candidate;
+  r.best_value = best;
+  r.accepted = accepted;
+  r.improved = improved;
+  return r;
+}
+
+TEST(AnnealLog, SummariesOverRecords) {
+  AnnealLog log;
+  EXPECT_EQ(log.best_value(), 0.0);
+  log.add(record(5.0, 5.0, true, false));
+  log.add(record(3.0, 3.0, true, true));
+  log.add(record(9.0, 3.0, false, false));
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.accepted_count(), 2u);
+  EXPECT_EQ(log.improving_count(), 1u);
+  EXPECT_DOUBLE_EQ(log.best_value(), 3.0);
+}
+
+TEST(AnnealLog, CsvHasHeaderAndOneRowPerRecord) {
+  AnnealLog log;
+  log.add(record(5.0, 5.0, true, false));
+  log.add(record(3.0, 3.0, true, true));
+  std::ostringstream os;
+  log.write_csv(os);
+  std::istringstream is(os.str());
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(is, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[0].find("candidate"), std::string::npos);
+  EXPECT_NE(lines[1].find("t,"), std::string::npos);
+}
+
+TEST(AnnealLog, TunerSearchFeedsTheLog) {
+  // Analytic stand-in runner: G falls with the update interval while the
+  // efficiency stays pinned inside the band, so the search is well posed
+  // without running simulations.
+  const core::SimRunner runner = [](const grid::GridConfig& config) {
+    grid::SimulationResult r;
+    r.F = 400.0;
+    r.G_scheduler = 100.0 + config.tuning.update_interval;
+    r.H_control = 100.0;
+    EXPECT_EQ(config.telemetry, nullptr)
+        << "search evaluations must strip the telemetry handle";
+    return r;
+  };
+
+  grid::GridConfig base;
+  base.topology.nodes = 80;
+  Telemetry outer_handle{TelemetryConfig{}};
+  base.telemetry = &outer_handle;  // must NOT leak into candidates
+
+  AnnealLog log;
+  core::TunerConfig tuner;
+  tuner.evaluations = 10;
+  tuner.restarts = 2;
+  tuner.e0 = 0.40;
+  tuner.band = 0.30;
+  tuner.anneal_log = &log;
+  tuner.anneal_label = "unit";
+
+  const auto outcome = core::tune_enablers(
+      base, core::ScalingCase::case1_network_size(), tuner, runner);
+  EXPECT_GT(outcome.evaluations, 0u);
+  EXPECT_EQ(log.size(), outcome.evaluations);
+  for (const AnnealRecord& r : log.records()) {
+    EXPECT_EQ(r.label, "unit");
+  }
+}
+
+}  // namespace
+}  // namespace scal::obs

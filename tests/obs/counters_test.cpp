@@ -1,0 +1,51 @@
+#include "obs/counters.hpp"
+
+#include <gtest/gtest.h>
+
+#include "json_checker.hpp"
+
+namespace scal::obs {
+namespace {
+
+TEST(CounterRegistry, SetAndIncrement) {
+  CounterRegistry reg;
+  EXPECT_TRUE(reg.empty());
+  reg.set("polls", 3);
+  reg.increment("polls", 2);
+  reg.increment("fresh");  // creates at 1
+  reg.set_real("G_scheduler", 12.5);
+
+  EXPECT_EQ(reg.size(), 3u);
+  EXPECT_TRUE(reg.contains("polls"));
+  EXPECT_FALSE(reg.contains("absent"));
+  EXPECT_DOUBLE_EQ(reg.value("polls"), 5.0);
+  EXPECT_DOUBLE_EQ(reg.value("fresh"), 1.0);
+  EXPECT_DOUBLE_EQ(reg.value("G_scheduler"), 12.5);
+  EXPECT_DOUBLE_EQ(reg.value("absent"), 0.0);
+}
+
+TEST(CounterRegistry, SetOverwritesInPlaceKeepingOrder) {
+  CounterRegistry reg;
+  reg.set("a", 1);
+  reg.set("b", 2);
+  reg.set("a", 10);
+  ASSERT_EQ(reg.size(), 2u);
+  EXPECT_EQ(reg.counters()[0].name, "a");
+  EXPECT_DOUBLE_EQ(reg.counters()[0].value, 10.0);
+  EXPECT_EQ(reg.counters()[1].name, "b");
+}
+
+TEST(CounterRegistry, ToJsonIsParsableAndTyped) {
+  CounterRegistry reg;
+  reg.set("jobs", 42);
+  reg.set_real("G", 3.25);
+  const testjson::Value v = testjson::parse(reg.to_json());
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.at("jobs").number, 42.0);
+  EXPECT_EQ(v.at("G").number, 3.25);
+  // Integral counters render without a decimal point.
+  EXPECT_NE(reg.to_json().find("\"jobs\":42"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scal::obs

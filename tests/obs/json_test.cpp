@@ -1,0 +1,75 @@
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include "json_checker.hpp"
+
+namespace scal::obs {
+namespace {
+
+TEST(JsonString, EscapesControlQuotesAndBackslash) {
+  EXPECT_EQ(json_string("plain"), "\"plain\"");
+  EXPECT_EQ(json_string("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(json_string("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(json_string("a\nb\tc"), "\"a\\nb\\tc\"");
+  // Raw control characters use \u00XX.
+  EXPECT_EQ(json_string(std::string(1, '\x01')), "\"\\u0001\"");
+}
+
+TEST(JsonString, RoundTripsThroughParser) {
+  const std::string nasty = "q\"s\\t\n\r\t\f\b end";
+  const testjson::Value v = testjson::parse(json_string(nasty));
+  EXPECT_EQ(v.string, nasty);
+}
+
+TEST(JsonNumber, ShortestRoundTripDecimals) {
+  for (const double x :
+       {0.0, 1.0, -1.5, 0.1, 1.0 / 3.0, 1e-9, 12345.6789,
+        0.4012345678901234, 1e300, -2.2250738585072014e-308}) {
+    const std::string text = json_number(x);
+    char* end = nullptr;
+    const double back = std::strtod(text.c_str(), &end);
+    EXPECT_EQ(back, x) << text;
+    EXPECT_EQ(*end, '\0') << text;
+  }
+}
+
+TEST(JsonNumber, NonFiniteBecomesNull) {
+  EXPECT_EQ(json_number(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_number(-std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(JsonNumber, IntegersKeepFullPrecision) {
+  // Values beyond 2^53 lose digits as doubles; the integer overloads
+  // must not route through double.
+  const std::uint64_t big = 9007199254740993ull;  // 2^53 + 1
+  EXPECT_EQ(json_number(big), "9007199254740993");
+  EXPECT_EQ(json_number(static_cast<std::int64_t>(-42)), "-42");
+}
+
+TEST(JsonObject, BuildsNestedValidJson) {
+  JsonObject inner;
+  inner.field("x", 1.5).field("ok", true);
+  JsonObject outer;
+  outer.field("name", "run \"1\"")
+      .field("count", static_cast<std::uint64_t>(3))
+      .raw("inner", inner.str());
+  const testjson::Value v = testjson::parse(outer.str());
+  EXPECT_EQ(v.at("name").string, "run \"1\"");
+  EXPECT_EQ(v.at("count").number, 3.0);
+  EXPECT_EQ(v.at("inner").at("x").number, 1.5);
+  EXPECT_TRUE(v.at("inner").at("ok").boolean);
+}
+
+TEST(JsonObject, EmptyObjectIsValid) {
+  JsonObject obj;
+  EXPECT_EQ(obj.str(), "{}");
+}
+
+}  // namespace
+}  // namespace scal::obs

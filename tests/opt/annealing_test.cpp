@@ -142,6 +142,56 @@ TEST(Annealing, RejectsBadConfig) {
                std::invalid_argument);
 }
 
+TEST(Annealing, ObserverSeesEveryEvaluation) {
+  const Space space = box(2, -5.0, 5.0);
+  AnnealingConfig config;
+  config.iterations = 120;
+  config.restarts = 2;
+  std::vector<AnnealStep> steps;
+  config.observer = [&](const AnnealStep& step) { steps.push_back(step); };
+  util::RandomStream rng(3, "sa");
+  const auto result = anneal(space, sphere, config, rng);
+
+  ASSERT_EQ(steps.size(), result.evaluations);
+  // Each chain opens with an iteration-0 step that is always accepted.
+  std::size_t chain_starts = 0;
+  std::size_t accepted = 0, improved = 0;
+  double best_so_far = steps.front().best_value;
+  for (const AnnealStep& s : steps) {
+    if (s.iteration == 0) {
+      ++chain_starts;
+      EXPECT_TRUE(s.accepted);
+    } else {
+      accepted += s.accepted ? 1 : 0;
+      improved += s.improved ? 1 : 0;
+    }
+    // best_value is monotone non-increasing across the whole search.
+    EXPECT_LE(s.best_value, best_so_far + 1e-12);
+    best_so_far = s.best_value;
+    EXPECT_GT(s.temperature, 0.0);
+  }
+  EXPECT_EQ(chain_starts, config.restarts);
+  EXPECT_EQ(accepted, result.accepted_moves);
+  EXPECT_EQ(improved, result.improving_moves);
+}
+
+TEST(Annealing, ObserverDoesNotPerturbSearch) {
+  const Space space = box(3, -5.0, 5.0);
+  AnnealingConfig config;
+  config.iterations = 400;
+
+  util::RandomStream rng_a(21, "sa");
+  const auto plain = anneal(space, sphere, config, rng_a);
+
+  config.observer = [](const AnnealStep&) {};
+  util::RandomStream rng_b(21, "sa");
+  const auto observed = anneal(space, sphere, config, rng_b);
+
+  EXPECT_EQ(plain.best_value, observed.best_value);
+  EXPECT_EQ(plain.best_point, observed.best_point);
+  EXPECT_EQ(plain.accepted_moves, observed.accepted_moves);
+}
+
 TEST(Annealing, CountsAcceptedAndImprovingMoves) {
   const Space space = box(2, -5.0, 5.0);
   AnnealingConfig config;

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <iostream>
+#include <sstream>
+
 namespace scal::util {
 namespace {
 
@@ -24,7 +27,27 @@ TEST_F(LogTest, ParseKnownNames) {
   EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
   EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
   EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
-  EXPECT_EQ(parse_log_level("garbage"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("none"), LogLevel::kOff);
+}
+
+TEST_F(LogTest, ParseUnknownFallsBackToWarnNotOff) {
+  // A typo in SCAL_LOG_LEVEL must not silently disable logging.
+  EXPECT_EQ(parse_log_level("garbage"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level(""), LogLevel::kWarn);
+}
+
+TEST_F(LogTest, SimTimeSourceAppearsInEmittedLines) {
+  set_log_level(LogLevel::kInfo);
+  set_log_time_source([]() { return 123.5; });
+  std::ostringstream captured;
+  std::streambuf* old = std::clog.rdbuf(captured.rdbuf());
+  SCAL_INFO("stamped");
+  std::clog.rdbuf(old);
+  set_log_time_source(nullptr);
+  EXPECT_NE(captured.str().find("INFO"), std::string::npos);
+  EXPECT_NE(captured.str().find("t=123.5"), std::string::npos);
+  EXPECT_NE(captured.str().find("stamped"), std::string::npos);
 }
 
 TEST_F(LogTest, FilteredMessageDoesNotEvaluateStream) {
