@@ -2,16 +2,33 @@
 // methodology.  Replicates every RMS's base configuration across seeds
 // and reports the coefficient of variation of G — the margin below
 // which cross-RMS G(k) differences in the figures are not meaningful.
+// Closes with a parallel-replication check: the same campaign at
+// --jobs 1 vs --jobs hw, verifying bit-identical statistics and
+// reporting the wall-clock speedup.
 
+#include <chrono>
 #include <iostream>
 
 #include "common.hpp"
 #include "core/sensitivity.hpp"
+#include "exec/jobs.hpp"
+#include "exec/thread_pool.hpp"
 #include "util/table.hpp"
 
-int main() {
+namespace {
+
+double wall_seconds(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace scal;
   using util::Table;
+
+  bench::parse_telemetry_cli(argc, argv, "ablation_replication");
 
   grid::GridConfig base = bench::case1_base();
   const std::size_t replications = bench::fast_mode() ? 3 : 7;
@@ -20,12 +37,18 @@ int main() {
             << base.topology.nodes << " nodes, " << replications
             << " seeds per RMS)\n\n";
 
+  // The noise-floor table itself runs with the configured job count.
+  const std::size_t jobs = bench::job_count();
+  std::unique_ptr<exec::ThreadPool> pool;
+  if (jobs > 1) pool = std::make_unique<exec::ThreadPool>(jobs - 1);
+
   Table table({"RMS", "G mean", "G stddev", "G cv", "E mean", "E stddev",
                "resp mean"});
   for (const grid::RmsKind kind : bench::all_rms()) {
     base.rms = kind;
     const core::ReplicationStats stats =
-        core::replicate(base, replications, /*base_seed=*/100);
+        core::replicate(base, replications, /*base_seed=*/100,
+                        core::default_runner(), pool.get());
     table.add_row({
         grid::to_string(kind),
         Table::fixed(stats.G.mean(), 1),
@@ -39,5 +62,37 @@ int main() {
   table.print(std::cout);
   std::cout << "\nRule of thumb: treat figure-level G differences below "
                "~2x the cv as noise.\n";
-  return 0;
+
+  // Parallel-execution trajectory: one RMS's replication campaign at
+  // 1 lane vs every hardware lane.  The statistics must agree bit for
+  // bit (the determinism contract); the wall-clock ratio is the win.
+  const std::size_t hw = exec::hardware_jobs();
+  base.rms = grid::RmsKind::kLowest;
+
+  auto t0 = std::chrono::steady_clock::now();
+  const core::ReplicationStats serial =
+      core::replicate(base, replications, /*base_seed=*/100);
+  const double serial_s = wall_seconds(t0);
+
+  exec::ThreadPool hw_pool(hw - 1);
+  t0 = std::chrono::steady_clock::now();
+  const core::ReplicationStats parallel =
+      core::replicate(base, replications, /*base_seed=*/100,
+                      core::default_runner(), &hw_pool);
+  const double parallel_s = wall_seconds(t0);
+
+  const bool identical =
+      serial.G.mean() == parallel.G.mean() &&
+      serial.G.stddev() == parallel.G.stddev() &&
+      serial.efficiency.mean() == parallel.efficiency.mean() &&
+      serial.mean_response.mean() == parallel.mean_response.mean();
+
+  std::cout << "\nParallel replication (LOWEST, " << replications
+            << " seeds): jobs=1 " << serial_s << " s, jobs=" << hw << " "
+            << parallel_s << " s, speedup "
+            << (parallel_s > 0.0 ? serial_s / parallel_s : 0.0) << "x ("
+            << hw << " hardware lanes); stats "
+            << (identical ? "bit-identical" : "DIFFER (determinism bug!)")
+            << "\n";
+  return identical ? 0 : 1;
 }

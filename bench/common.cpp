@@ -3,11 +3,24 @@
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 
+#include "exec/jobs.hpp"
+#include "exec/thread_pool.hpp"
 #include "rms/factory.hpp"
 #include "util/env.hpp"
 
 namespace scal::bench {
+
+namespace {
+/// Set by parse_telemetry_cli (--jobs beats SCAL_JOBS beats 1).
+std::size_t g_jobs = 0;
+}  // namespace
+
+std::size_t job_count() {
+  if (g_jobs == 0) g_jobs = exec::env_jobs(1);
+  return g_jobs;
+}
 
 obs::TelemetryConfig parse_telemetry_cli(int argc, char** argv,
                                          const std::string& default_label) {
@@ -19,7 +32,8 @@ obs::TelemetryConfig parse_telemetry_cli(int argc, char** argv,
     std::cerr << argv[0] << ": " << complaint << "\n"
               << "usage: " << argv[0]
               << " [--trace PATH] [--probe PATH] [--probe-interval T]\n"
-              << "       [--manifest PATH] [--anneal PATH] [--label NAME]\n";
+              << "       [--manifest PATH] [--anneal PATH] [--label NAME]\n"
+              << "       [--jobs N|hw]\n";
     std::exit(2);
   };
   auto value = [&](int& i) -> std::string {
@@ -47,6 +61,14 @@ obs::TelemetryConfig parse_telemetry_cli(int argc, char** argv,
       tc.anneal_path = value(i);
     } else if (flag == "--label") {
       tc.label = value(i);
+    } else if (flag == "--jobs") {
+      const std::string text = value(i);
+      const std::size_t jobs = exec::parse_jobs(text, 0);
+      if (jobs == 0) {
+        usage("--jobs expects a positive integer or 'hw', got '" + text +
+              "'");
+      }
+      g_jobs = jobs;
     } else {
       usage("unexpected argument '" + flag + "'");
     }
@@ -177,6 +199,18 @@ std::vector<core::CaseResult> run_overhead_figure(
     core::ProcedureConfig procedure, obs::Telemetry* telemetry) {
   const auto t0 = std::chrono::steady_clock::now();
 
+  // The sweep's worker pool: jobs - 1 workers plus this thread.  The
+  // results are bit-identical at any job count (docs/PARALLELISM.md).
+  const std::size_t jobs = job_count();
+  std::unique_ptr<exec::ThreadPool> pool;
+  if (jobs > 1) {
+    pool = std::make_unique<exec::ThreadPool>(jobs - 1);
+    procedure.pool = pool.get();
+  }
+  if (telemetry != nullptr) {
+    telemetry->manifest().jobs = jobs;
+  }
+
   // Step 1 (paper Figure 1): choose a feasible efficiency to hold.
   // This reference run doubles as the figure's instrumented run.
   const double k_mid =
@@ -190,7 +224,9 @@ std::vector<core::CaseResult> run_overhead_figure(
   std::cout << figure_name << "\n" << procedure.scase.name
             << "\nholding E(k) = " << e0 << " +/- "
             << procedure.tuner.band << " (paper band: [0.38, 0.42]; see "
-            << "EXPERIMENTS.md for the calibration note)\n\n";
+            << "EXPERIMENTS.md for the calibration note)\n"
+            << (jobs > 1 ? "jobs: " + std::to_string(jobs) + "\n" : "")
+            << "\n";
 
   core::ProgressFn progress = [](grid::RmsKind rms, double k,
                                  const core::TuneOutcome& outcome) {

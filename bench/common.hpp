@@ -13,6 +13,7 @@
 //   SCAL_BENCH_EVALS=n   SA budget at the base scale point
 //   SCAL_BENCH_SEED=n    simulation seed
 //   SCAL_BENCH_CSV=dir   where CSV series are written (default ".")
+//   SCAL_JOBS=n          parallel lanes ("hw" = all cores; default 1)
 
 #include <string>
 #include <vector>
@@ -31,9 +32,15 @@ namespace scal::bench {
 ///   --manifest PATH     append one JSONL run record
 ///   --anneal PATH       per-iteration tuner telemetry CSV
 ///   --label NAME        manifest / anneal label (default: figure name)
+///   --jobs N            parallel lanes ("hw" = all cores); overrides
+///                       SCAL_JOBS; results are bit-identical at any N
 /// Unknown flags print usage to stderr and exit(2).
 obs::TelemetryConfig parse_telemetry_cli(int argc, char** argv,
                                          const std::string& default_label);
+
+/// The job count of this bench process: --jobs if parse_telemetry_cli
+/// saw one, else SCAL_JOBS, else 1.
+std::size_t job_count();
 
 /// The paper's four experimental cases (Tables 2-5) with calibrated
 /// base configurations.

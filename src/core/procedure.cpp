@@ -1,7 +1,11 @@
 #include "core/procedure.hpp"
 
+#include <mutex>
 #include <stdexcept>
+#include <vector>
 
+#include "exec/thread_pool.hpp"
+#include "obs/anneal_log.hpp"
 #include "util/log.hpp"
 
 namespace scal::core {
@@ -27,6 +31,7 @@ CaseResult measure_scalability(const grid::GridConfig& base,
     const grid::GridConfig scaled = apply_scale(rms_base, procedure.scase, k);
     // Step 3: tune the enablers at this scale.
     TunerConfig tuner = procedure.tuner;
+    if (tuner.pool == nullptr) tuner.pool = procedure.pool;
     if (warm && procedure.warm_evaluations > 0) {
       tuner.evaluations = procedure.warm_evaluations;
     }
@@ -55,11 +60,49 @@ std::vector<CaseResult> measure_all(const grid::GridConfig& base,
                                     const ProcedureConfig& procedure,
                                     const SimRunner& runner,
                                     const ProgressFn& progress) {
-  std::vector<CaseResult> results;
-  results.reserve(kinds.size());
-  for (const grid::RmsKind kind : kinds) {
-    results.push_back(
-        measure_scalability(base, kind, procedure, runner, progress));
+  const bool parallel =
+      procedure.pool != nullptr && procedure.pool->size() > 0 &&
+      kinds.size() > 1;
+
+  // Progress callbacks may fire from any worker under a shared lock (so
+  // caller-side printing stays line-atomic); their order across kinds is
+  // nondeterministic, unlike the results.
+  std::mutex progress_mutex;
+  ProgressFn guarded_progress;
+  if (progress) {
+    guarded_progress = [&](grid::RmsKind rms, double k,
+                           const TuneOutcome& outcome) {
+      std::lock_guard<std::mutex> lock(progress_mutex);
+      progress(rms, k, outcome);
+    };
+  }
+
+  // Each kind gets a private anneal log; the rows land in the shared
+  // sink in kind order afterwards — the same order the serial loop
+  // produces, at any job count.
+  obs::AnnealLog* shared_log = procedure.tuner.anneal_log;
+  std::vector<obs::AnnealLog> kind_logs(
+      shared_log != nullptr ? kinds.size() : 0);
+
+  std::vector<CaseResult> results(kinds.size());
+  exec::parallel_for(
+      parallel ? procedure.pool : nullptr, kinds.size(), [&](std::size_t i) {
+        ProcedureConfig kind_procedure = procedure;
+        // The per-kind sweep is sequential (warm-start chaining), so the
+        // pool's spare lanes go to the annealing chains inside it.
+        if (shared_log != nullptr) {
+          kind_procedure.tuner.anneal_log = &kind_logs[i];
+        }
+        results[i] = measure_scalability(base, kinds[i], kind_procedure,
+                                         runner, guarded_progress);
+      });
+
+  if (shared_log != nullptr) {
+    for (const obs::AnnealLog& log : kind_logs) {
+      for (const obs::AnnealRecord& rec : log.records()) {
+        shared_log->add(rec);
+      }
+    }
   }
   return results;
 }

@@ -12,6 +12,10 @@
 #include "core/isoefficiency.hpp"
 #include "core/tuner.hpp"
 
+namespace scal::exec {
+class ThreadPool;
+}
+
 namespace scal::core {
 
 struct ProcedureConfig {
@@ -24,6 +28,12 @@ struct ProcedureConfig {
   /// first point's budget).  Warm starts converge much faster, so the
   /// sweep spends most of its budget on the base configuration.
   std::size_t warm_evaluations = 0;
+  /// Optional worker pool (non-owning).  measure_all spreads RMS kinds
+  /// over it and every tuner search spreads its annealing chains over
+  /// it (nested use of one pool is safe); results are bit-identical to
+  /// the serial run.  The runner and progress callback must be
+  /// thread-safe when set.
+  exec::ThreadPool* pool = nullptr;
 };
 
 /// Progress callback: (rms, k, outcome) after each tuned scale point.
@@ -39,6 +49,10 @@ CaseResult measure_scalability(const grid::GridConfig& base,
                                const ProgressFn& progress = {});
 
 /// Measure every requested RMS (paper Figures 2-5 sweep all seven).
+/// With a pool on `procedure`, kinds run concurrently; the result
+/// vector, the tuner outcomes, and the anneal-log row order are
+/// bit-identical to the serial sweep.  Progress callbacks are
+/// serialized but may arrive in any kind order.
 std::vector<CaseResult> measure_all(
     const grid::GridConfig& base, const std::vector<grid::RmsKind>& kinds,
     const ProcedureConfig& procedure,

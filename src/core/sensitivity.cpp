@@ -2,20 +2,35 @@
 
 #include <stdexcept>
 
+#include "exec/thread_pool.hpp"
+
 namespace scal::core {
 
 ReplicationStats replicate(const grid::GridConfig& config,
                            const std::vector<std::uint64_t>& seeds,
-                           const SimRunner& runner) {
+                           const SimRunner& runner, exec::ThreadPool* pool) {
   if (seeds.empty()) {
     throw std::invalid_argument("replicate: no seeds");
   }
+  if (pool != nullptr && pool->size() > 0 && config.telemetry != nullptr) {
+    // A shared telemetry handle cannot record concurrent runs; attach
+    // telemetry to single runs, not to parallel replication.
+    throw std::invalid_argument("replicate: telemetry with a pool");
+  }
   ReplicationStats stats;
   stats.seeds = seeds;
-  for (const std::uint64_t seed : seeds) {
+
+  // Each seed's simulation is independent; results land in their own
+  // slots and the accumulators are filled in seed order afterwards, so
+  // the spread statistics do not depend on the job count.
+  std::vector<grid::SimulationResult> results(seeds.size());
+  exec::parallel_for(pool, seeds.size(), [&](std::size_t i) {
     grid::GridConfig c = config;
-    c.seed = seed;
-    const grid::SimulationResult r = runner(c);
+    c.seed = seeds[i];
+    results[i] = runner(c);
+  });
+
+  for (const grid::SimulationResult& r : results) {
     stats.G.add(r.G());
     stats.F.add(r.F);
     stats.H.add(r.H());
@@ -28,13 +43,13 @@ ReplicationStats replicate(const grid::GridConfig& config,
 
 ReplicationStats replicate(const grid::GridConfig& config,
                            std::size_t replications, std::uint64_t base_seed,
-                           const SimRunner& runner) {
+                           const SimRunner& runner, exec::ThreadPool* pool) {
   std::vector<std::uint64_t> seeds;
   seeds.reserve(replications);
   for (std::size_t i = 0; i < replications; ++i) {
     seeds.push_back(base_seed + i);
   }
-  return replicate(config, seeds, runner);
+  return replicate(config, seeds, runner, pool);
 }
 
 }  // namespace scal::core

@@ -10,6 +10,10 @@
 #include "core/tuner.hpp"
 #include "util/stats.hpp"
 
+namespace scal::exec {
+class ThreadPool;
+}
+
 namespace scal::core {
 
 struct ReplicationStats {
@@ -28,15 +32,21 @@ struct ReplicationStats {
 };
 
 /// Run `config` under each seed (config.seed is overridden) and collect
-/// the spread.  The runner is injectable for tests.
+/// the spread.  The runner is injectable for tests.  With a pool the
+/// seeds run concurrently (runner must be thread-safe and
+/// config.telemetry must be null — enforced); the accumulators are
+/// filled in seed order after the join, so the stats are bit-identical
+/// to the serial run.
 ReplicationStats replicate(const grid::GridConfig& config,
                            const std::vector<std::uint64_t>& seeds,
-                           const SimRunner& runner = default_runner());
+                           const SimRunner& runner = default_runner(),
+                           exec::ThreadPool* pool = nullptr);
 
 /// Convenience: seeds 'base_seed .. base_seed + replications - 1'.
 ReplicationStats replicate(const grid::GridConfig& config,
                            std::size_t replications,
                            std::uint64_t base_seed = 1,
-                           const SimRunner& runner = default_runner());
+                           const SimRunner& runner = default_runner(),
+                           exec::ThreadPool* pool = nullptr);
 
 }  // namespace scal::core

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <limits>
+#include <vector>
 
 #include "obs/anneal_log.hpp"
 #include "opt/annealing.hpp"
@@ -24,6 +25,34 @@ double penalized_objective(const grid::SimulationResult& result,
   return g * (1.0 + config.penalty_weight * excess * excess);
 }
 
+namespace {
+
+/// Best-evaluation tracker.  The search runs one of these per annealing
+/// chain (plus one for the warm-start anchor probes), so concurrent
+/// chains never share mutable state; tune_enablers then reduces them in
+/// slot order, which reproduces the historical serial bookkeeping
+/// (anchors first, then chain 0, chain 1, ...) bit for bit.
+struct EvalTrack {
+  double value = std::numeric_limits<double>::infinity();
+  grid::Tuning tuning;
+  grid::SimulationResult result;
+  std::size_t evaluations = 0;
+  bool have = false;
+
+  void consider(double candidate_value, const grid::Tuning& candidate_tuning,
+                const grid::SimulationResult& candidate_result) {
+    ++evaluations;
+    if (!have || candidate_value < value) {
+      have = true;
+      value = candidate_value;
+      tuning = candidate_tuning;
+      result = candidate_result;
+    }
+  }
+};
+
+}  // namespace
+
 TuneOutcome tune_enablers(const grid::GridConfig& config,
                           const ScalingCase& scase, const TunerConfig& tuner,
                           const SimRunner& runner,
@@ -31,28 +60,24 @@ TuneOutcome tune_enablers(const grid::GridConfig& config,
   const opt::Space space = enabler_space(scase);
 
   // Track the best *simulation* alongside the best objective so the
-  // outcome does not need a re-run at the optimum.
-  TuneOutcome outcome;
-  double best_value = std::numeric_limits<double>::infinity();
+  // outcome does not need a re-run at the optimum.  Slot 0 collects the
+  // warm-start anchors; slot 1 + c belongs to chain c.
+  std::vector<EvalTrack> tracks(1 + tuner.restarts);
 
-  opt::Objective objective = [&](const opt::Point& point) {
-    const grid::Tuning tuning =
-        tuning_from_point(scase, config.tuning, point);
-    grid::GridConfig candidate = config;
-    candidate.tuning = tuning;
-    // Search evaluations stay silent: only the caller's own instrumented
-    // run records traces/probes, never the tuner's probing.
-    candidate.telemetry = nullptr;
-    const grid::SimulationResult result = runner(candidate);
-    const double value = penalized_objective(result, tuner);
-    ++outcome.evaluations;
-    if (value < best_value) {
-      best_value = value;
-      outcome.tuning = tuning;
-      outcome.result = result;
-      outcome.objective = value;
-    }
-    return value;
+  auto make_objective = [&](EvalTrack& track) {
+    return [&config, &scase, &tuner, &runner, &track](const opt::Point& point) {
+      const grid::Tuning tuning =
+          tuning_from_point(scase, config.tuning, point);
+      grid::GridConfig candidate = config;
+      candidate.tuning = tuning;
+      // Search evaluations stay silent: only the caller's own instrumented
+      // run records traces/probes, never the tuner's probing.
+      candidate.telemetry = nullptr;
+      const grid::SimulationResult result = runner(candidate);
+      const double value = penalized_objective(result, tuner);
+      track.consider(value, tuning, result);
+      return value;
+    };
   };
 
   opt::AnnealingConfig anneal_config;
@@ -63,7 +88,14 @@ TuneOutcome tune_enablers(const grid::GridConfig& config,
   // exploration at T ~ 1 wastes evaluations random-walking.
   anneal_config.initial_temperature = 0.35;
   anneal_config.final_temperature = 0.005;
+  anneal_config.pool = tuner.pool;
+  anneal_config.chain_objective = [&](std::size_t chain) {
+    return make_objective(tracks[1 + chain]);
+  };
   if (tuner.anneal_log != nullptr) {
+    // The observer runs on the caller's thread in chain-major order
+    // after the chains finished, so the log rows stay well-formed and
+    // identically ordered at any job count.
     anneal_config.observer = [&tuner](const opt::AnnealStep& step) {
       obs::AnnealRecord rec;
       rec.label = tuner.anneal_label;
@@ -78,15 +110,17 @@ TuneOutcome tune_enablers(const grid::GridConfig& config,
       tuner.anneal_log->add(std::move(rec));
     };
   }
-  // Warm-start anchor probes are telemetry-visible too (temperature 0,
-  // outside any chain's numbering).
+
+  // Warm-start anchor probes run serially before the chains and are
+  // telemetry-visible (temperature 0, outside any chain's numbering).
+  opt::Objective anchor_objective = make_objective(tracks[0]);
   auto log_anchor = [&](double value) {
     if (tuner.anneal_log == nullptr) return;
     obs::AnnealRecord rec;
     rec.label = tuner.anneal_label;
     rec.candidate_value = value;
     rec.current_value = value;
-    rec.best_value = best_value;
+    rec.best_value = tracks[0].value;
     rec.accepted = true;
     tuner.anneal_log->add(std::move(rec));
   };
@@ -99,11 +133,11 @@ TuneOutcome tune_enablers(const grid::GridConfig& config,
         space.clamp(point_from_tuning(scase, *warm_start));
     const opt::Point default_point =
         space.clamp(point_from_tuning(scase, config.tuning));
-    const double warm_value = objective(warm_point);
+    const double warm_value = anchor_objective(warm_point);
     log_anchor(warm_value);
     double default_value = warm_value;
     if (default_point != warm_point) {
-      default_value = objective(default_point);
+      default_value = anchor_objective(default_point);
       log_anchor(default_value);
     }
     anneal_config.initial_point =
@@ -111,7 +145,22 @@ TuneOutcome tune_enablers(const grid::GridConfig& config,
     if (anneal_config.iterations > 2) anneal_config.iterations -= 2;
   }
   util::RandomStream search_rng(tuner.seed, "enabler-tuner");
-  opt::anneal(space, objective, anneal_config, search_rng);
+  opt::anneal(space, opt::Objective{}, anneal_config, search_rng);
+
+  // Deterministic reduction in slot order (anchors, then chains).
+  TuneOutcome outcome;
+  double best_value = std::numeric_limits<double>::infinity();
+  bool have = false;
+  for (const EvalTrack& track : tracks) {
+    outcome.evaluations += track.evaluations;
+    if (track.have && (!have || track.value < best_value)) {
+      have = true;
+      best_value = track.value;
+      outcome.tuning = track.tuning;
+      outcome.result = track.result;
+      outcome.objective = track.value;
+    }
+  }
 
   outcome.feasible =
       std::abs(outcome.result.efficiency() - tuner.e0) <= tuner.band + 1e-12;

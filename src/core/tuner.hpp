@@ -15,6 +15,10 @@ namespace scal::obs {
 class AnnealLog;
 }
 
+namespace scal::exec {
+class ThreadPool;
+}
+
 namespace scal::core {
 
 /// Runs one simulation for a configuration.  Injected so tests can
@@ -47,6 +51,12 @@ struct TunerConfig {
   /// it.
   obs::AnnealLog* anneal_log = nullptr;
   std::string anneal_label;  ///< e.g. "LOWEST k=3"
+
+  /// Optional worker pool (non-owning, like anneal_log): the annealing
+  /// restart chains run concurrently on its workers plus the calling
+  /// thread.  Null = serial.  The outcome is bit-identical either way;
+  /// `runner` must be safe to call from several threads when set.
+  exec::ThreadPool* pool = nullptr;
 };
 
 struct TuneOutcome {

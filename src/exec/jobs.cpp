@@ -1,0 +1,29 @@
+#include "exec/jobs.hpp"
+
+#include <cstdlib>
+#include <thread>
+
+#include "util/env.hpp"
+
+namespace scal::exec {
+
+std::size_t hardware_jobs() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+std::size_t parse_jobs(const std::string& text, std::size_t fallback) {
+  if (text == "hw" || text == "auto") return hardware_jobs();
+  char* end = nullptr;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || value < 1) return fallback;
+  return static_cast<std::size_t>(value);
+}
+
+std::size_t env_jobs(std::size_t fallback) {
+  const std::string text = util::env_or("SCAL_JOBS", "");
+  if (text.empty()) return fallback;
+  return parse_jobs(text, fallback);
+}
+
+}  // namespace scal::exec

@@ -1,0 +1,15 @@
+#include "exec/seed_sequence.hpp"
+
+#include "util/rng.hpp"
+
+namespace scal::exec {
+
+std::uint64_t SeedSequence::at(std::uint64_t index) const noexcept {
+  // Jump the splitmix64 state directly to position `index` (the
+  // increment is a fixed odd constant, so position i is root + i*gamma),
+  // then take one step: cheap O(1) random access into the stream.
+  std::uint64_t state = root_ + index * 0x9E3779B97F4A7C15ULL;
+  return util::splitmix64(state);
+}
+
+}  // namespace scal::exec

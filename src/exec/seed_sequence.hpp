@@ -1,0 +1,37 @@
+#pragma once
+// SeedSequence: schedule-independent RNG substream derivation for
+// parallel task fan-out.
+//
+// Every parallel construct in this codebase (annealing restart chains,
+// seed replication, per-RMS sweeps) gives task i the seed `seq.at(i)`,
+// derived purely from (root, i) by a splitmix64 step.  A task's stream
+// therefore never depends on which worker ran it, in what order, or how
+// many draws its siblings consumed — which is what makes `--jobs 1` and
+// `--jobs N` bit-identical (docs/PARALLELISM.md).
+
+#include <cstdint>
+
+namespace scal::exec {
+
+class SeedSequence {
+ public:
+  explicit SeedSequence(std::uint64_t root) noexcept : root_(root) {}
+
+  std::uint64_t root() const noexcept { return root_; }
+
+  /// Seed of substream `index`: the splitmix64 output at position
+  /// `index + 1` of the stream rooted at `root`.  Stateless; any index
+  /// may be queried in any order from any thread.
+  std::uint64_t at(std::uint64_t index) const noexcept;
+
+  /// A nested sequence for task `index`'s own fan-out (e.g. one
+  /// replication task spawning per-component streams).
+  SeedSequence child(std::uint64_t index) const noexcept {
+    return SeedSequence(at(index));
+  }
+
+ private:
+  std::uint64_t root_;
+};
+
+}  // namespace scal::exec

@@ -1,0 +1,170 @@
+#include "exec/thread_pool.hpp"
+
+#include <atomic>
+#include <utility>
+
+namespace scal::exec {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  // Workers drain the queue before exiting; anything still here was
+  // submitted to a zero-worker pool after conceptual shutdown — run it
+  // so no task is ever dropped.
+  while (!queue_.empty()) {
+    auto task = std::move(queue_.front());
+    queue_.pop_front();
+    task();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();  // zero-worker pool: degenerate serial execution
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+// A group task lives in two places: the pool queue (as a claiming
+// wrapper) and the group's entry list (so wait() can steal unclaimed
+// work and run it inline).  Whoever flips `claimed` first executes the
+// task exactly once; completion is counted on the Shared block, which
+// the wrappers keep alive by shared_ptr so a group may be destroyed
+// while stale (already-claimed) wrappers still sit in the queue.
+struct TaskGroup::Entry {
+  std::function<void()> fn;
+  std::atomic<bool> claimed{false};
+};
+
+struct TaskGroup::Shared {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::size_t finished = 0;
+  std::exception_ptr error;
+};
+
+TaskGroup::TaskGroup(ThreadPool& pool)
+    : pool_(pool), shared_(std::make_shared<Shared>()) {}
+
+TaskGroup::~TaskGroup() { wait_no_throw(); }
+
+void TaskGroup::run_claimed(const std::shared_ptr<Entry>& entry,
+                            const std::shared_ptr<Shared>& shared) {
+  try {
+    entry->fn();
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(shared->mutex);
+    if (!shared->error) shared->error = std::current_exception();
+  }
+  {
+    std::lock_guard<std::mutex> lock(shared->mutex);
+    ++shared->finished;
+  }
+  shared->cv.notify_all();
+}
+
+void TaskGroup::run(std::function<void()> fn) {
+  auto entry = std::make_shared<Entry>();
+  entry->fn = std::move(fn);
+  entries_.push_back(entry);
+  pool_.submit([entry, shared = shared_] {
+    if (entry->claimed.exchange(true)) return;  // wait() got here first
+    run_claimed(entry, shared);
+  });
+}
+
+void TaskGroup::wait() {
+  // Help first: claim and run everything no worker has started.
+  for (const auto& entry : entries_) {
+    if (!entry->claimed.exchange(true)) {
+      run_claimed(entry, shared_);
+    }
+  }
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(shared_->mutex);
+    shared_->cv.wait(lock, [this] {
+      return shared_->finished == entries_.size();
+    });
+    error = shared_->error;
+    shared_->error = nullptr;
+  }
+  entries_.clear();
+  {
+    std::lock_guard<std::mutex> lock(shared_->mutex);
+    shared_->finished = 0;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void TaskGroup::wait_no_throw() noexcept {
+  try {
+    wait();
+  } catch (...) {
+    // Destructor path: the exception was already lost to the caller.
+  }
+}
+
+void parallel_for(ThreadPool* pool, std::size_t n,
+                  const std::function<void(std::size_t)>& body) {
+  if (pool == nullptr || pool->size() == 0 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  // Dynamic claiming: helpers and the caller pull the next index from a
+  // shared counter.  Result determinism is the caller's contract (write
+  // into slot i, reduce in index order after this returns).
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  auto failed = std::make_shared<std::atomic<bool>>(false);
+  auto drain = [next, failed, n, &body] {
+    std::size_t i;
+    while (!failed->load(std::memory_order_relaxed) &&
+           (i = next->fetch_add(1, std::memory_order_relaxed)) < n) {
+      try {
+        body(i);
+      } catch (...) {
+        failed->store(true, std::memory_order_relaxed);
+        throw;  // TaskGroup records the first exception
+      }
+    }
+  };
+
+  TaskGroup group(*pool);
+  const std::size_t helpers = std::min(pool->size(), n - 1);
+  for (std::size_t h = 0; h < helpers; ++h) group.run(drain);
+  drain();  // the caller is a full lane, not just a waiter
+  group.wait();
+}
+
+}  // namespace scal::exec

@@ -1,0 +1,95 @@
+#pragma once
+// Deterministic parallel execution: a fixed-size worker ThreadPool plus
+// structured fork/join (TaskGroup) and a parallel_for loop.
+//
+// The design rules (docs/PARALLELISM.md):
+//   * Parallelism never changes results.  Tasks write into
+//     pre-allocated, index-addressed slots; every reduction runs on the
+//     caller's thread in task-index order after the join.
+//   * Waiting helps.  TaskGroup::wait() executes still-queued tasks of
+//     its own group inline, so nested parallel_for over one shared pool
+//     cannot deadlock: a blocked waiter is only ever waiting on tasks
+//     that some thread is actively running.
+//   * The pool is non-owning plumbing, threaded through configs like the
+//     obs::Telemetry handle: a null pool (or size 0) means "run serial",
+//     and the serial path is the same code with the loop inlined.
+//
+// Convention: a pool of W workers plus the participating caller gives
+// W + 1 concurrent lanes, so `--jobs N` maps to ThreadPool(N - 1).
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace scal::exec {
+
+/// Fixed-size worker pool.  submit() is thread-safe; tasks still queued
+/// at destruction are executed (never silently dropped).
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads.  A pool of 0 workers is valid: submit()
+  /// then runs tasks inline, which keeps caller code branch-free.
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  void submit(std::function<void()> task);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Structured fork/join over a ThreadPool.  run() submits a task; wait()
+/// blocks until every task of this group finished, executing any of them
+/// that no worker has claimed yet inline (help-first join), and rethrows
+/// the first exception a task raised.  The group must outlive neither
+/// wait() nor the pool; tasks must not outlive the data they capture.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool& pool);
+  ~TaskGroup();  // joins the group, swallowing any task exception
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  void run(std::function<void()> fn);
+  void wait();
+
+ private:
+  struct Entry;
+  struct Shared;
+  static void run_claimed(const std::shared_ptr<Entry>& entry,
+                          const std::shared_ptr<Shared>& shared);
+  void wait_no_throw() noexcept;
+
+  ThreadPool& pool_;
+  std::vector<std::shared_ptr<Entry>> entries_;
+  std::shared_ptr<Shared> shared_;
+};
+
+/// Run body(0) .. body(n - 1), distributing iterations over the pool's
+/// workers plus the calling thread.  Iterations are claimed dynamically,
+/// so the assignment of index to thread is nondeterministic — which is
+/// why callers must keep bodies independent (slot-per-index writes) and
+/// reduce after the join.  A null or empty pool runs the plain serial
+/// loop.  The first exception thrown by a body stops the distribution of
+/// further iterations and is rethrown here.
+void parallel_for(ThreadPool* pool, std::size_t n,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace scal::exec

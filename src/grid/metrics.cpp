@@ -57,6 +57,26 @@ MetricsSnapshot MetricsCollector::snapshot() const noexcept {
   return s;
 }
 
+void MetricsCollector::merge(const MetricsCollector& other) {
+  useful_work_ += other.useful_work_;
+  wasted_work_ += other.wasted_work_;
+  control_overhead_ += other.control_overhead_;
+  arrived_ += other.arrived_;
+  local_ += other.local_;
+  remote_ += other.remote_;
+  completed_ += other.completed_;
+  succeeded_ += other.succeeded_;
+  missed_ += other.missed_;
+  unfinished_ += other.unfinished_;
+  polls_ += other.polls_;
+  transfers_ += other.transfers_;
+  auctions_ += other.auctions_;
+  adverts_ += other.adverts_;
+  updates_received_ += other.updates_received_;
+  updates_suppressed_ += other.updates_suppressed_;
+  for (const double r : other.response_.values()) response_.add(r);
+}
+
 void MetricsCollector::reset() {
   useful_work_ = wasted_work_ = control_overhead_ = 0.0;
   arrived_ = local_ = remote_ = 0;

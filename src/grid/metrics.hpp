@@ -93,6 +93,13 @@ class MetricsCollector {
   /// Consistent value copy of all counters (valid mid-run).
   MetricsSnapshot snapshot() const noexcept;
 
+  /// Fold another collector's counts into this one: sums every counter
+  /// and appends the response samples in `other`'s order.  Merging
+  /// per-task collectors in task order equals accumulating serially —
+  /// the deterministic reduction for sharded/parallel collection.  The
+  /// attached job logs are not merged.
+  void merge(const MetricsCollector& other);
+
   /// Zero every counter and drop the response samples; the attached job
   /// log (if any) is left untouched.
   void reset();

@@ -46,6 +46,17 @@ void CounterRegistry::increment(const std::string& name, std::uint64_t by) {
   counters_.push_back({name, static_cast<double>(by), true});
 }
 
+void CounterRegistry::merge(const CounterRegistry& other) {
+  for (const Counter& c : other.counters_) {
+    if (Counter* mine = find(c.name)) {
+      mine->value += c.value;
+      mine->integral = mine->integral && c.integral;
+    } else {
+      counters_.push_back(c);
+    }
+  }
+}
+
 double CounterRegistry::value(const std::string& name) const noexcept {
   const Counter* c = find(name);
   return c ? c->value : 0.0;

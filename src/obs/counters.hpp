@@ -26,6 +26,13 @@ class CounterRegistry {
   double value(const std::string& name) const noexcept;
   bool contains(const std::string& name) const noexcept;
 
+  /// Add every counter of `other` into this registry: existing names
+  /// accumulate (a real-valued side marks the sum real), new names are
+  /// appended in `other`'s order.  Merging per-task registries in task
+  /// order is exactly the serial accumulation — the deterministic
+  /// reduction step of parallel runs.
+  void merge(const CounterRegistry& other);
+
   std::size_t size() const noexcept { return counters_.size(); }
   bool empty() const noexcept { return counters_.empty(); }
   const std::vector<Counter>& counters() const noexcept { return counters_; }

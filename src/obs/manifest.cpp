@@ -28,7 +28,8 @@ std::string RunManifest::to_json() const {
   obj.field("label", label)
       .field("started_at", started_at)
       .field("git", git_version)
-      .field("wall_seconds", wall_seconds);
+      .field("wall_seconds", wall_seconds)
+      .field("jobs", jobs);
 
   JsonObject config;
   config.field("rms", rms)

@@ -26,6 +26,7 @@ struct RunManifest {
   std::string started_at;     ///< wall-clock UTC ISO-8601
   std::string git_version;    ///< git describe of the binary's source
   double wall_seconds = 0.0;  ///< wall-clock duration of the run
+  std::uint64_t jobs = 1;     ///< worker lanes the campaign ran with
 
   // Configuration snapshot.
   std::string rms;

@@ -39,9 +39,11 @@ void Telemetry::reset_run() {
   anneal_.clear();
   const std::string label = manifest_.label;
   const std::string git = manifest_.git_version;
+  const std::uint64_t jobs = manifest_.jobs;
   manifest_ = RunManifest{};
   manifest_.label = label;
   manifest_.git_version = git;
+  manifest_.jobs = jobs;
   run_started_wall_ = 0.0;
 }
 

@@ -1,9 +1,108 @@
 #include "opt/annealing.hpp"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
+#include <vector>
+
+#include "exec/seed_sequence.hpp"
+#include "exec/thread_pool.hpp"
 
 namespace scal::opt {
+
+namespace {
+
+/// What one chain records per evaluation; replayed to the observer in
+/// chain-major order after the join, with the global best column
+/// recomputed there (a chain cannot know its siblings' values).
+struct StepRecord {
+  std::size_t iteration = 0;
+  double temperature = 0.0;
+  double candidate_value = 0.0;
+  double current_value = 0.0;
+  double chain_best = 0.0;  ///< best within this chain so far
+  bool accepted = false;
+  bool improved = false;
+};
+
+struct ChainResult {
+  Point best_point;
+  double best_value = 0.0;
+  std::size_t evaluations = 0;
+  std::size_t accepted_moves = 0;
+  std::size_t improving_moves = 0;
+  std::vector<StepRecord> steps;  ///< only filled when an observer is set
+};
+
+ChainResult run_chain(const Space& space, const Objective& objective,
+                      const AnnealingConfig& config, std::size_t chain,
+                      std::size_t per_chain, double ratio,
+                      std::uint64_t seed, bool record_steps) {
+  util::RandomStream rng(seed);
+  ChainResult result;
+  if (record_steps) result.steps.reserve(per_chain);
+
+  Point current = (chain == 0 && config.initial_point)
+                      ? space.clamp(*config.initial_point)
+                      : (chain == 0 ? space.center() : space.sample(rng));
+  double current_value = objective(current);
+  ++result.evaluations;
+  result.best_point = current;
+  result.best_value = current_value;
+  if (record_steps) {
+    StepRecord step;
+    step.iteration = 0;
+    step.temperature = config.initial_temperature;
+    step.candidate_value = current_value;
+    step.current_value = current_value;
+    step.chain_best = result.best_value;
+    step.accepted = true;
+    result.steps.push_back(step);
+  }
+
+  double temperature = config.initial_temperature;
+  for (std::size_t it = 1; it < per_chain; ++it) {
+    Point candidate = space.neighbor(current, temperature, rng);
+    const double candidate_value = objective(candidate);
+    ++result.evaluations;
+
+    const double delta = candidate_value - current_value;
+    bool accept = delta <= 0.0;
+    if (!accept) {
+      // Metropolis criterion; scale by the magnitude of the current
+      // value so the schedule is insensitive to objective units.
+      const double scale =
+          std::max({std::abs(current_value), std::abs(candidate_value),
+                    1e-12});
+      accept = rng.uniform() < std::exp(-delta / (temperature * scale));
+    }
+    if (accept) {
+      if (delta < 0.0) ++result.improving_moves;
+      ++result.accepted_moves;
+      current = std::move(candidate);
+      current_value = candidate_value;
+      if (current_value < result.best_value) {
+        result.best_point = current;
+        result.best_value = current_value;
+      }
+    }
+    if (record_steps) {
+      StepRecord step;
+      step.iteration = it;
+      step.temperature = temperature;
+      step.candidate_value = candidate_value;
+      step.current_value = current_value;
+      step.chain_best = result.best_value;
+      step.accepted = accept;
+      step.improved = accept && delta < 0.0;
+      result.steps.push_back(step);
+    }
+    temperature *= ratio;
+  }
+  return result;
+}
+
+}  // namespace
 
 AnnealingResult anneal(const Space& space, const Objective& objective,
                        const AnnealingConfig& config,
@@ -19,9 +118,6 @@ AnnealingResult anneal(const Space& space, const Objective& objective,
     throw std::invalid_argument("anneal: bad temperature schedule");
   }
 
-  AnnealingResult result;
-  bool have_best = false;
-
   const std::size_t per_chain =
       std::max<std::size_t>(1, config.iterations / config.restarts);
   // Geometric cooling ratio hitting final_temperature at chain end.
@@ -31,68 +127,59 @@ AnnealingResult anneal(const Space& space, const Objective& objective,
                      1.0 / static_cast<double>(per_chain - 1))
           : 1.0;
 
-  for (std::size_t chain = 0; chain < config.restarts; ++chain) {
-    Point current = (chain == 0 && config.initial_point)
-                        ? space.clamp(*config.initial_point)
-                        : (chain == 0 ? space.center() : space.sample(rng));
-    double current_value = objective(current);
-    ++result.evaluations;
-    if (!have_best || current_value < result.best_value) {
-      result.best_point = current;
-      result.best_value = current_value;
-      have_best = true;
+  // One draw roots every chain's substream; which worker runs a chain
+  // (or whether any pool exists at all) can no longer reach the RNG.
+  const exec::SeedSequence seeds(rng.bits());
+
+  // Per-chain objectives are made up front, on this thread, in order.
+  std::vector<Objective> chain_objectives;
+  if (config.chain_objective) {
+    chain_objectives.reserve(config.restarts);
+    for (std::size_t c = 0; c < config.restarts; ++c) {
+      chain_objectives.push_back(config.chain_objective(c));
     }
+  }
+
+  const bool record_steps = static_cast<bool>(config.observer);
+  std::vector<ChainResult> chains(config.restarts);
+  exec::parallel_for(
+      config.pool, config.restarts, [&](std::size_t c) {
+        const Objective& chain_objective =
+            chain_objectives.empty() ? objective : chain_objectives[c];
+        chains[c] = run_chain(space, chain_objective, config, c, per_chain,
+                              ratio, seeds.at(c), record_steps);
+      });
+
+  // Deterministic reduction, chain-major: identical to the historical
+  // serial loop's bookkeeping order.
+  AnnealingResult result;
+  bool have_best = false;
+  for (std::size_t c = 0; c < config.restarts; ++c) {
+    const ChainResult& chain = chains[c];
     if (config.observer) {
-      AnnealStep step;
-      step.chain = chain;
-      step.iteration = 0;
-      step.temperature = config.initial_temperature;
-      step.candidate_value = current_value;
-      step.current_value = current_value;
-      step.best_value = result.best_value;
-      step.accepted = true;
-      config.observer(step);
-    }
-
-    double temperature = config.initial_temperature;
-    for (std::size_t it = 1; it < per_chain; ++it) {
-      Point candidate = space.neighbor(current, temperature, rng);
-      const double candidate_value = objective(candidate);
-      ++result.evaluations;
-
-      const double delta = candidate_value - current_value;
-      bool accept = delta <= 0.0;
-      if (!accept) {
-        // Metropolis criterion; scale by the magnitude of the current
-        // value so the schedule is insensitive to objective units.
-        const double scale =
-            std::max({std::abs(current_value), std::abs(candidate_value),
-                      1e-12});
-        accept = rng.uniform() < std::exp(-delta / (temperature * scale));
-      }
-      if (accept) {
-        if (delta < 0.0) ++result.improving_moves;
-        ++result.accepted_moves;
-        current = std::move(candidate);
-        current_value = candidate_value;
-        if (current_value < result.best_value) {
-          result.best_point = current;
-          result.best_value = current_value;
-        }
-      }
-      if (config.observer) {
+      const double previous_best =
+          have_best ? result.best_value
+                    : std::numeric_limits<double>::infinity();
+      for (const StepRecord& rec : chain.steps) {
         AnnealStep step;
-        step.chain = chain;
-        step.iteration = it;
-        step.temperature = temperature;
-        step.candidate_value = candidate_value;
-        step.current_value = current_value;
-        step.best_value = result.best_value;
-        step.accepted = accept;
-        step.improved = accept && delta < 0.0;
+        step.chain = c;
+        step.iteration = rec.iteration;
+        step.temperature = rec.temperature;
+        step.candidate_value = rec.candidate_value;
+        step.current_value = rec.current_value;
+        step.best_value = std::min(previous_best, rec.chain_best);
+        step.accepted = rec.accepted;
+        step.improved = rec.improved;
         config.observer(step);
       }
-      temperature *= ratio;
+    }
+    result.evaluations += chain.evaluations;
+    result.accepted_moves += chain.accepted_moves;
+    result.improving_moves += chain.improving_moves;
+    if (!have_best || chain.best_value < result.best_value) {
+      result.best_point = chain.best_point;
+      result.best_value = chain.best_value;
+      have_best = true;
     }
   }
   return result;

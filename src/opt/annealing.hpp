@@ -2,17 +2,36 @@
 // Simulated annealing (Kirkpatrick-style with geometric cooling and
 // optional restarts).  The paper tunes the RMS scaling enablers with "a
 // simulated annealing type of search" [2, 12, 5]; this is that search.
+//
+// Restart chains are independent searches: each chain draws from its
+// own RNG substream (derived from one draw of the caller's stream via
+// exec::SeedSequence) and all cross-chain reductions — best-of point
+// selection, move counters, the observer's global-best column — happen
+// in chain-index order after every chain finished.  The result is
+// therefore bit-identical whether the chains run serially or on a
+// worker pool (docs/PARALLELISM.md).
 
+#include <cstddef>
 #include <functional>
 #include <optional>
 
 #include "opt/space.hpp"
+
+namespace scal::exec {
+class ThreadPool;
+}
 
 namespace scal::opt {
 
 /// Objective to MINIMIZE.  Constraint handling (the efficiency band) is
 /// done by the caller via penalties folded into the objective.
 using Objective = std::function<double(const Point&)>;
+
+/// Per-chain objective maker: called once per chain, on the caller's
+/// thread, before any chain runs.  Lets stateful objectives (the tuner
+/// tracks the best simulation per evaluation) keep one accumulator per
+/// chain instead of sharing mutable state across workers.
+using ObjectiveFactory = std::function<Objective(std::size_t chain)>;
 
 /// One objective evaluation, as reported to AnnealingConfig::observer.
 /// Defined here (not in obs) so opt stays free of telemetry deps; the
@@ -28,8 +47,10 @@ struct AnnealStep {
   bool improved = false;  ///< accepted and strictly better than current
 };
 
-/// Per-evaluation telemetry hook.  Called once per objective evaluation;
-/// must not mutate search state (it sees values, not points).
+/// Per-evaluation telemetry hook.  Called once per objective evaluation,
+/// always on the caller's thread and in deterministic (chain-major)
+/// order, after the chains ran; must not mutate search state (it sees
+/// values, not points).
 using AnnealObserver = std::function<void(const AnnealStep&)>;
 
 struct AnnealingConfig {
@@ -41,6 +62,14 @@ struct AnnealingConfig {
   std::optional<Point> initial_point;
   /// Optional per-iteration observer (empty = no telemetry).
   AnnealObserver observer;
+  /// Optional worker pool; chains run concurrently on pool workers plus
+  /// the calling thread.  Null = serial.  Either way the result is
+  /// bit-identical.  With a pool and no chain_objective, `objective`
+  /// must be safe to call from several threads at once.
+  exec::ThreadPool* pool = nullptr;
+  /// Optional per-chain objective maker; when set, it takes precedence
+  /// over the `objective` argument of anneal().
+  ObjectiveFactory chain_objective;
 };
 
 struct AnnealingResult {
@@ -51,6 +80,9 @@ struct AnnealingResult {
   std::size_t improving_moves = 0;
 };
 
+/// Runs config.restarts independent chains and keeps the best point
+/// (ties broken toward the lower chain index).  `rng` is consumed for
+/// exactly one draw, which roots every chain's substream.
 AnnealingResult anneal(const Space& space, const Objective& objective,
                        const AnnealingConfig& config,
                        util::RandomStream& rng);

@@ -1,13 +1,30 @@
 #include "util/log.hpp"
 
+#include <atomic>
 #include <iostream>
+#include <mutex>
 #include <utility>
 
 namespace scal::util {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
-LogTimeSource g_time_source;
+// The level is read on every SCAL_LOG site, possibly from worker
+// threads; a relaxed atomic keeps that data-race-free.  Level *changes*
+// are not synchronized with in-flight emits (documented: set the level
+// before spawning parallel work, not on the hot path).
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+// Thread-local: each worker thread runs its own simulation, so each
+// carries its own sim clock; a parallel sweep's lines then stamp the
+// time of the simulation that emitted them.
+thread_local LogTimeSource t_time_source;
+
+// One mutex serializes sink writes so concurrent emitters never
+// interleave characters within a line.
+std::mutex& sink_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -22,11 +39,15 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-LogLevel log_level() noexcept { return g_level; }
-void set_log_level(LogLevel level) noexcept { g_level = level; }
+LogLevel log_level() noexcept {
+  return g_level.load(std::memory_order_relaxed);
+}
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
 void set_log_time_source(LogTimeSource source) {
-  g_time_source = std::move(source);
+  t_time_source = std::move(source);
 }
 
 LogLevel parse_log_level(const std::string& name) noexcept {
@@ -36,9 +57,8 @@ LogLevel parse_log_level(const std::string& name) noexcept {
   if (name == "warn") return LogLevel::kWarn;
   if (name == "error") return LogLevel::kError;
   if (name == "off" || name == "none") return LogLevel::kOff;
-  static bool warned = false;
-  if (!warned) {
-    warned = true;
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true)) {
     std::clog << "[WARN] unknown log level \"" << name
               << "\"; falling back to warn\n";
   }
@@ -47,11 +67,18 @@ LogLevel parse_log_level(const std::string& name) noexcept {
 
 namespace detail {
 void emit(LogLevel level, const std::string& message) {
-  std::clog << '[' << level_name(level);
-  if (g_time_source) {
-    std::clog << " t=" << g_time_source();
+  // Format the whole line first, then write it under the sink mutex in
+  // one piece: concurrent emitters may order lines either way, but a
+  // line is never interleaved with another.
+  std::ostringstream line;
+  line << '[' << level_name(level);
+  if (t_time_source) {
+    line << " t=" << t_time_source();
   }
-  std::clog << "] " << message << '\n';
+  line << "] " << message << '\n';
+  const std::string text = line.str();
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  std::clog << text;
 }
 }  // namespace detail
 

@@ -1,6 +1,12 @@
 #pragma once
 // Leveled logging.  Off by default in library code; benches and examples
-// raise the level.  Controlled globally (the simulator is single-threaded).
+// raise the level.
+//
+// Thread safety: emitted lines are serialized by a sink mutex, so
+// concurrent emitters never interleave within a line.  The level is a
+// relaxed atomic — change it before spawning parallel work, not on the
+// hot path.  The sim-time source is thread-local: every worker thread's
+// simulation installs (and clears) its own clock.
 
 #include <functional>
 #include <sstream>
@@ -19,8 +25,10 @@ void set_log_level(LogLevel level) noexcept;
 LogLevel parse_log_level(const std::string& name) noexcept;
 
 /// Clock for log timestamps.  When set (the grid system installs its
-/// simulator clock for the duration of a run), every emitted line
-/// carries the simulated time; null clears it.
+/// simulator clock for the duration of a run), every line emitted by
+/// the calling thread carries the simulated time; null clears it.  The
+/// source is thread-local, so concurrent simulations stamp their own
+/// clocks.
 using LogTimeSource = std::function<double()>;
 void set_log_time_source(LogTimeSource source);
 

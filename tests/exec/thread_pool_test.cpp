@@ -1,0 +1,150 @@
+#include "exec/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace scal::exec {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.size(), 2u);
+  std::atomic<int> ran{0};
+  TaskGroup group(pool);
+  for (int i = 0; i < 32; ++i) {
+    group.run([&]() { ran.fetch_add(1); });
+  }
+  group.wait();
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ThreadPool, ZeroWorkerPoolRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 0u);
+  int ran = 0;
+  pool.submit([&]() { ++ran; });
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 16; ++i) {
+      pool.submit([&]() {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ran.fetch_add(1);
+      });
+    }
+  }  // Destruction must execute everything still queued.
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(TaskGroup, WaitHelpsWithUnclaimedTasks) {
+  // One worker, kept busy by a slow task: wait() must execute the
+  // remaining group tasks inline instead of blocking on the worker.
+  ThreadPool pool(1);
+  std::atomic<bool> release{false};
+  pool.submit([&]() {
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  std::atomic<int> ran{0};
+  TaskGroup group(pool);
+  for (int i = 0; i < 8; ++i) {
+    group.run([&]() { ran.fetch_add(1); });
+  }
+  group.wait();  // would deadlock without help-first join
+  EXPECT_EQ(ran.load(), 8);
+  release.store(true);
+}
+
+TEST(TaskGroup, RethrowsTaskException) {
+  ThreadPool pool(2);
+  TaskGroup group(pool);
+  group.run([]() { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(group.wait(), std::runtime_error);
+}
+
+TEST(TaskGroup, DestructorWithoutWaitDoesNotTerminate) {
+  ThreadPool pool(2);
+  {
+    TaskGroup group(pool);
+    group.run([]() { throw std::runtime_error("swallowed at ~TaskGroup"); });
+  }  // must join and swallow, not std::terminate
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  parallel_for(&pool, kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, NullPoolRunsSerial) {
+  std::vector<std::size_t> order;
+  parallel_for(nullptr, 5, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelFor, EmptyPoolRunsSerial) {
+  ThreadPool pool(0);
+  std::vector<std::size_t> order;
+  parallel_for(&pool, 5, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelFor, ZeroIterationsIsANoop) {
+  ThreadPool pool(2);
+  parallel_for(&pool, 0, [](std::size_t) { FAIL() << "body called"; });
+}
+
+TEST(ParallelFor, PropagatesBodyException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(parallel_for(&pool, 100,
+                            [](std::size_t i) {
+                              if (i == 17) throw std::runtime_error("17");
+                            }),
+               std::runtime_error);
+}
+
+TEST(ParallelFor, NestedUseOfOneSharedPoolCompletes) {
+  // Outer iterations each run an inner parallel_for on the same pool.
+  // With a blocking (non-helping) join this deadlocks as soon as every
+  // worker is parked in an outer wait.
+  ThreadPool pool(2);
+  constexpr std::size_t kOuter = 6;
+  constexpr std::size_t kInner = 8;
+  std::vector<std::vector<int>> sums(kOuter, std::vector<int>(kInner, 0));
+  parallel_for(&pool, kOuter, [&](std::size_t o) {
+    parallel_for(&pool, kInner, [&, o](std::size_t i) {
+      sums[o][i] = static_cast<int>(o * kInner + i);
+    });
+  });
+  int total = 0;
+  for (const auto& row : sums) {
+    total = std::accumulate(row.begin(), row.end(), total);
+  }
+  EXPECT_EQ(total, static_cast<int>(kOuter * kInner * (kOuter * kInner - 1) / 2));
+}
+
+TEST(ParallelFor, ManyMoreTasksThanWorkers) {
+  ThreadPool pool(2);
+  std::atomic<long> sum{0};
+  parallel_for(&pool, 5000,
+               [&](std::size_t i) { sum.fetch_add(static_cast<long>(i)); });
+  EXPECT_EQ(sum.load(), 5000L * 4999L / 2L);
+}
+
+}  // namespace
+}  // namespace scal::exec

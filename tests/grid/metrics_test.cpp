@@ -122,6 +122,74 @@ TEST(MetricsCollector, SnapshotMirrorsAccessors) {
   EXPECT_EQ(s.updates_received, m.updates_received());
 }
 
+TEST(MetricsCollector, MergeEqualsSerialAccumulation) {
+  // Two shards fed disjoint halves of a job stream, merged in shard
+  // order, must match the collector that saw the whole stream serially.
+  MetricsCollector serial;
+  MetricsCollector shard_a;
+  MetricsCollector shard_b;
+
+  const auto feed_first = [](MetricsCollector& m) {
+    m.record_arrival(job_with(100.0, 0.0, 3.0));
+    m.record_completion(job_with(100.0, 10.0, 2.0), 29.0, 10.0, 0.5);
+    m.count_poll();
+    m.count_update_received();
+  };
+  const auto feed_second = [](MetricsCollector& m) {
+    m.record_arrival(job_with(900.0, 1.0, 3.0));
+    m.record_completion(job_with(100.0, 10.0, 2.0), 31.0, 10.0, 0.25);
+    m.record_unfinished(7.5);
+    m.count_poll();
+    m.count_transfer();
+    m.count_auction();
+  };
+  feed_first(serial);
+  feed_second(serial);
+  feed_first(shard_a);
+  feed_second(shard_b);
+
+  MetricsCollector merged;
+  merged.merge(shard_a);
+  merged.merge(shard_b);
+
+  const MetricsSnapshot want = serial.snapshot();
+  const MetricsSnapshot got = merged.snapshot();
+  EXPECT_DOUBLE_EQ(got.useful_work, want.useful_work);
+  EXPECT_DOUBLE_EQ(got.wasted_work, want.wasted_work);
+  EXPECT_DOUBLE_EQ(got.control_overhead, want.control_overhead);
+  EXPECT_EQ(got.jobs_arrived, want.jobs_arrived);
+  EXPECT_EQ(got.jobs_local, want.jobs_local);
+  EXPECT_EQ(got.jobs_remote, want.jobs_remote);
+  EXPECT_EQ(got.jobs_completed, want.jobs_completed);
+  EXPECT_EQ(got.jobs_succeeded, want.jobs_succeeded);
+  EXPECT_EQ(got.jobs_missed_deadline, want.jobs_missed_deadline);
+  EXPECT_EQ(got.jobs_unfinished, want.jobs_unfinished);
+  EXPECT_EQ(got.polls, want.polls);
+  EXPECT_EQ(got.transfers, want.transfers);
+  EXPECT_EQ(got.auctions, want.auctions);
+  EXPECT_EQ(got.updates_received, want.updates_received);
+
+  // Response samples append in merge order == serial arrival order.
+  ASSERT_EQ(merged.response_times().count(), serial.response_times().count());
+  const auto& mv = merged.response_times().values();
+  const auto& sv = serial.response_times().values();
+  for (std::size_t i = 0; i < sv.size(); ++i) {
+    EXPECT_DOUBLE_EQ(mv[i], sv[i]);
+  }
+}
+
+TEST(MetricsCollector, MergeDoesNotTouchJobLogs) {
+  JobLog log;
+  log.set_enabled(true);
+  MetricsCollector a;
+  a.attach_job_log(&log);
+  MetricsCollector b;
+  b.count_poll();
+  a.merge(b);
+  EXPECT_EQ(a.job_log(), &log);
+  EXPECT_EQ(a.polls(), 1u);
+}
+
 TEST(MetricsCollector, ResetClearsEverythingButKeepsJobLog) {
   JobLog log;
   log.set_enabled(true);

@@ -35,6 +35,63 @@ TEST(CounterRegistry, SetOverwritesInPlaceKeepingOrder) {
   EXPECT_EQ(reg.counters()[1].name, "b");
 }
 
+TEST(CounterRegistry, MergeAccumulatesAndAppends) {
+  CounterRegistry a;
+  a.set("polls", 5);
+  a.set_real("G", 1.5);
+
+  CounterRegistry b;
+  b.set("polls", 3);
+  b.set("transfers", 2);
+
+  a.merge(b);
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_DOUBLE_EQ(a.value("polls"), 8.0);
+  EXPECT_DOUBLE_EQ(a.value("G"), 1.5);
+  EXPECT_DOUBLE_EQ(a.value("transfers"), 2.0);
+  // New names append after the existing ones, in b's order.
+  EXPECT_EQ(a.counters()[2].name, "transfers");
+  EXPECT_TRUE(a.counters()[2].integral);
+}
+
+TEST(CounterRegistry, MergeMarksSumRealWhenEitherSideIsReal) {
+  CounterRegistry a;
+  a.set("x", 1);
+  CounterRegistry b;
+  b.set_real("x", 0.5);
+  a.merge(b);
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_DOUBLE_EQ(a.value("x"), 1.5);
+  EXPECT_FALSE(a.counters()[0].integral);
+}
+
+TEST(CounterRegistry, MergeInTaskOrderEqualsSerialAccumulation) {
+  // The parallel-reduction contract: accumulating per-task registries
+  // in task-index order must be indistinguishable from one registry
+  // that saw every increment serially.
+  CounterRegistry serial;
+  std::vector<CounterRegistry> shards(4);
+  for (std::size_t task = 0; task < shards.size(); ++task) {
+    for (std::size_t i = 0; i <= task; ++i) {
+      serial.increment("events");
+      shards[task].increment("events");
+    }
+    const std::string own = "task_" + std::to_string(task);
+    serial.set(own, task);
+    shards[task].set(own, task);
+  }
+  CounterRegistry merged;
+  for (const CounterRegistry& shard : shards) merged.merge(shard);
+
+  ASSERT_EQ(merged.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(merged.counters()[i].name, serial.counters()[i].name);
+    EXPECT_DOUBLE_EQ(merged.counters()[i].value, serial.counters()[i].value);
+    EXPECT_EQ(merged.counters()[i].integral, serial.counters()[i].integral);
+  }
+  EXPECT_EQ(merged.to_json(), serial.to_json());
+}
+
 TEST(CounterRegistry, ToJsonIsParsableAndTyped) {
   CounterRegistry reg;
   reg.set("jobs", 42);

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
+
+#include "exec/thread_pool.hpp"
 
 namespace scal::opt {
 namespace {
@@ -200,6 +204,114 @@ TEST(Annealing, CountsAcceptedAndImprovingMoves) {
   const auto result = anneal(space, sphere, config, rng);
   EXPECT_GT(result.accepted_moves, 0u);
   EXPECT_GE(result.accepted_moves, result.improving_moves);
+}
+
+TEST(Annealing, RestartsPickBestChainAndSumEvaluations) {
+  const Space space = box(2, -5.0, 5.0);
+  AnnealingConfig config;
+  config.iterations = 240;
+  config.restarts = 4;
+  std::vector<AnnealStep> steps;
+  config.observer = [&](const AnnealStep& step) { steps.push_back(step); };
+  util::RandomStream rng(17, "sa");
+  const auto result = anneal(space, sphere, config, rng);
+
+  // evaluations is the sum over chains, which together exhaust the
+  // budget (each chain gets its near-equal share of config.iterations).
+  EXPECT_EQ(result.evaluations, steps.size());
+  EXPECT_GE(result.evaluations, config.iterations - config.restarts);
+  EXPECT_LE(result.evaluations, config.iterations);
+
+  // The returned best is the minimum over every chain's own best.
+  std::vector<double> chain_best(config.restarts,
+                                 std::numeric_limits<double>::infinity());
+  std::vector<std::size_t> chain_steps(config.restarts, 0);
+  for (const AnnealStep& s : steps) {
+    ASSERT_LT(s.chain, config.restarts);
+    chain_best[s.chain] = std::min(chain_best[s.chain], s.candidate_value);
+    ++chain_steps[s.chain];
+  }
+  const double overall =
+      *std::min_element(chain_best.begin(), chain_best.end());
+  EXPECT_DOUBLE_EQ(result.best_value, overall);
+
+  // The observer sees every chain exactly once, as one contiguous
+  // chain-major block: iteration restarts from 0 precisely at each
+  // chain boundary.
+  for (std::size_t c = 0; c < config.restarts; ++c) {
+    EXPECT_GT(chain_steps[c], 0u) << "chain " << c << " never observed";
+  }
+  std::size_t boundaries = 0;
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    if (steps[i].iteration == 0) {
+      ++boundaries;
+      EXPECT_EQ(steps[i].chain, boundaries - 1);  // chains in index order
+    } else {
+      EXPECT_EQ(steps[i].chain, steps[i - 1].chain);
+      EXPECT_EQ(steps[i].iteration, steps[i - 1].iteration + 1);
+    }
+  }
+  EXPECT_EQ(boundaries, config.restarts);
+}
+
+TEST(Annealing, PoolAndSerialChainsAreBitIdentical) {
+  const Space space = box(3, -5.0, 5.0);
+  AnnealingConfig config;
+  config.iterations = 300;
+  config.restarts = 4;
+
+  std::vector<AnnealStep> serial_steps;
+  config.observer = [&](const AnnealStep& s) { serial_steps.push_back(s); };
+  util::RandomStream rng_serial(23, "sa");
+  const auto serial = anneal(space, rastrigin, config, rng_serial);
+
+  exec::ThreadPool pool(3);
+  config.pool = &pool;
+  std::vector<AnnealStep> pooled_steps;
+  config.observer = [&](const AnnealStep& s) { pooled_steps.push_back(s); };
+  util::RandomStream rng_pooled(23, "sa");
+  const auto pooled = anneal(space, rastrigin, config, rng_pooled);
+
+  EXPECT_EQ(serial.best_point, pooled.best_point);
+  EXPECT_EQ(serial.best_value, pooled.best_value);
+  EXPECT_EQ(serial.evaluations, pooled.evaluations);
+  EXPECT_EQ(serial.accepted_moves, pooled.accepted_moves);
+  EXPECT_EQ(serial.improving_moves, pooled.improving_moves);
+  ASSERT_EQ(serial_steps.size(), pooled_steps.size());
+  for (std::size_t i = 0; i < serial_steps.size(); ++i) {
+    EXPECT_EQ(serial_steps[i].chain, pooled_steps[i].chain);
+    EXPECT_EQ(serial_steps[i].iteration, pooled_steps[i].iteration);
+    EXPECT_EQ(serial_steps[i].candidate_value,
+              pooled_steps[i].candidate_value);
+    EXPECT_EQ(serial_steps[i].current_value, pooled_steps[i].current_value);
+    EXPECT_EQ(serial_steps[i].best_value, pooled_steps[i].best_value);
+    EXPECT_EQ(serial_steps[i].accepted, pooled_steps[i].accepted);
+  }
+}
+
+TEST(Annealing, ChainObjectiveFactoryIsCalledOncePerChain) {
+  const Space space = box(2, -5.0, 5.0);
+  AnnealingConfig config;
+  config.iterations = 80;
+  config.restarts = 3;
+  std::vector<std::size_t> made;
+  std::vector<std::size_t> calls(config.restarts, 0);
+  config.chain_objective = [&](std::size_t chain) -> Objective {
+    made.push_back(chain);
+    return [&calls, chain](const Point& p) {
+      ++calls[chain];
+      return sphere(p);
+    };
+  };
+  util::RandomStream rng(31, "sa");
+  const auto result = anneal(space, Objective{}, config, rng);
+  EXPECT_EQ(made, (std::vector<std::size_t>{0, 1, 2}));
+  std::size_t total = 0;
+  for (const std::size_t c : calls) {
+    EXPECT_GT(c, 0u);
+    total += c;
+  }
+  EXPECT_EQ(total, result.evaluations);
 }
 
 }  // namespace

@@ -4,6 +4,9 @@
 
 #include <iostream>
 #include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
 
 namespace scal::util {
 namespace {
@@ -61,6 +64,45 @@ TEST_F(LogTest, FilteredMessageDoesNotEvaluateStream) {
   EXPECT_EQ(evaluations, 0);
   SCAL_ERROR("built: " << side_effect());
   EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LogTest, ConcurrentWritersNeverInterleaveLines) {
+  // Each thread emits lines of a single repeated letter; with the sink
+  // locked per line, every captured line is homogeneous.  The capture
+  // buffer is swapped in before the writers start and restored after
+  // they join.
+  set_log_level(LogLevel::kInfo);
+  std::ostringstream captured;
+  std::streambuf* old = std::clog.rdbuf(captured.rdbuf());
+
+  constexpr int kThreads = 4;
+  constexpr int kLines = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t]() {
+      const std::string word(40, static_cast<char>('A' + t));
+      for (int i = 0; i < kLines; ++i) {
+        SCAL_INFO(word);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  std::clog.rdbuf(old);
+
+  std::istringstream lines(captured.str());
+  std::string line;
+  int count = 0;
+  while (std::getline(lines, line)) {
+    ++count;
+    const std::size_t start = line.find_last_of(' ');
+    ASSERT_NE(start, std::string::npos) << "malformed line: " << line;
+    const std::string word = line.substr(start + 1);
+    ASSERT_EQ(word.size(), 40u) << "torn line: " << line;
+    for (const char c : word) {
+      ASSERT_EQ(c, word[0]) << "interleaved line: " << line;
+    }
+  }
+  EXPECT_EQ(count, kThreads * kLines);
 }
 
 TEST_F(LogTest, OffSilencesEverything) {
