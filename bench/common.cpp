@@ -15,7 +15,37 @@ namespace scal::bench {
 namespace {
 /// Set by parse_telemetry_cli (--jobs beats SCAL_JOBS beats 1).
 std::size_t g_jobs = 0;
+/// Fault knobs from the CLI (beat the SCAL_BENCH_* fallbacks).
+std::string g_fault_spec;
+bool g_fault_spec_set = false;
+double g_mtbf = 0.0;
+double g_mttr = 0.0;
+
+double env_real(const std::string& name) {
+  const std::string text = util::env_or(name, "");
+  if (text.empty()) return 0.0;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  return (end != text.c_str() && *end == '\0') ? v : 0.0;
+}
 }  // namespace
+
+fault::FaultPlan fault_plan() {
+  const std::string spec = g_fault_spec_set
+                               ? g_fault_spec
+                               : util::env_or("SCAL_BENCH_FAULTS", "");
+  fault::FaultPlan plan = fault::FaultPlan::parse(spec);
+  const double mtbf = g_mtbf > 0.0 ? g_mtbf : env_real("SCAL_BENCH_MTBF");
+  const double mttr = g_mttr > 0.0 ? g_mttr : env_real("SCAL_BENCH_MTTR");
+  if (mtbf > 0.0) {
+    plan.churn.mtbf = mtbf;
+    plan.churn.mttr = mttr > 0.0 ? mttr : 40.0;
+  } else if (mttr > 0.0 && plan.churn.enabled()) {
+    plan.churn.mttr = mttr;
+  }
+  plan.validate();
+  return plan;
+}
 
 std::size_t job_count() {
   if (g_jobs == 0) g_jobs = exec::env_jobs(1);
@@ -33,7 +63,7 @@ obs::TelemetryConfig parse_telemetry_cli(int argc, char** argv,
               << "usage: " << argv[0]
               << " [--trace PATH] [--probe PATH] [--probe-interval T]\n"
               << "       [--manifest PATH] [--anneal PATH] [--label NAME]\n"
-              << "       [--jobs N|hw]\n";
+              << "       [--jobs N|hw] [--faults SPEC] [--mtbf T] [--mttr T]\n";
     std::exit(2);
   };
   auto value = [&](int& i) -> std::string {
@@ -41,6 +71,16 @@ obs::TelemetryConfig parse_telemetry_cli(int argc, char** argv,
       usage("missing value for " + std::string(argv[i]));
     }
     return argv[++i];
+  };
+  auto real_value = [&](int& i) -> double {
+    const std::string flag = argv[i];
+    const std::string text = value(i);
+    char* end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0' || v <= 0.0) {
+      usage(flag + " expects a positive number, got '" + text + "'");
+    }
+    return v;
   };
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -69,6 +109,18 @@ obs::TelemetryConfig parse_telemetry_cli(int argc, char** argv,
               "'");
       }
       g_jobs = jobs;
+    } else if (flag == "--faults") {
+      g_fault_spec = value(i);
+      g_fault_spec_set = true;
+      try {
+        fault::FaultPlan::parse(g_fault_spec);
+      } catch (const std::exception& e) {
+        usage("--faults: " + std::string(e.what()));
+      }
+    } else if (flag == "--mtbf") {
+      g_mtbf = real_value(i);
+    } else if (flag == "--mttr") {
+      g_mttr = real_value(i);
     } else {
       usage("unexpected argument '" + flag + "'");
     }
@@ -96,6 +148,7 @@ grid::GridConfig common_base() {
   config.tuning.update_interval = 20.0;
   config.tuning.neighborhood_size = 3;
   config.tuning.volunteer_interval = 60.0;
+  config.faults = fault_plan();  // inert unless --faults/env knobs set
   return config;
 }
 

@@ -14,12 +14,17 @@
 //   SCAL_BENCH_SEED=n    simulation seed
 //   SCAL_BENCH_CSV=dir   where CSV series are written (default ".")
 //   SCAL_JOBS=n          parallel lanes ("hw" = all cores; default 1)
+//   SCAL_BENCH_FAULTS=s  fault spec (see docs/FAULTS.md), e.g.
+//                        "churn:mtbf=400,mttr=40;net:drop=0.02"
+//   SCAL_BENCH_MTBF=t    shorthand: resource churn mean time between
+//   SCAL_BENCH_MTTR=t    failures / mean time to repair (sim time units)
 
 #include <string>
 #include <vector>
 
 #include "core/procedure.hpp"
 #include "core/report.hpp"
+#include "fault/plan.hpp"
 #include "grid/config.hpp"
 #include "obs/telemetry.hpp"
 
@@ -34,6 +39,12 @@ namespace scal::bench {
 ///   --label NAME        manifest / anneal label (default: figure name)
 ///   --jobs N            parallel lanes ("hw" = all cores); overrides
 ///                       SCAL_JOBS; results are bit-identical at any N
+///   --faults SPEC       fault-injection spec (docs/FAULTS.md grammar);
+///                       overrides SCAL_BENCH_FAULTS
+///   --mtbf T            resource-churn mean time between failures;
+///                       shorthand merged into the spec's churn clause
+///   --mttr T            mean time to repair (default 40 when --mtbf
+///                       is given without it)
 /// Unknown flags print usage to stderr and exit(2).
 obs::TelemetryConfig parse_telemetry_cli(int argc, char** argv,
                                          const std::string& default_label);
@@ -41,6 +52,13 @@ obs::TelemetryConfig parse_telemetry_cli(int argc, char** argv,
 /// The job count of this bench process: --jobs if parse_telemetry_cli
 /// saw one, else SCAL_JOBS, else 1.
 std::size_t job_count();
+
+/// The fault plan of this bench process: --faults/--mtbf/--mttr if
+/// parse_telemetry_cli saw them, else the SCAL_BENCH_FAULTS /
+/// SCAL_BENCH_MTBF / SCAL_BENCH_MTTR environment knobs, else an inert
+/// plan.  Folded into every case base (common_base), so any figure
+/// bench can run under churn without code changes.
+fault::FaultPlan fault_plan();
 
 /// The paper's four experimental cases (Tables 2-5) with calibrated
 /// base configurations.

@@ -1,0 +1,88 @@
+#include "fault/injector.hpp"
+
+#include <utility>
+
+namespace scal::fault {
+
+FaultInjector::FaultInjector(sim::Simulator& sim, sim::EntityId id,
+                             FaultPlan plan, const exec::SeedSequence& seeds,
+                             std::size_t resources, std::size_t estimators,
+                             std::size_t schedulers, FaultHooks hooks)
+    : Entity(sim, id, "fault-injector"),
+      plan_(std::move(plan)),
+      estimators_(estimators),
+      schedulers_(schedulers),
+      hooks_(std::move(hooks)),
+      estimator_phase_(seeds.at(resources + 1)),
+      scheduler_phase_(seeds.at(resources + 2)) {
+  plan_.validate();
+  if (plan_.churn.enabled()) {
+    churn_streams_.reserve(resources);
+    for (std::size_t i = 0; i < resources; ++i) {
+      churn_streams_.emplace_back(seeds.at(i));
+    }
+  }
+}
+
+void FaultInjector::start() {
+  if (plan_.churn.enabled()) {
+    for (std::size_t i = 0; i < churn_streams_.size(); ++i) {
+      schedule_crash(i);
+    }
+  }
+  if (plan_.estimator_blackout.enabled()) {
+    for (std::size_t e = 0; e < estimators_; ++e) {
+      schedule_blackout_window(
+          plan_.estimator_blackout, e, /*estimator_side=*/true,
+          estimator_phase_.uniform(0.0, plan_.estimator_blackout.period));
+    }
+  }
+  if (plan_.scheduler_blackout.enabled()) {
+    for (std::size_t s = 0; s < schedulers_; ++s) {
+      schedule_blackout_window(
+          plan_.scheduler_blackout, s, /*estimator_side=*/false,
+          scheduler_phase_.uniform(0.0, plan_.scheduler_blackout.period));
+    }
+  }
+}
+
+void FaultInjector::schedule_crash(std::size_t resource) {
+  // Lazy alternation: each event draws the time to the next one from the
+  // resource's own stream, so per-resource schedules are independent and
+  // the draw order is fixed (up-gap, repair, up-gap, ...).
+  const double up = churn_streams_[resource].exponential(plan_.churn.mtbf);
+  sim().schedule_in(up, [this, resource]() {
+    ++counters_.crashes;
+    if (hooks_.crash_resource) hooks_.crash_resource(resource);
+    const double repair =
+        churn_streams_[resource].exponential(plan_.churn.mttr);
+    sim().schedule_in(repair, [this, resource]() {
+      ++counters_.recoveries;
+      if (hooks_.recover_resource) hooks_.recover_resource(resource);
+      schedule_crash(resource);
+    });
+  });
+}
+
+void FaultInjector::schedule_blackout_window(const BlackoutSpec& spec,
+                                             std::size_t index,
+                                             bool estimator_side,
+                                             double start_in) {
+  sim().schedule_in(start_in, [this, &spec, index, estimator_side]() {
+    ++(estimator_side ? counters_.estimator_blackouts
+                      : counters_.scheduler_blackouts);
+    const auto& hook =
+        estimator_side ? hooks_.estimator_blackout : hooks_.scheduler_blackout;
+    if (hook) hook(index, true);
+    sim().schedule_in(spec.length, [this, &spec, index, estimator_side]() {
+      const auto& up_hook = estimator_side ? hooks_.estimator_blackout
+                                           : hooks_.scheduler_blackout;
+      if (up_hook) up_hook(index, false);
+      // Windows recur on a fixed cadence from each entity's phase offset.
+      schedule_blackout_window(spec, index, estimator_side,
+                               spec.period - spec.length);
+    });
+  });
+}
+
+}  // namespace scal::fault

@@ -1,0 +1,89 @@
+#pragma once
+// Sim-clock-driven executor of a FaultPlan.
+//
+// The injector is an ordinary sim::Entity: it schedules crash/recover
+// and blackout events on the shared kernel and calls back into the host
+// system through a bag of std::function hooks, so it depends only on
+// sim/exec/util — grid wires itself in, not the other way around.
+//
+// Determinism contract: every draw comes from a substream of the fault
+// seed tree (fault_seeds(seed)), one stream per resource plus dedicated
+// streams for message faults and blackout phases.  Fault timing is
+// therefore independent of workload, topology, and policy draws, and of
+// how many worker threads replay the run — the --jobs 1 vs --jobs N
+// bit-identity of the sweep layer carries over unchanged.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "exec/seed_sequence.hpp"
+#include "fault/plan.hpp"
+#include "sim/entity.hpp"
+#include "util/rng.hpp"
+
+namespace scal::fault {
+
+/// Root of the fault layer's substream tree for a run seeded `seed`.
+/// Domain-separated (via a named RandomStream) from every other stream
+/// the simulation derives from the same master seed.
+inline exec::SeedSequence fault_seeds(std::uint64_t seed) {
+  return exec::SeedSequence(util::RandomStream(seed, "fault-injection").bits());
+}
+
+/// Callbacks into the host system.  Unset hooks are simply not called;
+/// the injector still counts the events it would have delivered.
+struct FaultHooks {
+  std::function<void(std::size_t resource)> crash_resource;
+  std::function<void(std::size_t resource)> recover_resource;
+  std::function<void(std::size_t estimator, bool down)> estimator_blackout;
+  std::function<void(std::size_t scheduler, bool down)> scheduler_blackout;
+};
+
+/// Event totals, for metrics export.
+struct FaultCounters {
+  std::uint64_t crashes = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t estimator_blackouts = 0;   ///< windows opened
+  std::uint64_t scheduler_blackouts = 0;   ///< windows opened
+};
+
+class FaultInjector : public sim::Entity {
+ public:
+  /// `seeds` must be fault_seeds(run seed).  Substream layout: index i in
+  /// [0, resources) churns resource i; `resources` is reserved for the
+  /// net fabric (see GridSystem); resources+1 / resources+2 seed the
+  /// estimator / scheduler blackout phase offsets.
+  FaultInjector(sim::Simulator& sim, sim::EntityId id, FaultPlan plan,
+                const exec::SeedSequence& seeds, std::size_t resources,
+                std::size_t estimators, std::size_t schedulers,
+                FaultHooks hooks);
+
+  /// Schedules the first event of every active fault class.  Call once,
+  /// before sim.run(); inert plans schedule nothing.
+  void start();
+
+  const FaultCounters& counters() const noexcept { return counters_; }
+
+  /// The substream index reserved for net-fabric message faults.
+  static std::size_t net_stream_index(std::size_t resources) noexcept {
+    return resources;
+  }
+
+ private:
+  void schedule_crash(std::size_t resource);
+  void schedule_blackout_window(const BlackoutSpec& spec, std::size_t index,
+                                bool estimator_side, double start_in);
+
+  FaultPlan plan_;
+  std::size_t estimators_;
+  std::size_t schedulers_;
+  FaultHooks hooks_;
+  FaultCounters counters_;
+  std::vector<util::RandomStream> churn_streams_;  ///< one per resource
+  util::RandomStream estimator_phase_;
+  util::RandomStream scheduler_phase_;
+};
+
+}  // namespace scal::fault

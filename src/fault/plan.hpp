@@ -1,0 +1,102 @@
+#pragma once
+// Declarative fault schedules for a managed-grid run.
+//
+// A FaultPlan is pure configuration: which fault classes are active and
+// their parameters.  It lives on GridConfig so a faulty run is exactly
+// as reproducible as a clean one — the plan round-trips through a spec
+// string ("churn:mtbf=400,mttr=40;net:drop=0.05") that the run manifest
+// records, and every stochastic draw it implies comes from dedicated
+// exec::SeedSequence substreams (see fault::FaultInjector).  A
+// default-constructed plan is inert: any() is false, no streams are
+// created, and the simulation is bit-identical to a build without the
+// fault subsystem.
+
+#include <cstdint>
+#include <string>
+
+namespace scal::fault {
+
+/// Resource crash/recover churn: every resource alternates an UP phase
+/// of Exp(mtbf) with a DOWN phase of Exp(mttr), drawn from its own
+/// substream.  mtbf == 0 disables churn.
+struct ChurnSpec {
+  double mtbf = 0.0;  ///< mean time between failures (sim time units)
+  double mttr = 0.0;  ///< mean time to repair
+  bool enabled() const noexcept { return mtbf > 0.0; }
+};
+
+/// Control-message faults at the net fabric (unreliable path only; job
+/// transfers stay reliable).  Each message draws independent drop /
+/// extra-delay / duplication decisions from the fault substream.
+struct MessageFaultSpec {
+  double drop = 0.0;               ///< drop probability
+  double duplicate = 0.0;          ///< duplication probability
+  double delay_probability = 0.0;  ///< probability of extra delay
+  double delay_mean = 0.0;         ///< mean of the Exp extra delay
+  bool enabled() const noexcept {
+    return drop > 0.0 || duplicate > 0.0 || delay_probability > 0.0;
+  }
+};
+
+/// Periodic outage windows for RMS control entities (estimators or
+/// schedulers): every `period`, the entity is down for `length`.
+/// Per-entity phase offsets are drawn once from the fault substream so
+/// replicated entities do not fail in lockstep.
+struct BlackoutSpec {
+  double period = 0.0;  ///< window cadence; 0 disables
+  double length = 0.0;  ///< down time per window
+  bool enabled() const noexcept { return period > 0.0 && length > 0.0; }
+};
+
+/// Parameters of the RMS robustness mixin that GridSystem switches on
+/// for every policy whenever any fault class is active.
+struct RobustnessParams {
+  /// Status-table entries older than factor x update_interval are
+  /// treated as referring to a down resource and evicted from placement
+  /// scans.  Resources heartbeat at half this window (suppression is
+  /// bounded) so live-but-quiet nodes are never evicted.
+  double staleness_factor = 4.0;
+  /// Protocol rounds (polls, probes) that time out with zero replies
+  /// retry up to this many times before falling back to local placement.
+  std::uint32_t retry_budget = 2;
+  /// First retry delay; doubles per attempt (exponential backoff).
+  double retry_backoff_base = 5.0;
+  /// Crash-killed jobs re-enter their cluster scheduler at most this
+  /// many times; exhausting the budget loses the job (counted).
+  std::uint32_t requeue_budget = 3;
+};
+
+/// The full fault schedule of one run.
+struct FaultPlan {
+  ChurnSpec churn;
+  MessageFaultSpec messages;
+  BlackoutSpec estimator_blackout;
+  BlackoutSpec scheduler_blackout;
+  RobustnessParams robustness;
+
+  /// True when at least one fault class is active.  False means the run
+  /// is bit-identical to one with no fault subsystem at all.
+  bool any() const noexcept {
+    return churn.enabled() || messages.enabled() ||
+           estimator_blackout.enabled() || scheduler_blackout.enabled();
+  }
+
+  /// Throws std::invalid_argument on out-of-range parameters.
+  void validate() const;
+
+  /// Round-trippable spec string; "" for an inert plan.  The robustness
+  /// clause is included whenever any fault class is enabled, so a
+  /// manifest alone reproduces the run.
+  std::string to_spec() const;
+
+  /// Parse a spec string:
+  ///   spec    := "" | clause (';' clause)*
+  ///   clause  := name ':' key '=' value (',' key '=' value)*
+  ///   name    := churn | net | est-blackout | sched-blackout | robust
+  /// Keys: churn: mtbf, mttr; net: drop, dup, delayp, delaym;
+  /// blackouts: period, length; robust: stale, retries, backoff, requeue.
+  /// Throws std::invalid_argument on malformed input.
+  static FaultPlan parse(const std::string& spec);
+};
+
+}  // namespace scal::fault

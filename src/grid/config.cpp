@@ -70,6 +70,7 @@ void GridConfig::validate() const {
   if (!(protocol.reply_timeout > 0.0)) {
     throw std::invalid_argument("GridConfig: reply timeout must be positive");
   }
+  faults.validate();
 }
 
 std::size_t GridConfig::cluster_count() const {

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <string>
 
+#include "fault/plan.hpp"
 #include "net/topology.hpp"
 #include "workload/generator.hpp"
 
@@ -145,6 +146,14 @@ struct GridConfig {
   /// Job transfers stay reliable (they carry state that must not be
   /// lost).  Protocols recover via reply_timeout watchdogs.
   double control_loss_probability = 0.0;
+
+  /// Fault-injection schedule (src/fault).  Inert by default; when any
+  /// class is active GridSystem instantiates a FaultInjector, switches
+  /// on the robustness mixin in every scheduler, and exports the fault
+  /// counters and availability-adjusted efficiency.  All fault draws
+  /// come from dedicated substreams, so a plan with any() == false is
+  /// bit-identical to a build without the subsystem.
+  fault::FaultPlan faults;
 
   /// When > 0, a StateSampler records true system state (utilization,
   /// backlogs) on this cadence; read via GridSystem::sampler().

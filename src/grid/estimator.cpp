@@ -24,7 +24,13 @@ void Estimator::receive_update(StatusUpdate update) {
       last_load_.resize(update.resource + 1, -1.0);
     }
     const double prev = last_load_[update.resource];
-    update.idle_transition = prev > 0.5 && update.load < 0.5;
+    // A recovery report is a state reset, not a transition: the resource
+    // may have crashed while busy, and flagging its fresh zero-load
+    // report as an idle transition would fire phantom idle-event
+    // triggers (AUCTION invitations, Sy-I adverts) for capacity that
+    // never actually drained a job.
+    update.idle_transition =
+        !update.recovered && prev > 0.5 && update.load < 0.5;
     last_load_[update.resource] = update.load;
     buffer_.push_back(update);
     if (!flush_scheduled_) {

@@ -9,6 +9,7 @@ const char* to_string(JobEvent event) {
     case JobEvent::kDispatch: return "dispatch";
     case JobEvent::kStart: return "start";
     case JobEvent::kComplete: return "complete";
+    case JobEvent::kKilled: return "killed";
   }
   return "?";
 }

@@ -21,6 +21,7 @@ enum class JobEvent : std::uint8_t {
   kDispatch,  ///< shipped to a concrete resource
   kStart,     ///< service begins on the resource
   kComplete,  ///< service done (success or miss decided elsewhere)
+  kKilled,    ///< destroyed by a resource crash (fault injection)
 };
 
 const char* to_string(JobEvent event);

@@ -27,6 +27,11 @@ struct StatusUpdate {
   /// stream — the duplication that makes the event-driven (PUSH+PULL)
   /// policies sensitive to the estimator count (Case 3).
   bool idle_transition = false;
+  /// Set by a resource's first report after recovering from a crash.
+  /// Estimators treat such a report as a state reset, not a transition —
+  /// a resource that crashed while busy must not emit a phantom idle
+  /// transition when its fresh zero-load report arrives.
+  bool recovered = false;
   sim::Time stamp = 0.0;
 };
 

@@ -36,6 +36,11 @@ void MetricsCollector::record_unfinished(double partial_service_time) {
   wasted_work_ += partial_service_time;
 }
 
+void MetricsCollector::record_job_killed(double partial_service_time) {
+  ++killed_;
+  wasted_work_ += partial_service_time;
+}
+
 MetricsSnapshot MetricsCollector::snapshot() const noexcept {
   MetricsSnapshot s;
   s.useful_work = useful_work_;
@@ -54,6 +59,12 @@ MetricsSnapshot MetricsCollector::snapshot() const noexcept {
   s.adverts = adverts_;
   s.updates_received = updates_received_;
   s.updates_suppressed = updates_suppressed_;
+  s.jobs_killed = killed_;
+  s.jobs_requeued = requeued_;
+  s.jobs_lost = lost_;
+  s.round_retries = round_retries_;
+  s.status_evictions = status_evictions_;
+  s.blackout_drops = blackout_drops_;
   return s;
 }
 
@@ -74,6 +85,12 @@ void MetricsCollector::merge(const MetricsCollector& other) {
   adverts_ += other.adverts_;
   updates_received_ += other.updates_received_;
   updates_suppressed_ += other.updates_suppressed_;
+  killed_ += other.killed_;
+  requeued_ += other.requeued_;
+  lost_ += other.lost_;
+  round_retries_ += other.round_retries_;
+  status_evictions_ += other.status_evictions_;
+  blackout_drops_ += other.blackout_drops_;
   for (const double r : other.response_.values()) response_.add(r);
 }
 
@@ -83,6 +100,8 @@ void MetricsCollector::reset() {
   completed_ = succeeded_ = missed_ = unfinished_ = 0;
   polls_ = transfers_ = auctions_ = adverts_ = 0;
   updates_received_ = updates_suppressed_ = 0;
+  killed_ = requeued_ = lost_ = 0;
+  round_retries_ = status_evictions_ = blackout_drops_ = 0;
   response_ = util::Samples{};
 }
 

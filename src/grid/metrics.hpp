@@ -43,6 +43,13 @@ struct MetricsSnapshot {
   std::uint64_t adverts = 0;
   std::uint64_t updates_received = 0;
   std::uint64_t updates_suppressed = 0;
+  // Fault subsystem (all zero on a fault-free run).
+  std::uint64_t jobs_killed = 0;
+  std::uint64_t jobs_requeued = 0;
+  std::uint64_t jobs_lost = 0;
+  std::uint64_t round_retries = 0;
+  std::uint64_t status_evictions = 0;
+  std::uint64_t blackout_drops = 0;
 };
 
 class MetricsCollector {
@@ -57,6 +64,9 @@ class MetricsCollector {
                          double service_time, double control_cost);
   /// Service time already spent on a job still running at the horizon.
   void record_unfinished(double partial_service_time);
+  /// A resource crash killed this job; any service time already invested
+  /// is wasted (charged to H) exactly like a horizon cutoff.
+  void record_job_killed(double partial_service_time);
 
   // Protocol counters (incremented by the RMS implementations).
   void count_poll() { ++polls_; }
@@ -65,6 +75,13 @@ class MetricsCollector {
   void count_advert() { ++adverts_; }
   void count_update_received() { ++updates_received_; }
   void count_update_suppressed() { ++updates_suppressed_; }
+
+  // Fault/robustness counters (see docs/FAULTS.md).
+  void count_job_requeued() { ++requeued_; }
+  void count_job_lost() { ++lost_; }
+  void count_round_retry() { ++round_retries_; }
+  void count_status_evictions(std::uint64_t n) { status_evictions_ += n; }
+  void count_blackout_drop() { ++blackout_drops_; }
 
   // Accessors (F/H here exclude G, which GridSystem reads off servers).
   double useful_work() const noexcept { return useful_work_; }
@@ -87,6 +104,12 @@ class MetricsCollector {
   std::uint64_t updates_suppressed() const noexcept {
     return updates_suppressed_;
   }
+  std::uint64_t jobs_killed() const noexcept { return killed_; }
+  std::uint64_t jobs_requeued() const noexcept { return requeued_; }
+  std::uint64_t jobs_lost() const noexcept { return lost_; }
+  std::uint64_t round_retries() const noexcept { return round_retries_; }
+  std::uint64_t status_evictions() const noexcept { return status_evictions_; }
+  std::uint64_t blackout_drops() const noexcept { return blackout_drops_; }
 
   const util::Samples& response_times() const noexcept { return response_; }
 
@@ -112,6 +135,8 @@ class MetricsCollector {
   std::uint64_t completed_ = 0, succeeded_ = 0, missed_ = 0, unfinished_ = 0;
   std::uint64_t polls_ = 0, transfers_ = 0, auctions_ = 0, adverts_ = 0;
   std::uint64_t updates_received_ = 0, updates_suppressed_ = 0;
+  std::uint64_t killed_ = 0, requeued_ = 0, lost_ = 0;
+  std::uint64_t round_retries_ = 0, status_evictions_ = 0, blackout_drops_ = 0;
   util::Samples response_;
   JobLog* job_log_ = nullptr;
 };
@@ -168,6 +193,28 @@ struct SimulationResult {
   std::uint64_t messages_dropped = 0;  ///< failure injection casualties
   std::uint64_t events_dispatched = 0;
   double horizon = 0.0;
+
+  // Fault subsystem (zero / 1.0 on a fault-free run; see docs/FAULTS.md).
+  std::uint64_t resource_crashes = 0;
+  std::uint64_t resource_recoveries = 0;
+  std::uint64_t jobs_killed = 0;    ///< in-flight jobs a crash destroyed
+  std::uint64_t jobs_requeued = 0;  ///< killed jobs re-entering a scheduler
+  std::uint64_t jobs_lost = 0;      ///< killed jobs past the requeue budget
+  std::uint64_t round_retries = 0;  ///< protocol rounds retried on timeout
+  std::uint64_t status_evictions = 0;  ///< stale views skipped in scans
+  std::uint64_t blackout_drops = 0;    ///< control work lost to blackouts
+  std::uint64_t messages_delayed = 0;
+  std::uint64_t messages_duplicated = 0;
+  double resource_downtime = 0.0;  ///< summed down-state resource-time
+  /// Fraction of resource-time actually up: 1 - downtime / (R * horizon).
+  double availability = 1.0;
+  /// Availability-adjusted efficiency E_A = E / A: efficiency per unit of
+  /// capacity that actually existed, so churn runs compare to fault-free
+  /// runs on equal footing (can exceed E when the RMS exploits the
+  /// surviving capacity well).
+  double efficiency_avail() const noexcept {
+    return availability > 0.0 ? efficiency() / availability : 0.0;
+  }
 
   /// The telemetry handle the run was instrumented with (null when
   /// telemetry was off); points at the object the caller attached to

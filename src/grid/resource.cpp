@@ -29,8 +29,57 @@ double Resource::in_service_partial() const noexcept {
 }
 
 void Resource::accept_job(workload::Job job) {
+  if (down_) {
+    if (auto* log = metrics_->job_log()) {
+      log->record(job.id, JobEvent::kKilled, now(), index_);
+    }
+    metrics_->record_job_killed(0.0);
+    if (kill_handler_) {
+      std::vector<workload::Job> bounced;
+      bounced.push_back(std::move(job));
+      kill_handler_(std::move(bounced));
+    }
+    return;
+  }
   queue_.push_back(std::move(job));
   if (!in_service_) begin_service();
+}
+
+void Resource::crash() {
+  if (down_) return;
+  down_ = true;
+  down_since_ = now();
+  std::vector<workload::Job> killed;
+  if (in_service_) {
+    sim().cancel(completion_event_);
+    // begin_service charged the whole span up front; give back the part
+    // that will never run, and charge the part that did run to H as
+    // wasted work (like a horizon cutoff).
+    const double total = control_time_ + current_service_time_;
+    const double elapsed = now() - service_started_;
+    busy_time_ -= std::max(0.0, total - elapsed);
+    metrics_->record_job_killed(in_service_partial());
+    killed.push_back(std::move(*in_service_));
+    in_service_.reset();
+  }
+  while (!queue_.empty()) {
+    metrics_->record_job_killed(0.0);
+    killed.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  if (auto* log = metrics_->job_log()) {
+    for (const workload::Job& job : killed) {
+      log->record(job.id, JobEvent::kKilled, now(), index_);
+    }
+  }
+  if (!killed.empty() && kill_handler_) kill_handler_(std::move(killed));
+}
+
+void Resource::recover() {
+  if (!down_) return;
+  down_ = false;
+  downtime_ += now() - down_since_;
+  recovered_pending_ = true;
 }
 
 std::optional<workload::Job> Resource::steal_queued_job() {
@@ -69,19 +118,29 @@ void Resource::begin_service() {
 }
 
 void Resource::start_reporting(double interval, double offset,
-                               bool suppression) {
-  if (!(interval > 0.0) || offset < 0.0) {
+                               bool suppression, double max_silence) {
+  if (!(interval > 0.0) || offset < 0.0 || max_silence < 0.0) {
     throw std::invalid_argument("Resource: bad reporting parameters");
   }
   report_interval_ = interval;
   suppression_ = suppression;
+  max_silence_ = max_silence;
   sim().schedule_in(offset, [this]() { report_now(); });
 }
 
 void Resource::report_now() {
+  if (down_) {
+    // Fail-silent: a dead node sends nothing.  The reporting timer keeps
+    // ticking so reporting resumes by itself on recovery.
+    sim().schedule_in(report_interval_, [this]() { report_now(); });
+    return;
+  }
   const double current = load();
-  const bool unchanged = reported_once_ && current == last_reported_load_;
-  if (suppression_ && unchanged) {
+  const bool heartbeat_due =
+      max_silence_ > 0.0 && now() - last_sent_ >= max_silence_;
+  const bool unchanged = reported_once_ && current == last_reported_load_ &&
+                         !recovered_pending_;
+  if (suppression_ && unchanged && !heartbeat_due) {
     metrics_->count_update_suppressed();
   } else {
     StatusUpdate update;
@@ -89,9 +148,12 @@ void Resource::report_now() {
     update.resource = index_;
     update.load = current;
     update.busy = busy();
+    update.recovered = recovered_pending_;
     update.stamp = now();
     last_reported_load_ = current;
     reported_once_ = true;
+    recovered_pending_ = false;
+    last_sent_ = now();
     report_(update);
   }
   sim().schedule_in(report_interval_, [this]() { report_now(); });

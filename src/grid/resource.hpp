@@ -5,9 +5,11 @@
 // change-suppression, as all of the paper's periodic-update schemes use —
 // and supports the queue-steal operation AUCTION's pull protocol needs.
 
+#include <algorithm>
 #include <deque>
 #include <functional>
 #include <optional>
+#include <vector>
 
 #include "grid/messages.hpp"
 #include "grid/metrics.hpp"
@@ -29,10 +31,34 @@ class Resource : public sim::Entity {
 
   /// Begin the periodic reporting cycle.  `interval` is the tuned
   /// update interval tau; `offset` desynchronizes resources.
-  void start_reporting(double interval, double offset, bool suppression);
+  /// `max_silence > 0` bounds suppression: a report is forced whenever
+  /// that much time passed since the last one actually sent, so the
+  /// robustness mixin's staleness eviction never evicts a live resource
+  /// that is merely quiet.  0 (the default) keeps pure suppression.
+  void start_reporting(double interval, double offset, bool suppression,
+                       double max_silence = 0.0);
 
-  /// A dispatched job arrives (network delay already paid).
+  /// A dispatched job arrives (network delay already paid).  Arrival at
+  /// a down resource kills the job (the dispatcher's view was stale);
+  /// it is routed to the kill handler like a crash casualty.
   void accept_job(workload::Job job);
+
+  /// Fault injection: destroy queued and in-service work, un-charge the
+  /// unserved remainder of the in-service span, and go down.  Killed
+  /// jobs flow to the kill handler (wired by GridSystem) for requeue.
+  void crash();
+  /// Leave the down state.  The next periodic report is forced (bypasses
+  /// suppression) and flagged StatusUpdate::recovered.
+  void recover();
+  bool down() const noexcept { return down_; }
+  /// Handler for jobs destroyed by crash(); unset means they just vanish.
+  void set_kill_handler(std::function<void(std::vector<workload::Job>)> h) {
+    kill_handler_ = std::move(h);
+  }
+  /// Cumulative down-state time as of `at` (open interval included).
+  double downtime_through(double at) const noexcept {
+    return downtime_ + (down_ ? std::max(0.0, at - down_since_) : 0.0);
+  }
 
   /// AUCTION support: remove and return the most recently queued job
   /// (never the one in service); nullopt if the queue is empty.
@@ -75,6 +101,14 @@ class Resource : public sim::Entity {
   bool suppression_ = true;
   bool reported_once_ = false;
   double last_reported_load_ = -1.0;
+  double max_silence_ = 0.0;
+  double last_sent_ = 0.0;
+
+  bool down_ = false;
+  bool recovered_pending_ = false;
+  double down_since_ = 0.0;
+  double downtime_ = 0.0;
+  std::function<void(std::vector<workload::Job>)> kill_handler_;
 
   std::uint64_t executed_ = 0;
   double busy_time_ = 0.0;

@@ -86,6 +86,23 @@ bool SchedulerBase::tracks(ClusterId cluster) const {
 
 ResourceIndex SchedulerBase::least_loaded(ClusterId cluster) const {
   const auto& t = table(cluster);
+  if (staleness_window_ > 0.0) {
+    // Robustness: entries past the staleness window are treated as down
+    // and evicted from the scan.  If everything is stale (a blackout
+    // just ended, say) fall through to the raw scan — the job must land
+    // somewhere.
+    ResourceIndex fresh = kNoResource;
+    std::uint64_t evicted = 0;
+    for (ResourceIndex r = 0; r < t.size(); ++r) {
+      if (!view_usable(t[r])) {
+        ++evicted;
+        continue;
+      }
+      if (fresh == kNoResource || t[r].load < t[fresh].load) fresh = r;
+    }
+    if (evicted > 0) system_->metrics().count_status_evictions(evicted);
+    if (fresh != kNoResource) return fresh;
+  }
   ResourceIndex best = 0;
   for (ResourceIndex r = 1; r < t.size(); ++r) {
     if (t[r].load < t[best].load) best = r;
@@ -102,7 +119,9 @@ double SchedulerBase::busy_fraction(ClusterId cluster) const {
   if (t.empty()) return 0.0;
   std::size_t busy = 0;
   for (const ResourceView& v : t) {
-    if (v.load > 0.5) ++busy;
+    // Robustness: a stale entry is presumed down, i.e. not usable
+    // capacity, so it counts toward the busy fraction.
+    if (v.load > 0.5 || !view_usable(v)) ++busy;
   }
   return static_cast<double>(busy) / static_cast<double>(t.size());
 }
@@ -112,6 +131,8 @@ ResourceIndex SchedulerBase::most_backlogged(ClusterId cluster) const {
   ResourceIndex best = kNoResource;
   double best_load = 1.5;  // needs at least one queued job (load >= 2)
   for (ResourceIndex r = 0; r < t.size(); ++r) {
+    // Robustness: never try to steal from a presumed-down resource.
+    if (!view_usable(t[r])) continue;
     if (t[r].load > best_load) {
       best_load = t[r].load;
       best = r;
@@ -136,7 +157,38 @@ void SchedulerBase::deliver_job(workload::Job job) {
   });
 }
 
+void SchedulerBase::enable_robustness(double staleness_window,
+                                      std::uint32_t requeue_budget,
+                                      std::uint32_t retry_budget,
+                                      double retry_backoff_base) {
+  if (!(staleness_window > 0.0) || !(retry_backoff_base > 0.0)) {
+    throw std::invalid_argument(
+        "SchedulerBase: robustness window/backoff must be positive");
+  }
+  staleness_window_ = staleness_window;
+  requeue_budget_ = requeue_budget;
+  retry_budget_ = retry_budget;
+  retry_backoff_base_ = retry_backoff_base;
+}
+
+void SchedulerBase::deliver_requeue(workload::Job job) {
+  job.attempts += 1;
+  if (job.attempts > requeue_budget_) {
+    // Budget exhausted: the job is lost.  It stays in the books as
+    // unfinished (arrived == completed + unfinished still holds); the
+    // dedicated counter attributes the loss to the fault layer.
+    system_->metrics().count_job_lost();
+    return;
+  }
+  system_->metrics().count_job_requeued();
+  deliver_job(std::move(job));
+}
+
 void SchedulerBase::deliver_batch(StatusBatch batch) {
+  if (blackout_) {
+    system_->metrics().count_blackout_drop();
+    return;
+  }
   const CostModel& costs = system_->config().costs;
   const double cost =
       costs.sched_batch_base +
@@ -174,6 +226,13 @@ void SchedulerBase::fold_batch(const StatusBatch& batch) {
 }
 
 void SchedulerBase::deliver_message(RmsMessage msg) {
+  // A blacked-out scheduler's control plane is down, but job-carrying
+  // transfers must not vanish (conservation): they queue as normal and
+  // are decided once the processor works through its backlog.
+  if (blackout_ && !msg.job.has_value()) {
+    system_->metrics().count_blackout_drop();
+    return;
+  }
   const double cost = receive_cost(system_->config().costs, msg.kind);
   submit(cost, [this, msg = std::move(msg)]() { handle_message(msg); });
 }

@@ -66,6 +66,32 @@ class SchedulerBase : public sim::Server {
   /// the status stream (AUCTION, Sy-I).
   virtual bool wants_idle_events() const { return false; }
 
+  // -- Robustness mixin (fault subsystem; inert unless enabled).
+
+  /// Switch on the shared robustness behavior every policy inherits:
+  /// table entries older than `staleness_window` are evicted from
+  /// placement scans, zero-reply protocol rounds retry up to
+  /// `retry_budget` times with exponential backoff, and crash-killed
+  /// jobs requeue through deliver_requeue at most `requeue_budget`
+  /// times.  GridSystem calls this for every scheduler whenever the
+  /// run's FaultPlan is active.
+  void enable_robustness(double staleness_window, std::uint32_t requeue_budget,
+                         std::uint32_t retry_budget,
+                         double retry_backoff_base);
+  bool robust() const noexcept { return staleness_window_ > 0.0; }
+
+  /// Fault injection: while blacked out, status batches and job-free
+  /// protocol messages are dropped on arrival (counted); job-carrying
+  /// messages and fresh submissions still queue, so jobs conserve.
+  void set_blackout(bool down) { blackout_ = down; }
+  bool blacked_out() const noexcept { return blackout_; }
+
+  /// A crash-killed job re-enters this scheduler (network hop already
+  /// paid).  Spends one unit of the job's requeue budget; over budget
+  /// the job is lost (counted).  The repeat decision work and transfer
+  /// traffic are charged to G like any first attempt.
+  void deliver_requeue(workload::Job job);
+
  protected:
   // -- Hooks the seven policies implement.
   virtual void handle_job(workload::Job job) = 0;
@@ -125,6 +151,21 @@ class SchedulerBase : public sim::Server {
   /// Fresh correlation token.
   std::uint64_t next_token() noexcept { return token_counter_++; }
 
+  /// Robustness: is this table entry fresh enough to act on?  Always
+  /// true when the mixin is off.
+  bool view_usable(const ResourceView& v) const noexcept {
+    return staleness_window_ <= 0.0 || now() - v.stamp <= staleness_window_;
+  }
+  double staleness_window() const noexcept { return staleness_window_; }
+  /// True while `attempt` retries have not exhausted the retry budget.
+  bool should_retry(std::uint32_t attempt) const noexcept {
+    return staleness_window_ > 0.0 && attempt < retry_budget_;
+  }
+  /// Backoff before retry number `attempt` + 1: base * 2^attempt.
+  double retry_backoff(std::uint32_t attempt) const noexcept {
+    return retry_backoff_base_ * static_cast<double>(1u << attempt);
+  }
+
  public:
   /// Called once by GridSystem during wiring: seed the status tables for
   /// the clusters this scheduler tracks.
@@ -139,6 +180,13 @@ class SchedulerBase : public sim::Server {
   util::RandomStream rng_;
   std::unordered_map<ClusterId, std::vector<ResourceView>> tables_;
   std::uint64_t token_counter_ = 1;
+
+  // Robustness mixin state (all zero/false = mixin off).
+  double staleness_window_ = 0.0;
+  std::uint32_t requeue_budget_ = 0;
+  std::uint32_t retry_budget_ = 0;
+  double retry_backoff_base_ = 0.0;
+  bool blackout_ = false;
 };
 
 }  // namespace scal::grid

@@ -134,12 +134,95 @@ GridSystem::GridSystem(GridConfig config, SchedulerFactory factory)
   mean_service_time_ =
       workload::expected_exec_time(config_.workload) / config_.service_rate;
 
+  if (config_.faults.any()) setup_faults();
+
   if (config_.sample_interval > 0.0) {
     sampler_ = std::make_unique<StateSampler>(*this, next_entity_id_++,
                                               config_.sample_interval);
   }
 
   if (config_.telemetry != nullptr) setup_telemetry();
+}
+
+void GridSystem::setup_faults() {
+  const fault::FaultPlan& plan = config_.faults;
+
+  // Flatten the entities so injector hooks address them by dense index;
+  // flattening order (cluster-major) is part of the substream contract.
+  std::vector<Resource*> res_flat;
+  for (auto& cluster : resources_) {
+    for (auto& res : cluster) res_flat.push_back(res.get());
+  }
+  std::vector<Estimator*> est_flat;
+  for (auto& cluster : estimators_) {
+    for (auto& est : cluster) est_flat.push_back(est.get());
+  }
+
+  const exec::SeedSequence seeds = fault::fault_seeds(config_.seed);
+
+  // Message faults ride their own reserved substream, so enabling churn
+  // alone leaves the message path untouched (and vice versa).
+  if (plan.messages.enabled()) {
+    net::NetFaults nf;
+    nf.drop = plan.messages.drop;
+    nf.duplicate = plan.messages.duplicate;
+    nf.delay_probability = plan.messages.delay_probability;
+    nf.delay_mean = plan.messages.delay_mean;
+    network_->set_faults(
+        nf, util::RandomStream(seeds.at(
+                fault::FaultInjector::net_stream_index(res_flat.size()))));
+  }
+
+  // Robustness mixin on every scheduler.  The staleness window tracks
+  // the tuned update interval — the same enabler the paper's procedure
+  // searches — so eviction adapts as the tuner moves tau.
+  const double window =
+      plan.robustness.staleness_factor * config_.tuning.update_interval;
+  for (auto& sched : schedulers_) {
+    sched->enable_robustness(window, plan.robustness.requeue_budget,
+                             plan.robustness.retry_budget,
+                             plan.robustness.retry_backoff_base);
+  }
+
+  // Crash-killed jobs travel back to the cluster's scheduler over a
+  // reliable hop (they carry state) and re-enter as ordinary decisions:
+  // the return traffic and the repeat decision work are charged to G(k).
+  for (std::size_t c = 0; c < resources_.size(); ++c) {
+    for (std::size_t r = 0; r < resources_[c].size(); ++r) {
+      const net::NodeId res_node = layout_.clusters[c].resource_nodes[r];
+      resources_[c][r]->set_kill_handler(
+          [this, c, res_node](std::vector<workload::Job> killed) {
+            SchedulerBase& sched = scheduler_for(static_cast<ClusterId>(c));
+            for (auto& job : killed) {
+              network_->send(res_node, sched.node(), config_.costs.size_job,
+                             [&sched, job = std::move(job)]() mutable {
+                               sched.deliver_requeue(std::move(job));
+                             });
+            }
+          });
+    }
+  }
+
+  fault::FaultHooks hooks;
+  if (plan.churn.enabled()) {
+    hooks.crash_resource = [res_flat](std::size_t i) { res_flat[i]->crash(); };
+    hooks.recover_resource = [res_flat](std::size_t i) {
+      res_flat[i]->recover();
+    };
+  }
+  if (plan.estimator_blackout.enabled()) {
+    hooks.estimator_blackout = [est_flat](std::size_t e, bool down) {
+      est_flat[e]->set_down(down);
+    };
+  }
+  if (plan.scheduler_blackout.enabled()) {
+    hooks.scheduler_blackout = [this](std::size_t s, bool down) {
+      schedulers_[s]->set_blackout(down);
+    };
+  }
+  injector_ = std::make_unique<fault::FaultInjector>(
+      sim_, next_entity_id_++, plan, seeds, res_flat.size(), est_flat.size(),
+      schedulers_.size(), std::move(hooks));
 }
 
 void GridSystem::setup_telemetry() {
@@ -432,15 +515,23 @@ SimulationResult GridSystem::run() {
   schedule_arrivals();
 
   util::RandomStream offset_rng(config_.seed, "report-offsets");
+  // Under faults, bound suppression at half the staleness window so a
+  // live-but-quiet resource always reports before eviction would hit it.
+  const double max_silence =
+      config_.faults.any()
+          ? 0.5 * config_.faults.robustness.staleness_factor *
+                config_.tuning.update_interval
+          : 0.0;
   for (auto& cluster : resources_) {
     for (auto& res : cluster) {
       res->start_reporting(config_.tuning.update_interval,
                            offset_rng.uniform(0.0,
                                               config_.tuning.update_interval),
-                           config_.update_suppression);
+                           config_.update_suppression, max_silence);
     }
   }
   for (auto& sched : schedulers_) sched->on_start();
+  if (injector_) injector_->start();
   if (sampler_) sampler_->start();
 
   sim_.run(config_.horizon);
@@ -496,6 +587,38 @@ SimulationResult GridSystem::assemble_result() {
   r.messages_dropped = network_->messages_dropped();
   r.events_dispatched = sim_.dispatched_events();
   r.horizon = config_.horizon;
+
+  if (config_.faults.any()) {
+    r.resource_crashes = injector_->counters().crashes;
+    r.resource_recoveries = injector_->counters().recoveries;
+    r.jobs_killed = metrics_.jobs_killed();
+    r.jobs_requeued = metrics_.jobs_requeued();
+    r.jobs_lost = metrics_.jobs_lost();
+    r.round_retries = metrics_.round_retries();
+    r.status_evictions = metrics_.status_evictions();
+    r.messages_delayed = network_->messages_delayed();
+    r.messages_duplicated = network_->messages_duplicated();
+    // Scheduler-side drops are counted by the mixin; estimator-side
+    // drops are the items their down servers discarded.
+    r.blackout_drops = metrics_.blackout_drops();
+    for (const auto& cluster : estimators_) {
+      for (const auto& est : cluster) {
+        r.blackout_drops += est->items_discarded();
+      }
+    }
+    double downtime = 0.0;
+    std::size_t pool = 0;
+    for (const auto& cluster : resources_) {
+      for (const auto& res : cluster) {
+        downtime += res->downtime_through(config_.horizon);
+        ++pool;
+      }
+    }
+    r.resource_downtime = downtime;
+    const double capacity =
+        static_cast<double>(pool) * config_.horizon;
+    r.availability = capacity > 0.0 ? 1.0 - downtime / capacity : 1.0;
+  }
 
   r.throughput = config_.horizon > 0.0
                      ? static_cast<double>(r.jobs_completed) / config_.horizon

@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "fault/injector.hpp"
 #include "grid/cluster.hpp"
 #include "grid/config.hpp"
 #include "grid/estimator.hpp"
@@ -93,6 +94,10 @@ class GridSystem {
   void build();
   void schedule_arrivals();
   SimulationResult assemble_result();
+  /// Wire the fault layer: injector hooks, net message faults, kill
+  /// handlers, and the schedulers' robustness mixin.  Only called when
+  /// config.faults.any() — a fault-free run constructs none of it.
+  void setup_faults();
 
   // -- Telemetry plumbing (all no-ops when config_.telemetry is null).
   void setup_telemetry();
@@ -117,6 +122,7 @@ class GridSystem {
   std::vector<std::vector<std::unique_ptr<Resource>>> resources_;
   std::vector<std::vector<std::unique_ptr<Estimator>>> estimators_;
   std::vector<std::unique_ptr<SchedulerBase>> schedulers_;
+  std::unique_ptr<fault::FaultInjector> injector_;
   std::unique_ptr<StateSampler> sampler_;
   double mean_service_time_ = 1.0;
   bool ran_ = false;

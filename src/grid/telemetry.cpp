@@ -20,6 +20,7 @@ void export_job_spans(const JobLog& log, obs::TraceRecorder& trace,
       case JobEvent::kTransfer:
       case JobEvent::kDispatch:
       case JobEvent::kStart:
+      case JobEvent::kKilled:
         trace.async_instant(tid, rec.job, to_string(rec.event), "job",
                             rec.at);
         break;
@@ -78,6 +79,25 @@ void fill_manifest(obs::RunManifest& manifest, const GridConfig& config,
   counters.set_real("G_middleware", result.G_middleware);
   counters.set_real("H_control", result.H_control);
   counters.set_real("H_wasted", result.H_wasted);
+
+  // Fault-injection block: only when the run actually injected faults,
+  // keeping zero-fault manifests byte-identical to the pre-fault format.
+  manifest.fault_spec = config.faults.to_spec();
+  if (!manifest.fault_spec.empty()) {
+    manifest.availability = result.availability;
+    manifest.efficiency_avail = result.efficiency_avail();
+    counters.set("resource_crashes", result.resource_crashes);
+    counters.set("resource_recoveries", result.resource_recoveries);
+    counters.set("jobs_killed", result.jobs_killed);
+    counters.set("jobs_requeued", result.jobs_requeued);
+    counters.set("jobs_lost", result.jobs_lost);
+    counters.set("round_retries", result.round_retries);
+    counters.set("status_evictions", result.status_evictions);
+    counters.set("blackout_drops", result.blackout_drops);
+    counters.set("messages_delayed", result.messages_delayed);
+    counters.set("messages_duplicated", result.messages_duplicated);
+    counters.set_real("resource_downtime", result.resource_downtime);
+  }
 }
 
 }  // namespace scal::grid

@@ -15,6 +15,21 @@
 
 namespace scal::net {
 
+/// Control-message fault model (fault subsystem): per-message drop /
+/// duplication / extra-delay decisions on a dedicated stream.  Applies
+/// to the unreliable path only and composes with (runs after) the
+/// legacy set_loss check, so enabling it never perturbs the draw
+/// sequence of existing loss-injection runs.
+struct NetFaults {
+  double drop = 0.0;               ///< independent drop probability
+  double duplicate = 0.0;          ///< probability of a second delivery
+  double delay_probability = 0.0;  ///< probability of extra latency
+  double delay_mean = 0.0;         ///< mean of the Exp extra latency
+  bool any() const noexcept {
+    return drop > 0.0 || duplicate > 0.0 || delay_probability > 0.0;
+  }
+};
+
 class Network : public sim::Entity {
  public:
   Network(sim::Simulator& sim, sim::EntityId id, const Graph& graph)
@@ -38,6 +53,13 @@ class Network : public sim::Entity {
   double loss_probability() const noexcept { return loss_probability_; }
   std::uint64_t messages_dropped() const noexcept { return dropped_; }
 
+  /// Enable the fault-subsystem message model.  Each unreliable message
+  /// draws, in fixed order and only for the classes enabled, drop ->
+  /// extra delay -> duplication, so disabled classes consume no draws.
+  void set_faults(const NetFaults& faults, util::RandomStream rng);
+  std::uint64_t messages_duplicated() const noexcept { return duplicated_; }
+  std::uint64_t messages_delayed() const noexcept { return delayed_; }
+
   /// One-way delay this fabric would charge right now.
   double predict_delay(NodeId src, NodeId dst, double size) const;
 
@@ -57,6 +79,10 @@ class Network : public sim::Entity {
   double loss_probability_ = 0.0;
   std::optional<util::RandomStream> loss_rng_;
   std::uint64_t dropped_ = 0;
+  NetFaults faults_;
+  std::optional<util::RandomStream> fault_rng_;
+  std::uint64_t duplicated_ = 0;
+  std::uint64_t delayed_ = 0;
 };
 
 }  // namespace scal::net

@@ -61,6 +61,14 @@ std::string RunManifest::to_json() const {
       .field("G_scheduler_max_share", G_scheduler_max_share);
   obj.raw("result", result.str());
 
+  if (!fault_spec.empty()) {
+    JsonObject faults;
+    faults.field("spec", fault_spec)
+        .field("availability", availability)
+        .field("efficiency_avail", efficiency_avail);
+    obj.raw("faults", faults.str());
+  }
+
   obj.raw("counters", counters.to_json());
 
   if (anneal_iterations > 0) {

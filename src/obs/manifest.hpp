@@ -54,6 +54,11 @@ struct RunManifest {
   double p95_response = 0.0;
   double G_scheduler_max_share = 0.0;
 
+  // Fault-injection summary (emitted only when fault_spec is non-empty).
+  std::string fault_spec;        ///< FaultPlan::to_spec() of the run
+  double availability = 1.0;     ///< 1 - downtime / (resources * horizon)
+  double efficiency_avail = 0.0; ///< E divided by availability
+
   // Protocol / bookkeeping counters.
   CounterRegistry counters;
 

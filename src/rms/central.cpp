@@ -3,22 +3,37 @@
 namespace scal::rms {
 
 void CentralScheduler::handle_job(workload::Job job) {
-  // Global least-loaded placement over every cluster's table.
+  // Global least-loaded placement over every cluster's table.  Under
+  // the robustness mixin, entries that stopped updating (crashed
+  // resource or blacked-out estimator) are skipped; if that empties the
+  // whole view, fall back to the raw scan rather than strand the job.
   grid::ClusterId best_cluster = 0;
   grid::ResourceIndex best_res = 0;
   double best_load = std::numeric_limits<double>::infinity();
+  bool found = false;
+  std::uint64_t evicted = 0;
   const std::size_t clusters = system().cluster_count();
-  for (std::size_t c = 0; c < clusters; ++c) {
-    const auto cid = static_cast<grid::ClusterId>(c);
-    const auto& t = table(cid);
-    for (grid::ResourceIndex r = 0; r < t.size(); ++r) {
-      if (t[r].load < best_load) {
-        best_load = t[r].load;
-        best_cluster = cid;
-        best_res = r;
+  for (int pass = 0; pass < 2 && !found; ++pass) {
+    const bool fresh_only = robust() && pass == 0;
+    for (std::size_t c = 0; c < clusters; ++c) {
+      const auto cid = static_cast<grid::ClusterId>(c);
+      const auto& t = table(cid);
+      for (grid::ResourceIndex r = 0; r < t.size(); ++r) {
+        if (fresh_only && !view_usable(t[r])) {
+          ++evicted;
+          continue;
+        }
+        if (t[r].load < best_load) {
+          best_load = t[r].load;
+          best_cluster = cid;
+          best_res = r;
+          found = true;
+        }
       }
     }
+    if (!robust()) break;
   }
+  if (evicted > 0) system().metrics().count_status_evictions(evicted);
   dispatch(best_cluster, best_res, std::move(job));
 }
 

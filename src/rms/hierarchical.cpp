@@ -53,7 +53,16 @@ void HierarchicalScheduler::root_place(workload::Job job) {
   // Scan cluster digests — O(#clusters), not O(#resources).
   grid::ClusterId best = cluster();
   double best_load = std::numeric_limits<double>::infinity();
+  std::uint64_t evicted = 0;
   for (const auto& [c, digest] : digests_) {
+    // Under the robustness mixin, skip digests from leaves that stopped
+    // reporting (crashed or blacked out); the root's own digest is
+    // refreshed locally every batch so local fallback always remains.
+    if (robust() && c != cluster() &&
+        now() - digest.stamp > staleness_window()) {
+      ++evicted;
+      continue;
+    }
     // Order by reported least-loaded resource; busy fraction breaks ties.
     const double key = digest.least_load + 0.1 * digest.busy_fraction;
     if (key < best_load) {
@@ -61,6 +70,7 @@ void HierarchicalScheduler::root_place(workload::Job job) {
       best = c;
     }
   }
+  if (evicted > 0) system().metrics().count_status_evictions(evicted);
   if (best == cluster()) {
     schedule_local(std::move(job));
   } else {

@@ -10,7 +10,8 @@ void LowestScheduler::handle_job(workload::Job job) {
   start_poll_round(std::move(job));
 }
 
-void LowestScheduler::start_poll_round(workload::Job job) {
+void LowestScheduler::start_poll_round(workload::Job job,
+                                       std::uint32_t attempt) {
   const auto peers = random_peers(tuning().neighborhood_size);
   if (peers.empty()) {
     schedule_local(std::move(job));
@@ -20,6 +21,7 @@ void LowestScheduler::start_poll_round(workload::Job job) {
   PollRound round;
   round.job = std::move(job);
   round.awaiting = peers.size();
+  round.attempt = attempt;
   auto [it, inserted] = pending_.emplace(token, std::move(round));
   (void)inserted;
   for (const grid::ClusterId peer : peers) {
@@ -31,16 +33,27 @@ void LowestScheduler::start_poll_round(workload::Job job) {
     send_message(peer, std::move(poll), costs().sched_poll);
   }
   // Watchdog: lost replies (failure injection) must never strand a job.
-  system().simulator().schedule_in(protocol().reply_timeout,
-                                   [this, token]() {
-                                     const auto round_it =
-                                         pending_.find(token);
-                                     if (round_it == pending_.end()) return;
-                                     PollRound late =
-                                         std::move(round_it->second);
-                                     pending_.erase(round_it);
-                                     conclude_round(std::move(late));
-                                   });
+  system().simulator().schedule_in(
+      protocol().reply_timeout, [this, token]() {
+        const auto round_it = pending_.find(token);
+        if (round_it == pending_.end()) return;
+        PollRound late = std::move(round_it->second);
+        pending_.erase(round_it);
+        // Robustness mixin: a round with zero replies (dead or
+        // blacked-out peers) retries with exponential backoff; the
+        // repeat polls are charged to G like the first round's.
+        if (!late.any_reply && should_retry(late.attempt)) {
+          system().metrics().count_round_retry();
+          const std::uint32_t next = late.attempt + 1;
+          system().simulator().schedule_in(
+              retry_backoff(late.attempt),
+              [this, job = std::move(late.job), next]() mutable {
+                start_poll_round(std::move(job), next);
+              });
+          return;
+        }
+        conclude_round(std::move(late));
+      });
 }
 
 void LowestScheduler::handle_message(const grid::RmsMessage& msg) {

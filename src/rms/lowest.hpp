@@ -22,7 +22,8 @@ class LowestScheduler : public DistributedSchedulerBase {
   void handle_message(const grid::RmsMessage& msg) override;
 
   /// REMOTE-arrival poll round (also AUCTION's initial scheduling).
-  void start_poll_round(workload::Job job);
+  /// `attempt` counts robustness retries of the same job's round.
+  void start_poll_round(workload::Job job, std::uint32_t attempt = 0);
 
  private:
   struct PollRound {
@@ -32,6 +33,7 @@ class LowestScheduler : public DistributedSchedulerBase {
     double best_load = 0.0;
     double best_rus = 0.0;
     bool any_reply = false;
+    std::uint32_t attempt = 0;
   };
 
   void conclude_round(PollRound round);

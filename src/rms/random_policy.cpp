@@ -4,6 +4,24 @@ namespace scal::rms {
 
 void RandomScheduler::place_randomly(workload::Job job) {
   const auto& t = table(cluster());
+  if (robust()) {
+    // Sample only among resources with fresh status; a crashed resource
+    // keeps its last table entry forever and must not soak up a 1/N
+    // share of placements.  All-stale falls through to the raw draw.
+    std::vector<grid::ResourceIndex> usable;
+    usable.reserve(t.size());
+    for (grid::ResourceIndex r = 0; r < t.size(); ++r) {
+      if (view_usable(t[r])) usable.push_back(r);
+    }
+    if (!usable.empty() && usable.size() < t.size()) {
+      system().metrics().count_status_evictions(t.size() - usable.size());
+      const auto pick = rng().uniform_int(
+          0, static_cast<std::int64_t>(usable.size()) - 1);
+      dispatch(cluster(), usable[static_cast<std::size_t>(pick)],
+               std::move(job));
+      return;
+    }
+  }
   const auto r = static_cast<grid::ResourceIndex>(
       rng().uniform_int(0, static_cast<std::int64_t>(t.size()) - 1));
   dispatch(cluster(), r, std::move(job));

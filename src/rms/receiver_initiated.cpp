@@ -14,9 +14,12 @@ void ReceiverInitiatedScheduler::volunteer_tick() {
   // "Periodically, a scheduler checks RUS for the resources in its
   // cluster" — an idle resource (RUS below delta) triggers volunteering.
   const auto& t = table(cluster());
-  const bool has_idle = std::any_of(
-      t.begin(), t.end(),
-      [this](const grid::ResourceView& v) { return v.load < protocol().delta; });
+  // Under the robustness mixin only fresh views count: a crashed
+  // resource's frozen "idle" entry must not keep attracting work.
+  const auto idle = [this](const grid::ResourceView& v) {
+    return view_usable(v) && v.load < protocol().delta;
+  };
+  const bool has_idle = std::any_of(t.begin(), t.end(), idle);
   if (has_idle) {
     for (const grid::ClusterId peer :
          random_peers(tuning().neighborhood_size)) {

@@ -36,23 +36,40 @@ void ReserveScheduler::handle_job(workload::Job job) {
     schedule_local(std::move(job));
     return;
   }
+  probe_reservation(std::move(job), 0);
+}
+
+void ReserveScheduler::probe_reservation(workload::Job job,
+                                         std::uint32_t attempt) {
   Reservation* res = freshest_reservation();
   if (busy_fraction(cluster()) > protocol().t_l && res != nullptr) {
     const std::uint64_t token = next_token();
-    probing_.emplace(token, std::move(job));
+    probing_.emplace(token, Probe{std::move(job), attempt});
     system().metrics().count_poll();
     grid::RmsMessage probe;
     probe.kind = grid::MsgKind::kReserveProbe;
     probe.token = token;
     send_message(res->from, std::move(probe), costs().sched_poll);
-    // Watchdog: a lost probe or reply falls back to local placement.
+    // Watchdog: a lost probe or reply falls back to local placement;
+    // under the robustness mixin it first re-probes (the freshest
+    // reservation is re-picked, so a dead reserver is routed around).
     system().simulator().schedule_in(
         protocol().reply_timeout, [this, token]() {
           const auto it = probing_.find(token);
           if (it == probing_.end()) return;
-          workload::Job stranded = std::move(it->second);
+          Probe stranded = std::move(it->second);
           probing_.erase(it);
-          schedule_local(std::move(stranded));
+          if (should_retry(stranded.attempt)) {
+            system().metrics().count_round_retry();
+            const std::uint32_t next = stranded.attempt + 1;
+            system().simulator().schedule_in(
+                retry_backoff(stranded.attempt),
+                [this, job = std::move(stranded.job), next]() mutable {
+                  probe_reservation(std::move(job), next);
+                });
+            return;
+          }
+          schedule_local(std::move(stranded.job));
         });
     return;
   }
@@ -83,7 +100,7 @@ void ReserveScheduler::handle_message(const grid::RmsMessage& msg) {
     case grid::MsgKind::kReserveReply: {
       const auto it = probing_.find(msg.token);
       if (it == probing_.end()) return;
-      workload::Job job = std::move(it->second);
+      workload::Job job = std::move(it->second.job);
       probing_.erase(it);
       if (msg.a > 0.5) {
         transfer_job(msg.from, std::move(job));

@@ -28,13 +28,20 @@ class ReserveScheduler : public DistributedSchedulerBase {
     grid::ClusterId from = 0;
     sim::Time stamp = 0.0;
   };
+  struct Probe {
+    workload::Job job;
+    std::uint32_t attempt = 0;  ///< robustness retries of this probe
+  };
 
   void maybe_advertise();
+  /// Probe the freshest reservation for `job`, or place it locally when
+  /// no reservation exists or the cluster is below threshold.
+  void probe_reservation(workload::Job job, std::uint32_t attempt);
   /// Most recent reservation, or nullptr.
   Reservation* freshest_reservation();
 
   std::vector<Reservation> reservations_;
-  std::unordered_map<std::uint64_t, workload::Job> probing_;
+  std::unordered_map<std::uint64_t, Probe> probing_;
   sim::Time last_advert_ = -1e300;
 };
 

@@ -12,7 +12,8 @@ void SenderInitiatedScheduler::handle_job(workload::Job job) {
   start_att_poll(std::move(job));
 }
 
-void SenderInitiatedScheduler::start_att_poll(workload::Job job) {
+void SenderInitiatedScheduler::start_att_poll(workload::Job job,
+                                              std::uint32_t attempt) {
   const auto peers = random_peers(tuning().neighborhood_size);
   if (peers.empty()) {
     schedule_local(std::move(job));
@@ -22,6 +23,7 @@ void SenderInitiatedScheduler::start_att_poll(workload::Job job) {
   AttRound round;
   round.job = std::move(job);
   round.awaiting = peers.size();
+  round.attempt = attempt;
   auto [it, inserted] = pending_.emplace(token, std::move(round));
   (void)inserted;
   for (const grid::ClusterId peer : peers) {
@@ -33,16 +35,26 @@ void SenderInitiatedScheduler::start_att_poll(workload::Job job) {
     send_message(peer, std::move(poll), costs().sched_poll);
   }
   // Watchdog: lost replies (failure injection) must never strand a job.
-  system().simulator().schedule_in(protocol().reply_timeout,
-                                   [this, token]() {
-                                     const auto round_it =
-                                         pending_.find(token);
-                                     if (round_it == pending_.end()) return;
-                                     AttRound late =
-                                         std::move(round_it->second);
-                                     pending_.erase(round_it);
-                                     conclude_att_round(std::move(late));
-                                   });
+  system().simulator().schedule_in(
+      protocol().reply_timeout, [this, token]() {
+        const auto round_it = pending_.find(token);
+        if (round_it == pending_.end()) return;
+        AttRound late = std::move(round_it->second);
+        pending_.erase(round_it);
+        // Robustness mixin: zero replies retries with backoff (see
+        // LowestScheduler for the rationale; charged to G identically).
+        if (!late.any_reply && should_retry(late.attempt)) {
+          system().metrics().count_round_retry();
+          const std::uint32_t next = late.attempt + 1;
+          system().simulator().schedule_in(
+              retry_backoff(late.attempt),
+              [this, job = std::move(late.job), next]() mutable {
+                start_att_poll(std::move(job), next);
+              });
+          return;
+        }
+        conclude_att_round(std::move(late));
+      });
 }
 
 void SenderInitiatedScheduler::handle_message(const grid::RmsMessage& msg) {

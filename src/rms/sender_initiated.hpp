@@ -25,8 +25,8 @@ class SenderInitiatedScheduler : public DistributedSchedulerBase {
   void handle_message(const grid::RmsMessage& msg) override;
 
   /// The S-I poll round; Sy-I falls back to this when it has no fresh
-  /// advertisement.
-  void start_att_poll(workload::Job job);
+  /// advertisement.  `attempt` counts robustness retries.
+  void start_att_poll(workload::Job job, std::uint32_t attempt = 0);
 
  private:
   struct AttRound {
@@ -36,6 +36,7 @@ class SenderInitiatedScheduler : public DistributedSchedulerBase {
     double best_att = 0.0;
     double best_rus = 0.0;
     bool any_reply = false;
+    std::uint32_t attempt = 0;
   };
 
   void conclude_att_round(AttRound round);

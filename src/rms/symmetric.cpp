@@ -11,9 +11,10 @@ void SymmetricScheduler::on_start() {
 
 void SymmetricScheduler::volunteer_tick() {
   const auto& t = table(cluster());
+  // Fresh views only under robustness (see ReceiverInitiatedScheduler).
   const bool has_idle = std::any_of(
       t.begin(), t.end(), [this](const grid::ResourceView& v) {
-        return v.load < protocol().delta;
+        return view_usable(v) && v.load < protocol().delta;
       });
   if (has_idle) broadcast_volunteer();
   system().simulator().schedule_in(tuning().volunteer_interval,

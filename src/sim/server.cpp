@@ -20,8 +20,22 @@ double Server::queue_time_integral() const noexcept {
          static_cast<double>(queue_.size()) * (t - last_queue_change_);
 }
 
+void Server::set_down(bool down) {
+  if (down == down_) return;
+  down_ = down;
+  if (down && !queue_.empty()) {
+    note_queue_change();
+    discarded_ += queue_.size();
+    queue_.clear();
+  }
+}
+
 void Server::submit(Time cost, std::function<void()> done) {
   if (!(cost >= 0.0)) throw std::invalid_argument("Server: negative cost");
+  if (down_) {
+    ++discarded_;
+    return;
+  }
   note_queue_change();
   offered_work_ += cost;
   queue_.push_back(Item{cost, std::move(done)});

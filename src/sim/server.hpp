@@ -50,6 +50,16 @@ class Server : public Entity {
   /// Largest backlog observed.
   std::size_t max_queue_length() const noexcept { return max_queue_; }
 
+  /// Fault hook: while down the server discards every submitted item
+  /// (the work is never offered, so it cannot inflate G) and going down
+  /// drops the waiting queue; an item already in service completes
+  /// normally.  Up by default; the only cost when never used is one
+  /// boolean test in submit().
+  void set_down(bool down);
+  bool down() const noexcept { return down_; }
+  /// Items discarded because the server was down.
+  std::uint64_t items_discarded() const noexcept { return discarded_; }
+
   /// Telemetry hook: record a B/E busy span on `tid` of `trace` for
   /// every service period.  Null detaches; the disabled cost in the
   /// service path is one pointer test.
@@ -76,6 +86,8 @@ class Server : public Entity {
   obs::TraceRecorder* trace_ = nullptr;
   obs::TraceTid trace_tid_ = 0;
   bool in_service_ = false;
+  bool down_ = false;
+  std::uint64_t discarded_ = 0;
   Time busy_time_ = 0.0;
   Time offered_work_ = 0.0;
   std::uint64_t completed_ = 0;

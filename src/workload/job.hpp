@@ -33,6 +33,9 @@ struct Job {
   double benefit_factor = 3.0;
   sim::Time benefit_deadline = 0.0;  ///< u * exec_time, in demand units
   std::uint32_t origin_cluster = 0;  ///< cluster of the submitting node
+  /// Crash-requeue attempts consumed so far (fault subsystem; runtime
+  /// state, not part of the workload characterization or trace format).
+  std::uint32_t attempts = 0;
 
   /// Latest acceptable completion when the job runs at `service_rate`.
   sim::Time deadline_instant(double service_rate) const noexcept {

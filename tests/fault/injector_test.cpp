@@ -1,0 +1,193 @@
+// FaultInjector: schedule shape (crash alternates with recover, blackout
+// windows open and close), counter accuracy, and the substream
+// determinism contract the --jobs bit-identity rests on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "fault/injector.hpp"
+#include "sim/simulator.hpp"
+
+namespace scal::fault {
+namespace {
+
+struct Recorded {
+  double at = 0.0;
+  std::size_t index = 0;
+  bool down = false;
+};
+
+struct Harness {
+  sim::Simulator sim;
+  std::vector<Recorded> crashes;
+  std::vector<Recorded> recoveries;
+  std::vector<Recorded> estimator_windows;
+  std::vector<Recorded> scheduler_windows;
+
+  FaultHooks hooks() {
+    FaultHooks h;
+    h.crash_resource = [this](std::size_t r) {
+      crashes.push_back({sim.now(), r, true});
+    };
+    h.recover_resource = [this](std::size_t r) {
+      recoveries.push_back({sim.now(), r, false});
+    };
+    h.estimator_blackout = [this](std::size_t e, bool down) {
+      estimator_windows.push_back({sim.now(), e, down});
+    };
+    h.scheduler_blackout = [this](std::size_t s, bool down) {
+      scheduler_windows.push_back({sim.now(), s, down});
+    };
+    return h;
+  }
+};
+
+FaultPlan churn_plan(double mtbf, double mttr) {
+  FaultPlan plan;
+  plan.churn.mtbf = mtbf;
+  plan.churn.mttr = mttr;
+  return plan;
+}
+
+TEST(FaultInjector, InertPlanSchedulesNothing) {
+  Harness h;
+  FaultInjector injector(h.sim, 1, FaultPlan{}, fault_seeds(7), 4, 2, 2,
+                         h.hooks());
+  injector.start();
+  EXPECT_TRUE(h.sim.idle());
+  EXPECT_EQ(h.sim.run(1e6), 0u);
+  EXPECT_EQ(injector.counters().crashes, 0u);
+}
+
+TEST(FaultInjector, ChurnAlternatesCrashAndRecover) {
+  Harness h;
+  FaultInjector injector(h.sim, 1, churn_plan(50.0, 10.0), fault_seeds(7),
+                         1, 0, 0, h.hooks());
+  injector.start();
+  h.sim.run(2000.0);
+  ASSERT_GT(h.crashes.size(), 3u);
+  // Strict alternation, crash first, per resource.
+  EXPECT_TRUE(h.recoveries.size() == h.crashes.size() ||
+              h.recoveries.size() + 1 == h.crashes.size());
+  for (std::size_t i = 0; i < h.recoveries.size(); ++i) {
+    EXPECT_LT(h.crashes[i].at, h.recoveries[i].at);
+    if (i + 1 < h.crashes.size()) {
+      EXPECT_LT(h.recoveries[i].at, h.crashes[i + 1].at);
+    }
+  }
+  EXPECT_EQ(injector.counters().crashes, h.crashes.size());
+  EXPECT_EQ(injector.counters().recoveries, h.recoveries.size());
+}
+
+TEST(FaultInjector, ChurnIsDeterministic) {
+  const auto run = [] {
+    Harness h;
+    FaultInjector injector(h.sim, 1, churn_plan(80.0, 15.0), fault_seeds(42),
+                           3, 0, 0, h.hooks());
+    injector.start();
+    h.sim.run(5000.0);
+    return h.crashes;
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].at, b[i].at);
+    EXPECT_EQ(a[i].index, b[i].index);
+  }
+}
+
+TEST(FaultInjector, ResourcesChurnIndependently) {
+  Harness h;
+  FaultInjector injector(h.sim, 1, churn_plan(60.0, 10.0), fault_seeds(9),
+                         2, 0, 0, h.hooks());
+  injector.start();
+  h.sim.run(3000.0);
+  double first[2] = {0.0, 0.0};
+  for (const Recorded& c : h.crashes) {
+    if (first[c.index] == 0.0) first[c.index] = c.at;
+  }
+  ASSERT_GT(first[0], 0.0);
+  ASSERT_GT(first[1], 0.0);
+  EXPECT_NE(first[0], first[1]);
+}
+
+TEST(FaultInjector, ResourceStreamStableUnderPoolGrowth) {
+  // Resource i's churn substream depends only on i, so growing the pool
+  // (a scale sweep) never perturbs the smaller pool's fault times.
+  const auto first_crash = [](std::size_t resources) {
+    Harness h;
+    FaultInjector injector(h.sim, 1, churn_plan(60.0, 10.0), fault_seeds(5),
+                           resources, 0, 0, h.hooks());
+    injector.start();
+    h.sim.run(5000.0);
+    for (const Recorded& c : h.crashes) {
+      if (c.index == 0) return c.at;
+    }
+    return 0.0;
+  };
+  EXPECT_DOUBLE_EQ(first_crash(1), first_crash(8));
+}
+
+TEST(FaultInjector, BlackoutWindowsOpenAndClose) {
+  Harness h;
+  FaultPlan plan;
+  plan.estimator_blackout.period = 100.0;
+  plan.estimator_blackout.length = 20.0;
+  plan.scheduler_blackout.period = 300.0;
+  plan.scheduler_blackout.length = 30.0;
+  FaultInjector injector(h.sim, 1, plan, fault_seeds(3), 2, 3, 2, h.hooks());
+  injector.start();
+  h.sim.run(1000.0);
+  ASSERT_GT(h.estimator_windows.size(), 4u);
+  ASSERT_GT(h.scheduler_windows.size(), 2u);
+  // Per entity: down, up, down, up ... with length-long down phases.
+  for (std::size_t e = 0; e < 3; ++e) {
+    double down_at = -1.0;
+    bool expect_down = true;
+    for (const Recorded& w : h.estimator_windows) {
+      if (w.index != e) continue;
+      EXPECT_EQ(w.down, expect_down);
+      if (w.down) {
+        down_at = w.at;
+      } else {
+        EXPECT_NEAR(w.at - down_at, 20.0, 1e-9);
+      }
+      expect_down = !expect_down;
+    }
+  }
+  EXPECT_EQ(injector.counters().estimator_blackouts,
+            static_cast<std::uint64_t>(
+                std::count_if(h.estimator_windows.begin(),
+                              h.estimator_windows.end(),
+                              [](const Recorded& w) { return w.down; })));
+}
+
+TEST(FaultInjector, BlackoutPhasesAreDesynchronized) {
+  Harness h;
+  FaultPlan plan;
+  plan.estimator_blackout.period = 100.0;
+  plan.estimator_blackout.length = 10.0;
+  FaultInjector injector(h.sim, 1, plan, fault_seeds(11), 0, 2, 0, h.hooks());
+  injector.start();
+  h.sim.run(500.0);
+  double first[2] = {-1.0, -1.0};
+  for (const Recorded& w : h.estimator_windows) {
+    if (w.down && first[w.index] < 0.0) first[w.index] = w.at;
+  }
+  ASSERT_GE(first[0], 0.0);
+  ASSERT_GE(first[1], 0.0);
+  EXPECT_NE(first[0], first[1]);
+}
+
+TEST(FaultInjector, FaultSeedsAreDomainSeparated) {
+  // The fault tree must not alias the workload/topology trees of the
+  // same master seed.
+  EXPECT_NE(fault_seeds(123).at(0), exec::SeedSequence(123).at(0));
+  EXPECT_NE(fault_seeds(123).at(0), fault_seeds(124).at(0));
+}
+
+}  // namespace
+}  // namespace scal::fault

@@ -81,6 +81,26 @@ TEST_F(EstimatorTest, FirstUpdateIdleIsNotATransition) {
   EXPECT_FALSE(batches_[0].updates[0].idle_transition);
 }
 
+TEST_F(EstimatorTest, RecoveryIsNotAnIdleTransition) {
+  // Regression: a resource that crashes while busy reports load 0 on its
+  // first post-recovery update.  That busy -> idle edge is a state reset,
+  // not a genuine drain; flagging it fired phantom AUCTION / Sy-I
+  // volunteer rounds for a machine that just lost all its work.
+  auto est = make_estimator();
+  est->receive_update(update_for(0, 2.0, 0.0));  // busy
+  sim_.schedule_at(10.0, [&] {
+    StatusUpdate u = update_for(0, 0.0, 10.0);
+    u.recovered = true;  // first report after crash recovery
+    est->receive_update(u);
+  });
+  sim_.schedule_at(20.0, [&] { est->receive_update(update_for(0, 2.0, 20.0)); });
+  sim_.schedule_at(30.0, [&] { est->receive_update(update_for(0, 0.0, 30.0)); });
+  sim_.run();
+  ASSERT_EQ(batches_.size(), 4u);
+  EXPECT_FALSE(batches_[1].updates[0].idle_transition);  // recovery reset
+  EXPECT_TRUE(batches_[3].updates[0].idle_transition);   // real drain later
+}
+
 TEST_F(EstimatorTest, AccumulatesProcessingCostAsServerWork) {
   auto est = make_estimator(/*process=*/0.5, /*forward=*/1.0, 4.0);
   est->receive_update(update_for(0, 1.0, 0.0));
