@@ -10,6 +10,7 @@
 #include <iostream>
 
 #include "common.hpp"
+#include "options.hpp"
 #include "core/sensitivity.hpp"
 #include "exec/jobs.hpp"
 #include "exec/thread_pool.hpp"
@@ -28,7 +29,7 @@ int main(int argc, char** argv) {
   using namespace scal;
   using util::Table;
 
-  bench::parse_telemetry_cli(argc, argv, "ablation_replication");
+  bench::Options::parse(argc, argv, "ablation_replication");
 
   grid::GridConfig base = bench::case1_base();
   const std::size_t replications = bench::fast_mode() ? 3 : 7;

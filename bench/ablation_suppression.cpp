@@ -7,7 +7,7 @@
 #include <iostream>
 
 #include "common.hpp"
-#include "rms/factory.hpp"
+#include "rms/scenario.hpp"
 #include "util/table.hpp"
 
 int main() {
@@ -25,11 +25,11 @@ int main() {
 
     grid::GridConfig on = base;
     on.update_suppression = true;
-    const auto r_on = rms::simulate(on);
+    const auto r_on = Scenario(on).run();
 
     grid::GridConfig off = base;
     off.update_suppression = false;
-    const auto r_off = rms::simulate(off);
+    const auto r_off = Scenario(off).run();
 
     table.add_row({
         grid::to_string(kind),

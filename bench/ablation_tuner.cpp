@@ -7,16 +7,16 @@
 #include <iostream>
 
 #include "common.hpp"
+#include "options.hpp"
 #include "opt/search.hpp"
-#include "rms/factory.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace scal;
   using util::Table;
 
-  obs::Telemetry telemetry(
-      bench::parse_telemetry_cli(argc, argv, "ablation_tuner"));
+  const auto opts = bench::Options::parse(argc, argv, "ablation_tuner");
+  obs::Telemetry telemetry(opts.telemetry);
 
   grid::GridConfig base = bench::case2_base();
   base.rms = grid::RmsKind::kLowest;

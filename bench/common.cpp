@@ -1,132 +1,14 @@
 #include "common.hpp"
 
 #include <chrono>
-#include <cstdlib>
 #include <iostream>
 #include <memory>
 
-#include "exec/jobs.hpp"
 #include "exec/thread_pool.hpp"
-#include "rms/factory.hpp"
+#include "rms/scenario.hpp"
 #include "util/env.hpp"
 
 namespace scal::bench {
-
-namespace {
-/// Set by parse_telemetry_cli (--jobs beats SCAL_JOBS beats 1).
-std::size_t g_jobs = 0;
-/// Fault knobs from the CLI (beat the SCAL_BENCH_* fallbacks).
-std::string g_fault_spec;
-bool g_fault_spec_set = false;
-double g_mtbf = 0.0;
-double g_mttr = 0.0;
-
-double env_real(const std::string& name) {
-  const std::string text = util::env_or(name, "");
-  if (text.empty()) return 0.0;
-  char* end = nullptr;
-  const double v = std::strtod(text.c_str(), &end);
-  return (end != text.c_str() && *end == '\0') ? v : 0.0;
-}
-}  // namespace
-
-fault::FaultPlan fault_plan() {
-  const std::string spec = g_fault_spec_set
-                               ? g_fault_spec
-                               : util::env_or("SCAL_BENCH_FAULTS", "");
-  fault::FaultPlan plan = fault::FaultPlan::parse(spec);
-  const double mtbf = g_mtbf > 0.0 ? g_mtbf : env_real("SCAL_BENCH_MTBF");
-  const double mttr = g_mttr > 0.0 ? g_mttr : env_real("SCAL_BENCH_MTTR");
-  if (mtbf > 0.0) {
-    plan.churn.mtbf = mtbf;
-    plan.churn.mttr = mttr > 0.0 ? mttr : 40.0;
-  } else if (mttr > 0.0 && plan.churn.enabled()) {
-    plan.churn.mttr = mttr;
-  }
-  plan.validate();
-  return plan;
-}
-
-std::size_t job_count() {
-  if (g_jobs == 0) g_jobs = exec::env_jobs(1);
-  return g_jobs;
-}
-
-obs::TelemetryConfig parse_telemetry_cli(int argc, char** argv,
-                                         const std::string& default_label) {
-  obs::TelemetryConfig tc;
-  tc.probe_interval = 25.0;
-  tc.label = default_label;
-
-  auto usage = [&](const std::string& complaint) {
-    std::cerr << argv[0] << ": " << complaint << "\n"
-              << "usage: " << argv[0]
-              << " [--trace PATH] [--probe PATH] [--probe-interval T]\n"
-              << "       [--manifest PATH] [--anneal PATH] [--label NAME]\n"
-              << "       [--jobs N|hw] [--faults SPEC] [--mtbf T] [--mttr T]\n";
-    std::exit(2);
-  };
-  auto value = [&](int& i) -> std::string {
-    if (i + 1 >= argc) {
-      usage("missing value for " + std::string(argv[i]));
-    }
-    return argv[++i];
-  };
-  auto real_value = [&](int& i) -> double {
-    const std::string flag = argv[i];
-    const std::string text = value(i);
-    char* end = nullptr;
-    const double v = std::strtod(text.c_str(), &end);
-    if (end == text.c_str() || *end != '\0' || v <= 0.0) {
-      usage(flag + " expects a positive number, got '" + text + "'");
-    }
-    return v;
-  };
-  for (int i = 1; i < argc; ++i) {
-    const std::string flag = argv[i];
-    if (flag == "--trace") {
-      tc.trace_path = value(i);
-    } else if (flag == "--probe") {
-      tc.probe_path = value(i);
-    } else if (flag == "--probe-interval") {
-      const std::string text = value(i);
-      char* end = nullptr;
-      tc.probe_interval = std::strtod(text.c_str(), &end);
-      if (end == text.c_str() || *end != '\0') {
-        usage("--probe-interval expects a number, got '" + text + "'");
-      }
-    } else if (flag == "--manifest") {
-      tc.manifest_path = value(i);
-    } else if (flag == "--anneal") {
-      tc.anneal_path = value(i);
-    } else if (flag == "--label") {
-      tc.label = value(i);
-    } else if (flag == "--jobs") {
-      const std::string text = value(i);
-      const std::size_t jobs = exec::parse_jobs(text, 0);
-      if (jobs == 0) {
-        usage("--jobs expects a positive integer or 'hw', got '" + text +
-              "'");
-      }
-      g_jobs = jobs;
-    } else if (flag == "--faults") {
-      g_fault_spec = value(i);
-      g_fault_spec_set = true;
-      try {
-        fault::FaultPlan::parse(g_fault_spec);
-      } catch (const std::exception& e) {
-        usage("--faults: " + std::string(e.what()));
-      }
-    } else if (flag == "--mtbf") {
-      g_mtbf = real_value(i);
-    } else if (flag == "--mttr") {
-      g_mttr = real_value(i);
-    } else {
-      usage("unexpected argument '" + flag + "'");
-    }
-  }
-  return tc;
-}
 
 bool fast_mode() { return util::env_flag("SCAL_BENCH_FAST"); }
 
@@ -240,11 +122,11 @@ core::ProcedureConfig procedure_for(core::ScalingCase scase) {
 double calibrate_e0(const grid::GridConfig& base,
                     const core::ScalingCase& scase, double k_mid,
                     obs::Telemetry* telemetry) {
-  grid::GridConfig reference = core::apply_scale(base, scase, k_mid);
-  reference.rms = grid::RmsKind::kLowest;
-  reference.telemetry = telemetry;
-  const grid::SimulationResult result = rms::simulate(reference);
-  return result.efficiency();
+  return Scenario(core::apply_scale(base, scase, k_mid))
+      .rms(grid::RmsKind::kLowest)
+      .telemetry(telemetry)
+      .run()
+      .efficiency();
 }
 
 std::vector<core::CaseResult> run_overhead_figure(

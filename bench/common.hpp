@@ -30,31 +30,17 @@
 
 namespace scal::bench {
 
-/// Parse the telemetry CLI shared by the benches (all flags optional):
-///   --trace PATH        Chrome trace JSON of the instrumented run
-///   --probe PATH        time-series CSV of the instrumented run
-///   --probe-interval T  probe cadence in sim time units (default 25)
-///   --manifest PATH     append one JSONL run record
-///   --anneal PATH       per-iteration tuner telemetry CSV
-///   --label NAME        manifest / anneal label (default: figure name)
-///   --jobs N            parallel lanes ("hw" = all cores); overrides
-///                       SCAL_JOBS; results are bit-identical at any N
-///   --faults SPEC       fault-injection spec (docs/FAULTS.md grammar);
-///                       overrides SCAL_BENCH_FAULTS
-///   --mtbf T            resource-churn mean time between failures;
-///                       shorthand merged into the spec's churn clause
-///   --mttr T            mean time to repair (default 40 when --mtbf
-///                       is given without it)
-/// Unknown flags print usage to stderr and exit(2).
+/// Parse the bench CLI (flag inventory in options.hpp).
+/// Deprecated shim: use Options::parse(argc, argv, label).telemetry.
 obs::TelemetryConfig parse_telemetry_cli(int argc, char** argv,
                                          const std::string& default_label);
 
-/// The job count of this bench process: --jobs if parse_telemetry_cli
-/// saw one, else SCAL_JOBS, else 1.
+/// The job count of this bench process: --jobs if Options::parse saw
+/// one, else SCAL_JOBS, else 1.
 std::size_t job_count();
 
 /// The fault plan of this bench process: --faults/--mtbf/--mttr if
-/// parse_telemetry_cli saw them, else the SCAL_BENCH_FAULTS /
+/// Options::parse saw them, else the SCAL_BENCH_FAULTS /
 /// SCAL_BENCH_MTBF / SCAL_BENCH_MTTR environment knobs, else an inert
 /// plan.  Folded into every case base (common_base), so any figure
 /// bench can run under churn without code changes.

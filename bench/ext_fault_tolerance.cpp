@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common.hpp"
+#include "options.hpp"
 #include "core/isoefficiency.hpp"
 #include "grid/telemetry.hpp"
 #include "obs/manifest.hpp"
@@ -51,7 +52,7 @@ int main(int argc, char** argv) {
   using util::Table;
 
   const obs::TelemetryConfig tc =
-      bench::parse_telemetry_cli(argc, argv, "ext_fault_tolerance");
+      bench::Options::parse(argc, argv, "ext_fault_tolerance").telemetry;
   const std::string manifest_path =
       tc.manifest_enabled() ? tc.manifest_path
                             : bench::csv_dir() + "/ext_fault_tolerance.jsonl";

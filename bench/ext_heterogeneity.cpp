@@ -7,7 +7,7 @@
 #include <iostream>
 
 #include "common.hpp"
-#include "rms/factory.hpp"
+#include "rms/scenario.hpp"
 #include "util/table.hpp"
 
 int main() {
@@ -26,7 +26,7 @@ int main() {
     std::vector<grid::SimulationResult> runs;
     for (const double h : {0.0, 0.4, 0.8}) {
       base.heterogeneity = h;
-      runs.push_back(rms::simulate(base));
+      runs.push_back(Scenario(base).run());
     }
     const double drop =
         runs[0].jobs_succeeded > 0

@@ -10,7 +10,7 @@
 
 #include "common.hpp"
 #include "core/isoefficiency_function.hpp"
-#include "rms/factory.hpp"
+#include "rms/scenario.hpp"
 #include "util/table.hpp"
 
 int main() {
@@ -32,7 +32,7 @@ int main() {
   // Step 1 analog: pick e0 as the base system's efficiency at nominal
   // load, so multiplier 1 is the natural anchor.
   base.rms = grid::RmsKind::kLowest;
-  fc.e0 = rms::simulate(base).efficiency() - 0.03;  // bisectable from above
+  fc.e0 = Scenario(base).run().efficiency() - 0.03;  // bisectable from above
 
   std::cout << "ext_isoefficiency_function: workload W(k) holding E = "
             << fc.e0 << "\n(multiplier is relative to proportional-in-k "

@@ -11,14 +11,15 @@
 //   - LOWEST is the most scalable distributed RMS, Sy-I the least.
 
 #include "common.hpp"
+#include "options.hpp"
 
 int main(int argc, char** argv) {
   using namespace scal;
-  obs::Telemetry telemetry(
-      bench::parse_telemetry_cli(argc, argv, "fig2_scale_network"));
+  const auto opts = bench::Options::parse(argc, argv, "fig2_scale_network");
+  obs::Telemetry telemetry(opts.telemetry);
   bench::run_overhead_figure(
       "fig2_scale_network", bench::case1_base(),
       bench::procedure_for(core::ScalingCase::case1_network_size()),
-      telemetry.config().any_enabled() ? &telemetry : nullptr);
+      opts.telemetry.any_enabled() ? &telemetry : nullptr);
   return 0;
 }

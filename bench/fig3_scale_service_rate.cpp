@@ -9,14 +9,15 @@
 //   - LOWEST is the most scalable of all models.
 
 #include "common.hpp"
+#include "options.hpp"
 
 int main(int argc, char** argv) {
   using namespace scal;
-  obs::Telemetry telemetry(
-      bench::parse_telemetry_cli(argc, argv, "fig3_scale_service_rate"));
+  const auto opts = bench::Options::parse(argc, argv, "fig3_scale_service_rate");
+  obs::Telemetry telemetry(opts.telemetry);
   bench::run_overhead_figure(
       "fig3_scale_service_rate", bench::case2_base(),
       bench::procedure_for(core::ScalingCase::case2_service_rate()),
-      telemetry.config().any_enabled() ? &telemetry : nullptr);
+      opts.telemetry.any_enabled() ? &telemetry : nullptr);
   return 0;
 }

@@ -9,14 +9,15 @@
 //     for k > 3; the other models degrade much more slowly.
 
 #include "common.hpp"
+#include "options.hpp"
 
 int main(int argc, char** argv) {
   using namespace scal;
-  obs::Telemetry telemetry(
-      bench::parse_telemetry_cli(argc, argv, "fig4_scale_estimators"));
+  const auto opts = bench::Options::parse(argc, argv, "fig4_scale_estimators");
+  obs::Telemetry telemetry(opts.telemetry);
   bench::run_overhead_figure(
       "fig4_scale_estimators", bench::case3_base(),
       bench::procedure_for(core::ScalingCase::case3_estimators()),
-      telemetry.config().any_enabled() ? &telemetry : nullptr);
+      opts.telemetry.any_enabled() ? &telemetry : nullptr);
   return 0;
 }

@@ -10,14 +10,15 @@
 //   - the PUSH+PULL models (AUCTION, Sy-I) are scalable after k > 2.
 
 #include "common.hpp"
+#include "options.hpp"
 
 int main(int argc, char** argv) {
   using namespace scal;
-  obs::Telemetry telemetry(
-      bench::parse_telemetry_cli(argc, argv, "fig5_scale_lp"));
+  const auto opts = bench::Options::parse(argc, argv, "fig5_scale_lp");
+  obs::Telemetry telemetry(opts.telemetry);
   bench::run_overhead_figure(
       "fig5_scale_lp", bench::case4_base(),
       bench::procedure_for(core::ScalingCase::case4_neighborhood()),
-      telemetry.config().any_enabled() ? &telemetry : nullptr);
+      opts.telemetry.any_enabled() ? &telemetry : nullptr);
   return 0;
 }

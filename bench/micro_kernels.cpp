@@ -7,7 +7,7 @@
 #include "net/routing.hpp"
 #include "net/topology.hpp"
 #include "opt/annealing.hpp"
-#include "rms/factory.hpp"
+#include "rms/scenario.hpp"
 #include "sim/simulator.hpp"
 #include "workload/generator.hpp"
 
@@ -102,7 +102,7 @@ void BM_FullSimulation(benchmark::State& state) {
     config.topology.nodes = 200;
     config.horizon = 500.0;
     config.workload.mean_interarrival = 0.5;
-    const auto result = rms::simulate(config);
+    const auto result = Scenario(config).run();
     benchmark::DoNotOptimize(result.G());
   }
 }

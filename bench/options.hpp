@@ -1,0 +1,45 @@
+#pragma once
+// The one flag parser shared by every bench binary.  A new flag lands
+// here — in one file — instead of in nineteen main()s.
+//
+//   const auto opts = bench::Options::parse(argc, argv, "fig2_...");
+//   obs::Telemetry telemetry(opts.telemetry);
+//
+// Flags (all optional):
+//   --trace PATH        Chrome trace JSON of the instrumented run
+//   --probe PATH        time-series CSV of the instrumented run
+//   --probe-interval T  probe cadence in sim time units (default 25)
+//   --manifest PATH     append one JSONL run record
+//   --anneal PATH       per-iteration tuner telemetry CSV
+//   --label NAME        manifest / anneal label (default: figure name)
+//   --jobs N            parallel lanes ("hw" = all cores); overrides
+//                       SCAL_JOBS; results are bit-identical at any N
+//   --faults SPEC       fault-injection spec (docs/FAULTS.md grammar);
+//                       overrides SCAL_BENCH_FAULTS
+//   --mtbf T            resource-churn mean time between failures;
+//                       shorthand merged into the spec's churn clause
+//   --mttr T            mean time to repair (default 40 when --mtbf
+//                       is given without it)
+// Unknown flags print usage to stderr and exit(2).
+
+#include <cstddef>
+#include <string>
+
+#include "fault/plan.hpp"
+#include "obs/telemetry.hpp"
+
+namespace scal::bench {
+
+struct Options {
+  obs::TelemetryConfig telemetry;  ///< --trace/--probe/--manifest/--anneal
+  std::size_t jobs = 1;            ///< --jobs, else SCAL_JOBS, else 1
+  fault::FaultPlan faults;         ///< --faults/--mtbf/--mttr, else env
+
+  /// Parse argv and record the result process-wide, so job_count(),
+  /// fault_plan(), and the case bases (common_base folds the plan in)
+  /// observe the same values afterwards.
+  static Options parse(int argc, char** argv,
+                       const std::string& default_label);
+};
+
+}  // namespace scal::bench

@@ -1,0 +1,260 @@
+// Perf smoke suite: the standing fixed-seed benchmark that gives every
+// PR a perf trajectory (docs/PERFORMANCE.md).  Three micro kernels
+// (event churn, cancel churn, routing) plus one Case-1 macro point per
+// RMS kind, all serial, all deterministic in their pinned seeds.  Emits
+// machine-readable BENCH_<label>.json with ns/item, items/s, wall time,
+// and peak RSS; tools/check_perf_regression.py compares two such files.
+//
+//   ./perf_smoke [--label NAME]      # writes $SCAL_BENCH_CSV/BENCH_NAME.json
+//
+// A spin-loop calibration sample is included so the regression checker
+// can normalize away machine-speed differences between the committed
+// baseline's host and the current one.
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+#include "common.hpp"
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+#include "options.hpp"
+#include "rms/scenario.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace scal;
+
+struct Sample {
+  std::string name;
+  std::uint64_t items = 0;  ///< deterministic work count (events, queries)
+  double wall_seconds = 0.0;
+};
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Best-of-`reps` wall time; the work count must be identical each rep.
+template <typename Fn>
+Sample timed(const std::string& name, int reps, Fn&& body) {
+  Sample best;
+  best.name = name;
+  for (int r = 0; r < reps; ++r) {
+    const double t0 = now_seconds();
+    const std::uint64_t items = body();
+    const double wall = now_seconds() - t0;
+    if (r == 0 || wall < best.wall_seconds) best.wall_seconds = wall;
+    best.items = items;
+  }
+  return best;
+}
+
+/// Fixed arithmetic spin: a machine-speed yardstick, not a kernel.
+Sample calibration_spin() {
+  return timed("calibration_spin", 5, [] {
+    volatile std::uint64_t sink = 0;
+    std::uint64_t x = 0x9E3779B97F4A7C15ull;
+    constexpr std::uint64_t kIters = 50'000'000;
+    for (std::uint64_t i = 0; i < kIters; ++i) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+    }
+    sink = x;
+    (void)sink;
+    return kIters;
+  });
+}
+
+/// Self-replenishing timer chains through the full Simulator dispatch
+/// path — the hot loop of every simulation in the repo.
+Sample event_churn() {
+  constexpr std::uint64_t kEvents = 1'000'000;
+  constexpr std::size_t kChains = 64;
+  return timed("event_churn", 5, [] {
+    sim::Simulator sim;
+    std::uint64_t fired = 0;
+    std::function<void()> tick = [&] {
+      ++fired;
+      if (fired + kChains <= kEvents) sim.schedule_in(1.0, tick);
+    };
+    for (std::size_t i = 0; i < kChains; ++i) sim.schedule_in(1.0, tick);
+    sim.run();
+    return sim.dispatched_events();
+  });
+}
+
+/// The watchdog pattern: every fired event schedules a far-future decoy
+/// and cancels the previous one, exercising push + O(log n) heap erase.
+Sample event_cancel_churn() {
+  constexpr std::uint64_t kEvents = 500'000;
+  return timed("event_cancel_churn", 5, [] {
+    sim::Simulator sim;
+    std::uint64_t fired = 0;
+    sim::EventId decoy = 0;
+    bool armed = false;
+    std::function<void()> tick = [&] {
+      ++fired;
+      if (armed) sim.cancel(decoy);
+      decoy = sim.schedule_in(1e6, [] {});
+      armed = true;
+      if (fired < kEvents) sim.schedule_in(1.0, tick);
+    };
+    sim.schedule_in(1.0, tick);
+    sim.run();
+    return fired;
+  });
+}
+
+/// Router delay queries on the Case-1 topology: a cold pass that grows
+/// the lazy shortest-path trees, then the hot pass the schedulers hit
+/// every update interval (same few (src, dst) pairs over and over).
+Sample routing_queries() {
+  net::TopologyConfig tc;
+  tc.nodes = 250;
+  util::RandomStream rng(42, "perf-smoke-topology");
+  const net::Graph graph = net::generate_topology(tc, rng);
+  // Reps are ~10ms each: take a deep best-of so the minimum converges
+  // (this sample showed the widest run-to-run spread).
+  return timed("routing_queries", 9, [&] {
+    net::Router router(graph);
+    std::uint64_t queries = 0;
+    for (std::size_t src = 0; src < tc.nodes; src += 5) {
+      for (std::size_t dst = 0; dst < tc.nodes; dst += 7) {
+        if (src == dst) continue;
+        (void)router.delay(static_cast<net::NodeId>(src),
+                           static_cast<net::NodeId>(dst), 1.0);
+        ++queries;
+      }
+    }
+    constexpr std::uint64_t kHot = 1'000'000;
+    for (std::uint64_t i = 0; i < kHot; ++i) {
+      const auto src = static_cast<net::NodeId>((i * 37) % 64);
+      const auto dst = static_cast<net::NodeId>(100 + (i * 11) % 64);
+      (void)router.delay(src, dst, 1.0);
+    }
+    return queries + kHot;
+  });
+}
+
+/// One full Case-1 simulation per RMS kind (the fig2 k=1 point), the
+/// end-to-end number the 1.5x acceptance gate is measured on.
+std::vector<Sample> case1_macro() {
+  grid::GridConfig base = bench::case1_base();
+  base.topology.nodes = 250;  // pin against SCAL_BENCH_FAST
+  base.seed = 42;             // pin against SCAL_BENCH_SEED
+  std::vector<Sample> samples;
+  for (const grid::RmsKind kind : bench::all_rms()) {
+    samples.push_back(timed("case1_" + grid::to_string(kind), 3, [&] {
+      return Scenario(base).rms(kind).run().events_dispatched;
+    }));
+  }
+  return samples;
+}
+
+std::uint64_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    // Linux reports ru_maxrss in KiB (macOS in bytes; close enough for
+    // a trajectory metric — the checker compares like against like).
+#if defined(__APPLE__)
+    return static_cast<std::uint64_t>(usage.ru_maxrss);
+#else
+    return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
+#endif
+  }
+#endif
+  return 0;
+}
+
+bool write_json(const std::string& path, const std::string& label,
+                const std::vector<Sample>& samples) {
+  const auto parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);  // errors surface below
+  }
+  std::ofstream out(path);
+  out.precision(9);
+  out << "{\n  \"schema\": 1,\n  \"label\": \"" << label << "\",\n"
+      << "  \"peak_rss_bytes\": " << peak_rss_bytes() << ",\n"
+      << "  \"results\": [\n";
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const Sample& s = samples[i];
+    const double per_item_ns =
+        s.items > 0 ? 1e9 * s.wall_seconds / static_cast<double>(s.items)
+                    : 0.0;
+    const double per_second =
+        s.wall_seconds > 0.0 ? static_cast<double>(s.items) / s.wall_seconds
+                             : 0.0;
+    out << "    {\"name\": \"" << s.name << "\", \"items\": " << s.items
+        << ", \"wall_seconds\": " << s.wall_seconds
+        << ", \"ns_per_item\": " << per_item_ns
+        << ", \"items_per_second\": " << per_second << "}"
+        << (i + 1 < samples.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = bench::Options::parse(argc, argv, "perf_smoke");
+
+  std::vector<Sample> samples;
+  samples.push_back(calibration_spin());
+  samples.push_back(event_churn());
+  samples.push_back(event_cancel_churn());
+  samples.push_back(routing_queries());
+  double macro_total = 0.0;
+  std::uint64_t macro_events = 0;
+  for (Sample& s : case1_macro()) {
+    macro_total += s.wall_seconds;
+    macro_events += s.items;
+    samples.push_back(std::move(s));
+  }
+  samples.push_back(Sample{"case1_sweep_total", macro_events, macro_total});
+
+  util::Table table({"benchmark", "items", "wall (s)", "ns/item"});
+  table.set_align(1, util::Align::kRight);
+  table.set_align(2, util::Align::kRight);
+  table.set_align(3, util::Align::kRight);
+  for (const Sample& s : samples) {
+    table.add_row({s.name, std::to_string(s.items),
+                   util::Table::fixed(s.wall_seconds, 4),
+                   util::Table::fixed(
+                       s.items > 0 ? 1e9 * s.wall_seconds /
+                                         static_cast<double>(s.items)
+                                   : 0.0,
+                       1)});
+  }
+  table.print(std::cout);
+
+  const std::string path =
+      bench::csv_dir() + "/BENCH_" + opts.telemetry.label + ".json";
+  if (!write_json(path, opts.telemetry.label, samples)) {
+    std::cerr << "\nerror: could not write " << path << "\n";
+    return 1;
+  }
+  std::cout << "\nresults written to " << path << "\n";
+  return 0;
+}

@@ -7,7 +7,7 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "rms/factory.hpp"
+#include "rms/scenario.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
@@ -25,11 +25,16 @@ int main(int argc, char** argv) {
             << " nodes (" << config.cluster_count()
             << " clusters), horizon " << config.horizon << "\n\n";
 
+  const std::vector<grid::RmsKind> kinds(
+      grid::kAllRmsKinds,
+      grid::kAllRmsKinds + std::size(grid::kAllRmsKinds));
+  const auto runs = Scenario::run_kinds(Scenario(config), kinds);
+
   Table table({"RMS", "G(k)", "E", "succeeded", "missed", "unfinished",
                "mean resp", "polls", "transfers", "auctions", "adverts"});
-  for (const grid::RmsKind kind : grid::kAllRmsKinds) {
-    config.rms = kind;
-    const grid::SimulationResult r = rms::simulate(config);
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    const grid::RmsKind kind = kinds[i];
+    const grid::SimulationResult& r = runs[i];
     table.add_row({
         grid::to_string(kind),
         Table::fixed(r.G(), 1),

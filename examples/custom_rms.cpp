@@ -4,14 +4,14 @@
 // sprays jobs across its cluster cyclically, transferring every REMOTE
 // job to the next cluster in a ring.  It exists to show the extension
 // surface: derive from rms::DistributedSchedulerBase, override
-// handle_job / handle_message, and inject a custom factory into
-// GridSystem.  The example then measures it against LOWEST.
+// handle_job / handle_message, and hand a custom factory to
+// Scenario::scheduler().  The example then measures it against LOWEST.
 
 #include <iostream>
 #include <memory>
 
 #include "rms/base.hpp"
-#include "rms/factory.hpp"
+#include "rms/scenario.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -61,8 +61,9 @@ scal::grid::SimulationResult run_round_robin(scal::grid::GridConfig config) {
         return std::make_unique<RoundRobinScheduler>(system, id, cluster,
                                                      node);
       };
-  scal::grid::GridSystem system(std::move(config), std::move(factory));
-  return system.run();
+  return scal::Scenario(std::move(config))
+      .scheduler(std::move(factory))
+      .run();
 }
 
 }  // namespace
@@ -80,8 +81,8 @@ int main() {
             << config.topology.nodes << " nodes\n\n";
 
   const grid::SimulationResult rr = run_round_robin(config);
-  config.rms = grid::RmsKind::kLowest;
-  const grid::SimulationResult lo = rms::simulate(config);
+  const grid::SimulationResult lo =
+      Scenario(config).rms(grid::RmsKind::kLowest).run();
 
   Table table({"metric", "ROUND-ROBIN", "LOWEST"});
   table.add_row({"G (RMS overhead)", Table::fixed(rr.G(), 1),

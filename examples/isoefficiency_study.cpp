@@ -9,7 +9,7 @@
 
 #include "core/procedure.hpp"
 #include "core/report.hpp"
-#include "rms/factory.hpp"
+#include "rms/scenario.hpp"
 
 int main(int argc, char** argv) {
   using namespace scal;
@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
 
   std::cout << "== Step 1: choose a feasible efficiency E0\n";
   base.rms = grid::RmsKind::kLowest;
-  const double e0 = rms::simulate(base).efficiency();
+  const double e0 = Scenario(base).run().efficiency();
   procedure.tuner.e0 = e0;
   std::cout << "   reference run at k=1 gives E0 = " << e0 << " (band +/- "
             << procedure.tuner.band << ")\n\n";

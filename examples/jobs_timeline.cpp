@@ -13,7 +13,7 @@
 #include <iostream>
 
 #include "obs/telemetry.hpp"
-#include "rms/factory.hpp"
+#include "rms/scenario.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
@@ -32,9 +32,10 @@ int main(int argc, char** argv) {
   if (argc > 3) tc.trace_path = argv[3];
   tc.label = "jobs_timeline";
   obs::Telemetry telemetry(tc);
-  if (tc.any_enabled()) config.telemetry = &telemetry;
 
-  auto system = rms::make_grid(config);
+  auto system = Scenario(config)
+                    .telemetry(tc.any_enabled() ? &telemetry : nullptr)
+                    .build();
   const grid::SimulationResult r = system->run();
   const grid::JobLog& log = system->job_log();
 
@@ -78,7 +79,7 @@ int main(int argc, char** argv) {
   std::cout << "\nOverall mean response: " << Table::fixed(r.mean_response, 2)
             << "  (policies differ mostly in the first two rows)\n";
 
-  if (config.telemetry != nullptr) {
+  if (tc.any_enabled()) {
     if (telemetry.export_all()) {
       std::cout << "\ntrace written to " << tc.trace_path
                 << " — load it in Perfetto to see the spans this table "

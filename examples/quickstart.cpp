@@ -7,7 +7,7 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "rms/factory.hpp"
+#include "rms/scenario.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
             << config.cluster_count() << " clusters), seed " << config.seed
             << "...\n\n";
 
-  const grid::SimulationResult r = rms::simulate(config);
+  const grid::SimulationResult r = Scenario(config).run();
 
   util::Table table({"metric", "value"});
   table.set_align(1, util::Align::kRight);

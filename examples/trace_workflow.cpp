@@ -9,7 +9,7 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "rms/factory.hpp"
+#include "rms/scenario.hpp"
 #include "util/table.hpp"
 #include "workload/trace.hpp"
 
@@ -49,8 +49,7 @@ int main(int argc, char** argv) {
   Table table({"policy", "arrived", "succeeded", "missed", "G", "E"});
   for (const grid::RmsKind kind :
        {grid::RmsKind::kLowest, grid::RmsKind::kSymmetric}) {
-    config.rms = kind;
-    const auto r = rms::simulate(config);
+    const auto r = Scenario(config).rms(kind).run();
     table.add_row({
         grid::to_string(kind),
         std::to_string(r.jobs_arrived),

@@ -13,7 +13,7 @@
 
 #include "grid/sampler.hpp"
 #include "obs/telemetry.hpp"
-#include "rms/factory.hpp"
+#include "rms/scenario.hpp"
 #include "util/ascii_chart.hpp"
 
 int main(int argc, char** argv) {
@@ -37,9 +37,10 @@ int main(int argc, char** argv) {
   }
   tc.label = "utilization_timeline";
   obs::Telemetry telemetry(tc);
-  if (tc.any_enabled()) config.telemetry = &telemetry;
 
-  auto system = rms::make_grid(config);
+  auto system = Scenario(config)
+                    .telemetry(tc.any_enabled() ? &telemetry : nullptr)
+                    .build();
   const grid::SimulationResult r = system->run();
   const auto& samples = system->sampler()->samples();
 
@@ -71,7 +72,7 @@ int main(int argc, char** argv) {
   std::cout << "jobs " << r.jobs_succeeded << "/" << r.jobs_arrived
             << " within deadline; E = " << r.efficiency() << "\n";
 
-  if (config.telemetry != nullptr) {
+  if (tc.any_enabled()) {
     if (telemetry.export_all()) {
       std::cout << "probe series written to " << tc.probe_path << "\n";
     } else {

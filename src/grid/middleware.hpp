@@ -5,8 +5,7 @@
 // inter-scheduler message of those models is relayed through this single
 // queue; its offered work is part of G(k).
 
-#include <functional>
-
+#include "sim/event_queue.hpp"
 #include "sim/server.hpp"
 
 namespace scal::grid {
@@ -18,7 +17,7 @@ class Middleware : public sim::Server {
 
   /// Relay: after the queue's service time, `deliver` performs the
   /// second network hop to the destination scheduler.
-  void relay(std::function<void()> deliver) {
+  void relay(sim::EventFn deliver) {
     submit(service_time_, std::move(deliver));
   }
 

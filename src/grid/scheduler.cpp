@@ -67,21 +67,46 @@ void SchedulerBase::init_tables(const std::vector<ClusterId>& clusters) {
   for (const ClusterId c : clusters) {
     // Optimistic zero-load start: schedulers know their membership from
     // deployment; the first status batches correct any drift.
-    tables_[c].assign(system_->resource_count(c), ResourceView{});
+    if (std::vector<ResourceView>* existing = find_table(c)) {
+      candidate_count_ -= existing->size();
+      existing->assign(system_->resource_count(c), ResourceView{});
+      candidate_count_ += existing->size();
+      continue;
+    }
+    ClusterTable table{c, {}};
+    table.views.assign(system_->resource_count(c), ResourceView{});
+    candidate_count_ += table.views.size();
+    const auto pos = std::lower_bound(
+        tables_.begin(), tables_.end(), c,
+        [](const ClusterTable& t, ClusterId id) { return t.cluster < id; });
+    tables_.insert(pos, std::move(table));
   }
+}
+
+std::vector<ResourceView>* SchedulerBase::find_table(ClusterId cluster) {
+  const auto it = std::lower_bound(
+      tables_.begin(), tables_.end(), cluster,
+      [](const ClusterTable& t, ClusterId id) { return t.cluster < id; });
+  if (it == tables_.end() || it->cluster != cluster) return nullptr;
+  return &it->views;
+}
+
+const std::vector<ResourceView>* SchedulerBase::find_table(
+    ClusterId cluster) const {
+  return const_cast<SchedulerBase*>(this)->find_table(cluster);
 }
 
 const std::vector<ResourceView>& SchedulerBase::table(
     ClusterId cluster) const {
-  const auto it = tables_.find(cluster);
-  if (it == tables_.end()) {
+  const std::vector<ResourceView>* t = find_table(cluster);
+  if (t == nullptr) {
     throw std::out_of_range("SchedulerBase: cluster not tracked");
   }
-  return it->second;
+  return *t;
 }
 
 bool SchedulerBase::tracks(ClusterId cluster) const {
-  return tables_.count(cluster) != 0;
+  return find_table(cluster) != nullptr;
 }
 
 ResourceIndex SchedulerBase::least_loaded(ClusterId cluster) const {
@@ -147,11 +172,9 @@ void SchedulerBase::deliver_job(workload::Job job) {
   // cluster for the distributed policies, the whole pool for CENTRAL —
   // that asymmetry is what makes CENTRAL's per-decision cost grow with
   // system size in Case 1.
-  std::size_t candidates = 0;
-  for (const auto& [c, t] : tables_) candidates += t.size();
-  const double cost =
-      costs.sched_decision_base +
-      costs.sched_decision_per_candidate * static_cast<double>(candidates);
+  const double cost = costs.sched_decision_base +
+                      costs.sched_decision_per_candidate *
+                          static_cast<double>(candidate_count_);
   submit(cost, [this, job = std::move(job)]() mutable {
     handle_job(std::move(job));
   });
@@ -200,9 +223,9 @@ void SchedulerBase::deliver_batch(StatusBatch batch) {
 }
 
 void SchedulerBase::fold_batch(const StatusBatch& batch) {
-  auto it = tables_.find(batch.cluster);
-  if (it == tables_.end()) return;  // not interested in this cluster
-  auto& t = it->second;
+  std::vector<ResourceView>* found = find_table(batch.cluster);
+  if (found == nullptr) return;  // not interested in this cluster
+  auto& t = *found;
   for (const StatusUpdate& u : batch.updates) {
     system_->metrics().count_update_received();
     if (u.resource >= t.size()) continue;
@@ -246,13 +269,13 @@ std::size_t SchedulerBase::parked_jobs() const { return 0; }
 
 void SchedulerBase::dispatch(ClusterId cluster, ResourceIndex r,
                              workload::Job job) {
-  auto it = tables_.find(cluster);
-  if (it == tables_.end() || r >= it->second.size()) {
+  std::vector<ResourceView>* t = find_table(cluster);
+  if (t == nullptr || r >= t->size()) {
     throw std::out_of_range("SchedulerBase::dispatch: bad target");
   }
   // Optimistic bump so back-to-back decisions fan out instead of herding
   // onto the same (momentarily) least-loaded resource.
-  it->second[r].load += 1.0;
+  (*t)[r].load += 1.0;
   system_->ship_job_to_resource(node_, cluster, r, std::move(job));
 }
 

@@ -11,8 +11,6 @@
 // protocols by overriding the handle_* hooks.
 
 #include <cstdint>
-#include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "grid/messages.hpp"
@@ -174,11 +172,23 @@ class SchedulerBase : public sim::Server {
  private:
   void fold_batch(const StatusBatch& batch);
 
+  /// One tracked cluster's table.  Kept in a flat vector sorted by
+  /// cluster id: the distributed policies track exactly one cluster and
+  /// CENTRAL scans all of them every decision, so binary search plus
+  /// contiguous iteration beats hashing on both shapes.
+  struct ClusterTable {
+    ClusterId cluster;
+    std::vector<ResourceView> views;
+  };
+  std::vector<ResourceView>* find_table(ClusterId cluster);
+  const std::vector<ResourceView>* find_table(ClusterId cluster) const;
+
   GridSystem* system_;
   ClusterId cluster_;
   net::NodeId node_;
   util::RandomStream rng_;
-  std::unordered_map<ClusterId, std::vector<ResourceView>> tables_;
+  std::vector<ClusterTable> tables_;  // sorted by cluster id
+  std::size_t candidate_count_ = 0;   // sum of tracked table sizes
   std::uint64_t token_counter_ = 1;
 
   // Robustness mixin state (all zero/false = mixin off).

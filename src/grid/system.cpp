@@ -416,7 +416,7 @@ void GridSystem::route_message(net::NodeId from_node, RmsMessage msg,
                                : config_.costs.size_control;
   const net::NodeId dst_node = dst.node();
   auto ship = [this, reliable](net::NodeId from, net::NodeId to, double sz,
-                               std::function<void()> cb) {
+                               sim::EventFn cb) {
     if (reliable) {
       network_->send(from, to, sz, std::move(cb));
     } else {

@@ -17,7 +17,7 @@ double Network::predict_delay(NodeId src, NodeId dst, double size) const {
 }
 
 void Network::send(NodeId src, NodeId dst, double size,
-                   std::function<void()> on_arrival) {
+                   sim::EventFn on_arrival) {
   const double d = predict_delay(src, dst, size);
   ++messages_;
   bytes_ += size;
@@ -50,7 +50,7 @@ void Network::set_faults(const NetFaults& faults, util::RandomStream rng) {
 }
 
 void Network::send_unreliable(NodeId src, NodeId dst, double size,
-                              std::function<void()> on_arrival) {
+                              sim::EventFn on_arrival) {
   if (loss_probability_ > 0.0 && loss_rng_ &&
       loss_rng_->bernoulli(loss_probability_)) {
     ++dropped_;
@@ -71,7 +71,7 @@ void Network::send_unreliable(NodeId src, NodeId dst, double size,
       // The duplicate is a real second message (counted and charged)
       // delivered at the nominal delay; the original may lag behind it.
       ++duplicated_;
-      send(src, dst, size, std::function<void()>(on_arrival));
+      send(src, dst, size, sim::EventFn(on_arrival));
     }
     const double d = predict_delay(src, dst, size) + extra;
     ++messages_;

@@ -6,7 +6,6 @@
 // penalized by cost elsewhere (the tuner trades it against efficiency).
 
 #include <cstdint>
-#include <functional>
 #include <optional>
 
 #include "net/routing.hpp"
@@ -39,13 +38,13 @@ class Network : public sim::Entity {
   /// units from `src` to `dst`.  src == dst delivers after zero delay
   /// (still via the event queue, preserving causal ordering).
   void send(NodeId src, NodeId dst, double size,
-            std::function<void()> on_arrival);
+            sim::EventFn on_arrival);
 
   /// Like send(), but subject to the configured control-message loss
   /// probability (failure injection).  A dropped message simply never
   /// arrives; protocols must tolerate that via timeouts/idempotence.
   void send_unreliable(NodeId src, NodeId dst, double size,
-                       std::function<void()> on_arrival);
+                       sim::EventFn on_arrival);
 
   /// Enable loss injection.  p in [0, 1); the stream seeds the drop
   /// decisions so runs stay deterministic.

@@ -2,67 +2,77 @@
 
 #include <algorithm>
 #include <limits>
-#include <queue>
 #include <stdexcept>
 
 namespace scal::net {
 
-const Router::SourceTree& Router::tree_for(NodeId src) const {
-  if (src >= graph_->node_count()) {
+Router::SourceTree& Router::tree_for(NodeId src) const {
+  const std::size_t n = graph_->node_count();
+  if (src >= n) {
     throw std::out_of_range("Router: source out of range");
   }
-  if (const auto it = cache_.find(src); it != cache_.end()) {
-    return *it->second;
-  }
+  if (cache_.size() != n) cache_.resize(n);
+  if (const auto& slot = cache_[src]) return *slot;
 
-  const std::size_t n = graph_->node_count();
   auto tree = std::make_unique<SourceTree>();
   tree->info.assign(n, RouteInfo{});
   tree->predecessor.assign(n, kInvalidNode);
-  std::vector<double> dist(n, std::numeric_limits<double>::infinity());
-
-  using QEntry = std::pair<double, NodeId>;  // (distance, node)
-  std::priority_queue<QEntry, std::vector<QEntry>, std::greater<>> pq;
-  dist[src] = 0.0;
+  tree->dist.assign(n, std::numeric_limits<double>::infinity());
+  tree->settled.assign(n, 0);
+  tree->dist[src] = 0.0;
   tree->info[src].reachable = true;
-  pq.emplace(0.0, src);
+  tree->frontier.emplace(0.0, src);
 
+  cache_[src] = std::move(tree);
+  ++cached_;
+  return *cache_[src];
+}
+
+void Router::settle(SourceTree& tree, NodeId dst) const {
+  if (tree.settled[dst] != 0 || tree.exhausted) return;
+  auto& pq = tree.frontier;
   while (!pq.empty()) {
     const auto [d, u] = pq.top();
     pq.pop();
-    if (d > dist[u]) continue;  // stale entry
+    if (d > tree.dist[u]) continue;  // stale entry
+    tree.settled[u] = 1;
     for (const Link& l : graph_->neighbors(u)) {
       const double nd = d + l.latency;
       // Strict improvement keeps the tree deterministic given adjacency
       // order (ties resolve to the first-relaxed predecessor).
-      if (nd < dist[l.to]) {
-        dist[l.to] = nd;
-        auto& info = tree->info[l.to];
+      if (nd < tree.dist[l.to]) {
+        tree.dist[l.to] = nd;
+        auto& info = tree.info[l.to];
         info.reachable = true;
-        info.latency = tree->info[u].latency + l.latency;
-        info.inv_bandwidth = tree->info[u].inv_bandwidth + 1.0 / l.bandwidth;
-        info.hops = tree->info[u].hops + 1;
-        tree->predecessor[l.to] = u;
+        info.latency = tree.info[u].latency + l.latency;
+        info.inv_bandwidth = tree.info[u].inv_bandwidth + 1.0 / l.bandwidth;
+        info.hops = tree.info[u].hops + 1;
+        tree.predecessor[l.to] = u;
         pq.emplace(nd, l.to);
       }
     }
+    if (u == dst) return;
   }
-
-  auto [it, inserted] = cache_.emplace(src, std::move(tree));
-  (void)inserted;
-  return *it->second;
+  tree.exhausted = true;
 }
 
 RouteInfo Router::route(NodeId src, NodeId dst) const {
   if (dst >= graph_->node_count()) {
     throw std::out_of_range("Router: destination out of range");
   }
-  return tree_for(src).info[dst];
+  SourceTree& tree = tree_for(src);
+  settle(tree, dst);
+  return tree.info[dst];
 }
 
 double Router::delay(NodeId src, NodeId dst, double size) const {
   if (src == dst) return 0.0;
-  const RouteInfo info = route(src, dst);
+  if (dst >= graph_->node_count()) {
+    throw std::out_of_range("Router: destination out of range");
+  }
+  SourceTree& tree = tree_for(src);
+  if (tree.settled[dst] == 0) settle(tree, dst);
+  const RouteInfo& info = tree.info[dst];
   if (!info.reachable) {
     throw std::runtime_error("Router::delay: destination unreachable");
   }
@@ -73,7 +83,8 @@ std::vector<NodeId> Router::path(NodeId src, NodeId dst) const {
   if (dst >= graph_->node_count()) {
     throw std::out_of_range("Router: destination out of range");
   }
-  const auto& tree = tree_for(src);
+  SourceTree& tree = tree_for(src);
+  settle(tree, dst);
   if (!tree.info[dst].reachable) return {};
   std::vector<NodeId> p;
   for (NodeId n = dst; n != kInvalidNode; n = tree.predecessor[n]) {

@@ -6,7 +6,8 @@
 //     delay = sum(latency) + size * sum(1/bandwidth).
 
 #include <memory>
-#include <unordered_map>
+#include <queue>
+#include <utility>
 #include <vector>
 
 #include "net/graph.hpp"
@@ -35,18 +36,43 @@ class Router {
   /// Shortest path (sequence of nodes, src first); empty if unreachable.
   std::vector<NodeId> path(NodeId src, NodeId dst) const;
 
-  std::size_t cached_sources() const noexcept { return cache_.size(); }
-  void clear_cache() const { cache_.clear(); }
+  std::size_t cached_sources() const noexcept { return cached_; }
+  void clear_cache() const {
+    cache_.clear();
+    cached_ = 0;
+  }
 
  private:
   struct SourceTree {
     std::vector<RouteInfo> info;       // indexed by destination
     std::vector<NodeId> predecessor;   // for path reconstruction
+    // Incremental Dijkstra state.  Most sources only ever query a
+    // couple of nearby destinations (a resource talks to its estimator,
+    // an estimator to its scheduler), so the search settles nodes lazily
+    // — only until the queried destination is final — and resumes from
+    // the saved frontier when a later query reaches further.  The
+    // settled prefix is identical to what a full run would produce
+    // (Dijkstra finalizes in global distance order), so laziness never
+    // changes a route.
+    std::vector<double> dist;
+    std::vector<char> settled;
+    std::priority_queue<std::pair<double, NodeId>,
+                        std::vector<std::pair<double, NodeId>>,
+                        std::greater<>>
+        frontier;
+    bool exhausted = false;
   };
-  const SourceTree& tree_for(NodeId src) const;
+  SourceTree& tree_for(NodeId src) const;
+  /// Run the tree's Dijkstra until `dst` is settled (or the frontier
+  /// empties, proving unreachability).
+  void settle(SourceTree& tree, NodeId dst) const;
 
   const Graph* graph_;
-  mutable std::unordered_map<NodeId, std::unique_ptr<SourceTree>> cache_;
+  // Flat per-source cache indexed by node id: the schedulers query the
+  // same (src, dst) pairs every update interval, so the hot path is a
+  // null test + two vector indexes instead of a hash lookup.
+  mutable std::vector<std::unique_ptr<SourceTree>> cache_;
+  mutable std::size_t cached_ = 0;
 };
 
 }  // namespace scal::net

@@ -7,7 +7,7 @@
 // over a queued job.  This is the PUSH+PULL hybrid whose overhead the
 // paper shows degrading when status estimators are scaled (Case 3).
 
-#include <unordered_map>
+#include "util/token_map.hpp"
 #include <vector>
 
 #include "rms/lowest.hpp"
@@ -40,8 +40,8 @@ class AuctionScheduler : public LowestScheduler {
   /// Auctions in flight, keyed by token.  Triggers are paced per
   /// estimator (see StatusBatch::estimator), so concurrent auctions from
   /// different estimators can coexist.
-  std::unordered_map<std::uint64_t, Auction> active_;
-  std::unordered_map<std::uint32_t, sim::Time> last_auction_;
+  util::TokenMap<std::uint64_t, Auction> active_;
+  util::TokenMap<std::uint32_t, sim::Time> last_auction_;
 };
 
 }  // namespace scal::rms

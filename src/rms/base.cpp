@@ -35,7 +35,7 @@ void DistributedSchedulerBase::reply_demand(const grid::RmsMessage& msg) {
 }
 
 void DistributedSchedulerBase::arm_negotiation_watchdog(
-    std::unordered_map<std::uint64_t, workload::Job>& negotiating,
+    util::TokenMap<std::uint64_t, workload::Job>& negotiating,
     std::uint64_t token) {
   system().simulator().schedule_in(
       protocol().reply_timeout, [this, &negotiating, token]() {
@@ -49,7 +49,7 @@ void DistributedSchedulerBase::arm_negotiation_watchdog(
 
 bool DistributedSchedulerBase::decide_demand_reply(
     const grid::RmsMessage& msg,
-    std::unordered_map<std::uint64_t, workload::Job>& negotiating) {
+    util::TokenMap<std::uint64_t, workload::Job>& negotiating) {
   const auto it = negotiating.find(msg.token);
   if (it == negotiating.end()) return false;
   workload::Job job = std::move(it->second);

@@ -5,6 +5,7 @@
 
 #include "grid/scheduler.hpp"
 #include "grid/system.hpp"
+#include "util/token_map.hpp"
 
 namespace scal::rms {
 
@@ -30,7 +31,7 @@ class DistributedSchedulerBase : public grid::SchedulerBase {
   /// volunteer if its quoted ATT plus the transfer delay beats the local
   /// estimate.  Returns true if the message was consumed.
   bool decide_demand_reply(const grid::RmsMessage& msg,
-                           std::unordered_map<std::uint64_t, workload::Job>&
+                           util::TokenMap<std::uint64_t, workload::Job>&
                                negotiating);
 
   /// Watchdog for a demand negotiation: if `token` is still in
@@ -38,7 +39,7 @@ class DistributedSchedulerBase : public grid::SchedulerBase {
   /// job falls back to local placement.  `negotiating` must outlive the
   /// scheduler's event horizon (it is a member of the caller).
   void arm_negotiation_watchdog(
-      std::unordered_map<std::uint64_t, workload::Job>& negotiating,
+      util::TokenMap<std::uint64_t, workload::Job>& negotiating,
       std::uint64_t token);
 
   const grid::CostModel& costs() const {

@@ -1,5 +1,7 @@
 #include "rms/factory.hpp"
 
+#include "rms/scenario.hpp"
+
 #include "rms/auction.hpp"
 #include "rms/central.hpp"
 #include "rms/hierarchical.hpp"
@@ -45,13 +47,11 @@ grid::SchedulerFactory scheduler_factory(grid::RmsKind kind) {
 }
 
 std::unique_ptr<grid::GridSystem> make_grid(grid::GridConfig config) {
-  const grid::RmsKind kind = config.rms;
-  return std::make_unique<grid::GridSystem>(std::move(config),
-                                            scheduler_factory(kind));
+  return Scenario(std::move(config)).build();
 }
 
 grid::SimulationResult simulate(grid::GridConfig config) {
-  return make_grid(std::move(config))->run();
+  return Scenario(std::move(config)).run();
 }
 
 }  // namespace scal::rms

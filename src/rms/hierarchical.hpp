@@ -11,7 +11,7 @@
 // the root scales with the number of *clusters*, not resources — the
 // aggregation that makes hierarchy cheaper than CENTRAL at scale.
 
-#include <unordered_map>
+#include "util/token_map.hpp"
 
 #include "rms/base.hpp"
 
@@ -40,7 +40,7 @@ class HierarchicalScheduler : public DistributedSchedulerBase {
   void root_place(workload::Job job);
 
   /// Root-side view of every cluster (including its own, self-updated).
-  std::unordered_map<grid::ClusterId, Digest> digests_;
+  util::TokenMap<grid::ClusterId, Digest> digests_;
   sim::Time last_digest_ = -1e300;
 };
 

@@ -5,7 +5,7 @@
 // transferred to the scheduler reporting the least-loaded resources
 // (kept locally when the local cluster is at least as good).
 
-#include <unordered_map>
+#include "util/token_map.hpp"
 
 #include "rms/base.hpp"
 
@@ -38,7 +38,7 @@ class LowestScheduler : public DistributedSchedulerBase {
 
   void conclude_round(PollRound round);
 
-  std::unordered_map<std::uint64_t, PollRound> pending_;
+  util::TokenMap<std::uint64_t, PollRound> pending_;
 };
 
 }  // namespace scal::rms

@@ -10,7 +10,7 @@
 // local cluster drains below T_l, or a timeout fires.
 
 #include <deque>
-#include <unordered_map>
+#include "util/token_map.hpp"
 
 #include "rms/base.hpp"
 
@@ -39,7 +39,7 @@ class ReceiverInitiatedScheduler : public DistributedSchedulerBase {
   void drain_wait_queue_locally();
 
   std::deque<workload::Job> wait_queue_;
-  std::unordered_map<std::uint64_t, workload::Job> negotiating_;
+  util::TokenMap<std::uint64_t, workload::Job> negotiating_;
 };
 
 }  // namespace scal::rms

@@ -5,7 +5,7 @@
 // most recent reservation after probing that the reserver is still below
 // threshold; a failed probe cancels the reservation.
 
-#include <unordered_map>
+#include "util/token_map.hpp"
 #include <vector>
 
 #include "rms/base.hpp"
@@ -41,7 +41,7 @@ class ReserveScheduler : public DistributedSchedulerBase {
   Reservation* freshest_reservation();
 
   std::vector<Reservation> reservations_;
-  std::unordered_map<std::uint64_t, Probe> probing_;
+  util::TokenMap<std::uint64_t, Probe> probing_;
   sim::Time last_advert_ = -1e300;
 };
 

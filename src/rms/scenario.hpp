@@ -1,0 +1,106 @@
+#pragma once
+// scal::Scenario — the one-stop run facade.
+//
+// A Scenario bundles everything one simulation run needs — the
+// grid::GridConfig, the telemetry handle, the fault plan, the policy
+// factory, and the worker pool a sweep may spread over — behind a
+// chainable builder, so callers stop hand-wiring the plumbing:
+//
+//   auto result = Scenario(bench::case1_base())
+//                     .rms(grid::RmsKind::kLowest)
+//                     .seed(7)
+//                     .faults("churn:mtbf=400,mttr=40")
+//                     .telemetry(&telemetry)
+//                     .run();
+//
+// Every setter returns *this; anything without a dedicated setter is
+// reachable through config().  build() hands back the wired GridSystem
+// for callers that need mid-run access (samplers, job logs); run() is
+// build()->run() for everyone else.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "grid/system.hpp"
+
+namespace scal::exec {
+class ThreadPool;
+}
+
+namespace scal {
+
+class Scenario {
+ public:
+  Scenario() = default;
+  explicit Scenario(grid::GridConfig config) : config_(std::move(config)) {}
+
+  // -- Chainable setters for the common knobs.
+  Scenario& rms(grid::RmsKind kind) {
+    config_.rms = kind;
+    return *this;
+  }
+  Scenario& nodes(std::size_t n) {
+    config_.topology.nodes = n;
+    return *this;
+  }
+  Scenario& seed(std::uint64_t value) {
+    config_.seed = value;
+    return *this;
+  }
+  Scenario& horizon(double time_units) {
+    config_.horizon = time_units;
+    return *this;
+  }
+  /// Non-owning telemetry handle; null turns instrumentation off.
+  Scenario& telemetry(obs::Telemetry* handle) {
+    config_.telemetry = handle;
+    return *this;
+  }
+  Scenario& faults(fault::FaultPlan plan) {
+    config_.faults = std::move(plan);
+    return *this;
+  }
+  /// Fault plan from its spec grammar (docs/FAULTS.md), e.g.
+  /// "churn:mtbf=400,mttr=40;net:drop=0.02".  Throws on a bad spec.
+  Scenario& faults(const std::string& spec);
+  /// Custom policy factory (see examples/custom_rms.cpp); when unset,
+  /// build() uses rms::scheduler_factory(config().rms).
+  Scenario& scheduler(grid::SchedulerFactory factory) {
+    factory_ = std::move(factory);
+    return *this;
+  }
+  /// Non-owning worker pool for sweeps over this scenario (a single
+  /// run() is always serial — determinism comes first; sweep drivers
+  /// read the pool back via pool()).
+  Scenario& pool(exec::ThreadPool* workers) {
+    pool_ = workers;
+    return *this;
+  }
+
+  // -- Full-config escape hatch.
+  grid::GridConfig& config() noexcept { return config_; }
+  const grid::GridConfig& config() const noexcept { return config_; }
+  exec::ThreadPool* pool() const noexcept { return pool_; }
+
+  /// Validate the config and wire the full system.  The Scenario can be
+  /// reused: every call builds a fresh, independent system.
+  std::unique_ptr<grid::GridSystem> build() const;
+
+  /// build()->run(): one simulation to the horizon.
+  grid::SimulationResult run() const;
+
+  /// Run one scenario per RMS kind (the paper's Section 3.3 lineup),
+  /// returned in `kinds` order.  Deterministic and bit-identical
+  /// whether `workers` is null (serial) or a pool.
+  static std::vector<grid::SimulationResult> run_kinds(
+      const Scenario& base, const std::vector<grid::RmsKind>& kinds,
+      exec::ThreadPool* workers = nullptr);
+
+ private:
+  grid::GridConfig config_{};
+  grid::SchedulerFactory factory_;  // empty = by config_.rms
+  exec::ThreadPool* pool_ = nullptr;
+};
+
+}  // namespace scal

@@ -7,7 +7,7 @@
 // the transfer delay for remote sites) picks the target; ties within
 // tolerance psi break toward the smallest RUS.
 
-#include <unordered_map>
+#include "util/token_map.hpp"
 
 #include "rms/base.hpp"
 
@@ -41,7 +41,7 @@ class SenderInitiatedScheduler : public DistributedSchedulerBase {
 
   void conclude_att_round(AttRound round);
 
-  std::unordered_map<std::uint64_t, AttRound> pending_;
+  util::TokenMap<std::uint64_t, AttRound> pending_;
 };
 
 }  // namespace scal::rms

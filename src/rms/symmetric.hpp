@@ -7,7 +7,7 @@
 // freshest advertisement if one is live, otherwise falls back to the
 // S-I poll.
 
-#include <unordered_map>
+#include "util/token_map.hpp"
 
 #include "rms/sender_initiated.hpp"
 
@@ -35,10 +35,10 @@ class SymmetricScheduler : public SenderInitiatedScheduler {
   /// Freshest live advertisement within the TTL, or nullptr.
   const grid::ClusterId* freshest_advert();
 
-  std::unordered_map<grid::ClusterId, sim::Time> adverts_;
-  std::unordered_map<std::uint64_t, workload::Job> negotiating_;
+  util::TokenMap<grid::ClusterId, sim::Time> adverts_;
+  util::TokenMap<std::uint64_t, workload::Job> negotiating_;
   /// Event-driven broadcasts are paced per estimator trigger stream.
-  std::unordered_map<std::uint32_t, sim::Time> last_event_broadcast_;
+  util::TokenMap<std::uint32_t, sim::Time> last_event_broadcast_;
   grid::ClusterId freshest_cache_ = 0;
 };
 

@@ -1,52 +1,114 @@
 #include "sim/event_queue.hpp"
 
-#include <algorithm>
 #include <cassert>
 #include <stdexcept>
+#include <utility>
 
 namespace scal::sim {
 
 EventId EventQueue::push(Time at, EventFn fn) {
-  const EventId id = next_id_++;
-  heap_.push_back(Entry{at, id, std::move(fn)});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
-  pending_.insert(id);
-  ++live_;
-  return id;
+  std::uint32_t slot;
+  if (free_head_ != kNoFree) {
+    slot = free_head_;
+    free_head_ = slots_[slot].heap_pos;
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  s.heap_pos = static_cast<std::uint32_t>(heap_.size());
+  heap_.push_back(HeapEntry{at, pushed_++, slot});
+  sift_up(heap_.size() - 1);
+  return make_id(s.gen, slot);
 }
 
 bool EventQueue::cancel(EventId id) {
-  if (pending_.erase(id) == 0) return false;
-  cancelled_.insert(id);
-  assert(live_ > 0);
-  --live_;
+  const auto slot = static_cast<std::uint32_t>(id & 0xFFFFFFFFu);
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= slots_.size()) return false;
+  // The generation is bumped every time a slot is released, so it matches
+  // the handle exactly while (and only while) the event is still pending.
+  if (slots_[slot].gen != gen) return false;
+  heap_erase(slots_[slot].heap_pos);
+  release_slot(slot);
   return true;
 }
 
-void EventQueue::skip_cancelled() {
-  while (!heap_.empty() && cancelled_.count(heap_.front().id) != 0) {
-    cancelled_.erase(heap_.front().id);
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    heap_.pop_back();
-  }
-}
-
 Time EventQueue::next_time() const {
-  const_cast<EventQueue*>(this)->skip_cancelled();
   if (heap_.empty()) throw std::logic_error("EventQueue::next_time: empty");
   return heap_.front().at;
 }
 
 EventQueue::Popped EventQueue::pop() {
-  skip_cancelled();
   if (heap_.empty()) throw std::logic_error("EventQueue::pop: empty");
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  Entry e = std::move(heap_.back());
-  heap_.pop_back();
-  pending_.erase(e.id);
-  assert(live_ > 0);
-  --live_;
-  return Popped{e.at, e.id, std::move(e.fn)};
+  const HeapEntry top = heap_.front();
+  Slot& s = slots_[top.slot];
+  Popped out{top.at, make_id(s.gen, top.slot), std::move(s.fn)};
+  heap_erase(0);
+  release_slot(top.slot);
+  return out;
+}
+
+void EventQueue::sift_up(std::size_t pos) {
+  const HeapEntry moving = heap_[pos];
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / kArity;
+    if (!before(moving, heap_[parent])) break;
+    heap_[pos] = heap_[parent];
+    slots_[heap_[pos].slot].heap_pos = static_cast<std::uint32_t>(pos);
+    pos = parent;
+  }
+  heap_[pos] = moving;
+  slots_[moving.slot].heap_pos = static_cast<std::uint32_t>(pos);
+}
+
+void EventQueue::sift_down(std::size_t pos) {
+  const HeapEntry moving = heap_[pos];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first = kArity * pos + 1;
+    if (first >= n) break;
+    std::size_t child = first;
+    const std::size_t last = first + kArity < n ? first + kArity : n;
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (before(heap_[c], heap_[child])) child = c;
+    }
+    if (!before(heap_[child], moving)) break;
+    heap_[pos] = heap_[child];
+    slots_[heap_[pos].slot].heap_pos = static_cast<std::uint32_t>(pos);
+    pos = child;
+  }
+  heap_[pos] = moving;
+  slots_[moving.slot].heap_pos = static_cast<std::uint32_t>(pos);
+}
+
+void EventQueue::heap_erase(std::size_t pos) {
+  assert(pos < heap_.size());
+  const std::size_t last = heap_.size() - 1;
+  if (pos != last) {
+    heap_[pos] = heap_[last];
+    slots_[heap_[pos].slot].heap_pos = static_cast<std::uint32_t>(pos);
+    heap_.pop_back();
+    // The replacement came from the bottom, so it can only need to move
+    // down — unless its new parent is later than it (possible when it
+    // came from a different subtree), in which case sift up.
+    if (pos > 0 && before(heap_[pos], heap_[(pos - 1) / kArity])) {
+      sift_up(pos);
+    } else {
+      sift_down(pos);
+    }
+  } else {
+    heap_.pop_back();
+  }
+}
+
+void EventQueue::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.fn.reset();
+  ++s.gen;  // invalidate outstanding handles
+  s.heap_pos = free_head_;
+  free_head_ = slot;
 }
 
 }  // namespace scal::sim

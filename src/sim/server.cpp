@@ -30,7 +30,7 @@ void Server::set_down(bool down) {
   }
 }
 
-void Server::submit(Time cost, std::function<void()> done) {
+void Server::submit(Time cost, EventFn done) {
   if (!(cost >= 0.0)) throw std::invalid_argument("Server: negative cost");
   if (down_) {
     ++discarded_;
@@ -58,12 +58,18 @@ void Server::start_next() {
                   {{"cost", item.cost},
                    {"backlog", static_cast<double>(queue_.size())}});
   }
-  sim().schedule_in(item.cost, [this, done = std::move(item.done)]() {
-    ++completed_;
-    if (trace_ != nullptr) trace_->end(trace_tid_, now());
-    if (done) done();
-    start_next();
-  });
+  current_done_ = std::move(item.done);
+  sim().schedule_in(item.cost, [this]() { finish_service(); });
+}
+
+void Server::finish_service() {
+  ++completed_;
+  if (trace_ != nullptr) trace_->end(trace_tid_, now());
+  // Detach before invoking: the callable may submit more work, which
+  // would overwrite current_done_ when service starts.
+  EventFn done = std::move(current_done_);
+  if (done) done();
+  start_next();
 }
 
 }  // namespace scal::sim

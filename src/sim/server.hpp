@@ -12,10 +12,10 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 
 #include "obs/trace.hpp"
 #include "sim/entity.hpp"
+#include "sim/event_queue.hpp"
 
 namespace scal::sim {
 
@@ -25,7 +25,7 @@ class Server : public Entity {
 
   /// Enqueue a work item costing `cost >= 0` time units; `done` runs when
   /// service completes (may be empty).
-  void submit(Time cost, std::function<void()> done);
+  void submit(Time cost, EventFn done);
 
   /// Total time this server has spent serving items.
   Time busy_time() const noexcept { return busy_time_; }
@@ -76,13 +76,19 @@ class Server : public Entity {
  private:
   struct Item {
     Time cost;
-    std::function<void()> done;
+    EventFn done;
   };
 
   void start_next();
+  void finish_service();
   void note_queue_change();
 
   std::deque<Item> queue_;
+  // Completion callable of the item in service.  Held in a member so the
+  // scheduled completion event captures only `this` (stays inline in the
+  // event arena) instead of nesting the user callable inside another
+  // closure.
+  EventFn current_done_;
   obs::TraceRecorder* trace_ = nullptr;
   obs::TraceTid trace_tid_ = 0;
   bool in_service_ = false;

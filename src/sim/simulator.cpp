@@ -25,7 +25,7 @@ std::uint64_t Simulator::run(Time until) {
   stop_requested_ = false;
   std::uint64_t count = 0;
   while (!queue_.empty() && !stop_requested_) {
-    if (queue_.next_time() > until) break;
+    if (queue_.peek_time() > until) break;
     auto ev = queue_.pop();
     now_ = ev.at;
     ev.fn();

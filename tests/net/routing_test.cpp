@@ -124,5 +124,77 @@ TEST(Router, RejectsOutOfRange) {
   EXPECT_THROW(router.route(99, 0), std::out_of_range);
 }
 
+TEST(Router, ClearCacheMidRunIsDeterministic) {
+  // The schedulers re-query the same pairs every update interval; a
+  // cache flush in between (e.g. from a topology-aware tuner) must
+  // reproduce byte-identical delays when the trees rebuild lazily.
+  TopologyConfig config;
+  config.nodes = 90;
+  util::RandomStream rng(7, "routing-clear-test");
+  const Graph g = generate_topology(config, rng);
+  Router router(g);
+  std::vector<double> before;
+  for (NodeId src = 0; src < g.node_count(); src += 3) {
+    for (NodeId dst = 1; dst < g.node_count(); dst += 11) {
+      if (src != dst) before.push_back(router.delay(src, dst, 2.0));
+    }
+  }
+  router.clear_cache();
+  EXPECT_EQ(router.cached_sources(), 0u);
+  std::size_t i = 0;
+  for (NodeId src = 0; src < g.node_count(); src += 3) {
+    for (NodeId dst = 1; dst < g.node_count(); dst += 11) {
+      if (src != dst) {
+        EXPECT_DOUBLE_EQ(router.delay(src, dst, 2.0), before[i++])
+            << src << "->" << dst;
+      }
+    }
+  }
+}
+
+TEST(Router, LazySettlingMatchesFullSearchInAnyQueryOrder) {
+  // The per-source tree settles only as far as each query needs; the
+  // settled prefix must equal the full Dijkstra run no matter the order
+  // destinations are asked in (near-first, far-first, interleaved).
+  TopologyConfig config;
+  config.nodes = 120;
+  util::RandomStream rng(42, "routing-test");  // same graph as above
+  const Graph g = generate_topology(config, rng);
+
+  Router eager(g);
+  std::vector<double> full(g.node_count());
+  for (NodeId dst = 0; dst < g.node_count(); ++dst) {
+    full[dst] = eager.route(17, dst).latency;  // one pass settles all
+  }
+
+  Router lazy(g);
+  // Far-first, then a descending sweep, then re-query everything.
+  (void)lazy.route(17, 119);
+  for (NodeId dst = g.node_count(); dst-- > 0;) {
+    EXPECT_NEAR(lazy.route(17, dst).latency, full[dst], 1e-12)
+        << "17->" << dst;
+  }
+  for (NodeId dst = 0; dst < g.node_count(); ++dst) {
+    EXPECT_NEAR(lazy.route(17, dst).latency, full[dst], 1e-12);
+  }
+}
+
+TEST(Router, UnreachableThrowAfterPartialSettleAndCacheStaysUsable) {
+  // Two components: queries inside the source's component settle
+  // lazily; an unreachable destination then exhausts the frontier and
+  // throws, and the exhausted tree still answers reachable queries.
+  Graph g(5);
+  g.add_edge(0, 1, 1.0, 1.0);
+  g.add_edge(1, 2, 1.0, 1.0);
+  g.add_edge(3, 4, 1.0, 1.0);  // disconnected island
+  Router router(g);
+  EXPECT_DOUBLE_EQ(router.delay(0, 1, 0.0), 1.0);
+  EXPECT_THROW(router.delay(0, 4, 1.0), std::runtime_error);
+  EXPECT_THROW(router.delay(0, 3, 1.0), std::runtime_error);
+  EXPECT_DOUBLE_EQ(router.delay(0, 2, 0.0), 2.0);
+  EXPECT_EQ(router.path(0, 2), (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_EQ(router.cached_sources(), 1u);
+}
+
 }  // namespace
 }  // namespace scal::net

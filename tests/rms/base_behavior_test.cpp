@@ -15,7 +15,7 @@ class ProbePolicy : public DistributedSchedulerBase {
   using DistributedSchedulerBase::DistributedSchedulerBase;
 
   std::vector<grid::RmsMessage> received;
-  std::unordered_map<std::uint64_t, workload::Job> negotiating;
+  util::TokenMap<std::uint64_t, workload::Job> negotiating;
 
   using DistributedSchedulerBase::decide_demand_reply;
   using DistributedSchedulerBase::reply_demand;

@@ -98,5 +98,109 @@ TEST(EventQueue, TracksTotalPushed) {
   EXPECT_EQ(q.total_pushed(), 4u);
 }
 
+TEST(EventQueue, CancelThenPopSkipsCancelled) {
+  // Cancellation is eager: the event leaves the heap immediately, so a
+  // pop right after a cancel must hand out the next live event, and
+  // size() must never count cancelled entries (the old lazy-cancel
+  // design double-counted buried tombstones).
+  EventQueue q;
+  std::vector<int> fired;
+  q.push(1.0, [&] { fired.push_back(1); });
+  const EventId second = q.push(2.0, [&] { fired.push_back(2); });
+  q.push(3.0, [&] { fired.push_back(3); });
+  EXPECT_TRUE(q.cancel(second));
+  EXPECT_EQ(q.size(), 2u);
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(fired, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, CancelAfterFireIsRejectedEvenWhenSlotReused) {
+  EventQueue q;
+  const EventId first = q.push(1.0, [] {});
+  q.pop();  // fires `first`; its arena slot returns to the free list
+  // The next push reuses the slot; the stale id must not cancel it.
+  bool fired = false;
+  const EventId second = q.push(2.0, [&] { fired = true; });
+  EXPECT_FALSE(q.cancel(first));
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_TRUE(q.cancel(second));
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, TieBreakSurvivesSameTimestampCancelChurn) {
+  // Heavy same-timestamp churn with interleaved cancels: the survivors
+  // must still fire in insertion order.  Heap-erase moves entries
+  // around, so this pins that the (time, seq) keys — not heap positions
+  // — define the order.
+  EventQueue q;
+  std::vector<int> fired;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 300; ++i) {
+    ids.push_back(q.push(5.0, [&fired, i] { fired.push_back(i); }));
+  }
+  std::vector<int> expect;
+  for (int i = 0; i < 300; ++i) {
+    if (i % 3 == 1) {
+      EXPECT_TRUE(q.cancel(ids[static_cast<std::size_t>(i)]));
+    } else {
+      expect.push_back(i);
+    }
+  }
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(fired, expect);
+}
+
+TEST(EventQueue, MixedTimestampCancelPopsInOrder) {
+  // Pseudo-random times with a cancelled subset: remaining events pop
+  // in nondecreasing time order.
+  EventQueue q;
+  std::vector<EventId> ids;
+  std::uint64_t x = 88172645463325252ull;
+  for (int i = 0; i < 500; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    ids.push_back(q.push(static_cast<double>(x % 1000), [] {}));
+  }
+  for (std::size_t i = 0; i < ids.size(); i += 2) {
+    EXPECT_TRUE(q.cancel(ids[i]));
+  }
+  double last = -1.0;
+  while (!q.empty()) {
+    const double at = q.pop().at;
+    EXPECT_GE(at, last);
+    last = at;
+  }
+}
+
+TEST(EventQueue, ArenaSlotsAreReused) {
+  // Steady-state churn must not grow the arena: pushed-then-popped
+  // slots go back to the free list and get handed out again.
+  EventQueue q;
+  for (int round = 0; round < 100; ++round) {
+    q.push(static_cast<double>(round), [] {});
+    q.push(static_cast<double>(round) + 0.5, [] {});
+    q.pop();
+    q.pop();
+  }
+  EXPECT_LE(q.arena_size(), 2u);
+  EXPECT_EQ(q.total_pushed(), 200u);
+}
+
+TEST(EventQueue, CancelOfForeignIdIsRejected) {
+  EventQueue q;
+  q.push(1.0, [] {});
+  // Slot index far beyond the arena: must be rejected, not crash.
+  EXPECT_FALSE(q.cancel(static_cast<EventId>(0xFFFFFFFFull)));
+}
+
+TEST(EventQueue, PeekTimeMatchesNextTime) {
+  EventQueue q;
+  q.push(4.0, [] {});
+  q.push(1.5, [] {});
+  EXPECT_DOUBLE_EQ(q.peek_time(), q.next_time());
+  EXPECT_DOUBLE_EQ(q.peek_time(), 1.5);
+}
+
 }  // namespace
 }  // namespace scal::sim

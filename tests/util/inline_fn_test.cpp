@@ -1,0 +1,123 @@
+#include "util/inline_fn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+namespace scal::util {
+namespace {
+
+using SmallFn = InlineFn<64>;
+
+TEST(InlineFn, NullByDefault) {
+  SmallFn fn;
+  EXPECT_FALSE(static_cast<bool>(fn));
+  SmallFn null_fn(nullptr);
+  EXPECT_FALSE(static_cast<bool>(null_fn));
+}
+
+TEST(InlineFn, InvokesInlineCapture) {
+  int hits = 0;
+  SmallFn fn = [&hits] { ++hits; };
+  ASSERT_TRUE(static_cast<bool>(fn));
+  fn();
+  fn();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFn, OversizedCaptureFallsBackToHeap) {
+  std::array<double, 32> payload{};  // 256 bytes > 64-byte buffer
+  payload[31] = 7.5;
+  double seen = 0.0;
+  double* out = &seen;
+  SmallFn fn = [payload, out] { *out = payload[31]; };
+  fn();
+  EXPECT_DOUBLE_EQ(seen, 7.5);
+}
+
+TEST(InlineFn, MoveTransfersOwnership) {
+  int hits = 0;
+  SmallFn a = [&hits] { ++hits; };
+  SmallFn b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineFn, CopyInvokesIndependently) {
+  int hits = 0;
+  SmallFn a = [&hits] { ++hits; };
+  SmallFn b = a;
+  ASSERT_TRUE(static_cast<bool>(a));
+  ASSERT_TRUE(static_cast<bool>(b));
+  a();
+  b();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFn, CopyDeepCopiesCaptureState) {
+  // A capture that mutates its own copy: the two instances must not
+  // share state.
+  struct Counter {
+    int calls = 0;
+    void operator()() { ++calls; }
+  };
+  InlineFn<64> a = Counter{};
+  a();
+  InlineFn<64> b = a;
+  a();
+  a();
+  b();
+  // No shared state to observe directly; this test's value is under
+  // ASan: a shallow copy would double-destroy or leak.
+  SUCCEED();
+}
+
+TEST(InlineFn, DestructorReleasesCapture) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  {
+    SmallFn fn = [held = std::move(token)] { (void)held; };
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(InlineFn, ResetReleasesCapture) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  SmallFn fn = [held = std::move(token)] { (void)held; };
+  fn.reset();
+  EXPECT_TRUE(watch.expired());
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(InlineFn, MoveAssignReplacesExisting) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  SmallFn a = [held = std::move(token)] { (void)held; };
+  int hits = 0;
+  SmallFn b = [&hits] { ++hits; };
+  a = std::move(b);
+  EXPECT_TRUE(watch.expired());  // old capture destroyed on assignment
+  a();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineFn, HeapCaptureDestructorReleases) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  {
+    std::array<double, 32> pad{};
+    SmallFn fn = [held = std::move(token), pad] { (void)held, (void)pad; };
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired());
+}
+
+}  // namespace
+}  // namespace scal::util

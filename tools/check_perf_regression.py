@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json files from bench/perf_smoke and fail on regression.
+
+Usage:
+    tools/check_perf_regression.py CURRENT BASELINE [--threshold 0.25]
+                                   [--no-normalize]
+
+Checks, per benchmark shared by both files:
+  * `items` (deterministic work counts: simulation events, queries) must
+    match exactly -- a mismatch means behavior changed, not just speed,
+    and is always an error.
+  * `ns_per_item` must not exceed baseline * (1 + threshold).  By
+    default both sides are first normalized by their own
+    `calibration_spin` ns/item, which cancels machine-speed differences
+    between the baseline's host and the current one (the committed
+    baseline is rarely produced on the CI runner).  --no-normalize
+    compares raw times.
+
+Exit status: 0 when every shared benchmark passes, 1 on any regression
+or count mismatch, 2 on malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+CALIBRATION = "calibration_spin"
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+        return {r["name"]: r for r in doc["results"]}
+    except (OSError, KeyError, ValueError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current")
+    parser.add_argument("baseline")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed fractional slowdown (default 0.25)")
+    parser.add_argument("--no-normalize", action="store_true",
+                        help="compare raw ns/item without calibration")
+    args = parser.parse_args()
+
+    current = load(args.current)
+    baseline = load(args.baseline)
+
+    scale = 1.0
+    if not args.no_normalize:
+        cur_cal = current.get(CALIBRATION)
+        base_cal = baseline.get(CALIBRATION)
+        if cur_cal and base_cal and base_cal["ns_per_item"] > 0:
+            # >1 means this machine is slower than the baseline's host;
+            # dividing current times by it removes that handicap.
+            scale = cur_cal["ns_per_item"] / base_cal["ns_per_item"]
+            print(f"calibration ratio (current/baseline): {scale:.3f}")
+
+    shared = [n for n in baseline if n in current and n != CALIBRATION]
+    if not shared:
+        print("error: no shared benchmarks between the two files",
+              file=sys.stderr)
+        sys.exit(2)
+
+    failures = []
+    print(f"{'benchmark':24} {'base ns':>10} {'cur ns':>10} "
+          f"{'ratio':>7}  verdict")
+    for name in shared:
+        base, cur = baseline[name], current[name]
+        if base["items"] != cur["items"]:
+            failures.append(name)
+            print(f"{name:24} {'-':>10} {'-':>10} {'-':>7}  FAIL "
+                  f"(items {cur['items']} != baseline {base['items']})")
+            continue
+        base_ns = base["ns_per_item"]
+        cur_ns = cur["ns_per_item"] / scale
+        ratio = cur_ns / base_ns if base_ns > 0 else 1.0
+        ok = ratio <= 1.0 + args.threshold
+        if not ok:
+            failures.append(name)
+        print(f"{name:24} {base_ns:10.1f} {cur_ns:10.1f} {ratio:7.2f}  "
+              f"{'ok' if ok else 'FAIL'}")
+
+    if failures:
+        print(f"\n{len(failures)} regression(s) beyond "
+              f"{args.threshold:.0%}: {', '.join(failures)}",
+              file=sys.stderr)
+        sys.exit(1)
+    print(f"\nall {len(shared)} benchmarks within {args.threshold:.0%} "
+          "of baseline")
+
+
+if __name__ == "__main__":
+    main()
