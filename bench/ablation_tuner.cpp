@@ -9,6 +9,7 @@
 #include "common.hpp"
 #include "options.hpp"
 #include "opt/search.hpp"
+#include "rms/session.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
@@ -29,51 +30,75 @@ int main(int argc, char** argv) {
   if (telemetry.config().anneal_enabled()) {
     tuner.anneal_log = &telemetry.anneal();
   }
+  // One evaluation cache and session pool span both SA arms (the second
+  // arm re-probes points the first already simulated); the non-tuner
+  // searches below get the same warm-session treatment so the comparison
+  // stays budget-fair in wall-clock too.
+  core::EvalCache cache;
+  rms::SessionPool sessions;
+  tuner.cache = &cache;
+  tuner.sessions = &sessions;
 
   std::cout << "Ablation: enabler search strategies (LOWEST, Case 2 base, "
             << "budget " << tuner.evaluations << " evaluations, E0="
             << tuner.e0 << ")\n\n";
 
   const opt::Space space = core::enabler_space(scase);
-  const core::SimRunner runner = core::default_runner();
+  rms::SimulationSession search_session;
   auto objective = [&](const opt::Point& point) {
     grid::GridConfig candidate = base;
     candidate.tuning = core::tuning_from_point(scase, base.tuning, point);
-    return core::penalized_objective(runner(candidate), tuner);
+    return core::penalized_objective(search_session.run(candidate), tuner);
   };
 
-  Table table({"search", "best objective", "evaluations"});
+  std::size_t tuner_evaluations = 0;
+  std::size_t tuner_hits = 0;
+  Table table({"search", "best objective", "evaluations", "cache hits"});
 
   {  // Simulated annealing (the paper's choice), via the real tuner.
     tuner.anneal_label = "sa";
-    const auto outcome = core::tune_enablers(base, scase, tuner, runner);
+    const auto outcome = core::tune_enablers(base, scase, tuner, {});
+    tuner_evaluations += outcome.evaluations;
+    tuner_hits += outcome.cache_hits;
     table.add_row({"simulated annealing",
                    Table::fixed(outcome.objective, 2),
-                   std::to_string(outcome.evaluations)});
+                   std::to_string(outcome.evaluations),
+                   std::to_string(outcome.cache_hits)});
   }
   {  // SA as the sweeps actually run it: anchored on the default tuning
      // (the warm-start role the k-chain plays).
     tuner.anneal_label = "sa-anchored";
     const auto outcome =
-        core::tune_enablers(base, scase, tuner, runner, base.tuning);
+        core::tune_enablers(base, scase, tuner, {}, base.tuning);
+    tuner_evaluations += outcome.evaluations;
+    tuner_hits += outcome.cache_hits;
     table.add_row({"simulated annealing (anchored)",
                    Table::fixed(outcome.objective, 2),
-                   std::to_string(outcome.evaluations)});
+                   std::to_string(outcome.evaluations),
+                   std::to_string(outcome.cache_hits)});
   }
   {
     util::RandomStream rng(base.seed, "ablation-random-search");
     const auto r = opt::random_search(space, objective, tuner.evaluations,
                                       rng);
     table.add_row({"random search", Table::fixed(r.best_value, 2),
-                   std::to_string(r.evaluations)});
+                   std::to_string(r.evaluations), "-"});
   }
   {
     // 3 levels per dimension =~ the same budget for 3 enablers.
     const auto r = opt::grid_search(space, objective, 3);
     table.add_row({"grid search (3/dim)", Table::fixed(r.best_value, 2),
-                   std::to_string(r.evaluations)});
+                   std::to_string(r.evaluations), "-"});
   }
   table.print(std::cout);
+  std::cout << "\nevaluation cache: " << tuner_hits << "/"
+            << tuner_evaluations << " tuner evaluations answered ("
+            << Table::fixed(tuner_evaluations > 0
+                                ? 100.0 * static_cast<double>(tuner_hits) /
+                                      static_cast<double>(tuner_evaluations)
+                                : 0.0,
+                            1)
+            << "% hit rate, " << tuner_hits << " simulations avoided)\n";
   std::cout << "\nLower objective = lower G(k) inside the efficiency band.\n"
                "At cold-start micro budgets, independent sampling is a "
                "strong baseline; the\nsweeps run SA anchored on the "

@@ -171,9 +171,20 @@ std::vector<core::CaseResult> run_overhead_figure(
               << (outcome.feasible ? "" : "  [band missed]") << "\n";
   };
 
+  // Empty runner = reusable-session backend: each kind's sweep shares an
+  // evaluation cache and warm simulation state across its tunes.
   const auto results =
-      core::measure_all(base, all_rms(), procedure,
-                        core::default_runner(), progress);
+      core::measure_all(base, all_rms(), procedure, {}, progress);
+
+  if (telemetry != nullptr) {
+    obs::RunManifest& manifest = telemetry->manifest();
+    for (const auto& r : results) {
+      for (const auto& p : r.points) {
+        manifest.tuner_evaluations += p.tuner_evaluations;
+        manifest.tuner_cache_hits += p.tuner_cache_hits;
+      }
+    }
+  }
 
   std::cout << "\n" << core::render_overhead_chart(results, figure_name)
             << "\n";

@@ -27,10 +27,12 @@
 #endif
 
 #include "common.hpp"
+#include "core/tuner.hpp"
 #include "net/routing.hpp"
 #include "net/topology.hpp"
 #include "options.hpp"
 #include "rms/scenario.hpp"
+#include "rms/session.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -169,6 +171,39 @@ std::vector<Sample> case1_macro() {
   return samples;
 }
 
+/// A small tune_enablers per RMS kind through the production path —
+/// evaluation cache plus reusable-session backend — so the tuner layer
+/// itself has a standing perf trajectory.  The fixed E0 keeps it free of
+/// calibration simulations; items are the summed logical evaluations,
+/// which are deterministic in the pinned seeds.
+Sample tuned_sweep() {
+  grid::GridConfig base = bench::case1_base();
+  base.topology.nodes = 250;  // pin against SCAL_BENCH_FAST
+  base.seed = 42;             // pin against SCAL_BENCH_SEED
+  const core::ScalingCase scase = core::ScalingCase::case1_network_size();
+  return timed("tuned_sweep_total", 2, [&] {
+    std::uint64_t evaluations = 0;
+    // Fresh cache + sessions per rep: this times the warm-up too.
+    core::EvalCache cache;
+    rms::SessionPool sessions;
+    core::TunerConfig tuner;
+    tuner.e0 = 0.40;
+    tuner.band = 0.03;
+    tuner.evaluations = 6;
+    tuner.restarts = 2;
+    tuner.cache = &cache;
+    tuner.sessions = &sessions;
+    for (const grid::RmsKind kind : bench::all_rms()) {
+      grid::GridConfig config = base;
+      config.rms = kind;
+      const core::TuneOutcome outcome = core::tune_enablers(
+          config, scase, tuner, {}, config.tuning);
+      evaluations += outcome.evaluations;
+    }
+    return evaluations;
+  });
+}
+
 std::uint64_t peak_rss_bytes() {
 #if defined(__unix__) || defined(__APPLE__)
   rusage usage{};
@@ -233,6 +268,7 @@ int main(int argc, char** argv) {
     samples.push_back(std::move(s));
   }
   samples.push_back(Sample{"case1_sweep_total", macro_events, macro_total});
+  samples.push_back(tuned_sweep());
 
   util::Table table({"benchmark", "items", "wall (s)", "ns/item"});
   table.set_align(1, util::Align::kRight);

@@ -20,6 +20,10 @@ struct ScalePoint {
   grid::Tuning tuning;            ///< tuned enablers at this scale
   grid::SimulationResult sim;
   bool feasible = false;          ///< efficiency band held at the optimum
+  /// Tuner cost accounting at this point: logical evaluations requested
+  /// by the search, and how many of them memoization answered.
+  std::size_t tuner_evaluations = 0;
+  std::size_t tuner_cache_hits = 0;
 };
 
 /// A full sweep for one RMS along one scaling case.

@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "rms/session.hpp"
+
 namespace scal::core {
 
 grid::GridConfig apply_mixed_scale(const grid::GridConfig& base, double k,
@@ -30,6 +32,8 @@ CaseResult PathResult::as_case_result(grid::RmsKind rms) const {
     sp.tuning = p.outcome.tuning;
     sp.sim = p.outcome.result;
     sp.feasible = p.outcome.feasible;
+    sp.tuner_evaluations = p.outcome.evaluations;
+    sp.tuner_cache_hits = p.outcome.cache_hits;
     result.points.push_back(std::move(sp));
   }
   return result;
@@ -45,6 +49,17 @@ PathResult search_scaling_path(const grid::GridConfig& base,
   grid::GridConfig rms_base = base;
   rms_base.rms = rms;
 
+  // The (k, split) grid revisits configurations aggressively — at k = 1
+  // every split collapses to the base config — so one cache and one
+  // session pool serve the entire search unless the caller shared theirs.
+  EvalCache search_cache;
+  rms::SessionPool search_sessions;
+  TunerConfig search_tuner = config.tuner;
+  if (search_tuner.cache == nullptr) search_tuner.cache = &search_cache;
+  if (search_tuner.sessions == nullptr) {
+    search_tuner.sessions = &search_sessions;
+  }
+
   PathResult result;
   std::optional<grid::Tuning> warm;
   bool still_scalable = true;
@@ -59,7 +74,7 @@ PathResult search_scaling_path(const grid::GridConfig& base,
       const grid::GridConfig candidate =
           apply_mixed_scale(rms_base, k, split);
       const TuneOutcome outcome = tune_enablers(
-          candidate, config.enabler_case, config.tuner, runner, warm);
+          candidate, config.enabler_case, search_tuner, runner, warm);
       // Feasible candidates always beat infeasible ones; within a
       // class, the lower penalized objective wins.
       const bool better =

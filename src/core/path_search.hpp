@@ -57,10 +57,14 @@ grid::GridConfig apply_mixed_scale(const grid::GridConfig& base, double k,
                                    double split);
 
 /// Search the best scaling path for `rms` over the configured splits,
-/// tuning the enablers at every (k, r) candidate.
+/// tuning the enablers at every (k, r) candidate.  The default (empty)
+/// runner uses the reusable-session backend with one evaluation cache
+/// and session pool across all (k, r) tunes — at k = 1 every split
+/// yields the same configuration, so two of the three tunes there are
+/// answered entirely from the cache.
 PathResult search_scaling_path(const grid::GridConfig& base,
                                grid::RmsKind rms,
                                const PathSearchConfig& config,
-                               const SimRunner& runner = default_runner());
+                               const SimRunner& runner = {});
 
 }  // namespace scal::core

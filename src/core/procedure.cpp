@@ -6,6 +6,7 @@
 
 #include "exec/thread_pool.hpp"
 #include "obs/anneal_log.hpp"
+#include "rms/session.hpp"
 #include "util/log.hpp"
 
 namespace scal::core {
@@ -25,6 +26,13 @@ CaseResult measure_scalability(const grid::GridConfig& base,
   grid::GridConfig rms_base = base;
   rms_base.rms = rms;
 
+  // One evaluation cache and one session pool span the whole sweep
+  // (unless the caller supplied shared ones): warm-start anchor probes
+  // repeat points across adjacent scale factors, and the session slots
+  // keep their systems warm between tunes of the same structure.
+  EvalCache sweep_cache;
+  rms::SessionPool sweep_sessions;
+
   std::optional<grid::Tuning> warm;
   for (const double k : procedure.scale_factors) {
     // Step 2: scale along the path.
@@ -32,6 +40,8 @@ CaseResult measure_scalability(const grid::GridConfig& base,
     // Step 3: tune the enablers at this scale.
     TunerConfig tuner = procedure.tuner;
     if (tuner.pool == nullptr) tuner.pool = procedure.pool;
+    if (tuner.cache == nullptr) tuner.cache = &sweep_cache;
+    if (tuner.sessions == nullptr) tuner.sessions = &sweep_sessions;
     if (warm && procedure.warm_evaluations > 0) {
       tuner.evaluations = procedure.warm_evaluations;
     }
@@ -44,6 +54,8 @@ CaseResult measure_scalability(const grid::GridConfig& base,
     point.tuning = outcome.tuning;
     point.sim = outcome.result;
     point.feasible = outcome.feasible;
+    point.tuner_evaluations = outcome.evaluations;
+    point.tuner_cache_hits = outcome.cache_hits;
     result.points.push_back(point);
 
     SCAL_INFO("measure " << grid::to_string(rms) << " k=" << k

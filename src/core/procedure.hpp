@@ -41,11 +41,16 @@ using ProgressFn = std::function<void(grid::RmsKind, double,
                                       const TuneOutcome&)>;
 
 /// Measure one RMS along one scaling case.  `base` must describe the
-/// k = 1 configuration; its rms field is overridden by `rms`.
+/// k = 1 configuration; its rms field is overridden by `rms`.  The
+/// default (empty) runner is the reusable-session backend: one
+/// evaluation cache and one session pool span the whole k sweep, so
+/// repeated anchor probes cost nothing and each evaluation rewinds a
+/// warm system instead of rebuilding it.  Results are bit-identical to
+/// an explicit default_runner().
 CaseResult measure_scalability(const grid::GridConfig& base,
                                grid::RmsKind rms,
                                const ProcedureConfig& procedure,
-                               const SimRunner& runner = default_runner(),
+                               const SimRunner& runner = {},
                                const ProgressFn& progress = {});
 
 /// Measure every requested RMS (paper Figures 2-5 sweep all seven).
@@ -55,8 +60,7 @@ CaseResult measure_scalability(const grid::GridConfig& base,
 /// serialized but may arrive in any kind order.
 std::vector<CaseResult> measure_all(
     const grid::GridConfig& base, const std::vector<grid::RmsKind>& kinds,
-    const ProcedureConfig& procedure,
-    const SimRunner& runner = default_runner(),
+    const ProcedureConfig& procedure, const SimRunner& runner = {},
     const ProgressFn& progress = {});
 
 }  // namespace scal::core

@@ -2,11 +2,14 @@
 
 #include <cmath>
 #include <limits>
+#include <unordered_set>
 #include <vector>
 
+#include "grid/digest.hpp"
 #include "obs/anneal_log.hpp"
 #include "opt/annealing.hpp"
 #include "rms/factory.hpp"
+#include "rms/session.hpp"
 
 namespace scal::core {
 
@@ -51,6 +54,16 @@ struct EvalTrack {
   }
 };
 
+/// One evaluation's identity as recorded by its slot (anchors = slot 0,
+/// chain c = slot 1 + c).  The `cached` flags and the hit statistics are
+/// derived from these traces by a *serial replay* in slot order, not
+/// from which thread physically reached the cache first — so they are
+/// identical at any --jobs count and with value memoization disabled.
+struct TraceEntry {
+  opt::EvalKey key;
+  bool prior_epoch = false;  ///< key answered by an earlier tune's epoch
+};
+
 }  // namespace
 
 TuneOutcome tune_enablers(const grid::GridConfig& config,
@@ -63,9 +76,30 @@ TuneOutcome tune_enablers(const grid::GridConfig& config,
   // outcome does not need a re-run at the optimum.  Slot 0 collects the
   // warm-start anchors; slot 1 + c belongs to chain c.
   std::vector<EvalTrack> tracks(1 + tuner.restarts);
+  std::vector<std::vector<TraceEntry>> traces(1 + tuner.restarts);
 
-  auto make_objective = [&](EvalTrack& track) {
-    return [&config, &scase, &tuner, &runner, &track](const opt::Point& point) {
+  // The memoization table.  A private one still deduplicates repeated
+  // points within this tune (annealing revisits clamped boundary points
+  // constantly); a shared one additionally answers from earlier tunes.
+  EvalCache local_cache;
+  EvalCache& cache = tuner.cache != nullptr ? *tuner.cache : local_cache;
+  cache.begin_epoch();
+
+  // Reusable-session backend for the empty-runner sentinel.  Serial
+  // searches funnel every evaluation through one session so the warm
+  // system is never rebuilt; concurrent chains get one session per slot.
+  rms::SessionPool local_sessions;
+  rms::SessionPool& sessions =
+      tuner.sessions != nullptr ? *tuner.sessions : local_sessions;
+  const bool serial = tuner.pool == nullptr;
+
+  auto make_objective = [&](std::size_t slot) {
+    // Sessions are resolved here, on the calling thread: anneal builds
+    // every chain objective up front, so SessionPool growth never races.
+    rms::SimulationSession* session =
+        runner ? nullptr : &sessions.slot(serial ? 0 : slot);
+    return [&config, &scase, &tuner, &runner, &cache, &tracks, &traces,
+            session, slot](const opt::Point& point) {
       const grid::Tuning tuning =
           tuning_from_point(scase, config.tuning, point);
       grid::GridConfig candidate = config;
@@ -73,12 +107,32 @@ TuneOutcome tune_enablers(const grid::GridConfig& config,
       // Search evaluations stay silent: only the caller's own instrumented
       // run records traces/probes, never the tuner's probing.
       candidate.telemetry = nullptr;
-      const grid::SimulationResult result = runner(candidate);
+      opt::EvalKey key{grid::config_digest(candidate), point};
+      const EvalCache::Probe probe = cache.lookup(key);
+      traces[slot].push_back(TraceEntry{key, probe.prior_epoch});
+      grid::SimulationResult result;
+      if (tuner.cache_values && probe.value) {
+        result = *probe.value;
+      } else {
+        result = runner ? runner(candidate) : session->run(candidate);
+        // Insert in both cache modes (first-wins): the table's contents
+        // — and therefore a later shared-cache tune's prior-epoch flags
+        // — do not depend on whether values were served from it.
+        cache.insert(key, result);
+      }
+      // The penalty is recomputed at hit time: a shared cache may span
+      // tunes with different e0/band parameters.
       const double value = penalized_objective(result, tuner);
-      track.consider(value, tuning, result);
+      tracks[slot].consider(value, tuning, result);
       return value;
     };
   };
+
+  // Serial-replay seen-set for the anneal log's `cached` flags.  Anchors
+  // feed it as they are logged (they run serially, first); the observer
+  // then consumes chain traces in the same chain-major order anneal
+  // replays steps in, on the calling thread.
+  std::unordered_set<opt::EvalKey, opt::EvalKeyHash> seen;
 
   opt::AnnealingConfig anneal_config;
   anneal_config.iterations = tuner.evaluations;
@@ -90,13 +144,14 @@ TuneOutcome tune_enablers(const grid::GridConfig& config,
   anneal_config.final_temperature = 0.005;
   anneal_config.pool = tuner.pool;
   anneal_config.chain_objective = [&](std::size_t chain) {
-    return make_objective(tracks[1 + chain]);
+    return make_objective(1 + chain);
   };
   if (tuner.anneal_log != nullptr) {
     // The observer runs on the caller's thread in chain-major order
     // after the chains finished, so the log rows stay well-formed and
     // identically ordered at any job count.
-    anneal_config.observer = [&tuner](const opt::AnnealStep& step) {
+    anneal_config.observer = [&tuner, &traces, &seen](
+                                 const opt::AnnealStep& step) {
       obs::AnnealRecord rec;
       rec.label = tuner.anneal_label;
       rec.chain = step.chain;
@@ -107,21 +162,27 @@ TuneOutcome tune_enablers(const grid::GridConfig& config,
       rec.best_value = step.best_value;
       rec.accepted = step.accepted;
       rec.improved = step.improved;
+      // Chains make exactly one objective call per iteration, so the
+      // trace row for this step is traces[1 + chain][iteration].
+      const TraceEntry& trace = traces[1 + step.chain][step.iteration];
+      rec.cached = trace.prior_epoch || !seen.insert(trace.key).second;
       tuner.anneal_log->add(std::move(rec));
     };
   }
 
   // Warm-start anchor probes run serially before the chains and are
   // telemetry-visible (temperature 0, outside any chain's numbering).
-  opt::Objective anchor_objective = make_objective(tracks[0]);
+  opt::Objective anchor_objective = make_objective(0);
   auto log_anchor = [&](double value) {
     if (tuner.anneal_log == nullptr) return;
+    const TraceEntry& trace = traces[0].back();
     obs::AnnealRecord rec;
     rec.label = tuner.anneal_label;
     rec.candidate_value = value;
     rec.current_value = value;
     rec.best_value = tracks[0].value;
     rec.accepted = true;
+    rec.cached = trace.prior_epoch || !seen.insert(trace.key).second;
     tuner.anneal_log->add(std::move(rec));
   };
   if (warm_start) {
@@ -159,6 +220,20 @@ TuneOutcome tune_enablers(const grid::GridConfig& config,
       outcome.tuning = track.tuning;
       outcome.result = track.result;
       outcome.objective = track.value;
+    }
+  }
+
+  // Hit statistics by the same serial replay, from a fresh seen-set so
+  // they do not depend on whether an anneal log was attached.
+  std::unordered_set<opt::EvalKey, opt::EvalKeyHash> replay;
+  for (const std::vector<TraceEntry>& slot_trace : traces) {
+    for (const TraceEntry& trace : slot_trace) {
+      if (!replay.insert(trace.key).second) {
+        ++outcome.cache_hits;
+      } else if (trace.prior_epoch) {
+        ++outcome.cache_hits;
+        ++outcome.cache_prior_hits;
+      }
     }
   }
 

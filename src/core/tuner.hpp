@@ -10,6 +10,7 @@
 
 #include "core/scaling.hpp"
 #include "grid/metrics.hpp"
+#include "opt/eval_cache.hpp"
 
 namespace scal::obs {
 class AnnealLog;
@@ -19,15 +20,30 @@ namespace scal::exec {
 class ThreadPool;
 }
 
+namespace scal::rms {
+class SessionPool;
+}
+
 namespace scal::core {
 
 /// Runs one simulation for a configuration.  Injected so tests can
-/// substitute analytic stand-ins; production uses rms::simulate.
+/// substitute analytic stand-ins.  An EMPTY runner selects the
+/// production reusable-session backend (rms::SimulationSession): each
+/// evaluation reuses the previously built grid via GridSystem::reset()
+/// whenever the candidate differs only in tuning — the fast path the
+/// procedures use by default.
 using SimRunner =
     std::function<grid::SimulationResult(const grid::GridConfig&)>;
 
-/// The production runner (rms::simulate).
+/// The production runner (rms::simulate), building a fresh system per
+/// call.  Kept for callers that need stateless evaluations; the
+/// procedures now default to the empty-runner session backend instead.
 SimRunner default_runner();
+
+/// The tuner's memoization table: keyed on (config digest, exact search
+/// point), valued with the full simulation result so the penalized
+/// objective can be recomputed at hit time under any tuner parameters.
+using EvalCache = opt::EvalCache<grid::SimulationResult>;
 
 struct TunerConfig {
   double e0 = 0.40;          ///< target efficiency (paper: band [0.38, 0.42])
@@ -57,6 +73,25 @@ struct TunerConfig {
   /// thread.  Null = serial.  The outcome is bit-identical either way;
   /// `runner` must be safe to call from several threads when set.
   exec::ThreadPool* pool = nullptr;
+
+  /// Optional shared evaluation cache (non-owning).  Null = a private
+  /// cache per tune_enablers call (still deduplicates within the tune).
+  /// Sharing one cache across tunes — adjacent scale factors along a
+  /// scaling path, overlapping path-search splits — lets later tunes
+  /// answer repeated evaluations from earlier epochs.  Thread-safe; the
+  /// outcome is bit-identical with or without sharing.
+  EvalCache* cache = nullptr;
+
+  /// When false, the cache still tracks keys (so hit statistics and the
+  /// anneal log's `cached` flags stay byte-identical) but every
+  /// evaluation runs the simulation — the cache-off arm of the ablation.
+  bool cache_values = true;
+
+  /// Optional shared session pool (non-owning) for the empty-runner
+  /// backend: slot s of the pool carries anneal chain s's warm system
+  /// across tune_enablers calls.  Null = a private pool per call.
+  /// Ignored when `runner` is non-empty.
+  rms::SessionPool* sessions = nullptr;
 };
 
 struct TuneOutcome {
@@ -65,6 +100,15 @@ struct TuneOutcome {
   double objective = 0.0;
   bool feasible = false;  ///< efficiency within the band at the optimum
   std::size_t evaluations = 0;
+  /// Evaluations answered by memoization, under serial-replay semantics
+  /// (anchors first, then chains in index order): an evaluation counts
+  /// as a hit when its key was already evaluated earlier in that order
+  /// or by an earlier tune sharing the cache.  Independent of --jobs and
+  /// of cache_values, so the cache-on/off and jobs-1/N arms report the
+  /// same statistics.
+  std::size_t cache_hits = 0;
+  /// The subset of cache_hits answered from an earlier tune's epoch.
+  std::size_t cache_prior_hits = 0;
 };
 
 /// Penalized objective: G * (1 + w * excess^2) where excess is how far

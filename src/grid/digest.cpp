@@ -1,0 +1,143 @@
+#include "grid/digest.hpp"
+
+#include <cstring>
+#include <string>
+
+namespace scal::grid {
+
+namespace {
+
+/// Two independent FNV-1a style lanes with distinct offsets/primes; each
+/// absorbed word perturbs both, giving a 128-bit fingerprint without any
+/// external dependency.  Collisions would need to agree in both lanes.
+class Mix128 {
+ public:
+  void word(std::uint64_t w) {
+    a_ = (a_ ^ w) * 0x100000001B3ull;
+    a_ ^= a_ >> 29;
+    b_ = (b_ ^ (w + 0x9E3779B97F4A7C15ull)) * 0xC2B2AE3D27D4EB4Full;
+    b_ ^= b_ >> 31;
+  }
+
+  void real(double value) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof(bits));
+    word(bits);
+  }
+
+  void text(const std::string& value) {
+    word(value.size());
+    for (const char c : value) word(static_cast<unsigned char>(c));
+  }
+
+  std::array<std::uint64_t, 2> finish() const { return {a_, b_}; }
+
+ private:
+  std::uint64_t a_ = 0xCBF29CE484222325ull;
+  std::uint64_t b_ = 0x6C62272E07BB0142ull;
+};
+
+}  // namespace
+
+std::array<std::uint64_t, 2> config_digest(const GridConfig& config,
+                                           bool include_tuning) {
+  Mix128 mix;
+
+  const net::TopologyConfig& topo = config.topology;
+  mix.word(static_cast<std::uint64_t>(topo.kind));
+  mix.word(topo.nodes);
+  mix.word(topo.pa_edges_per_node);
+  mix.real(topo.waxman_alpha);
+  mix.real(topo.waxman_beta);
+  mix.word(topo.lattice_neighbors);
+  mix.word(topo.ts_transit_domains);
+  mix.word(topo.ts_transit_size);
+  mix.word(topo.ts_stub_size);
+  mix.real(topo.ts_backbone_speedup);
+  mix.real(topo.latency_min);
+  mix.real(topo.latency_max);
+  mix.real(topo.bandwidth);
+
+  mix.word(config.cluster_size);
+  mix.word(config.estimators_per_cluster);
+  mix.real(config.service_rate);
+  mix.real(config.heterogeneity);
+  mix.word(static_cast<std::uint64_t>(config.rms));
+
+  if (include_tuning) {
+    mix.real(config.tuning.update_interval);
+    mix.word(config.tuning.neighborhood_size);
+    mix.real(config.tuning.link_delay_scale);
+    mix.real(config.tuning.volunteer_interval);
+  }
+
+  const CostModel& costs = config.costs;
+  mix.real(costs.est_process_update);
+  mix.real(costs.est_forward_batch);
+  mix.real(costs.sched_batch_base);
+  mix.real(costs.sched_per_update);
+  mix.real(costs.sched_decision_base);
+  mix.real(costs.sched_decision_per_candidate);
+  mix.real(costs.sched_poll);
+  mix.real(costs.sched_transfer);
+  mix.real(costs.sched_advert);
+  mix.real(costs.sched_bid);
+  mix.real(costs.sched_idle_event);
+  mix.real(costs.middleware_service);
+  mix.real(costs.job_control);
+  mix.real(costs.size_update);
+  mix.real(costs.size_control);
+  mix.real(costs.size_job);
+
+  const ProtocolParams& protocol = config.protocol;
+  mix.real(protocol.t_cpu);
+  mix.real(protocol.t_l);
+  mix.real(protocol.delta);
+  mix.real(protocol.psi);
+  mix.real(protocol.auction_window);
+  mix.real(protocol.advert_ttl_factor);
+  mix.real(protocol.estimator_batch_window);
+  mix.real(protocol.wait_queue_timeout);
+  mix.real(protocol.reply_timeout);
+
+  const workload::WorkloadConfig& w = config.workload;
+  mix.real(w.mean_interarrival);
+  mix.word(static_cast<std::uint64_t>(w.exec_model));
+  mix.real(w.lognormal_mu);
+  mix.real(w.lognormal_sigma);
+  mix.real(w.pareto_alpha);
+  mix.real(w.pareto_lo);
+  mix.real(w.pareto_hi);
+  mix.real(w.uniform_lo);
+  mix.real(w.uniform_hi);
+  mix.real(w.requested_factor_max);
+  mix.real(w.t_cpu);
+  mix.real(w.benefit_lo);
+  mix.real(w.benefit_hi);
+  mix.word(w.clusters);
+  mix.real(w.diurnal_amplitude);
+  mix.real(w.diurnal_period);
+  mix.real(w.origin_hotspot_weight);
+
+  mix.word(config.seed);
+  mix.real(config.horizon);
+  mix.real(config.control_loss_probability);
+
+  // The spec string covers every enabled fault class; the robustness
+  // params are hashed explicitly because to_spec() omits them when no
+  // class is enabled (and they still matter the moment one is).
+  mix.text(config.faults.to_spec());
+  mix.real(config.faults.robustness.staleness_factor);
+  mix.word(config.faults.robustness.retry_budget);
+  mix.real(config.faults.robustness.retry_backoff_base);
+  mix.word(config.faults.robustness.requeue_budget);
+
+  mix.real(config.sample_interval);
+  mix.word(config.job_log ? 1u : 0u);
+  mix.text(config.trace_path);
+  mix.word(config.update_suppression ? 1u : 0u);
+
+  return mix.finish();
+}
+
+}  // namespace scal::grid

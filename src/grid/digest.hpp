@@ -1,0 +1,28 @@
+#pragma once
+// 128-bit structural digest of a GridConfig: a deterministic fingerprint
+// of every field that affects simulation output.  Two configs with equal
+// digests produce bit-identical runs (doubles are hashed by bit pattern,
+// so the comparison is exact, not approximate).  Consumers:
+//   - opt::EvalKey — the tuner's evaluation cache pins the whole config
+//     (minus the search point, which is keyed separately) this way, so
+//     caches can be shared across tunes, RMS kinds, and scale factors
+//     without any risk of cross-contamination;
+//   - GridSystem::reset_compatible — a built system can be rewound and
+//     re-run under a new config iff the digests excluding the tuning
+//     enablers match (the enablers are exactly what reset() re-applies).
+
+#include <array>
+#include <cstdint>
+
+#include "grid/config.hpp"
+
+namespace scal::grid {
+
+/// Digest every simulation-affecting field of `config`; the telemetry
+/// handle is excluded (observational only).  `include_tuning = false`
+/// skips the scaling enablers, yielding the structural identity the
+/// reset path keys on.
+std::array<std::uint64_t, 2> config_digest(const GridConfig& config,
+                                           bool include_tuning = true);
+
+}  // namespace scal::grid

@@ -32,6 +32,11 @@ class Estimator : public sim::Server {
   std::uint64_t updates_handled() const noexcept { return updates_; }
   std::uint64_t batches_forwarded() const noexcept { return batches_; }
 
+  /// Rewind to the just-constructed state (reusable-system path):
+  /// server counters, the batch buffer, and the per-resource load views
+  /// are all dropped; identity, costs, and forward wiring survive.
+  void reset();
+
  private:
   void flush();
 

@@ -42,6 +42,12 @@ class JobLog {
   void record(workload::JobId job, JobEvent event, sim::Time at,
               std::uint32_t place = 0);
 
+  /// Drop all records (reusable-system path); enablement is unchanged.
+  void clear() {
+    records_.clear();
+    by_job_.clear();
+  }
+
   std::size_t size() const noexcept { return records_.size(); }
   const std::vector<JobLogRecord>& records() const noexcept {
     return records_;

@@ -159,4 +159,25 @@ void Resource::report_now() {
   sim().schedule_in(report_interval_, [this]() { report_now(); });
 }
 
+void Resource::reset() {
+  queue_.clear();
+  in_service_.reset();
+  service_started_ = 0.0;
+  current_service_time_ = 0.0;
+  completion_event_ = 0;
+  report_interval_ = 0.0;
+  suppression_ = true;
+  reported_once_ = false;
+  last_reported_load_ = -1.0;
+  max_silence_ = 0.0;
+  last_sent_ = 0.0;
+  down_ = false;
+  recovered_pending_ = false;
+  down_since_ = 0.0;
+  downtime_ = 0.0;
+  kill_handler_ = nullptr;
+  executed_ = 0;
+  busy_time_ = 0.0;
+}
+
 }  // namespace scal::grid

@@ -80,6 +80,12 @@ class Resource : public sim::Entity {
   std::uint64_t jobs_executed() const noexcept { return executed_; }
   double busy_time() const noexcept { return busy_time_; }
 
+  /// Rewind to the just-constructed state (reusable-system path).  The
+  /// identity, rates, and report wiring survive; queue contents, fault
+  /// state, counters, and the kill handler are dropped (the system
+  /// re-wires the handler when fault injection is active).
+  void reset();
+
  private:
   void begin_service();
   void report_now();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "grid/digest.hpp"
 #include "grid/sampler.hpp"
 #include "grid/telemetry.hpp"
 #include "util/log.hpp"
@@ -137,7 +138,8 @@ GridSystem::GridSystem(GridConfig config, SchedulerFactory factory)
   if (config_.faults.any()) setup_faults();
 
   if (config_.sample_interval > 0.0) {
-    sampler_ = std::make_unique<StateSampler>(*this, next_entity_id_++,
+    sampler_entity_id_ = next_entity_id_++;
+    sampler_ = std::make_unique<StateSampler>(*this, sampler_entity_id_,
                                               config_.sample_interval);
   }
 
@@ -220,9 +222,13 @@ void GridSystem::setup_faults() {
       schedulers_[s]->set_blackout(down);
     };
   }
+  if (!injector_id_assigned_) {
+    injector_entity_id_ = next_entity_id_++;
+    injector_id_assigned_ = true;
+  }
   injector_ = std::make_unique<fault::FaultInjector>(
-      sim_, next_entity_id_++, plan, seeds, res_flat.size(), est_flat.size(),
-      schedulers_.size(), std::move(hooks));
+      sim_, injector_entity_id_, plan, seeds, res_flat.size(),
+      est_flat.size(), schedulers_.size(), std::move(hooks));
 }
 
 void GridSystem::setup_telemetry() {
@@ -459,26 +465,31 @@ void GridSystem::ship_job_to_resource(net::NodeId from_node,
 }
 
 void GridSystem::schedule_arrivals() {
-  std::vector<workload::Job> jobs;
-  if (!config_.trace_path.empty()) {
-    jobs = workload::load_trace_file(config_.trace_path);
-    std::erase_if(jobs, [this](const workload::Job& j) {
-      return j.arrival >= config_.horizon;
-    });
-    for (auto& job : jobs) {
-      job.origin_cluster = static_cast<std::uint32_t>(
-          job.origin_cluster % cluster_count());
+  // The stream depends only on the structural config (never the tuning
+  // enablers), so one generation serves every reset cycle.
+  if (!arrivals_cached_) {
+    if (!config_.trace_path.empty()) {
+      arrival_jobs_ = workload::load_trace_file(config_.trace_path);
+      std::erase_if(arrival_jobs_, [this](const workload::Job& j) {
+        return j.arrival >= config_.horizon;
+      });
+      for (auto& job : arrival_jobs_) {
+        job.origin_cluster = static_cast<std::uint32_t>(
+            job.origin_cluster % cluster_count());
+      }
+    } else {
+      workload::WorkloadConfig wl = config_.workload;
+      wl.clusters = static_cast<std::uint32_t>(cluster_count());
+      workload::WorkloadGenerator gen(
+          wl, util::RandomStream(config_.seed, "workload"));
+      arrival_jobs_ = gen.generate_until(config_.horizon);
     }
-  } else {
-    workload::WorkloadConfig wl = config_.workload;
-    wl.clusters = static_cast<std::uint32_t>(cluster_count());
-    workload::WorkloadGenerator gen(
-        wl, util::RandomStream(config_.seed, "workload"));
-    jobs = gen.generate_until(config_.horizon);
+    arrivals_cached_ = true;
   }
+  const std::vector<workload::Job>& jobs = arrival_jobs_;
   SCAL_INFO("grid: " << jobs.size() << " jobs over horizon "
                      << config_.horizon);
-  for (auto& job : jobs) {
+  for (const auto& job : jobs) {
     sim_.schedule_at(job.arrival, [this, job]() {
       metrics_.record_arrival(job);
       SchedulerBase& sched = scheduler_for(job.origin_cluster);
@@ -548,6 +559,58 @@ SimulationResult GridSystem::run() {
     util::set_log_time_source(nullptr);
   }
   return result;
+}
+
+bool GridSystem::reset_compatible(const GridConfig& next) const {
+  if (config_.telemetry != nullptr || next.telemetry != nullptr) return false;
+  return config_digest(config_, /*include_tuning=*/false) ==
+         config_digest(next, /*include_tuning=*/false);
+}
+
+void GridSystem::reset(const GridConfig& next) {
+  if (!reset_compatible(next)) {
+    throw std::logic_error(
+        "GridSystem::reset: config differs structurally (or telemetry is "
+        "attached); build a fresh system instead");
+  }
+  next.validate();
+  config_.tuning = next.tuning;  // the only fields reset re-applies
+
+  sim_.reset();
+  metrics_.reset();
+  job_log_.clear();
+
+  network_->reset_counters();
+  network_->set_delay_scale(config_.tuning.link_delay_scale);
+  if (config_.control_loss_probability > 0.0) {
+    // Re-arm with a fresh stream so the drop draw sequence replays
+    // exactly like a fresh build.
+    network_->set_loss(config_.control_loss_probability,
+                       util::RandomStream(config_.seed, "control-loss"));
+  }
+
+  middleware_->reset_server();
+  for (auto& sched : schedulers_) sched->reset();
+  for (auto& cluster : estimators_) {
+    for (auto& est : cluster) est->reset();
+  }
+  for (auto& cluster : resources_) {
+    for (auto& res : cluster) res->reset();
+  }
+
+  // Fault wiring is rebuilt from scratch: the schedulers' staleness
+  // window derives from the (possibly new) tuned update interval, the
+  // resources' kill handlers were dropped by their reset, and the
+  // injector re-derives its substreams from the pinned entity id.
+  injector_.reset();
+  if (config_.faults.any()) setup_faults();
+
+  if (config_.sample_interval > 0.0) {
+    sampler_ = std::make_unique<StateSampler>(*this, sampler_entity_id_,
+                                              config_.sample_interval);
+  }
+
+  ran_ = false;
 }
 
 SimulationResult GridSystem::assemble_result() {

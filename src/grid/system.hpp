@@ -44,8 +44,21 @@ class GridSystem {
   GridSystem& operator=(const GridSystem&) = delete;
 
   /// Run the simulation to config.horizon and collect the result.
-  /// Callable once.
+  /// Callable once per build/reset cycle.
   SimulationResult run();
+
+  /// True when `next` differs from the built config only in fields the
+  /// reset path re-applies (the tuning enablers) and telemetry is off on
+  /// both sides — i.e. reset(next) followed by run() is bit-identical to
+  /// constructing a fresh GridSystem(next) and running it.
+  bool reset_compatible(const GridConfig& next) const;
+
+  /// Rewind the built system to its pre-run state under `next`'s tuning,
+  /// reusing the topology, warm routing trees, cluster layout, entity
+  /// graph, and the generated workload — the reusable-simulation-state
+  /// path the enabler tuner leans on.  Throws std::logic_error when
+  /// !reset_compatible(next).
+  void reset(const GridConfig& next);
 
   // -- Accessors used by the scheduler policies.
   sim::Simulator& simulator() noexcept { return sim_; }
@@ -127,6 +140,15 @@ class GridSystem {
   double mean_service_time_ = 1.0;
   bool ran_ = false;
   sim::EntityId next_entity_id_ = 0;
+  // Entity ids pinned at first assignment so a reset-recreated injector
+  // or sampler derives the same substreams as the original build.
+  sim::EntityId injector_entity_id_ = 0;
+  bool injector_id_assigned_ = false;
+  sim::EntityId sampler_entity_id_ = 0;
+  // The arrival stream is a pure function of (config minus tuning), so
+  // it is generated once and replayed by every reset cycle.
+  std::vector<workload::Job> arrival_jobs_;
+  bool arrivals_cached_ = false;
 
   // Telemetry state (inert when config_.telemetry is null).
   obs::TraceRecorder* trace_ = nullptr;  ///< cached from the handle

@@ -70,6 +70,21 @@ class Network : public sim::Entity {
   std::uint64_t messages_sent() const noexcept { return messages_; }
   double bytes_sent() const noexcept { return bytes_; }
 
+  /// Zero the traffic and fault counters for a fresh run over the same
+  /// fabric (reusable-system path).  The router's lazily settled
+  /// shortest-path trees are deliberately kept warm: routes depend only
+  /// on the immutable graph (the delay-scale enabler applies at query
+  /// time), and re-settling them dominates the cost of a cold run.  The
+  /// caller re-arms set_loss / set_faults with fresh streams so the
+  /// stochastic layers replay exactly like a fresh build.
+  void reset_counters() noexcept {
+    messages_ = 0;
+    bytes_ = 0.0;
+    dropped_ = 0;
+    duplicated_ = 0;
+    delayed_ = 0;
+  }
+
  private:
   Router router_;
   double delay_scale_ = 1.0;

@@ -33,13 +33,14 @@ double AnnealLog::best_value() const noexcept {
 
 void AnnealLog::write_csv(std::ostream& os) const {
   os << "label,chain,iteration,temperature,candidate,current,best,"
-        "accepted,improved\n";
+        "accepted,improved,cached\n";
   for (const AnnealRecord& r : records_) {
     os << util::CsvWriter::escape(r.label) << ',' << r.chain << ','
        << r.iteration << ',' << json_number(r.temperature) << ','
        << json_number(r.candidate_value) << ','
        << json_number(r.current_value) << ',' << json_number(r.best_value)
-       << ',' << (r.accepted ? 1 : 0) << ',' << (r.improved ? 1 : 0) << '\n';
+       << ',' << (r.accepted ? 1 : 0) << ',' << (r.improved ? 1 : 0) << ','
+       << (r.cached ? 1 : 0) << '\n';
   }
 }
 

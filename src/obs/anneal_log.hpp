@@ -23,6 +23,10 @@ struct AnnealRecord {
   double best_value = 0.0;
   bool accepted = false;
   bool improved = false;  ///< accepted with a strictly better value
+  /// This evaluation was answered by the tuner's memoization cache
+  /// (serial-replay semantics: same at any --jobs count and independent
+  /// of whether value memoization was actually enabled).
+  bool cached = false;
 };
 
 class AnnealLog {

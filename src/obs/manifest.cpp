@@ -79,6 +79,15 @@ std::string RunManifest::to_json() const {
         .field("best_objective", anneal_best_objective);
     obj.raw("anneal", anneal.str());
   }
+
+  if (tuner_evaluations > 0) {
+    JsonObject tuner;
+    tuner.field("evaluations", tuner_evaluations)
+        .field("cache_hits", tuner_cache_hits)
+        .field("hit_rate", static_cast<double>(tuner_cache_hits) /
+                               static_cast<double>(tuner_evaluations));
+    obj.raw("tuner", tuner.str());
+  }
   return obj.str();
 }
 

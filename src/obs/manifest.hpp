@@ -68,6 +68,12 @@ struct RunManifest {
   std::uint64_t anneal_improving = 0;
   double anneal_best_objective = 0.0;
 
+  // Tuner cost accounting (zero when no tuning ran): logical evaluations
+  // the enabler searches requested and how many the evaluation cache
+  // answered.  Emitted as a "tuner" block when evaluations > 0.
+  std::uint64_t tuner_evaluations = 0;
+  std::uint64_t tuner_cache_hits = 0;
+
   std::string to_json() const;
 
   /// Append this record as one line to `path` (creates the file).

@@ -1,0 +1,127 @@
+#pragma once
+// Deterministic memoization of objective evaluations over a discrete
+// search space.  The annealing space is quantized, so points repeat —
+// within one tune (late low-temperature phases revisit the incumbent's
+// neighborhood, restart chains collide, the warm anchor equals chain
+// 0's start) and across tunes that share a cache (adjacent scale
+// factors along a scaling path, overlapping path-search splits).  Keys
+// are the exact (configuration digest, point) pair — no tolerance — so
+// a hit can only ever return the value the evaluation would have
+// produced, and caching is an optimization, never an approximation.
+//
+// Determinism protocol: inserts are first-evaluator-wins.  With a
+// worker pool, two chains may evaluate the same key concurrently; both
+// compute the same value (evaluations are deterministic functions of
+// the key), and whichever insert lands first simply keeps its epoch
+// stamp.  Every lookup reports whether the key was already present
+// before the current tune began (`prior_epoch`), which is a
+// deterministic fact independent of intra-tune scheduling — the tuner
+// derives its logical hit statistics and `cached` telemetry flags from
+// that plus a serial replay of its own evaluation order, never from
+// racy physical hit counts.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace scal::opt {
+
+/// Exact identity of one objective evaluation: the digest pins every
+/// simulation input outside the search space (topology, workload, seed,
+/// faults, ...); the point is the quantized search-space coordinate.
+struct EvalKey {
+  std::array<std::uint64_t, 2> digest{};
+  std::vector<double> point;
+
+  bool operator==(const EvalKey& other) const noexcept {
+    return digest == other.digest && point == other.point;
+  }
+};
+
+struct EvalKeyHash {
+  std::size_t operator()(const EvalKey& key) const noexcept {
+    std::uint64_t h = key.digest[0] ^ (key.digest[1] * 0x9E3779B97F4A7C15ull);
+    for (const double coordinate : key.point) {
+      std::uint64_t bits = 0;
+      std::memcpy(&bits, &coordinate, sizeof(bits));
+      h ^= bits + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// Thread-safe first-evaluator-wins memoization table.  `Value` must be
+/// copyable; lookups return copies so hits never alias shared state.
+template <typename Value>
+class EvalCache {
+ public:
+  struct Probe {
+    /// The stored value, if this key has one.
+    std::optional<Value> value;
+    /// True when the key was inserted before the current epoch — i.e.
+    /// by an earlier tune sharing this cache.  Scheduling-independent,
+    /// unlike "was the value present at lookup time" at high job counts.
+    bool prior_epoch = false;
+  };
+
+  /// Mark the start of a new tune.  Entries inserted from now on carry
+  /// the new epoch; existing entries become `prior_epoch` hits.  Call
+  /// between tunes only (not concurrently with lookups/inserts).
+  void begin_epoch() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++epoch_;
+  }
+
+  Probe lookup(const EvalKey& key) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Probe probe;
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      probe.value = it->second.value;
+      probe.prior_epoch = it->second.epoch < epoch_;
+    }
+    return probe;
+  }
+
+  /// First-evaluator-wins: if the key is already present the stored
+  /// value AND its epoch stamp are kept, so concurrent duplicate
+  /// evaluations and later re-inserts cannot perturb `prior_epoch`
+  /// classification.
+  void insert(const EvalKey& key, const Value& value) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    entries_.try_emplace(key, Entry{value, epoch_});
+  }
+
+  std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+  }
+
+  std::uint64_t epoch() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return epoch_;
+  }
+
+  void clear() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+    epoch_ = 0;
+  }
+
+ private:
+  struct Entry {
+    Value value;
+    std::uint64_t epoch = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::unordered_map<EvalKey, Entry, EvalKeyHash> entries_;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace scal::opt

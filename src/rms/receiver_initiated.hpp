@@ -34,6 +34,11 @@ class ReceiverInitiatedScheduler : public DistributedSchedulerBase {
   /// Periodic volunteering round (also reused by tests).
   void volunteer_tick();
 
+  void on_reset() override {
+    wait_queue_.clear();
+    negotiating_.clear();
+  }
+
  private:
   void park_job(workload::Job job);
   void drain_wait_queue_locally();

@@ -1,0 +1,18 @@
+#include "rms/session.hpp"
+
+#include "rms/factory.hpp"
+
+namespace scal::rms {
+
+grid::SimulationResult SimulationSession::run(const grid::GridConfig& config) {
+  if (system_ != nullptr && system_->reset_compatible(config)) {
+    system_->reset(config);
+  } else {
+    system_ = std::make_unique<grid::GridSystem>(
+        config, scheduler_factory(config.rms));
+    ++rebuilds_;
+  }
+  return system_->run();
+}
+
+}  // namespace scal::rms

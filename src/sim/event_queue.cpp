@@ -103,6 +103,23 @@ void EventQueue::heap_erase(std::size_t pos) {
   }
 }
 
+void EventQueue::clear() {
+  for (const HeapEntry& entry : heap_) {
+    Slot& s = slots_[entry.slot];
+    s.fn.reset();
+    ++s.gen;
+  }
+  heap_.clear();
+  // Rebuild the free list ascending so the next run pops slots 0, 1, 2,
+  // ... — the same order a fresh queue allocates them in.
+  free_head_ = kNoFree;
+  for (std::size_t i = slots_.size(); i-- > 0;) {
+    slots_[i].heap_pos = free_head_;
+    free_head_ = static_cast<std::uint32_t>(i);
+  }
+  pushed_ = 0;
+}
+
 void EventQueue::release_slot(std::uint32_t slot) {
   Slot& s = slots_[slot];
   s.fn.reset();

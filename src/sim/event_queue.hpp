@@ -59,6 +59,15 @@ class EventQueue {
 
   std::uint64_t total_pushed() const noexcept { return pushed_; }
 
+  /// Drop every pending event and rewind to the just-constructed state,
+  /// keeping the arena allocation.  Live closures are destroyed, every
+  /// generation of a previously-live slot is bumped (stale EventIds from
+  /// the cleared run cannot cancel events of the next one), and the
+  /// insertion sequence restarts at zero so timestamp tie-breaking — and
+  /// therefore the next run's dispatch order — matches a freshly
+  /// constructed queue bit for bit.
+  void clear();
+
   /// Arena slots currently held (live + free-listed); exposed for tests.
   std::size_t arena_size() const noexcept { return slots_.size(); }
 

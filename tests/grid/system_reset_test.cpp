@@ -1,0 +1,203 @@
+// Golden tests for GridSystem::reset(): rewinding a built system to new
+// tuning and re-running must be byte-identical to constructing a fresh
+// system from the target config — the reusable-simulation-state contract
+// the enabler tuner's session backend relies on.
+
+#include "grid/system.hpp"
+
+#include <gtest/gtest.h>
+
+#include "grid/digest.hpp"
+#include "obs/telemetry.hpp"
+#include "rms/factory.hpp"
+
+namespace scal::grid {
+namespace {
+
+GridConfig small_config(RmsKind rms = RmsKind::kLowest) {
+  GridConfig config;
+  config.rms = rms;
+  config.topology.nodes = 80;
+  config.cluster_size = 20;
+  config.horizon = 400.0;
+  config.workload.mean_interarrival = 1.0;
+  config.seed = 42;
+  return config;
+}
+
+GridConfig faulty_config() {
+  GridConfig config = small_config(RmsKind::kSenderInitiated);
+  config.faults = fault::FaultPlan::parse(
+      "churn:mtbf=150,mttr=20;net:drop=0.05,delayp=0.1,delaym=2");
+  return config;
+}
+
+SimulationResult run_fresh(const GridConfig& config) {
+  GridSystem system(config, rms::scheduler_factory(config.rms));
+  return system.run();
+}
+
+/// Exact (bitwise, via ==) equality on every scalar the result carries.
+void expect_identical(const SimulationResult& a, const SimulationResult& b) {
+  EXPECT_EQ(a.F, b.F);
+  EXPECT_EQ(a.G_scheduler, b.G_scheduler);
+  EXPECT_EQ(a.G_estimator, b.G_estimator);
+  EXPECT_EQ(a.G_middleware, b.G_middleware);
+  EXPECT_EQ(a.G_scheduler_max_share, b.G_scheduler_max_share);
+  EXPECT_EQ(a.G_scheduler_max, b.G_scheduler_max);
+  EXPECT_EQ(a.H_control, b.H_control);
+  EXPECT_EQ(a.H_wasted, b.H_wasted);
+  EXPECT_EQ(a.throughput, b.throughput);
+  EXPECT_EQ(a.mean_response, b.mean_response);
+  EXPECT_EQ(a.p95_response, b.p95_response);
+  EXPECT_EQ(a.jobs_arrived, b.jobs_arrived);
+  EXPECT_EQ(a.jobs_local, b.jobs_local);
+  EXPECT_EQ(a.jobs_remote, b.jobs_remote);
+  EXPECT_EQ(a.jobs_completed, b.jobs_completed);
+  EXPECT_EQ(a.jobs_succeeded, b.jobs_succeeded);
+  EXPECT_EQ(a.jobs_missed_deadline, b.jobs_missed_deadline);
+  EXPECT_EQ(a.jobs_unfinished, b.jobs_unfinished);
+  EXPECT_EQ(a.polls, b.polls);
+  EXPECT_EQ(a.transfers, b.transfers);
+  EXPECT_EQ(a.auctions, b.auctions);
+  EXPECT_EQ(a.adverts, b.adverts);
+  EXPECT_EQ(a.updates_received, b.updates_received);
+  EXPECT_EQ(a.updates_suppressed, b.updates_suppressed);
+  EXPECT_EQ(a.network_messages, b.network_messages);
+  EXPECT_EQ(a.messages_dropped, b.messages_dropped);
+  EXPECT_EQ(a.events_dispatched, b.events_dispatched);
+  EXPECT_EQ(a.horizon, b.horizon);
+  EXPECT_EQ(a.resource_crashes, b.resource_crashes);
+  EXPECT_EQ(a.resource_recoveries, b.resource_recoveries);
+  EXPECT_EQ(a.jobs_killed, b.jobs_killed);
+  EXPECT_EQ(a.jobs_requeued, b.jobs_requeued);
+  EXPECT_EQ(a.jobs_lost, b.jobs_lost);
+  EXPECT_EQ(a.round_retries, b.round_retries);
+  EXPECT_EQ(a.status_evictions, b.status_evictions);
+  EXPECT_EQ(a.blackout_drops, b.blackout_drops);
+  EXPECT_EQ(a.messages_delayed, b.messages_delayed);
+  EXPECT_EQ(a.messages_duplicated, b.messages_duplicated);
+  EXPECT_EQ(a.resource_downtime, b.resource_downtime);
+  EXPECT_EQ(a.availability, b.availability);
+}
+
+TEST(GridSystemReset, ResetRerunMatchesFreshBuild) {
+  const GridConfig base = small_config();
+  GridConfig retuned = base;
+  retuned.tuning.update_interval = 35.0;
+  retuned.tuning.neighborhood_size = 2;
+  retuned.tuning.link_delay_scale = 1.5;
+
+  GridSystem system(base, rms::scheduler_factory(base.rms));
+  system.run();
+  ASSERT_TRUE(system.reset_compatible(retuned));
+  system.reset(retuned);
+  expect_identical(system.run(), run_fresh(retuned));
+}
+
+TEST(GridSystemReset, SameTuningResetReplaysRun) {
+  const GridConfig config = small_config();
+  GridSystem system(config, rms::scheduler_factory(config.rms));
+  const SimulationResult first = system.run();
+  system.reset(config);
+  expect_identical(system.run(), first);
+}
+
+TEST(GridSystemReset, ResetRerunMatchesFreshBuildWithFaults) {
+  const GridConfig base = faulty_config();
+  GridConfig retuned = base;
+  retuned.tuning.update_interval = 12.0;
+  retuned.tuning.link_delay_scale = 0.8;
+
+  GridSystem system(base, rms::scheduler_factory(base.rms));
+  const SimulationResult warm = system.run();
+  EXPECT_GT(warm.resource_crashes, 0u);
+  system.reset(retuned);
+  const SimulationResult reset_run = system.run();
+  expect_identical(reset_run, run_fresh(retuned));
+  // The fault machinery must be genuinely live after the reset too.
+  EXPECT_GT(reset_run.resource_crashes, 0u);
+  EXPECT_GT(reset_run.messages_dropped, 0u);
+}
+
+TEST(GridSystemReset, RepeatedResetCyclesStayIdentical) {
+  const GridConfig base = small_config(RmsKind::kReserve);
+  GridConfig other = base;
+  other.tuning.update_interval = 28.0;
+
+  GridSystem system(base, rms::scheduler_factory(base.rms));
+  const SimulationResult base_fresh = run_fresh(base);
+  const SimulationResult other_fresh = run_fresh(other);
+  expect_identical(system.run(), base_fresh);
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    system.reset(other);
+    expect_identical(system.run(), other_fresh);
+    system.reset(base);
+    expect_identical(system.run(), base_fresh);
+  }
+}
+
+TEST(GridSystemReset, StructuralChangesAreIncompatible) {
+  const GridConfig base = small_config();
+  GridSystem system(base, rms::scheduler_factory(base.rms));
+
+  GridConfig bigger = base;
+  bigger.topology.nodes = 100;
+  EXPECT_FALSE(system.reset_compatible(bigger));
+  EXPECT_THROW(system.reset(bigger), std::logic_error);
+
+  GridConfig other_rms = base;
+  other_rms.rms = RmsKind::kCentral;
+  EXPECT_FALSE(system.reset_compatible(other_rms));
+
+  GridConfig other_seed = base;
+  other_seed.seed = 43;
+  EXPECT_FALSE(system.reset_compatible(other_seed));
+
+  GridConfig other_faults = base;
+  other_faults.faults = fault::FaultPlan::parse("churn:mtbf=100,mttr=10");
+  EXPECT_FALSE(system.reset_compatible(other_faults));
+
+  GridConfig tuned = base;
+  tuned.tuning.update_interval = 33.0;
+  EXPECT_TRUE(system.reset_compatible(tuned));
+}
+
+TEST(GridSystemReset, TelemetryDisablesReset) {
+  const GridConfig base = small_config();
+  GridSystem system(base, rms::scheduler_factory(base.rms));
+  GridConfig instrumented = base;
+  obs::TelemetryConfig tc;
+  obs::Telemetry telemetry(tc);
+  instrumented.telemetry = &telemetry;
+  EXPECT_FALSE(system.reset_compatible(instrumented));
+}
+
+TEST(ConfigDigest, TrackedFieldsMoveTheDigest) {
+  const GridConfig base = small_config();
+  const auto d0 = config_digest(base);
+
+  GridConfig tuned = base;
+  tuned.tuning.update_interval = 33.0;
+  EXPECT_NE(config_digest(tuned), d0);
+  // Excluding tuning folds tuned and base together — the reset contract.
+  EXPECT_EQ(config_digest(tuned, /*include_tuning=*/false),
+            config_digest(base, /*include_tuning=*/false));
+
+  GridConfig seeded = base;
+  seeded.seed = 7;
+  EXPECT_NE(config_digest(seeded, false), config_digest(base, false));
+
+  GridConfig loaded = base;
+  loaded.workload.mean_interarrival = 0.9;
+  EXPECT_NE(config_digest(loaded, false), config_digest(base, false));
+
+  GridConfig robust = base;
+  robust.faults.robustness.retry_budget = 5;
+  // Robustness knobs are hashed even while no fault class is enabled
+  // (to_spec would omit them) so a digest match always means "same run".
+  EXPECT_NE(config_digest(robust, false), config_digest(base, false));
+}
+
+}  // namespace
+}  // namespace scal::grid

@@ -1,0 +1,117 @@
+#include "opt/eval_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace scal::opt {
+namespace {
+
+EvalKey key(double a, double b, std::uint64_t d0 = 1, std::uint64_t d1 = 2) {
+  EvalKey k;
+  k.digest = {d0, d1};
+  k.point = {a, b};
+  return k;
+}
+
+TEST(EvalCache, MissThenHit) {
+  EvalCache<int> cache;
+  EXPECT_FALSE(cache.lookup(key(1.0, 2.0)).value.has_value());
+  cache.insert(key(1.0, 2.0), 42);
+  const auto probe = cache.lookup(key(1.0, 2.0));
+  ASSERT_TRUE(probe.value.has_value());
+  EXPECT_EQ(*probe.value, 42);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(EvalCache, KeysAreExactNoTolerance) {
+  EvalCache<int> cache;
+  cache.insert(key(1.0, 2.0), 1);
+  // The tiniest coordinate perturbation is a different key: caching must
+  // never be an approximation.
+  EXPECT_FALSE(
+      cache.lookup(key(1.0 + 1e-15, 2.0)).value.has_value());
+  // Same point under a different configuration digest is also distinct.
+  EXPECT_FALSE(cache.lookup(key(1.0, 2.0, 9, 2)).value.has_value());
+  EXPECT_FALSE(cache.lookup(key(1.0, 2.0, 1, 9)).value.has_value());
+  EXPECT_TRUE(cache.lookup(key(1.0, 2.0)).value.has_value());
+}
+
+TEST(EvalCache, FirstInsertWins) {
+  EvalCache<int> cache;
+  cache.insert(key(3.0, 4.0), 10);
+  cache.insert(key(3.0, 4.0), 20);
+  EXPECT_EQ(*cache.lookup(key(3.0, 4.0)).value, 10);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(EvalCache, PriorEpochClassification) {
+  EvalCache<int> cache;
+  cache.begin_epoch();
+  cache.insert(key(1.0, 1.0), 1);
+  // Inserted this epoch: a hit, but not a prior-epoch one.
+  EXPECT_TRUE(cache.lookup(key(1.0, 1.0)).value.has_value());
+  EXPECT_FALSE(cache.lookup(key(1.0, 1.0)).prior_epoch);
+  // Absent keys are never prior-epoch.
+  EXPECT_FALSE(cache.lookup(key(2.0, 2.0)).prior_epoch);
+
+  cache.begin_epoch();
+  EXPECT_TRUE(cache.lookup(key(1.0, 1.0)).prior_epoch);
+  // Re-inserting must not reclassify the entry as current-epoch.
+  cache.insert(key(1.0, 1.0), 99);
+  EXPECT_TRUE(cache.lookup(key(1.0, 1.0)).prior_epoch);
+  EXPECT_EQ(*cache.lookup(key(1.0, 1.0)).value, 1);
+  // A genuinely new entry this epoch is not prior.
+  cache.insert(key(2.0, 2.0), 2);
+  EXPECT_FALSE(cache.lookup(key(2.0, 2.0)).prior_epoch);
+}
+
+TEST(EvalCache, ClearResetsEverything) {
+  EvalCache<int> cache;
+  cache.begin_epoch();
+  cache.insert(key(1.0, 1.0), 1);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.epoch(), 0u);
+  EXPECT_FALSE(cache.lookup(key(1.0, 1.0)).value.has_value());
+}
+
+TEST(EvalCache, ConcurrentHammerStaysConsistent) {
+  // Many threads insert and look up an overlapping key set whose value
+  // is a pure function of the key — every successful lookup must return
+  // that function's value (first-evaluator-wins over identical values).
+  EvalCache<int> cache;
+  constexpr int kThreads = 8;
+  constexpr int kKeys = 32;
+  constexpr int kRounds = 200;
+  std::vector<std::thread> threads;
+  std::vector<int> bad_reads(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &bad_reads, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        const int i = (round * 7 + t * 3) % kKeys;
+        const EvalKey k = key(static_cast<double>(i), 0.5);
+        const auto probe = cache.lookup(k);
+        if (probe.value) {
+          if (*probe.value != i * 10) ++bad_reads[static_cast<size_t>(t)];
+          if (probe.prior_epoch) ++bad_reads[static_cast<size_t>(t)];
+        } else {
+          cache.insert(k, i * 10);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (const int bad : bad_reads) EXPECT_EQ(bad, 0);
+  EXPECT_LE(cache.size(), static_cast<std::size_t>(kKeys));
+  for (int i = 0; i < kKeys; ++i) {
+    const auto probe = cache.lookup(key(static_cast<double>(i), 0.5));
+    if (probe.value) {
+      EXPECT_EQ(*probe.value, i * 10);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scal::opt

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 namespace scal::sim {
@@ -200,6 +201,57 @@ TEST(EventQueue, PeekTimeMatchesNextTime) {
   q.push(1.5, [] {});
   EXPECT_DOUBLE_EQ(q.peek_time(), q.next_time());
   EXPECT_DOUBLE_EQ(q.peek_time(), 1.5);
+}
+
+TEST(EventQueue, ClearMatchesFreshQueue) {
+  // clear() must leave the queue indistinguishable from a new one: same
+  // slot handout order and same seq tie-breaking, so a reset simulation
+  // replays bit-identically on a recycled arena.
+  EventQueue used;
+  for (int i = 0; i < 8; ++i) used.push(static_cast<double>(i), [] {});
+  used.pop();
+  used.pop();
+  used.clear();
+  EXPECT_TRUE(used.empty());
+  EXPECT_EQ(used.total_pushed(), 0u);
+
+  EventQueue fresh;
+  std::vector<int> fired_used;
+  std::vector<int> fired_fresh;
+  auto feed = [](EventQueue& q, std::vector<int>& fired) {
+    for (int i = 0; i < 6; ++i) {
+      q.push(3.0, [&fired, i] { fired.push_back(i); });
+    }
+    while (!q.empty()) q.pop().fn();
+  };
+  feed(used, fired_used);
+  feed(fresh, fired_fresh);
+  EXPECT_EQ(fired_used, fired_fresh);
+}
+
+TEST(EventQueue, ClearInvalidatesLiveIds) {
+  EventQueue q;
+  const EventId stale = q.push(1.0, [] {});
+  q.clear();
+  EXPECT_FALSE(q.cancel(stale));
+  bool fired = false;
+  q.push(2.0, [&] { fired = true; });
+  // The recycled slot's new id must work even though the stale one is dead.
+  EXPECT_FALSE(q.cancel(stale));
+  EXPECT_EQ(q.size(), 1u);
+  q.pop().fn();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, ClearReleasesCallables) {
+  auto token = std::make_shared<int>(7);
+  std::weak_ptr<int> weak = token;
+  EventQueue q;
+  q.push(1.0, [token] {});
+  token.reset();
+  EXPECT_FALSE(weak.expired());
+  q.clear();
+  EXPECT_TRUE(weak.expired());
 }
 
 }  // namespace

@@ -109,5 +109,50 @@ TEST(Simulator, SimultaneousEventsRunInScheduleOrder) {
   for (int i = 0; i < 20; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
 }
 
+TEST(Simulator, ResetRewindsToFreshState) {
+  Simulator sim;
+  bool stale_fired = false;
+  sim.schedule_in(2.0, [] {});
+  sim.schedule_in(50.0, [&] { stale_fired = true; });
+  sim.run(10.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+
+  sim.reset();
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_TRUE(sim.idle());
+  EXPECT_EQ(sim.dispatched_events(), 0u);
+
+  // The rerun replays like a fresh kernel: clock restarts from zero,
+  // pre-reset events are gone, tie order matches schedule order.
+  std::vector<Time> seen;
+  sim.schedule_in(5.0, [&] { seen.push_back(sim.now()); });
+  sim.schedule_in(2.0, [&] { seen.push_back(sim.now()); });
+  sim.run();
+  EXPECT_EQ(seen, (std::vector<Time>{2.0, 5.0}));
+  EXPECT_FALSE(stale_fired);
+  EXPECT_EQ(sim.dispatched_events(), 2u);
+}
+
+TEST(Simulator, ResetDetachesDispatchObserver) {
+  Simulator sim;
+  int ticks = 0;
+  sim.set_dispatch_observer(1, [&](Time, std::uint64_t, std::size_t) {
+    ++ticks;
+  });
+  sim.schedule_in(1.0, [] {});
+  sim.run();
+  EXPECT_EQ(ticks, 1);
+  sim.reset();
+  sim.schedule_in(1.0, [] {});
+  sim.run();
+  EXPECT_EQ(ticks, 1);
+}
+
+TEST(Simulator, ResetDuringRunThrows) {
+  Simulator sim;
+  sim.schedule_in(1.0, [&] { EXPECT_THROW(sim.reset(), std::logic_error); });
+  sim.run();
+}
+
 }  // namespace
 }  // namespace scal::sim

@@ -3,7 +3,7 @@
 
 Usage:
     tools/check_perf_regression.py CURRENT BASELINE [--threshold 0.25]
-                                   [--no-normalize]
+                                   [--no-normalize] [--require NAME]...
 
 Checks, per benchmark shared by both files:
   * `items` (deterministic work counts: simulation events, queries) must
@@ -15,6 +15,8 @@ Checks, per benchmark shared by both files:
     between the baseline's host and the current one (the committed
     baseline is rarely produced on the CI runner).  --no-normalize
     compares raw times.
+  * Every --require NAME (repeatable) must be present in BOTH files, so
+    a silently dropped benchmark cannot pass as "no shared regression".
 
 Exit status: 0 when every shared benchmark passes, 1 on any regression
 or count mismatch, 2 on malformed input.
@@ -45,10 +47,21 @@ def main():
                         help="allowed fractional slowdown (default 0.25)")
     parser.add_argument("--no-normalize", action="store_true",
                         help="compare raw ns/item without calibration")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="NAME",
+                        help="benchmark that must exist in both files "
+                             "(repeatable)")
     args = parser.parse_args()
 
     current = load(args.current)
     baseline = load(args.baseline)
+
+    missing = [n for n in args.require
+               if n not in current or n not in baseline]
+    if missing:
+        print(f"error: required benchmark(s) missing: {', '.join(missing)}",
+              file=sys.stderr)
+        sys.exit(2)
 
     scale = 1.0
     if not args.no_normalize:
