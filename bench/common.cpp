@@ -1,12 +1,18 @@
 #include "common.hpp"
 
 #include <chrono>
+#include <iomanip>
 #include <iostream>
 #include <memory>
+#include <sstream>
 
 #include "exec/thread_pool.hpp"
 #include "rms/scenario.hpp"
 #include "util/env.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 namespace scal::bench {
 
@@ -119,6 +125,56 @@ core::ProcedureConfig procedure_for(core::ScalingCase scase) {
   return procedure;
 }
 
+std::uint64_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+void print_rms_metrics_table(const grid::GridConfig& base) {
+  // Metrics-only telemetry: no artifact paths, so nothing is written —
+  // the histograms are read straight off the handle after each run.
+  obs::TelemetryConfig tc;
+  tc.metrics = true;
+
+  std::ostringstream out;
+  out << "Distribution metrics at k = 1 (sim time units; slowdown is a "
+         "ratio)\n";
+  out << std::left << std::setw(10) << "RMS" << std::right  //
+      << std::setw(9) << "wait p50" << std::setw(9) << "p95"
+      << std::setw(10) << "resp p50" << std::setw(9) << "p95"
+      << std::setw(10) << "slow p95" << std::setw(10) << "queue p95"
+      << std::setw(10) << "stale p95" << "\n";
+  out << std::fixed << std::setprecision(2);
+  for (const grid::RmsKind kind : all_rms()) {
+    obs::Telemetry telemetry(tc);
+    Scenario(base).rms(kind).telemetry(&telemetry).run();
+    obs::HistogramRegistry& h = telemetry.histograms();
+    auto p = [&h](const char* name, double q) {
+      // histogram() is find-or-create; all five were registered by the
+      // run's setup, so lookups here never create.
+      return h.histogram(name).percentile(q);
+    };
+    out << std::left << std::setw(10) << grid::to_string(kind) << std::right
+        << std::setw(9) << p("job_wait", 50.0)      //
+        << std::setw(9) << p("job_wait", 95.0)      //
+        << std::setw(10) << p("job_response", 50.0)  //
+        << std::setw(9) << p("job_response", 95.0)  //
+        << std::setw(10) << p("job_slowdown", 95.0)  //
+        << std::setw(10) << p("sched_queue_depth", 95.0)
+        << std::setw(10) << p("status_staleness", 95.0) << "\n";
+  }
+  std::cout << out.str() << "\n";
+}
+
 double calibrate_e0(const grid::GridConfig& base,
                     const core::ScalingCase& scase, double k_mid,
                     obs::Telemetry* telemetry) {
@@ -155,6 +211,11 @@ std::vector<core::CaseResult> run_overhead_figure(
   if (telemetry != nullptr && telemetry->config().anneal_enabled()) {
     procedure.tuner.anneal_log = &telemetry->anneal();
     procedure.tuner.anneal_label = figure_name;
+  }
+  if (telemetry != nullptr && telemetry->config().metrics_enabled()) {
+    // Tuner searches time their evaluations into the run's profiler
+    // (logical counts, cache hits included — deterministic at any N).
+    procedure.tuner.profiler = &telemetry->profiler();
   }
   std::cout << figure_name << "\n" << procedure.scase.name
             << "\nholding E(k) = " << e0 << " +/- "
@@ -194,6 +255,10 @@ std::vector<core::CaseResult> run_overhead_figure(
   std::cout << "Summary\n"
             << core::render_summary_table(results) << "\n";
 
+  if (telemetry != nullptr && telemetry->config().metrics_enabled()) {
+    print_rms_metrics_table(base);
+  }
+
   const std::string csv = csv_dir() + "/" + figure_name + ".csv";
   core::write_case_csv(results, csv);
   const auto seconds = std::chrono::duration<double>(
@@ -202,6 +267,7 @@ std::vector<core::CaseResult> run_overhead_figure(
   std::cout << "series written to " << csv << "  (" << seconds << " s)\n";
 
   if (telemetry != nullptr) {
+    telemetry->manifest().peak_rss_bytes = peak_rss_bytes();
     const obs::TelemetryConfig& tc = telemetry->config();
     if (!telemetry->export_all()) {
       std::cout << "telemetry export incomplete (see warnings above)\n";

@@ -77,6 +77,16 @@ std::vector<core::CaseResult> run_overhead_figure(
     const std::string& figure_name, const grid::GridConfig& base,
     core::ProcedureConfig procedure, obs::Telemetry* telemetry = nullptr);
 
+/// Per-RMS distribution-metrics table (--metrics): run every kind at
+/// the base scale with a metrics-only telemetry handle and print the
+/// job wait/response/slowdown quantiles plus the scheduler queue-depth
+/// and estimator-staleness probes side by side.
+void print_rms_metrics_table(const grid::GridConfig& base);
+
+/// Peak resident set size of this process in bytes (0 when the platform
+/// offers no measurement).  Stamped into every bench's run manifest.
+std::uint64_t peak_rss_bytes();
+
 bool fast_mode();
 std::string csv_dir();
 

@@ -8,18 +8,39 @@
 //   - the remaining models keep improving as the workload scales.
 
 #include <iostream>
+#include <memory>
 
 #include "common.hpp"
+#include "exec/thread_pool.hpp"
+#include "options.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace scal;
+  const auto opts = bench::Options::parse(argc, argv, "fig6_throughput");
+  obs::Telemetry telemetry(opts.telemetry);
+  obs::Telemetry* handle =
+      opts.telemetry.any_enabled() ? &telemetry : nullptr;
+
   auto procedure =
       bench::procedure_for(core::ScalingCase::case3_estimators());
   const grid::GridConfig base = bench::case3_base();
+
+  const std::size_t jobs = bench::job_count();
+  std::unique_ptr<exec::ThreadPool> pool;
+  if (jobs > 1) {
+    pool = std::make_unique<exec::ThreadPool>(jobs - 1);
+    procedure.pool = pool.get();
+  }
+  if (handle != nullptr) handle->manifest().jobs = jobs;
+
+  // The calibration run doubles as the figure's instrumented run.
   procedure.tuner.e0 = bench::calibrate_e0(
       base, procedure.scase,
-      procedure.scale_factors[procedure.scale_factors.size() / 2]);
+      procedure.scale_factors[procedure.scale_factors.size() / 2], handle);
+  if (handle != nullptr && opts.telemetry.metrics_enabled()) {
+    procedure.tuner.profiler = &handle->profiler();
+  }
   std::cout << "fig6_throughput\n" << procedure.scase.name
             << " (throughput axis)\n\n";
 
@@ -60,6 +81,19 @@ int main() {
     raw.add_row(row);
   }
   raw.print(std::cout);
+
+  if (handle != nullptr && opts.telemetry.metrics_enabled()) {
+    std::cout << "\n";
+    bench::print_rms_metrics_table(base);
+  }
+
   core::write_case_csv(results, bench::csv_dir() + "/fig6_throughput.csv");
+
+  if (handle != nullptr) {
+    handle->manifest().peak_rss_bytes = bench::peak_rss_bytes();
+    if (!handle->export_all()) {
+      std::cout << "telemetry export incomplete (see warnings above)\n";
+    }
+  }
   return 0;
 }

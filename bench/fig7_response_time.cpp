@@ -4,21 +4,44 @@
 //
 // Paper claim to check against the output: response times for AUCTION
 // and Sy-I degrade at high k, mirroring their throughput stall in
-// Figure 6, while the other models stay flat.
+// Figure 6, while the other models stay flat.  With --metrics the
+// per-RMS distribution table adds the wait/response quantiles behind
+// those means.
 
 #include <iostream>
+#include <memory>
 
 #include "common.hpp"
+#include "exec/thread_pool.hpp"
+#include "options.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace scal;
+  const auto opts = bench::Options::parse(argc, argv, "fig7_response_time");
+  obs::Telemetry telemetry(opts.telemetry);
+  obs::Telemetry* handle =
+      opts.telemetry.any_enabled() ? &telemetry : nullptr;
+
   auto procedure =
       bench::procedure_for(core::ScalingCase::case3_estimators());
   const grid::GridConfig base = bench::case3_base();
+
+  const std::size_t jobs = bench::job_count();
+  std::unique_ptr<exec::ThreadPool> pool;
+  if (jobs > 1) {
+    pool = std::make_unique<exec::ThreadPool>(jobs - 1);
+    procedure.pool = pool.get();
+  }
+  if (handle != nullptr) handle->manifest().jobs = jobs;
+
+  // The calibration run doubles as the figure's instrumented run.
   procedure.tuner.e0 = bench::calibrate_e0(
       base, procedure.scase,
-      procedure.scale_factors[procedure.scale_factors.size() / 2]);
+      procedure.scale_factors[procedure.scale_factors.size() / 2], handle);
+  if (handle != nullptr && opts.telemetry.metrics_enabled()) {
+    procedure.tuner.profiler = &handle->profiler();
+  }
   std::cout << "fig7_response_time\n" << procedure.scase.name
             << " (mean response axis)\n\n";
 
@@ -40,7 +63,20 @@ int main() {
     table.add_row(row);
   }
   table.print(std::cout);
+
+  if (handle != nullptr && opts.telemetry.metrics_enabled()) {
+    std::cout << "\n";
+    bench::print_rms_metrics_table(base);
+  }
+
   core::write_case_csv(results,
                        bench::csv_dir() + "/fig7_response_time.csv");
+
+  if (handle != nullptr) {
+    handle->manifest().peak_rss_bytes = bench::peak_rss_bytes();
+    if (!handle->export_all()) {
+      std::cout << "telemetry export incomplete (see warnings above)\n";
+    }
+  }
   return 0;
 }

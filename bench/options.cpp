@@ -60,8 +60,9 @@ Options Options::parse(int argc, char** argv,
     std::cerr << argv[0] << ": " << complaint << "\n"
               << "usage: " << argv[0]
               << " [--trace PATH] [--probe PATH] [--probe-interval T]\n"
-              << "       [--manifest PATH] [--anneal PATH] [--label NAME]\n"
-              << "       [--jobs N|hw] [--faults SPEC] [--mtbf T] [--mttr T]\n";
+              << "       [--manifest PATH] [--anneal PATH] [--metrics]\n"
+              << "       [--label NAME] [--jobs N|hw] [--faults SPEC]\n"
+              << "       [--mtbf T] [--mttr T]\n";
     std::exit(2);
   };
   auto value = [&](int& i) -> std::string {
@@ -97,6 +98,8 @@ Options Options::parse(int argc, char** argv,
       tc.manifest_path = value(i);
     } else if (flag == "--anneal") {
       tc.anneal_path = value(i);
+    } else if (flag == "--metrics") {
+      tc.metrics = true;
     } else if (flag == "--label") {
       tc.label = value(i);
     } else if (flag == "--jobs") {

@@ -11,6 +11,11 @@
 //   --probe-interval T  probe cadence in sim time units (default 25)
 //   --manifest PATH     append one JSONL run record
 //   --anneal PATH       per-iteration tuner telemetry CSV
+//   --metrics           distribution metrics + phase profiler: streaming
+//                       histograms (job wait/response/slowdown, queue
+//                       depth, staleness), scoped phase timers, and a
+//                       per-RMS metrics table; lands in the manifest's
+//                       "metrics" block
 //   --label NAME        manifest / anneal label (default: figure name)
 //   --jobs N            parallel lanes ("hw" = all cores); overrides
 //                       SCAL_JOBS; results are bit-identical at any N

@@ -22,10 +22,6 @@
 #include <utility>
 #include <vector>
 
-#if defined(__unix__) || defined(__APPLE__)
-#include <sys/resource.h>
-#endif
-
 #include "common.hpp"
 #include "core/tuner.hpp"
 #include "net/routing.hpp"
@@ -204,20 +200,46 @@ Sample tuned_sweep() {
   });
 }
 
-std::uint64_t peak_rss_bytes() {
-#if defined(__unix__) || defined(__APPLE__)
-  rusage usage{};
-  if (getrusage(RUSAGE_SELF, &usage) == 0) {
-    // Linux reports ru_maxrss in KiB (macOS in bytes; close enough for
-    // a trajectory metric — the checker compares like against like).
-#if defined(__APPLE__)
-    return static_cast<std::uint64_t>(usage.ru_maxrss);
-#else
-    return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
-#endif
+/// The Case-1 LOWEST macro point again, with --metrics instrumentation
+/// live (histogram probes + phase profiler, no file exports): the
+/// overhead sample the perf gate holds under 5% of the plain macro.
+Sample case1_profiled() {
+  grid::GridConfig base = bench::case1_base();
+  base.topology.nodes = 250;  // pin against SCAL_BENCH_FAST
+  base.seed = 42;             // pin against SCAL_BENCH_SEED
+  return timed("case1_LOWEST_profiled", 3, [&] {
+    obs::TelemetryConfig tc;
+    tc.metrics = true;
+    obs::Telemetry telemetry(tc);
+    return Scenario(base)
+        .rms(grid::RmsKind::kLowest)
+        .telemetry(&telemetry)
+        .run()
+        .events_dispatched;
+  });
+}
+
+/// One fully instrumented LOWEST run (metrics + trace + manifest),
+/// exported next to the BENCH json so CI can upload the artifacts.
+/// Not timed — this is the artifact producer, not a sample.
+void export_instrumented_run(const std::string& label) {
+  grid::GridConfig base = bench::case1_base();
+  base.topology.nodes = 250;
+  base.seed = 42;
+  obs::TelemetryConfig tc;
+  tc.metrics = true;
+  tc.label = label;
+  tc.trace_path = bench::csv_dir() + "/" + label + ".trace.json";
+  tc.manifest_path = bench::csv_dir() + "/" + label + ".manifest.jsonl";
+  obs::Telemetry telemetry(tc);
+  Scenario(base).rms(grid::RmsKind::kLowest).telemetry(&telemetry).run();
+  telemetry.manifest().peak_rss_bytes = bench::peak_rss_bytes();
+  if (!telemetry.export_all()) {
+    std::cerr << "warning: instrumented-run export incomplete\n";
+    return;
   }
-#endif
-  return 0;
+  std::cout << "instrumented run artifacts: " << tc.trace_path << ", "
+            << tc.manifest_path << "\n";
 }
 
 bool write_json(const std::string& path, const std::string& label,
@@ -230,7 +252,7 @@ bool write_json(const std::string& path, const std::string& label,
   std::ofstream out(path);
   out.precision(9);
   out << "{\n  \"schema\": 1,\n  \"label\": \"" << label << "\",\n"
-      << "  \"peak_rss_bytes\": " << peak_rss_bytes() << ",\n"
+      << "  \"peak_rss_bytes\": " << bench::peak_rss_bytes() << ",\n"
       << "  \"results\": [\n";
   for (std::size_t i = 0; i < samples.size(); ++i) {
     const Sample& s = samples[i];
@@ -269,6 +291,7 @@ int main(int argc, char** argv) {
   }
   samples.push_back(Sample{"case1_sweep_total", macro_events, macro_total});
   samples.push_back(tuned_sweep());
+  samples.push_back(case1_profiled());
 
   util::Table table({"benchmark", "items", "wall (s)", "ns/item"});
   table.set_align(1, util::Align::kRight);
@@ -284,6 +307,23 @@ int main(int argc, char** argv) {
                        1)});
   }
   table.print(std::cout);
+
+  // Instrumentation overhead readout: profiled vs plain LOWEST macro.
+  double plain_ns = 0.0;
+  double profiled_ns = 0.0;
+  for (const Sample& s : samples) {
+    if (s.items == 0) continue;
+    const double ns = 1e9 * s.wall_seconds / static_cast<double>(s.items);
+    if (s.name == "case1_LOWEST") plain_ns = ns;
+    if (s.name == "case1_LOWEST_profiled") profiled_ns = ns;
+  }
+  if (plain_ns > 0.0 && profiled_ns > 0.0) {
+    std::cout << "\nmetrics overhead on case1_LOWEST: "
+              << util::Table::fixed((profiled_ns / plain_ns - 1.0) * 100.0, 2)
+              << "% per event (gate: tools/check_perf_regression.py)\n";
+  }
+
+  export_instrumented_run(opts.telemetry.label);
 
   const std::string path =
       bench::csv_dir() + "/BENCH_" + opts.telemetry.label + ".json";

@@ -6,6 +6,7 @@
 
 #include "exec/thread_pool.hpp"
 #include "obs/anneal_log.hpp"
+#include "obs/phase_profiler.hpp"
 #include "rms/session.hpp"
 #include "util/log.hpp"
 
@@ -96,6 +97,13 @@ std::vector<CaseResult> measure_all(const grid::GridConfig& base,
   std::vector<obs::AnnealLog> kind_logs(
       shared_log != nullptr ? kinds.size() : 0);
 
+  // Same scheme for the phase profiler: each kind times into a private
+  // one, folded into the shared sink in kind order afterwards.
+  obs::PhaseProfiler* shared_profiler = procedure.tuner.profiler;
+  std::vector<obs::PhaseProfiler> kind_profilers(
+      shared_profiler != nullptr ? kinds.size() : 0,
+      obs::PhaseProfiler(/*enabled=*/true));
+
   std::vector<CaseResult> results(kinds.size());
   exec::parallel_for(
       parallel ? procedure.pool : nullptr, kinds.size(), [&](std::size_t i) {
@@ -104,6 +112,9 @@ std::vector<CaseResult> measure_all(const grid::GridConfig& base,
         // pool's spare lanes go to the annealing chains inside it.
         if (shared_log != nullptr) {
           kind_procedure.tuner.anneal_log = &kind_logs[i];
+        }
+        if (shared_profiler != nullptr) {
+          kind_procedure.tuner.profiler = &kind_profilers[i];
         }
         results[i] = measure_scalability(base, kinds[i], kind_procedure,
                                          runner, guarded_progress);
@@ -114,6 +125,11 @@ std::vector<CaseResult> measure_all(const grid::GridConfig& base,
       for (const obs::AnnealRecord& rec : log.records()) {
         shared_log->add(rec);
       }
+    }
+  }
+  if (shared_profiler != nullptr) {
+    for (const obs::PhaseProfiler& profiler : kind_profilers) {
+      shared_profiler->merge(profiler);
     }
   }
   return results;

@@ -7,6 +7,7 @@
 
 #include "grid/digest.hpp"
 #include "obs/anneal_log.hpp"
+#include "obs/phase_profiler.hpp"
 #include "opt/annealing.hpp"
 #include "rms/factory.hpp"
 #include "rms/session.hpp"
@@ -93,13 +94,35 @@ TuneOutcome tune_enablers(const grid::GridConfig& config,
       tuner.sessions != nullptr ? *tuner.sessions : local_sessions;
   const bool serial = tuner.pool == nullptr;
 
+  // One profiler per slot (anchors + chains), same scheme as the
+  // EvalTrack slots: concurrent chains never share one, and the
+  // slot-order merge afterwards is the deterministic reduction.  Every
+  // slot registers the phase first, so id 0 is "tuner.evaluate" in all
+  // of them.
+  std::vector<obs::PhaseProfiler> slot_profilers;
+  obs::PhaseId eval_phase = 0;
+  if (tuner.profiler != nullptr) {
+    slot_profilers.reserve(1 + tuner.restarts);
+    for (std::size_t s = 0; s < 1 + tuner.restarts; ++s) {
+      slot_profilers.emplace_back(/*enabled=*/true);
+      eval_phase = slot_profilers.back().phase("tuner.evaluate");
+    }
+  }
+
   auto make_objective = [&](std::size_t slot) {
     // Sessions are resolved here, on the calling thread: anneal builds
     // every chain objective up front, so SessionPool growth never races.
     rms::SimulationSession* session =
         runner ? nullptr : &sessions.slot(serial ? 0 : slot);
     return [&config, &scase, &tuner, &runner, &cache, &tracks, &traces,
-            session, slot](const opt::Point& point) {
+            &slot_profilers, eval_phase, session,
+            slot](const opt::Point& point) {
+      // The scope covers the whole logical evaluation, cache hit or
+      // not, so the recorded call count is a pure function of the
+      // search trajectory (only the ns vary with memoization).
+      obs::PhaseProfiler::Scope eval_scope(
+          slot_profilers.empty() ? nullptr : &slot_profilers[slot],
+          eval_phase);
       const grid::Tuning tuning =
           tuning_from_point(scase, config.tuning, point);
       grid::GridConfig candidate = config;
@@ -207,6 +230,13 @@ TuneOutcome tune_enablers(const grid::GridConfig& config,
   }
   util::RandomStream search_rng(tuner.seed, "enabler-tuner");
   opt::anneal(space, opt::Objective{}, anneal_config, search_rng);
+
+  // Slot-order profiler reduction, mirroring the EvalTrack one below.
+  if (tuner.profiler != nullptr) {
+    for (const obs::PhaseProfiler& slot_profiler : slot_profilers) {
+      tuner.profiler->merge(slot_profiler);
+    }
+  }
 
   // Deterministic reduction in slot order (anchors, then chains).
   TuneOutcome outcome;

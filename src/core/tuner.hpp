@@ -14,6 +14,7 @@
 
 namespace scal::obs {
 class AnnealLog;
+class PhaseProfiler;
 }
 
 namespace scal::exec {
@@ -92,6 +93,14 @@ struct TunerConfig {
   /// across tune_enablers calls.  Null = a private pool per call.
   /// Ignored when `runner` is non-empty.
   rms::SessionPool* sessions = nullptr;
+
+  /// Optional phase profiler (non-owning, like anneal_log): every
+  /// logical evaluation — cache hits included, so the call count is a
+  /// pure function of the search — runs inside a "tuner.evaluate"
+  /// scope.  Concurrent chains time into per-slot profilers merged in
+  /// slot order on the calling thread, so the recorded counts are
+  /// bit-identical at any --jobs count.  Null = off.
+  obs::PhaseProfiler* profiler = nullptr;
 };
 
 struct TuneOutcome {

@@ -20,6 +20,7 @@ Estimator::Estimator(sim::Simulator& sim, sim::EntityId id, ClusterId cluster,
 void Estimator::receive_update(StatusUpdate update) {
   ++updates_;
   submit(process_cost_, [this, update]() mutable {
+    obs::PhaseProfiler::Scope scope(profiler_, update_phase_);
     if (update.resource >= last_load_.size()) {
       last_load_.resize(update.resource + 1, -1.0);
     }

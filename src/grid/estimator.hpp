@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "grid/messages.hpp"
+#include "obs/phase_profiler.hpp"
 #include "sim/server.hpp"
 
 namespace scal::grid {
@@ -37,6 +38,14 @@ class Estimator : public sim::Server {
   /// are all dropped; identity, costs, and forward wiring survive.
   void reset();
 
+  /// Attach the (optional) phase profiler: update processing runs
+  /// inside the given phase.  Null profiler = one pointer test.
+  void attach_profiler(obs::PhaseProfiler* profiler,
+                       obs::PhaseId update_phase) noexcept {
+    profiler_ = profiler;
+    update_phase_ = update_phase;
+  }
+
  private:
   void flush();
 
@@ -54,6 +63,9 @@ class Estimator : public sim::Server {
   bool flush_scheduled_ = false;
   std::uint64_t updates_ = 0;
   std::uint64_t batches_ = 0;
+
+  obs::PhaseProfiler* profiler_ = nullptr;
+  obs::PhaseId update_phase_ = 0;
 };
 
 }  // namespace scal::grid

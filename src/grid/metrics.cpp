@@ -1,6 +1,18 @@
 #include "grid/metrics.hpp"
 
+#include "obs/histogram.hpp"
+
 namespace scal::grid {
+
+void MetricsCollector::observe_decision_queue(std::size_t depth) {
+  if (queue_depth_hist_ != nullptr) {
+    queue_depth_hist_->record(static_cast<double>(depth));
+  }
+}
+
+void MetricsCollector::observe_staleness(double age) {
+  if (staleness_hist_ != nullptr) staleness_hist_->record(age);
+}
 
 void MetricsCollector::record_arrival(const workload::Job& job) {
   if (job_log_) {
@@ -20,6 +32,11 @@ void MetricsCollector::record_completion(const workload::Job& job,
   control_overhead_ += control_cost;
   const double response = completion - job.arrival;
   response_.add(response);
+  if (response_hist_ != nullptr) response_hist_->record(response);
+  if (wait_hist_ != nullptr) wait_hist_->record(response - service_time);
+  if (slowdown_hist_ != nullptr && service_time > 0.0) {
+    slowdown_hist_->record(response / service_time);
+  }
   // Success per the paper's user-benefit function U_b: the response must
   // be within benefit_factor times the job's actual run time.
   if (response <= job.benefit_factor * service_time) {

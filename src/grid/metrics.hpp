@@ -10,6 +10,7 @@
 // plus the secondary measures of Figures 6 and 7 (throughput, response
 // time) and protocol-level counters for tests and diagnostics.
 
+#include <cstddef>
 #include <cstdint>
 
 #include "grid/joblog.hpp"
@@ -19,6 +20,7 @@
 
 namespace scal::obs {
 class Telemetry;
+class Histogram;
 }
 
 namespace scal::grid {
@@ -58,6 +60,25 @@ class MetricsCollector {
   /// through here, other components log via job_log().
   void attach_job_log(JobLog* log) noexcept { job_log_ = log; }
   JobLog* job_log() noexcept { return job_log_; }
+
+  /// Attach (optional) distribution probes; any pointer may be null.
+  /// wait/response/slowdown fold online at record_completion; queue
+  /// depth and staleness are fed by the scheduler via the observe_*
+  /// hooks below.  Purely observational: attaching probes changes no
+  /// simulated behavior.
+  void attach_probes(obs::Histogram* wait, obs::Histogram* response,
+                     obs::Histogram* slowdown, obs::Histogram* queue_depth,
+                     obs::Histogram* staleness) noexcept {
+    wait_hist_ = wait;
+    response_hist_ = response;
+    slowdown_hist_ = slowdown;
+    queue_depth_hist_ = queue_depth;
+    staleness_hist_ = staleness;
+  }
+  /// Scheduler queue length observed at a scheduling decision point.
+  void observe_decision_queue(std::size_t depth);
+  /// Sim-time age of the status snapshot a dispatch decision used.
+  void observe_staleness(double age);
   void record_arrival(const workload::Job& job);
   /// `service_time` is the time the resource actually spent (exec/rate).
   void record_completion(const workload::Job& job, sim::Time completion,
@@ -139,6 +160,11 @@ class MetricsCollector {
   std::uint64_t round_retries_ = 0, status_evictions_ = 0, blackout_drops_ = 0;
   util::Samples response_;
   JobLog* job_log_ = nullptr;
+  obs::Histogram* wait_hist_ = nullptr;
+  obs::Histogram* response_hist_ = nullptr;
+  obs::Histogram* slowdown_hist_ = nullptr;
+  obs::Histogram* queue_depth_hist_ = nullptr;
+  obs::Histogram* staleness_hist_ = nullptr;
 };
 
 /// Final outcome of one simulation run.

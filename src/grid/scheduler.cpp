@@ -186,6 +186,9 @@ ResourceIndex SchedulerBase::most_backlogged(ClusterId cluster) const {
 
 void SchedulerBase::deliver_job(workload::Job job) {
   const CostModel& costs = system_->config().costs;
+  // Queue-depth probe: sample this server's backlog at the decision
+  // point, before the new work item joins it.
+  system_->metrics().observe_decision_queue(queue_length());
   // A decision scans every resource this scheduler tracks: the local
   // cluster for the distributed policies, the whole pool for CENTRAL —
   // that asymmetry is what makes CENTRAL's per-decision cost grow with
@@ -194,6 +197,7 @@ void SchedulerBase::deliver_job(workload::Job job) {
                       costs.sched_decision_per_candidate *
                           static_cast<double>(candidate_count_);
   submit(cost, [this, job = std::move(job)]() mutable {
+    obs::PhaseProfiler::Scope scope(profiler_, decision_phase_);
     handle_job(std::move(job));
   });
 }
@@ -235,6 +239,7 @@ void SchedulerBase::deliver_batch(StatusBatch batch) {
       costs.sched_batch_base +
       costs.sched_per_update * static_cast<double>(batch.updates.size());
   submit(cost, [this, batch = std::move(batch)]() {
+    obs::PhaseProfiler::Scope scope(profiler_, batch_phase_);
     fold_batch(batch);
     after_batch(batch);
   });
@@ -291,6 +296,10 @@ void SchedulerBase::dispatch(ClusterId cluster, ResourceIndex r,
   if (t == nullptr || r >= t->size()) {
     throw std::out_of_range("SchedulerBase::dispatch: bad target");
   }
+  // Staleness probe: sim-time age of the status snapshot this placement
+  // decision acted on (before the optimistic bump refreshes nothing —
+  // bumps adjust load, not the stamp).
+  system_->metrics().observe_staleness(now() - (*t)[r].stamp);
   // Optimistic bump so back-to-back decisions fan out instead of herding
   // onto the same (momentarily) least-loaded resource.
   (*t)[r].load += 1.0;

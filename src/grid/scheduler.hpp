@@ -15,6 +15,7 @@
 
 #include "grid/messages.hpp"
 #include "net/graph.hpp"
+#include "obs/phase_profiler.hpp"
 #include "sim/server.hpp"
 #include "util/rng.hpp"
 
@@ -180,6 +181,16 @@ class SchedulerBase : public sim::Server {
   /// the clusters this scheduler tracks.
   void init_tables(const std::vector<ClusterId>& clusters);
 
+  /// Attach the (optional) phase profiler: scheduling decisions and
+  /// status-batch folds run inside the given phases.  Purely
+  /// observational — a null profiler costs one pointer test.
+  void attach_profiler(obs::PhaseProfiler* profiler, obs::PhaseId decision,
+                       obs::PhaseId batch) noexcept {
+    profiler_ = profiler;
+    decision_phase_ = decision;
+    batch_phase_ = batch;
+  }
+
  private:
   void fold_batch(const StatusBatch& batch);
 
@@ -201,6 +212,10 @@ class SchedulerBase : public sim::Server {
   std::vector<ClusterTable> tables_;  // sorted by cluster id
   std::size_t candidate_count_ = 0;   // sum of tracked table sizes
   std::uint64_t token_counter_ = 1;
+
+  obs::PhaseProfiler* profiler_ = nullptr;
+  obs::PhaseId decision_phase_ = 0;
+  obs::PhaseId batch_phase_ = 0;
 
   // Robustness mixin state (all zero/false = mixin off).
   double staleness_window_ = 0.0;

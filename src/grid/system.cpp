@@ -234,12 +234,47 @@ void GridSystem::setup_faults() {
 void GridSystem::setup_telemetry() {
   obs::Telemetry& telemetry = *config_.telemetry;
   const obs::TelemetryConfig& tc = telemetry.config();
+
+  if (tc.metrics_enabled()) {
+    // Phase registration order is fixed so counts_json() / to_json()
+    // layouts are identical across runs and worker lanes.
+    profiler_ = &telemetry.profiler();
+    run_phase_ = profiler_->phase("sim.run");
+    workload_phase_ = profiler_->phase("workload.generate");
+    const obs::PhaseId decision = profiler_->phase("sched.decision");
+    const obs::PhaseId batch = profiler_->phase("sched.batch");
+    const obs::PhaseId est_update = profiler_->phase("est.update");
+    const obs::PhaseId net_route = profiler_->phase("net.route");
+    for (auto& sched : schedulers_) {
+      sched->attach_profiler(profiler_, decision, batch);
+    }
+    for (auto& cluster : estimators_) {
+      for (auto& est : cluster) est->attach_profiler(profiler_, est_update);
+    }
+    network_->attach_profiler(profiler_, net_route);
+
+    // Distribution probes: registration order fixes the manifest layout.
+    obs::HistogramRegistry& h = telemetry.histograms();
+    metrics_.attach_probes(&h.histogram("job_wait"),
+                           &h.histogram("job_response"),
+                           &h.histogram("job_slowdown"),
+                           &h.histogram("sched_queue_depth"),
+                           &h.histogram("status_staleness"));
+  }
+
   if (!tc.trace_enabled()) {
     // Probe / manifest need no construction-time wiring.
     trace_jobs_ = false;
     return;
   }
   trace_ = &telemetry.trace();
+
+  if (tc.metrics_enabled()) {
+    // Wall-clock profiler spans land on their own track; all other
+    // tracks carry scaled sim time.
+    profiler_->attach_trace(trace_,
+                            trace_->register_track("profiler (wall us)"));
+  }
 
   if (tc.dispatch_sample_every > 0) {
     const obs::TraceTid kernel_tid = trace_->register_track("sim/kernel");
@@ -468,6 +503,7 @@ void GridSystem::schedule_arrivals() {
   // The stream depends only on the structural config (never the tuning
   // enablers), so one generation serves every reset cycle.
   if (!arrivals_cached_) {
+    obs::PhaseProfiler::Scope scope(profiler_, workload_phase_);
     if (!config_.trace_path.empty()) {
       arrival_jobs_ = workload::load_trace_file(config_.trace_path);
       std::erase_if(arrival_jobs_, [this](const workload::Job& j) {
@@ -545,7 +581,13 @@ SimulationResult GridSystem::run() {
   if (injector_) injector_->start();
   if (sampler_) sampler_->start();
 
-  sim_.run(config_.horizon);
+  {
+    // The event loop is the root scope: every instrumented phase below
+    // it (decisions, batch folds, estimator updates, routing) nests
+    // here, so "sim.run" self time is the kernel's own dispatch cost.
+    obs::PhaseProfiler::Scope scope(profiler_, run_phase_);
+    sim_.run(config_.horizon);
+  }
 
   // Horizon sweep: work already invested in still-running jobs is waste.
   for (auto& cluster : resources_) {

@@ -151,6 +151,9 @@ class GridSystem {
   bool arrivals_cached_ = false;
 
   // Telemetry state (inert when config_.telemetry is null).
+  obs::PhaseProfiler* profiler_ = nullptr;  ///< cached from the handle
+  obs::PhaseId run_phase_ = 0;
+  obs::PhaseId workload_phase_ = 0;
   obs::TraceRecorder* trace_ = nullptr;  ///< cached from the handle
   bool trace_messages_ = false;
   obs::TraceTid msg_tid_ = 0;

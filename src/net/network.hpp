@@ -9,6 +9,7 @@
 #include <optional>
 
 #include "net/routing.hpp"
+#include "obs/phase_profiler.hpp"
 #include "sim/entity.hpp"
 #include "util/rng.hpp"
 
@@ -66,6 +67,15 @@ class Network : public sim::Entity {
   double delay_scale() const noexcept { return delay_scale_; }
 
   const Router& router() const noexcept { return router_; }
+
+  /// Attach the (optional) phase profiler: forwarded to the router, so
+  /// the phase times shortest-path settling work (not per-message
+  /// bookkeeping — warm route lookups are a few ns and would drown in
+  /// timer overhead).  Purely observational.
+  void attach_profiler(obs::PhaseProfiler* profiler,
+                       obs::PhaseId route_phase) noexcept {
+    router_.attach_profiler(profiler, route_phase);
+  }
 
   std::uint64_t messages_sent() const noexcept { return messages_; }
   double bytes_sent() const noexcept { return bytes_; }

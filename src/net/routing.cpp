@@ -30,6 +30,7 @@ Router::SourceTree& Router::tree_for(NodeId src) const {
 
 void Router::settle(SourceTree& tree, NodeId dst) const {
   if (tree.settled[dst] != 0 || tree.exhausted) return;
+  obs::PhaseProfiler::Scope scope(profiler_, route_phase_);
   auto& pq = tree.frontier;
   while (!pq.empty()) {
     const auto [d, u] = pq.top();

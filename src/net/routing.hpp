@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "net/graph.hpp"
+#include "obs/phase_profiler.hpp"
 
 namespace scal::net {
 
@@ -40,6 +41,18 @@ class Router {
   void clear_cache() const {
     cache_.clear();
     cached_ = 0;
+  }
+
+  /// Attach the (optional) phase profiler: shortest-path settling work
+  /// (the incremental Dijkstra) runs inside the given phase.  Warm
+  /// queries — the overwhelming majority — pay only the existing
+  /// settled test, so instrumentation stays off the hot path.  The
+  /// scope count is the number of queries that extended a tree, a pure
+  /// function of the query sequence.
+  void attach_profiler(obs::PhaseProfiler* profiler,
+                       obs::PhaseId route_phase) noexcept {
+    profiler_ = profiler;
+    route_phase_ = route_phase;
   }
 
  private:
@@ -73,6 +86,8 @@ class Router {
   // null test + two vector indexes instead of a hash lookup.
   mutable std::vector<std::unique_ptr<SourceTree>> cache_;
   mutable std::size_t cached_ = 0;
+  obs::PhaseProfiler* profiler_ = nullptr;
+  obs::PhaseId route_phase_ = 0;
 };
 
 }  // namespace scal::net

@@ -80,6 +80,10 @@ std::string RunManifest::to_json() const {
     obj.raw("anneal", anneal.str());
   }
 
+  if (!metrics_json.empty()) obj.raw("metrics", metrics_json);
+
+  if (peak_rss_bytes > 0) obj.field("peak_rss_bytes", peak_rss_bytes);
+
   if (tuner_evaluations > 0) {
     JsonObject tuner;
     tuner.field("evaluations", tuner_evaluations)

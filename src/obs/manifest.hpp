@@ -74,6 +74,16 @@ struct RunManifest {
   std::uint64_t tuner_evaluations = 0;
   std::uint64_t tuner_cache_hits = 0;
 
+  // Distribution metrics + phase profile, pre-rendered by Telemetry
+  // (histograms/profiler JSON).  Emitted as a "metrics" block only when
+  // non-empty, so manifests from metrics-off runs are byte-identical to
+  // earlier formats.
+  std::string metrics_json;
+
+  // Peak resident set size of the process, stamped by benches just
+  // before export (0 = not measured; emitted only when > 0).
+  std::uint64_t peak_rss_bytes = 0;
+
   std::string to_json() const;
 
   /// Append this record as one line to `path` (creates the file).

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "obs/json.hpp"
+
 namespace scal::obs {
 
 namespace {
@@ -18,6 +20,7 @@ Telemetry::Telemetry(TelemetryConfig config)
       probe_(config_.probe_interval > 0.0 ? config_.probe_interval : 1.0),
       probe_enabled_(config_.probe_enabled()) {
   trace_.set_enabled(config_.trace_enabled());
+  profiler_.set_enabled(config_.metrics_enabled());
   manifest_.label = config_.label;
   manifest_.git_version = git_describe();
 }
@@ -37,6 +40,8 @@ void Telemetry::reset_run() {
   trace_.clear();
   probe_.clear();
   anneal_.clear();
+  histograms_.clear();
+  profiler_.clear();
   const std::string label = manifest_.label;
   const std::string git = manifest_.git_version;
   const std::uint64_t jobs = manifest_.jobs;
@@ -57,6 +62,13 @@ bool Telemetry::export_all() const {
   }
   if (config_.manifest_enabled()) {
     RunManifest m = manifest_;
+    if (config_.metrics_enabled() &&
+        (!histograms_.all_empty() || !profiler_.phases().empty())) {
+      JsonObject metrics;
+      metrics.raw("histograms", histograms_.to_json());
+      metrics.raw("phases", profiler_.to_json());
+      m.metrics_json = metrics.str();
+    }
     m.anneal_iterations = anneal_.size();
     m.anneal_accepted = anneal_.accepted_count();
     m.anneal_improving = anneal_.improving_count();

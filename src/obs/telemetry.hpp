@@ -20,7 +20,9 @@
 
 #include "obs/anneal_log.hpp"
 #include "obs/counters.hpp"
+#include "obs/histogram.hpp"
 #include "obs/manifest.hpp"
+#include "obs/phase_profiler.hpp"
 #include "obs/probe.hpp"
 #include "obs/trace.hpp"
 
@@ -52,15 +54,22 @@ struct TelemetryConfig {
   /// Label recorded in the manifest and anneal rows.
   std::string label;
 
+  /// Distribution metrics + phase profiler: streaming histograms of job
+  /// wait/response/slowdown, scheduler queue depth at decision points,
+  /// estimator staleness, and scoped phase timers.  Off by default so
+  /// existing golden artifacts stay byte-identical.
+  bool metrics = false;
+
   bool trace_enabled() const noexcept { return !trace_path.empty(); }
   bool probe_enabled() const noexcept {
     return probe_interval > 0.0 && !probe_path.empty();
   }
   bool manifest_enabled() const noexcept { return !manifest_path.empty(); }
   bool anneal_enabled() const noexcept { return !anneal_path.empty(); }
+  bool metrics_enabled() const noexcept { return metrics; }
   bool any_enabled() const noexcept {
     return trace_enabled() || probe_enabled() || manifest_enabled() ||
-           anneal_enabled();
+           anneal_enabled() || metrics_enabled();
   }
 };
 
@@ -82,6 +91,12 @@ class Telemetry {
   const RunManifest& manifest() const noexcept { return manifest_; }
   AnnealLog& anneal() noexcept { return anneal_; }
   const AnnealLog& anneal() const noexcept { return anneal_; }
+  /// Distribution metrics (populated only when config().metrics).
+  HistogramRegistry& histograms() noexcept { return histograms_; }
+  const HistogramRegistry& histograms() const noexcept { return histograms_; }
+  /// Phase profiler (enabled iff config().metrics).
+  PhaseProfiler& profiler() noexcept { return profiler_; }
+  const PhaseProfiler& profiler() const noexcept { return profiler_; }
 
   /// Stamp the run start (wall clock); called by GridSystem::run().
   void mark_run_start();
@@ -102,6 +117,8 @@ class Telemetry {
   bool probe_enabled_ = false;
   RunManifest manifest_;
   AnnealLog anneal_;
+  HistogramRegistry histograms_;
+  PhaseProfiler profiler_;
   double run_started_wall_ = 0.0;  ///< monotonic seconds
 };
 

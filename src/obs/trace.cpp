@@ -65,6 +65,18 @@ void TraceRecorder::counter(TraceTid tid, const char* name, double at,
   ev.args.emplace_back("value", value);
 }
 
+void TraceRecorder::complete(TraceTid tid, const char* name, const char* cat,
+                             double ts_us, double dur_us) {
+  if (!enabled_) return;
+  TraceEvent& ev = events_.emplace_back();
+  ev.phase = 'X';
+  ev.tid = tid;
+  ev.ts = ts_us;  // already trace microseconds; bypass the sim-time scale
+  ev.dur = dur_us;
+  ev.name = name;
+  ev.cat = cat;
+}
+
 void TraceRecorder::async_begin(TraceTid tid, std::uint64_t id,
                                 const char* name, const char* cat,
                                 double at) {
@@ -104,6 +116,7 @@ void write_event(std::ostream& os, const TraceEvent& ev) {
   obj.field("pid", std::uint64_t{0});
   obj.field("tid", std::uint64_t{ev.tid});
   obj.field("ts", ev.ts);
+  if (ev.phase == 'X') obj.field("dur", ev.dur);
   if (!ev.name.empty()) obj.field("name", ev.name);
   if (!ev.cat.empty()) obj.field("cat", ev.cat);
   if (ev.phase == 'b' || ev.phase == 'n' || ev.phase == 'e') {

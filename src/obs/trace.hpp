@@ -32,9 +32,10 @@ namespace scal::obs {
 using TraceTid = std::uint32_t;
 
 struct TraceEvent {
-  char phase = 'i';  ///< B/E (span), i (instant), C (counter), b/e (async), M
+  char phase = 'i';  ///< B/E (span), X (complete), i, C, b/e (async), M
   TraceTid tid = 0;
-  double ts = 0.0;  ///< trace microseconds (sim time x scale)
+  double ts = 0.0;   ///< trace microseconds (sim time x scale)
+  double dur = 0.0;  ///< span length in trace microseconds (ph X only)
   std::uint64_t async_id = 0;  ///< correlates b/e pairs
   std::string name;
   std::string cat;
@@ -67,6 +68,11 @@ class TraceRecorder {
   void instant(TraceTid tid, const char* name, const char* cat, double at,
                std::vector<std::pair<std::string, double>> args);
   void counter(TraceTid tid, const char* name, double at, double value);
+  /// Complete span (ph X).  Unlike the other recorders, `ts_us` and
+  /// `dur_us` are already trace microseconds — no sim-time scaling —
+  /// because the profiler track carries wall-clock spans.
+  void complete(TraceTid tid, const char* name, const char* cat, double ts_us,
+                double dur_us);
   void async_begin(TraceTid tid, std::uint64_t id, const char* name,
                    const char* cat, double at);
   void async_instant(TraceTid tid, std::uint64_t id, const char* name,

@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Diff two run manifests (counters, metrics, tuner block) with percent
+deltas.
+
+Usage:
+    tools/compare_runs.py A.jsonl B.jsonl [--record N] [--threshold PCT]
+    tools/compare_runs.py --self-test
+
+A and B are JSONL manifest files as written by the benches' --manifest
+flag (obs::RunManifest::append_jsonl); by default the LAST record of
+each file is compared (--record selects another, 0-based).
+
+Every numeric leaf shared by both records is printed with its absolute
+and percent delta; non-numeric leaves are compared for equality.  The
+two records must have the same structure (same nested keys): a key
+present on one side only is a structural mismatch.
+
+Exit status:
+    0  structures match and no numeric delta exceeds --threshold
+       (threshold default: infinity, i.e. deltas are informational)
+    1  structures match but some delta exceeded --threshold
+    2  structural mismatch, malformed input, or I/O failure
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def load_record(path, index):
+    try:
+        with open(path) as f:
+            lines = [line for line in f if line.strip()]
+    except OSError as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if not lines:
+        print(f"error: {path} holds no records", file=sys.stderr)
+        sys.exit(2)
+    if index is None:
+        index = len(lines) - 1
+    if index < 0 or index >= len(lines):
+        print(f"error: {path} has {len(lines)} record(s); "
+              f"--record {index} is out of range", file=sys.stderr)
+        sys.exit(2)
+    try:
+        return json.loads(lines[index])
+    except ValueError as e:
+        print(f"error: {path} record {index} is not JSON: {e}",
+              file=sys.stderr)
+        sys.exit(2)
+
+
+def flatten(doc, prefix=""):
+    """Flatten nested dicts to {dotted.path: leaf}; lists count as leaves."""
+    out = {}
+    if isinstance(doc, dict):
+        for key, value in doc.items():
+            path = f"{prefix}.{key}" if prefix else key
+            if isinstance(value, dict):
+                out.update(flatten(value, path))
+            else:
+                out[path] = value
+    return out
+
+
+# Identity / environment / provenance fields: expected to differ between
+# any two runs (jobs is the lane count a bench ran with — results are
+# bit-identical at any value), so they are reported informally and never
+# counted as mismatches.
+VOLATILE = {"started_at", "git", "wall_seconds", "peak_rss_bytes", "label",
+            "jobs"}
+
+
+def is_volatile(path):
+    leaf = path.rsplit(".", 1)[-1]
+    return leaf in VOLATILE or leaf.endswith("_ns")
+
+
+def is_number(value):
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def compare(a, b, threshold):
+    """Returns (worst_exceeded, structural_ok); prints the table."""
+    flat_a, flat_b = flatten(a), flatten(b)
+    only_a = sorted(set(flat_a) - set(flat_b))
+    only_b = sorted(set(flat_b) - set(flat_a))
+    structural_ok = not only_a and not only_b
+    for path in only_a:
+        print(f"structure: {path} present only in A", file=sys.stderr)
+    for path in only_b:
+        print(f"structure: {path} present only in B", file=sys.stderr)
+
+    exceeded = []
+    print(f"{'field':44} {'A':>14} {'B':>14} {'delta%':>9}")
+    for path in sorted(set(flat_a) & set(flat_b)):
+        va, vb = flat_a[path], flat_b[path]
+        if is_number(va) and is_number(vb):
+            delta = vb - va
+            pct = (delta / va * 100.0) if va != 0 else \
+                (0.0 if vb == 0 else math.inf)
+            note = ""
+            if is_volatile(path):
+                note = "  (volatile)"
+            elif threshold is not None and abs(pct) > threshold:
+                exceeded.append(path)
+                note = "  EXCEEDS"
+            print(f"{path:44} {va:14.6g} {vb:14.6g} {pct:9.2f}{note}")
+        elif va != vb:
+            if is_volatile(path):
+                print(f"{path:44} differs (volatile): {va!r} vs {vb!r}")
+            else:
+                exceeded.append(path)
+                print(f"{path:44} differs: {va!r} vs {vb!r}  EXCEEDS")
+    return exceeded, structural_ok
+
+
+def self_test():
+    """Exercise the comparator on synthetic records; exits nonzero on bug."""
+    base = {
+        "label": "t", "wall_seconds": 1.0, "jobs": 1,
+        "config": {"seed": 42, "nodes": 100},
+        "result": {"F": 100.0, "G": 10.0},
+        "counters": {"polls": 5},
+        "metrics": {"histograms": {"job_wait": {"count": 10, "p50": 1.5}},
+                    "phases": {"sim.run": {"calls": 1, "total_ns": 999}}},
+        "tuner": {"evaluations": 18, "cache_hits": 3},
+    }
+    same = json.loads(json.dumps(base))
+    same["wall_seconds"] = 2.0           # volatile: must not count
+    same["jobs"] = 4                     # provenance: must not count
+    same["metrics"]["phases"]["sim.run"]["total_ns"] = 123  # *_ns: volatile
+    exceeded, ok = compare(base, same, threshold=0.0)
+    assert ok, "identical structures flagged as mismatch"
+    assert not exceeded, f"volatile-only diffs flagged: {exceeded}"
+
+    drifted = json.loads(json.dumps(base))
+    drifted["result"]["G"] = 12.0
+    exceeded, ok = compare(base, drifted, threshold=5.0)
+    assert ok and exceeded == ["result.G"], \
+        f"20% drift not caught: {exceeded}"
+
+    broken = json.loads(json.dumps(base))
+    del broken["metrics"]
+    _, ok = compare(base, broken, threshold=None)
+    assert not ok, "missing metrics block not flagged as structural"
+    print("self-test ok")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("manifests", nargs="*", metavar="MANIFEST")
+    parser.add_argument("--record", type=int, default=None,
+                        help="0-based record index (default: last)")
+    parser.add_argument("--threshold", type=float, default=None, metavar="PCT",
+                        help="fail (exit 1) when any non-volatile numeric "
+                             "delta exceeds this percent")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in comparator checks and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        self_test()
+        return
+
+    if len(args.manifests) != 2:
+        parser.error("expected exactly two manifest files (or --self-test)")
+    a = load_record(args.manifests[0], args.record)
+    b = load_record(args.manifests[1], args.record)
+    exceeded, structural_ok = compare(a, b, args.threshold)
+    if not structural_ok:
+        print("\nstructural mismatch", file=sys.stderr)
+        sys.exit(2)
+    if exceeded:
+        print(f"\n{len(exceeded)} field(s) beyond threshold: "
+              f"{', '.join(exceeded)}", file=sys.stderr)
+        sys.exit(1)
+    print("\nstructures match")
+
+
+if __name__ == "__main__":
+    main()
