@@ -24,6 +24,7 @@
 
 #include "common.hpp"
 #include "core/tuner.hpp"
+#include "ctrl/aggregator.hpp"
 #include "net/routing.hpp"
 #include "net/topology.hpp"
 #include "options.hpp"
@@ -149,6 +150,42 @@ Sample routing_queries() {
       (void)router.delay(src, dst, 1.0);
     }
     return queries + kHot;
+  });
+}
+
+/// A two-level aggregation chain under steady update churn: rotating
+/// resource ids keep the coalescing scan, the batch flushes, and the
+/// flush timers all hot.  ns/update through the ctrl tree's full
+/// ingest -> absorb -> forward path.
+Sample aggregation_churn() {
+  constexpr std::uint64_t kUpdates = 400'000;
+  return timed("aggregation_churn", 5, [] {
+    sim::Simulator sim;
+    std::uint64_t delivered = 0;
+    ctrl::Aggregator root(
+        sim, 1, /*node=*/0, /*process_cost=*/0.0005, /*forward_cost=*/0.002,
+        [&](std::vector<grid::StatusUpdate> ups) { delivered += ups.size(); });
+    ctrl::Aggregator leaf(
+        sim, 2, /*node=*/1, 0.0005, 0.002,
+        [&](std::vector<grid::StatusUpdate> ups) {
+          root.ingest(std::move(ups));
+        });
+    root.configure(/*max_batch=*/32, /*flush_interval=*/2.0);
+    leaf.configure(/*max_batch=*/16, /*flush_interval=*/1.0);
+    std::uint64_t fed = 0;
+    std::function<void()> tick = [&] {
+      grid::StatusUpdate u;
+      u.cluster = 0;
+      u.resource = static_cast<grid::ResourceIndex>(fed % 8);
+      u.load = static_cast<double>(fed % 7);
+      u.stamp = sim.now();
+      leaf.ingest({u});
+      if (++fed < kUpdates) sim.schedule_in(0.01, tick);
+    };
+    sim.schedule_in(0.01, tick);
+    sim.run();
+    (void)delivered;
+    return fed;
   });
 }
 
@@ -282,6 +319,7 @@ int main(int argc, char** argv) {
   samples.push_back(event_churn());
   samples.push_back(event_cancel_churn());
   samples.push_back(routing_queries());
+  samples.push_back(aggregation_churn());
   double macro_total = 0.0;
   std::uint64_t macro_events = 0;
   for (Sample& s : case1_macro()) {

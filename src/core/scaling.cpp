@@ -47,6 +47,14 @@ ScalingCase ScalingCase::case4_neighborhood() {
   return c;
 }
 
+ScalingCase ScalingCase::with_aggregation() const {
+  ScalingCase c = *this;
+  c.enablers.tune_agg_fanout = true;
+  c.enablers.tune_agg_batch = true;
+  c.enablers.tune_agg_flush = true;
+  return c;
+}
+
 std::vector<std::string> ScalingCase::scaling_variable_rows() const {
   std::vector<std::string> rows;
   switch (variable) {
@@ -80,6 +88,9 @@ std::vector<std::string> ScalingCase::enabler_rows() const {
     rows.push_back("Interval for resource volunteering");
   }
   if (enablers.tune_link_delay) rows.push_back("Network link delay");
+  if (enablers.tune_agg_fanout) rows.push_back("Aggregation tree fan-out");
+  if (enablers.tune_agg_batch) rows.push_back("Aggregation max batch size");
+  if (enablers.tune_agg_flush) rows.push_back("Aggregation flush interval");
   return rows;
 }
 
@@ -148,6 +159,26 @@ opt::Space enabler_space(const ScalingCase& scase) {
                                  e.volunteer_interval_hi,
                                  /*log_scale=*/true});
   }
+  // Aggregation knobs go last so switching them on never reorders the
+  // paper's enabler dimensions.  Flush stays linear: its lower bound is
+  // 0 (forward immediately), which a log scale cannot represent.
+  if (e.tune_agg_fanout) {
+    vars.push_back(opt::Variable{"agg_fanout", opt::VarKind::kInteger,
+                                 static_cast<double>(e.agg_fanout_lo),
+                                 static_cast<double>(e.agg_fanout_hi),
+                                 /*log_scale=*/false});
+  }
+  if (e.tune_agg_batch) {
+    vars.push_back(opt::Variable{"agg_batch", opt::VarKind::kInteger,
+                                 static_cast<double>(e.agg_batch_lo),
+                                 static_cast<double>(e.agg_batch_hi),
+                                 /*log_scale=*/false});
+  }
+  if (e.tune_agg_flush) {
+    vars.push_back(opt::Variable{"agg_flush", opt::VarKind::kContinuous,
+                                 e.agg_flush_lo, e.agg_flush_hi,
+                                 /*log_scale=*/false});
+  }
   return opt::Space(std::move(vars));
 }
 
@@ -166,6 +197,13 @@ grid::Tuning tuning_from_point(const ScalingCase& scase,
   }
   if (e.tune_link_delay) t.link_delay_scale = point.at(i++);
   if (e.tune_volunteer_interval) t.volunteer_interval = point.at(i++);
+  if (e.tune_agg_fanout) {
+    t.agg_fanout = static_cast<std::uint32_t>(point.at(i++));
+  }
+  if (e.tune_agg_batch) {
+    t.agg_batch = static_cast<std::uint32_t>(point.at(i++));
+  }
+  if (e.tune_agg_flush) t.agg_flush = point.at(i++);
   if (i != point.size()) {
     throw std::invalid_argument("tuning_from_point: dimension mismatch");
   }
@@ -182,6 +220,9 @@ opt::Point point_from_tuning(const ScalingCase& scase,
   }
   if (e.tune_link_delay) p.push_back(tuning.link_delay_scale);
   if (e.tune_volunteer_interval) p.push_back(tuning.volunteer_interval);
+  if (e.tune_agg_fanout) p.push_back(static_cast<double>(tuning.agg_fanout));
+  if (e.tune_agg_batch) p.push_back(static_cast<double>(tuning.agg_batch));
+  if (e.tune_agg_flush) p.push_back(tuning.agg_flush);
   return p;
 }
 

@@ -44,6 +44,24 @@ struct EnablerBounds {
   bool tune_volunteer_interval = false;
   double volunteer_interval_lo = 10.0;
   double volunteer_interval_hi = 300.0;
+
+  // Control-plane aggregation knobs (docs/CONTROL_PLANE.md).  Off by
+  // default: they only make sense when GridConfig::control_plane is set,
+  // and the paper's own Tables 2-5 do not include them.  Turn them on
+  // (e.g. via with_aggregation()) and the tuner searches fan-out, batch
+  // size, and flush interval per (RMS kind, k) alongside the paper's
+  // enablers.
+  bool tune_agg_fanout = false;
+  std::uint32_t agg_fanout_lo = 1;
+  std::uint32_t agg_fanout_hi = 8;
+
+  bool tune_agg_batch = false;
+  std::uint32_t agg_batch_lo = 1;
+  std::uint32_t agg_batch_hi = 32;
+
+  bool tune_agg_flush = false;
+  double agg_flush_lo = 0.0;  // 0 = forward immediately (linear, not log)
+  double agg_flush_hi = 12.0;
 };
 
 struct ScalingCase {
@@ -58,6 +76,10 @@ struct ScalingCase {
   static ScalingCase case2_service_rate();
   static ScalingCase case3_estimators();
   static ScalingCase case4_neighborhood();
+
+  /// This case with the aggregation-tree enablers switched on (the
+  /// ext_aggregation experiment; requires GridConfig::control_plane).
+  ScalingCase with_aggregation() const;
 
   /// Human-readable scaling-variable and enabler lists (Tables 2-5 rows).
   std::vector<std::string> scaling_variable_rows() const;

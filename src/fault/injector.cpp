@@ -7,14 +7,17 @@ namespace scal::fault {
 FaultInjector::FaultInjector(sim::Simulator& sim, sim::EntityId id,
                              FaultPlan plan, const exec::SeedSequence& seeds,
                              std::size_t resources, std::size_t estimators,
-                             std::size_t schedulers, FaultHooks hooks)
+                             std::size_t schedulers, FaultHooks hooks,
+                             std::size_t aggregators)
     : Entity(sim, id, "fault-injector"),
       plan_(std::move(plan)),
       estimators_(estimators),
       schedulers_(schedulers),
+      aggregators_(aggregators),
       hooks_(std::move(hooks)),
       estimator_phase_(seeds.at(resources + 1)),
-      scheduler_phase_(seeds.at(resources + 2)) {
+      scheduler_phase_(seeds.at(resources + 2)),
+      aggregator_phase_(seeds.at(resources + 3)) {
   plan_.validate();
   if (plan_.churn.enabled()) {
     churn_streams_.reserve(resources);
@@ -33,15 +36,22 @@ void FaultInjector::start() {
   if (plan_.estimator_blackout.enabled()) {
     for (std::size_t e = 0; e < estimators_; ++e) {
       schedule_blackout_window(
-          plan_.estimator_blackout, e, /*estimator_side=*/true,
+          plan_.estimator_blackout, e, BlackoutSide::kEstimator,
           estimator_phase_.uniform(0.0, plan_.estimator_blackout.period));
     }
   }
   if (plan_.scheduler_blackout.enabled()) {
     for (std::size_t s = 0; s < schedulers_; ++s) {
       schedule_blackout_window(
-          plan_.scheduler_blackout, s, /*estimator_side=*/false,
+          plan_.scheduler_blackout, s, BlackoutSide::kScheduler,
           scheduler_phase_.uniform(0.0, plan_.scheduler_blackout.period));
+    }
+  }
+  if (plan_.aggregator_blackout.enabled()) {
+    for (std::size_t a = 0; a < aggregators_; ++a) {
+      schedule_blackout_window(
+          plan_.aggregator_blackout, a, BlackoutSide::kAggregator,
+          aggregator_phase_.uniform(0.0, plan_.aggregator_blackout.period));
     }
   }
 }
@@ -66,21 +76,33 @@ void FaultInjector::schedule_crash(std::size_t resource) {
 
 void FaultInjector::schedule_blackout_window(const BlackoutSpec& spec,
                                              std::size_t index,
-                                             bool estimator_side,
+                                             BlackoutSide side,
                                              double start_in) {
-  sim().schedule_in(start_in, [this, &spec, index, estimator_side]() {
-    ++(estimator_side ? counters_.estimator_blackouts
-                      : counters_.scheduler_blackouts);
-    const auto& hook =
-        estimator_side ? hooks_.estimator_blackout : hooks_.scheduler_blackout;
+  const auto counter = [this](BlackoutSide s) -> std::uint64_t& {
+    switch (s) {
+      case BlackoutSide::kEstimator: return counters_.estimator_blackouts;
+      case BlackoutSide::kScheduler: return counters_.scheduler_blackouts;
+      default: return counters_.aggregator_blackouts;
+    }
+  };
+  const auto hook_for =
+      [this](BlackoutSide s) -> const std::function<void(std::size_t, bool)>& {
+    switch (s) {
+      case BlackoutSide::kEstimator: return hooks_.estimator_blackout;
+      case BlackoutSide::kScheduler: return hooks_.scheduler_blackout;
+      default: return hooks_.aggregator_blackout;
+    }
+  };
+  sim().schedule_in(start_in, [this, &spec, index, side, counter,
+                               hook_for]() {
+    ++counter(side);
+    const auto& hook = hook_for(side);
     if (hook) hook(index, true);
-    sim().schedule_in(spec.length, [this, &spec, index, estimator_side]() {
-      const auto& up_hook = estimator_side ? hooks_.estimator_blackout
-                                           : hooks_.scheduler_blackout;
+    sim().schedule_in(spec.length, [this, &spec, index, side, hook_for]() {
+      const auto& up_hook = hook_for(side);
       if (up_hook) up_hook(index, false);
       // Windows recur on a fixed cadence from each entity's phase offset.
-      schedule_blackout_window(spec, index, estimator_side,
-                               spec.period - spec.length);
+      schedule_blackout_window(spec, index, side, spec.period - spec.length);
     });
   });
 }

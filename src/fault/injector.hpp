@@ -39,6 +39,7 @@ struct FaultHooks {
   std::function<void(std::size_t resource)> recover_resource;
   std::function<void(std::size_t estimator, bool down)> estimator_blackout;
   std::function<void(std::size_t scheduler, bool down)> scheduler_blackout;
+  std::function<void(std::size_t aggregator, bool down)> aggregator_blackout;
 };
 
 /// Event totals, for metrics export.
@@ -47,18 +48,22 @@ struct FaultCounters {
   std::uint64_t recoveries = 0;
   std::uint64_t estimator_blackouts = 0;   ///< windows opened
   std::uint64_t scheduler_blackouts = 0;   ///< windows opened
+  std::uint64_t aggregator_blackouts = 0;  ///< windows opened
 };
 
 class FaultInjector : public sim::Entity {
  public:
   /// `seeds` must be fault_seeds(run seed).  Substream layout: index i in
   /// [0, resources) churns resource i; `resources` is reserved for the
-  /// net fabric (see GridSystem); resources+1 / resources+2 seed the
-  /// estimator / scheduler blackout phase offsets.
+  /// net fabric (see GridSystem); resources+1 / resources+2 / resources+3
+  /// seed the estimator / scheduler / aggregator blackout phase offsets.
+  /// (`aggregators` defaults to 0: a run without a control plane has no
+  /// aggregation daemons to black out, and the appended substream index
+  /// leaves every pre-existing stream untouched.)
   FaultInjector(sim::Simulator& sim, sim::EntityId id, FaultPlan plan,
                 const exec::SeedSequence& seeds, std::size_t resources,
                 std::size_t estimators, std::size_t schedulers,
-                FaultHooks hooks);
+                FaultHooks hooks, std::size_t aggregators = 0);
 
   /// Schedules the first event of every active fault class.  Call once,
   /// before sim.run(); inert plans schedule nothing.
@@ -72,18 +77,24 @@ class FaultInjector : public sim::Entity {
   }
 
  private:
+  /// Which entity class a blackout window targets (selects hook,
+  /// counter, and phase stream).
+  enum class BlackoutSide { kEstimator, kScheduler, kAggregator };
+
   void schedule_crash(std::size_t resource);
   void schedule_blackout_window(const BlackoutSpec& spec, std::size_t index,
-                                bool estimator_side, double start_in);
+                                BlackoutSide side, double start_in);
 
   FaultPlan plan_;
   std::size_t estimators_;
   std::size_t schedulers_;
+  std::size_t aggregators_;
   FaultHooks hooks_;
   FaultCounters counters_;
   std::vector<util::RandomStream> churn_streams_;  ///< one per resource
   util::RandomStream estimator_phase_;
   util::RandomStream scheduler_phase_;
+  util::RandomStream aggregator_phase_;
 };
 
 }  // namespace scal::fault

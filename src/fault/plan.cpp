@@ -67,7 +67,8 @@ void FaultPlan::validate() const {
   if (messages.delay_probability > 0.0 && messages.delay_mean <= 0.0) {
     bad("net delayp > 0 requires delaym > 0");
   }
-  for (const BlackoutSpec* b : {&estimator_blackout, &scheduler_blackout}) {
+  for (const BlackoutSpec* b :
+       {&estimator_blackout, &scheduler_blackout, &aggregator_blackout}) {
     if (b->period < 0.0 || b->length < 0.0) {
       bad("blackout period/length must be non-negative");
     }
@@ -124,6 +125,11 @@ std::string FaultPlan::to_spec() const {
         << ",length=" << fmt(scheduler_blackout.length);
     sep = ";";
   }
+  if (aggregator_blackout.enabled()) {
+    out << sep << "agg-blackout:period=" << fmt(aggregator_blackout.period)
+        << ",length=" << fmt(aggregator_blackout.length);
+    sep = ";";
+  }
   // Always recorded for active plans: the manifest alone must pin the
   // robustness behavior the run actually had.
   out << sep << "robust:stale=" << fmt(robustness.staleness_factor)
@@ -169,9 +175,13 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
         } else {
           bad("unknown net key '" + key + "'");
         }
-      } else if (name == "est-blackout" || name == "sched-blackout") {
-        BlackoutSpec& b = name == "est-blackout" ? plan.estimator_blackout
-                                                 : plan.scheduler_blackout;
+      } else if (name == "est-blackout" || name == "sched-blackout" ||
+                 name == "agg-blackout") {
+        BlackoutSpec& b = name == "est-blackout"
+                              ? plan.estimator_blackout
+                              : (name == "sched-blackout"
+                                     ? plan.scheduler_blackout
+                                     : plan.aggregator_blackout);
         if (key == "period") {
           b.period = number(key, val);
         } else if (key == "length") {

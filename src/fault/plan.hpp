@@ -72,13 +72,19 @@ struct FaultPlan {
   MessageFaultSpec messages;
   BlackoutSpec estimator_blackout;
   BlackoutSpec scheduler_blackout;
+  /// Outage windows for the control plane's aggregation daemons.  A
+  /// blacked-out aggregator flushes its pending buffer upstream on the
+  /// way down (failover flush) and relays unbuffered while down; inert
+  /// when the run has no control plane (no aggregators exist).
+  BlackoutSpec aggregator_blackout;
   RobustnessParams robustness;
 
   /// True when at least one fault class is active.  False means the run
   /// is bit-identical to one with no fault subsystem at all.
   bool any() const noexcept {
     return churn.enabled() || messages.enabled() ||
-           estimator_blackout.enabled() || scheduler_blackout.enabled();
+           estimator_blackout.enabled() || scheduler_blackout.enabled() ||
+           aggregator_blackout.enabled();
   }
 
   /// Throws std::invalid_argument on out-of-range parameters.
@@ -92,7 +98,8 @@ struct FaultPlan {
   /// Parse a spec string:
   ///   spec    := "" | clause (';' clause)*
   ///   clause  := name ':' key '=' value (',' key '=' value)*
-  ///   name    := churn | net | est-blackout | sched-blackout | robust
+  ///   name    := churn | net | est-blackout | sched-blackout
+  ///            | agg-blackout | robust
   /// Keys: churn: mtbf, mttr; net: drop, dup, delayp, delaym;
   /// blackouts: period, length; robust: stale, retries, backoff, requeue.
   /// Throws std::invalid_argument on malformed input.

@@ -58,6 +58,16 @@ void GridConfig::validate() const {
       !(tuning.link_delay_scale > 0.0) || !(tuning.volunteer_interval > 0.0)) {
     throw std::invalid_argument("GridConfig: bad tuning values");
   }
+  if (tuning.agg_fanout == 0 || tuning.agg_fanout > 64 ||
+      tuning.agg_batch == 0 || tuning.agg_batch > 4096 ||
+      !(tuning.agg_flush >= 0.0)) {
+    throw std::invalid_argument("GridConfig: bad aggregation tuning values");
+  }
+  if (!(costs.ctrl_process_update >= 0.0) ||
+      !(costs.ctrl_forward_batch >= 0.0)) {
+    throw std::invalid_argument(
+        "GridConfig: aggregator costs must be non-negative");
+  }
   if (!(protocol.t_l > 0.0 && protocol.t_l < 1.0) ||
       !(protocol.delta > 0.0 && protocol.delta <= 1.0)) {
     throw std::invalid_argument("GridConfig: thresholds must be in (0,1)");

@@ -56,6 +56,23 @@ struct Tuning {
   /// Interval between receiver-initiated volunteering rounds (R-I, Sy-I;
   /// enabler in Case 4).
   double volunteer_interval = 60.0;
+
+  // Control-plane aggregation enablers (docs/CONTROL_PLANE.md; only
+  // meaningful when GridConfig::control_plane is on).  The degenerate
+  // triple — fanout 1, batch 1, flush 0 — bypasses the tree entirely
+  // and reproduces the point-to-point status path byte-for-byte.
+  /// Fan-out degree of the per-(cluster, estimator) aggregation tree.
+  std::uint32_t agg_fanout = 1;
+  /// Updates buffered per aggregator before a batch is forced out.
+  std::uint32_t agg_batch = 1;
+  /// Max hold time (time units) before a partial batch is flushed;
+  /// <= 0 forwards immediately after processing.
+  double agg_flush = 0.0;
+
+  /// True when the aggregation knobs are at the bypass point.
+  bool aggregation_degenerate() const noexcept {
+    return agg_fanout <= 1 && agg_batch <= 1 && agg_flush <= 0.0;
+  }
 };
 
 /// Service costs (time units of RMS server work) that define G(k), plus
@@ -82,6 +99,14 @@ struct CostModel {
   // simple queue with infinite capacity and finite but small service
   // time").
   double middleware_service = 0.005;
+
+  // Control-plane aggregator costs (docs/CONTROL_PLANE.md).  An
+  // aggregator is a thin forwarding daemon, deliberately cheaper than
+  // the estimator's vetting: aggregation pays off exactly when the
+  // coalesced volume saves more est/sched per-update work than the
+  // tree's own processing adds.  Charged to G via G_aggregator.
+  double ctrl_process_update = 0.002;  ///< coalesce one update at a hop
+  double ctrl_forward_batch = 0.01;    ///< ship one batch one hop up
 
   // Resource-pool overheads H(k): job control (launch/teardown), in
   // demand units — it is processing work, so its wall-clock cost is
@@ -133,6 +158,16 @@ struct GridConfig {
   double heterogeneity = 0.0;  ///< h in [0, 0.9]
 
   RmsKind rms = RmsKind::kLowest;
+
+  /// Control-plane extension (src/ctrl): overlay a fan-out aggregation
+  /// tree per (cluster, estimator) on the status-update path, with the
+  /// Tuning::agg_* knobs as tunable enablers.  Structural: toggling it
+  /// changes the entity arena, so it never survives a reset.  Off by
+  /// default — and with the knobs at their degenerate defaults the
+  /// report path bypasses the tree, so an enabled-but-degenerate run is
+  /// bit-identical to this flag being off.
+  bool control_plane = false;
+
   Tuning tuning;
   CostModel costs;
   ProtocolParams protocol;

@@ -40,7 +40,8 @@ class Mix128 {
 }  // namespace
 
 std::array<std::uint64_t, 2> config_digest(const GridConfig& config,
-                                           bool include_tuning) {
+                                           bool include_tuning,
+                                           bool include_rates) {
   Mix128 mix;
 
   const net::TopologyConfig& topo = config.topology;
@@ -60,15 +61,19 @@ std::array<std::uint64_t, 2> config_digest(const GridConfig& config,
 
   mix.word(config.cluster_size);
   mix.word(config.estimators_per_cluster);
-  mix.real(config.service_rate);
+  if (include_rates) mix.real(config.service_rate);
   mix.real(config.heterogeneity);
   mix.word(static_cast<std::uint64_t>(config.rms));
+  mix.word(config.control_plane ? 1u : 0u);
 
   if (include_tuning) {
     mix.real(config.tuning.update_interval);
     mix.word(config.tuning.neighborhood_size);
     mix.real(config.tuning.link_delay_scale);
     mix.real(config.tuning.volunteer_interval);
+    mix.word(config.tuning.agg_fanout);
+    mix.word(config.tuning.agg_batch);
+    mix.real(config.tuning.agg_flush);
   }
 
   const CostModel& costs = config.costs;
@@ -84,6 +89,8 @@ std::array<std::uint64_t, 2> config_digest(const GridConfig& config,
   mix.real(costs.sched_bid);
   mix.real(costs.sched_idle_event);
   mix.real(costs.middleware_service);
+  mix.real(costs.ctrl_process_update);
+  mix.real(costs.ctrl_forward_batch);
   mix.real(costs.job_control);
   mix.real(costs.size_update);
   mix.real(costs.size_control);
@@ -101,7 +108,7 @@ std::array<std::uint64_t, 2> config_digest(const GridConfig& config,
   mix.real(protocol.reply_timeout);
 
   const workload::WorkloadConfig& w = config.workload;
-  mix.real(w.mean_interarrival);
+  if (include_rates) mix.real(w.mean_interarrival);
   mix.word(static_cast<std::uint64_t>(w.exec_model));
   mix.real(w.lognormal_mu);
   mix.real(w.lognormal_sigma);

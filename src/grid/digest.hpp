@@ -9,7 +9,9 @@
 //     without any risk of cross-contamination;
 //   - GridSystem::reset_compatible — a built system can be rewound and
 //     re-run under a new config iff the digests excluding the tuning
-//     enablers match (the enablers are exactly what reset() re-applies).
+//     enablers and the rate fields match (exactly what reset()
+//     re-applies), so Case-2-style service-rate sweeps keep their
+//     simulation sessions warm across scale points.
 
 #include <array>
 #include <cstdint>
@@ -20,9 +22,15 @@ namespace scal::grid {
 
 /// Digest every simulation-affecting field of `config`; the telemetry
 /// handle is excluded (observational only).  `include_tuning = false`
-/// skips the scaling enablers, yielding the structural identity the
-/// reset path keys on.
+/// skips the scaling enablers; `include_rates = false` additionally
+/// skips the resource service rate and the workload's mean
+/// interarrival — the rate-only deltas the reset path re-applies (the
+/// arrival stream and per-resource rates are re-derived from the same
+/// substreams, so a rate-only reset stays bit-identical to a fresh
+/// build).  Both excluded yields the structural identity
+/// reset_compatible keys on.
 std::array<std::uint64_t, 2> config_digest(const GridConfig& config,
-                                           bool include_tuning = true);
+                                           bool include_tuning = true,
+                                           bool include_rates = true);
 
 }  // namespace scal::grid

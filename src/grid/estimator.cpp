@@ -21,24 +21,38 @@ void Estimator::receive_update(StatusUpdate update) {
   ++updates_;
   submit(process_cost_, [this, update]() mutable {
     obs::PhaseProfiler::Scope scope(profiler_, update_phase_);
-    if (update.resource >= last_load_.size()) {
-      last_load_.resize(update.resource + 1, -1.0);
-    }
-    const double prev = last_load_[update.resource];
-    // A recovery report is a state reset, not a transition: the resource
-    // may have crashed while busy, and flagging its fresh zero-load
-    // report as an idle transition would fire phantom idle-event
-    // triggers (AUCTION invitations, Sy-I adverts) for capacity that
-    // never actually drained a job.
-    update.idle_transition =
-        !update.recovered && prev > 0.5 && update.load < 0.5;
-    last_load_[update.resource] = update.load;
-    buffer_.push_back(update);
-    if (!flush_scheduled_) {
-      flush_scheduled_ = true;
-      sim().schedule_in(batch_window_, [this]() { flush(); });
-    }
+    integrate(update);
   });
+}
+
+void Estimator::receive_bundle(std::vector<StatusUpdate> updates) {
+  if (updates.empty()) return;
+  updates_ += updates.size();
+  submit(process_cost_ * static_cast<double>(updates.size()),
+         [this, ups = std::move(updates)]() mutable {
+           obs::PhaseProfiler::Scope scope(profiler_, update_phase_);
+           for (StatusUpdate& u : ups) integrate(u);
+         });
+}
+
+void Estimator::integrate(StatusUpdate update) {
+  if (update.resource >= last_load_.size()) {
+    last_load_.resize(update.resource + 1, -1.0);
+  }
+  const double prev = last_load_[update.resource];
+  // A recovery report is a state reset, not a transition: the resource
+  // may have crashed while busy, and flagging its fresh zero-load
+  // report as an idle transition would fire phantom idle-event
+  // triggers (AUCTION invitations, Sy-I adverts) for capacity that
+  // never actually drained a job.
+  update.idle_transition =
+      !update.recovered && prev > 0.5 && update.load < 0.5;
+  last_load_[update.resource] = update.load;
+  buffer_.push_back(update);
+  if (!flush_scheduled_) {
+    flush_scheduled_ = true;
+    sim().schedule_in(batch_window_, [this]() { flush(); });
+  }
 }
 
 void Estimator::flush() {

@@ -28,6 +28,13 @@ class Estimator : public sim::Server {
   /// idle-transition flag relative to its own last view.
   void receive_update(StatusUpdate update);
 
+  /// A coalesced bundle arrives from the aggregation tree's root child
+  /// (control plane, docs/CONTROL_PLANE.md).  One queue item charges
+  /// process_cost x n — same vetting rate as n singleton updates — then
+  /// every update is annotated and buffered exactly like
+  /// receive_update, so downstream batching semantics are unchanged.
+  void receive_bundle(std::vector<StatusUpdate> updates);
+
   ClusterId cluster() const noexcept { return cluster_; }
   std::uint32_t index() const noexcept { return index_; }
   std::uint64_t updates_handled() const noexcept { return updates_; }
@@ -48,6 +55,9 @@ class Estimator : public sim::Server {
 
  private:
   void flush();
+  /// Annotate `update` against the last-load view and buffer it; the
+  /// caller has already charged the processing cost.
+  void integrate(StatusUpdate update);
 
   ClusterId cluster_;
   std::uint32_t index_;

@@ -174,11 +174,16 @@ struct SimulationResult {
   double G_scheduler = 0.0;
   double G_estimator = 0.0;
   double G_middleware = 0.0;
+  /// Control-plane aggregation-tree work (0 when the control plane is
+  /// off or bypassed; docs/CONTROL_PLANE.md).  Charged to G like every
+  /// other RMS server: the tree must pay for itself in coalesced
+  /// est/sched work, not hide its own cost.
+  double G_aggregator = 0.0;
   double H_control = 0.0;
   double H_wasted = 0.0;
 
   double G() const noexcept {
-    return G_scheduler + G_estimator + G_middleware;
+    return G_scheduler + G_estimator + G_middleware + G_aggregator;
   }
 
   /// Bottleneck isolation (the paper's motivation for component-level
@@ -220,6 +225,20 @@ struct SimulationResult {
   std::uint64_t events_dispatched = 0;
   double horizon = 0.0;
 
+  // Control-plane aggregation (all zero when off or bypassed).
+  std::uint64_t ctrl_updates_in = 0;        ///< updates entering the trees
+  std::uint64_t ctrl_updates_coalesced = 0; ///< absorbed before forwarding
+  std::uint64_t ctrl_batches = 0;           ///< batches shipped tree-hops
+  std::uint64_t ctrl_tree_depth = 0;        ///< deepest tree in the forest
+  /// Fraction of tree traffic absorbed by coalescing (the G-reduction
+  /// mechanism's direct readout).
+  double ctrl_coalescing_ratio() const noexcept {
+    return ctrl_updates_in > 0
+               ? static_cast<double>(ctrl_updates_coalesced) /
+                     static_cast<double>(ctrl_updates_in)
+               : 0.0;
+  }
+
   // Fault subsystem (zero / 1.0 on a fault-free run; see docs/FAULTS.md).
   std::uint64_t resource_crashes = 0;
   std::uint64_t resource_recoveries = 0;
@@ -229,6 +248,7 @@ struct SimulationResult {
   std::uint64_t round_retries = 0;  ///< protocol rounds retried on timeout
   std::uint64_t status_evictions = 0;  ///< stale views skipped in scans
   std::uint64_t blackout_drops = 0;    ///< control work lost to blackouts
+  std::uint64_t aggregator_blackouts = 0;  ///< agg-blackout windows opened
   std::uint64_t messages_delayed = 0;
   std::uint64_t messages_duplicated = 0;
   double resource_downtime = 0.0;  ///< summed down-state resource-time

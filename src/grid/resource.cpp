@@ -159,6 +159,15 @@ void Resource::report_now() {
   sim().schedule_in(report_interval_, [this]() { report_now(); });
 }
 
+void Resource::set_service_rate(double service_rate,
+                                double job_control_demand) {
+  if (!(service_rate > 0.0)) {
+    throw std::invalid_argument("Resource: service rate must be positive");
+  }
+  service_rate_ = service_rate;
+  control_time_ = job_control_demand / service_rate;
+}
+
 void Resource::reset() {
   queue_.clear();
   in_service_.reset();

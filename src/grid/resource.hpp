@@ -86,6 +86,14 @@ class Resource : public sim::Entity {
   /// re-wires the handler when fault injection is active).
   void reset();
 
+  /// Re-rate the resource (rate-only reset path, Case-2 sweeps): the new
+  /// service rate plus the per-job control demand it re-derives the
+  /// control time from.  Only valid between runs (the caller resets
+  /// first), so no in-flight service span needs rescaling.
+  void set_service_rate(double service_rate, double job_control_demand);
+
+  double service_rate() const noexcept { return service_rate_; }
+
  private:
   void begin_service();
   void report_now();

@@ -96,11 +96,17 @@ GridSystem::GridSystem(GridConfig config, SchedulerFactory factory)
   // Per-resource service rates (heterogeneity extension; h = 0 keeps
   // the paper's homogeneous pool bit-for-bit).
   util::RandomStream rate_rng(config_.seed, "heterogeneity");
+  // Multipliers are recorded (build order) so a rate-only reset can
+  // re-rate every resource exactly as a fresh build at the new rate
+  // would — the multiplier stream never depends on the rate itself.
   auto resource_rate = [&]() {
-    if (config_.heterogeneity == 0.0) return config_.service_rate;
-    return config_.service_rate *
-           rate_rng.uniform(1.0 - config_.heterogeneity,
-                            1.0 + config_.heterogeneity);
+    double mult = 1.0;
+    if (config_.heterogeneity != 0.0) {
+      mult = rate_rng.uniform(1.0 - config_.heterogeneity,
+                              1.0 + config_.heterogeneity);
+    }
+    rate_multipliers_.push_back(mult);
+    return config_.service_rate * mult;
   };
 
   // Resources report to every estimator of their cluster: the
@@ -114,7 +120,17 @@ GridSystem::GridSystem(GridConfig config, SchedulerFactory factory)
     resources_[c].reserve(cluster.resource_nodes.size());
     for (std::size_t r = 0; r < cluster.resource_nodes.size(); ++r) {
       const net::NodeId res_node = cluster.resource_nodes[r];
-      auto report = [this, res_node, c](const StatusUpdate& u) {
+      auto report = [this, res_node, c, r](const StatusUpdate& u) {
+        if (ctrl_active_) {
+          // Control plane: the update enters its own node's leaf
+          // aggregator directly (same host, no network hop) and climbs
+          // the tree from there, coalescing at every hop.
+          for (std::size_t e = 0; e < estimators_[c].size(); ++e) {
+            ControlTree& ct = ctrl_trees_[c][e];
+            ct.aggs[ct.member_of_resource[r]]->ingest({u});
+          }
+          return;
+        }
         const auto& nodes = layout_.clusters[c].estimator_nodes;
         for (std::size_t e = 0; e < estimators_[c].size(); ++e) {
           Estimator* est = estimators_[c][e].get();
@@ -132,6 +148,12 @@ GridSystem::GridSystem(GridConfig config, SchedulerFactory factory)
     }
   }
 
+  // Aggregation forest (after resources so every pre-existing entity
+  // keeps its id whether or not the control plane is on; aggregator
+  // construction schedules no events, so a degenerately-tuned control
+  // plane is invisible to the event stream).
+  if (config_.control_plane) setup_control_plane();
+
   mean_service_time_ =
       workload::expected_exec_time(config_.workload) / config_.service_rate;
 
@@ -146,6 +168,92 @@ GridSystem::GridSystem(GridConfig config, SchedulerFactory factory)
   if (config_.telemetry != nullptr) setup_telemetry();
 }
 
+void GridSystem::setup_control_plane() {
+  const std::size_t clusters = layout_.clusters.size();
+  ctrl_trees_.resize(clusters);
+  for (std::size_t c = 0; c < clusters; ++c) {
+    const auto& cluster = layout_.clusters[c];
+    ctrl_trees_[c].reserve(cluster.estimator_nodes.size());
+    for (std::size_t e = 0; e < cluster.estimator_nodes.size(); ++e) {
+      ControlTree ct;
+      ct.tree = ctrl::build_tree(network_->router(), cluster.estimator_nodes[e],
+                                 cluster.resource_nodes,
+                                 config_.tuning.agg_fanout);
+      // Map each resource to the member hosting its node (first-fit so
+      // co-located resources, if a layout ever produced them, still get
+      // distinct leaves).
+      ct.member_of_resource.assign(cluster.resource_nodes.size(), 0);
+      std::vector<bool> claimed(ct.tree.members.size(), false);
+      for (std::size_t r = 0; r < cluster.resource_nodes.size(); ++r) {
+        for (std::size_t m = 0; m < ct.tree.members.size(); ++m) {
+          if (!claimed[m] && ct.tree.members[m] == cluster.resource_nodes[r]) {
+            ct.member_of_resource[r] = static_cast<std::uint32_t>(m);
+            claimed[m] = true;
+            break;
+          }
+        }
+      }
+      ct.aggs.reserve(ct.tree.members.size());
+      for (std::size_t m = 0; m < ct.tree.members.size(); ++m) {
+        const ClusterId cid = static_cast<ClusterId>(c);
+        const std::uint32_t member = static_cast<std::uint32_t>(m);
+        // forward_up resolves the parent at call time, so reset-cycle
+        // rewires (the tuner moving the fan-out) need no re-wiring here.
+        auto forward = [this, cid, e, member](std::vector<StatusUpdate> ups) {
+          forward_up(cid, e, member, std::move(ups));
+        };
+        ct.aggs.push_back(std::make_unique<ctrl::Aggregator>(
+            sim_, next_entity_id_++, ct.tree.members[m],
+            config_.costs.ctrl_process_update, config_.costs.ctrl_forward_batch,
+            std::move(forward)));
+      }
+      ctrl_trees_[c].push_back(std::move(ct));
+    }
+  }
+  configure_control_plane();
+}
+
+void GridSystem::configure_control_plane() {
+  for (auto& cluster : ctrl_trees_) {
+    for (auto& ct : cluster) {
+      ctrl::rewire(ct.tree, config_.tuning.agg_fanout);
+      for (auto& agg : ct.aggs) {
+        agg->configure(config_.tuning.agg_batch, config_.tuning.agg_flush);
+      }
+    }
+  }
+  ctrl_active_ =
+      config_.control_plane && !config_.tuning.aggregation_degenerate();
+}
+
+void GridSystem::forward_up(ClusterId cluster, std::size_t estimator,
+                            std::uint32_t member,
+                            std::vector<StatusUpdate> updates) {
+  if (updates.empty()) return;
+  ControlTree& ct = ctrl_trees_[cluster][estimator];
+  const net::NodeId from = ct.tree.members[member];
+  const double size =
+      config_.costs.size_update * static_cast<double>(updates.size());
+  const std::int32_t parent = ct.tree.parent[member];
+  // Status traffic stays on the unreliable path through the tree, same
+  // as the legacy point-to-point sends.
+  if (parent == ctrl::kToRoot) {
+    Estimator* est = estimators_[cluster][estimator].get();
+    const net::NodeId est_node =
+        layout_.clusters[cluster].estimator_nodes[estimator];
+    network_->send_unreliable(from, est_node, size,
+                              [est, ups = std::move(updates)]() mutable {
+                                est->receive_bundle(std::move(ups));
+                              });
+  } else {
+    ctrl::Aggregator* up = ct.aggs[static_cast<std::size_t>(parent)].get();
+    network_->send_unreliable(from, up->node(), size,
+                              [up, ups = std::move(updates)]() mutable {
+                                up->ingest(std::move(ups));
+                              });
+  }
+}
+
 void GridSystem::setup_faults() {
   const fault::FaultPlan& plan = config_.faults;
 
@@ -158,6 +266,12 @@ void GridSystem::setup_faults() {
   std::vector<Estimator*> est_flat;
   for (auto& cluster : estimators_) {
     for (auto& est : cluster) est_flat.push_back(est.get());
+  }
+  std::vector<ctrl::Aggregator*> agg_flat;
+  for (auto& cluster : ctrl_trees_) {
+    for (auto& ct : cluster) {
+      for (auto& agg : ct.aggs) agg_flat.push_back(agg.get());
+    }
   }
 
   const exec::SeedSequence seeds = fault::fault_seeds(config_.seed);
@@ -222,13 +336,19 @@ void GridSystem::setup_faults() {
       schedulers_[s]->set_blackout(down);
     };
   }
+  if (plan.aggregator_blackout.enabled()) {
+    hooks.aggregator_blackout = [agg_flat](std::size_t a, bool down) {
+      agg_flat[a]->set_blackout(down);
+    };
+  }
   if (!injector_id_assigned_) {
     injector_entity_id_ = next_entity_id_++;
     injector_id_assigned_ = true;
   }
   injector_ = std::make_unique<fault::FaultInjector>(
       sim_, injector_entity_id_, plan, seeds, res_flat.size(),
-      est_flat.size(), schedulers_.size(), std::move(hooks));
+      est_flat.size(), schedulers_.size(), std::move(hooks),
+      agg_flat.size());
 }
 
 void GridSystem::setup_telemetry() {
@@ -260,6 +380,17 @@ void GridSystem::setup_telemetry() {
                            &h.histogram("job_slowdown"),
                            &h.histogram("sched_queue_depth"),
                            &h.histogram("status_staleness"));
+    if (config_.control_plane) {
+      // Registered after the legacy five so control-plane-off manifests
+      // keep their exact histogram layout.
+      obs::Histogram* coalescing = &h.histogram("ctrl_coalescing");
+      obs::Histogram* hop_delay = &h.histogram("ctrl_hop_delay");
+      for (auto& cluster : ctrl_trees_) {
+        for (auto& ct : cluster) {
+          for (auto& agg : ct.aggs) agg->attach_probes(coalescing, hop_delay);
+        }
+      }
+    }
   }
 
   if (!tc.trace_enabled()) {
@@ -393,6 +524,11 @@ double GridSystem::current_overhead_work() const {
     for (const auto& est : cluster) g += est->work_in_system_time();
   }
   g += middleware_->work_in_system_time();
+  for (const auto& cluster : ctrl_trees_) {
+    for (const auto& ct : cluster) {
+      for (const auto& agg : ct.aggs) g += agg->work_in_system_time();
+    }
+  }
   return g;
 }
 
@@ -605,8 +741,13 @@ SimulationResult GridSystem::run() {
 
 bool GridSystem::reset_compatible(const GridConfig& next) const {
   if (config_.telemetry != nullptr || next.telemetry != nullptr) return false;
-  return config_digest(config_, /*include_tuning=*/false) ==
-         config_digest(next, /*include_tuning=*/false);
+  // Rates (service rate, mean interarrival) are excluded alongside the
+  // tuning enablers: the reset path re-applies them, so a Case-2 style
+  // service-rate sweep keeps the warm topology/routing/cluster state.
+  return config_digest(config_, /*include_tuning=*/false,
+                       /*include_rates=*/false) ==
+         config_digest(next, /*include_tuning=*/false,
+                       /*include_rates=*/false);
 }
 
 void GridSystem::reset(const GridConfig& next) {
@@ -616,7 +757,13 @@ void GridSystem::reset(const GridConfig& next) {
         "attached); build a fresh system instead");
   }
   next.validate();
-  config_.tuning = next.tuning;  // the only fields reset re-applies
+  // The fields reset re-applies: the tuning enablers plus the rates.
+  const bool rate_changed = config_.service_rate != next.service_rate;
+  const bool arrivals_changed =
+      config_.workload.mean_interarrival != next.workload.mean_interarrival;
+  config_.tuning = next.tuning;
+  config_.service_rate = next.service_rate;
+  config_.workload.mean_interarrival = next.workload.mean_interarrival;
 
   sim_.reset();
   metrics_.reset();
@@ -639,6 +786,29 @@ void GridSystem::reset(const GridConfig& next) {
   for (auto& cluster : resources_) {
     for (auto& res : cluster) res->reset();
   }
+  if (rate_changed) {
+    // Re-rate the pool through the recorded heterogeneity multipliers —
+    // identical to what a fresh build at the new rate would draw.
+    std::size_t i = 0;
+    for (auto& cluster : resources_) {
+      for (auto& res : cluster) {
+        res->set_service_rate(config_.service_rate * rate_multipliers_[i++],
+                              config_.costs.job_control);
+      }
+    }
+    mean_service_time_ =
+        workload::expected_exec_time(config_.workload) / config_.service_rate;
+  }
+  // A new interarrival mean invalidates the cached arrival stream; the
+  // next run regenerates it from the same "workload" substream, exactly
+  // as a fresh build would.
+  if (arrivals_changed) arrivals_cached_ = false;
+  for (auto& cluster : ctrl_trees_) {
+    for (auto& ct : cluster) {
+      for (auto& agg : ct.aggs) agg->reset();
+    }
+  }
+  if (config_.control_plane) configure_control_plane();
 
   // Fault wiring is rebuilt from scratch: the schedulers' staleness
   // window derives from the (possibly new) tuned update interval, the
@@ -674,6 +844,20 @@ SimulationResult GridSystem::assemble_result() {
     }
   }
   r.G_middleware = middleware_->work_in_system_time();
+  if (config_.control_plane) {
+    for (const auto& cluster : ctrl_trees_) {
+      for (const auto& ct : cluster) {
+        r.ctrl_tree_depth = std::max(
+            r.ctrl_tree_depth, static_cast<std::uint64_t>(ct.tree.depth()));
+        for (const auto& agg : ct.aggs) {
+          r.G_aggregator += agg->work_in_system_time();
+          r.ctrl_updates_in += agg->updates_in();
+          r.ctrl_updates_coalesced += agg->updates_coalesced();
+          r.ctrl_batches += agg->batches_out();
+        }
+      }
+    }
+  }
 
   r.jobs_arrived = metrics_.jobs_arrived();
   r.jobs_local = metrics_.jobs_local();
@@ -696,6 +880,7 @@ SimulationResult GridSystem::assemble_result() {
   if (config_.faults.any()) {
     r.resource_crashes = injector_->counters().crashes;
     r.resource_recoveries = injector_->counters().recoveries;
+    r.aggregator_blackouts = injector_->counters().aggregator_blackouts;
     r.jobs_killed = metrics_.jobs_killed();
     r.jobs_requeued = metrics_.jobs_requeued();
     r.jobs_lost = metrics_.jobs_lost();

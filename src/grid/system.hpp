@@ -10,6 +10,8 @@
 #include <memory>
 #include <vector>
 
+#include "ctrl/aggregator.hpp"
+#include "ctrl/tree.hpp"
 #include "fault/injector.hpp"
 #include "grid/cluster.hpp"
 #include "grid/config.hpp"
@@ -48,8 +50,9 @@ class GridSystem {
   SimulationResult run();
 
   /// True when `next` differs from the built config only in fields the
-  /// reset path re-applies (the tuning enablers) and telemetry is off on
-  /// both sides — i.e. reset(next) followed by run() is bit-identical to
+  /// reset path re-applies (the tuning enablers, the service rate, and
+  /// the workload's mean interarrival) and telemetry is off on both
+  /// sides — i.e. reset(next) followed by run() is bit-identical to
   /// constructing a fresh GridSystem(next) and running it.
   bool reset_compatible(const GridConfig& next) const;
 
@@ -103,10 +106,31 @@ class GridSystem {
 
   std::uint64_t seed() const noexcept { return config_.seed; }
 
+  /// True when status updates are currently flowing through the
+  /// aggregation trees (control plane on AND the knobs are off the
+  /// degenerate bypass point).  Re-evaluated by every reset cycle.
+  bool control_plane_active() const noexcept { return ctrl_active_; }
+
  private:
   void build();
   void schedule_arrivals();
   SimulationResult assemble_result();
+  /// Build the aggregation forest (one tree per (cluster, estimator));
+  /// only called when config.control_plane — otherwise no aggregator
+  /// entities exist and the report path compiles down to the legacy
+  /// point-to-point sends.
+  void setup_control_plane();
+  /// (Re)apply the agg_* tuning knobs: rewire parents for the current
+  /// fan-out, push batch/flush into every aggregator, and refresh the
+  /// bypass flag.  Runs at build and on every reset.
+  void configure_control_plane();
+  /// Ship a finished batch one hop up tree (cluster, estimator) from
+  /// member `member` (to its parent aggregator, or to the estimator
+  /// when the member is a root child).  Looks the parent up at call
+  /// time so reset-cycle rewires take effect without re-wiring
+  /// callbacks.
+  void forward_up(ClusterId cluster, std::size_t estimator,
+                  std::uint32_t member, std::vector<StatusUpdate> updates);
   /// Wire the fault layer: injector hooks, net message faults, kill
   /// handlers, and the schedulers' robustness mixin.  Only called when
   /// config.faults.any() — a fault-free run constructs none of it.
@@ -135,6 +159,18 @@ class GridSystem {
   std::vector<std::vector<std::unique_ptr<Resource>>> resources_;
   std::vector<std::vector<std::unique_ptr<Estimator>>> estimators_;
   std::vector<std::unique_ptr<SchedulerBase>> schedulers_;
+  /// One aggregation tree per (cluster, estimator) pair; empty unless
+  /// config.control_plane.  Aggregators live in tree member order (the
+  /// order is fanout-independent, so reset cycles never reshuffle the
+  /// entity arena — rewire only re-links parents).
+  struct ControlTree {
+    ctrl::AggregationTree tree;
+    std::vector<std::unique_ptr<ctrl::Aggregator>> aggs;  ///< member order
+    /// resource index -> tree member index (the resource's own leaf).
+    std::vector<std::uint32_t> member_of_resource;
+  };
+  std::vector<std::vector<ControlTree>> ctrl_trees_;  ///< [cluster][estimator]
+  bool ctrl_active_ = false;
   std::unique_ptr<fault::FaultInjector> injector_;
   std::unique_ptr<StateSampler> sampler_;
   double mean_service_time_ = 1.0;
@@ -146,9 +182,13 @@ class GridSystem {
   bool injector_id_assigned_ = false;
   sim::EntityId sampler_entity_id_ = 0;
   // The arrival stream is a pure function of (config minus tuning), so
-  // it is generated once and replayed by every reset cycle.
+  // it is generated once and replayed by every reset cycle (invalidated
+  // only when a rate-only reset moves the interarrival mean).
   std::vector<workload::Job> arrival_jobs_;
   bool arrivals_cached_ = false;
+  /// Per-resource heterogeneity multipliers in build order, kept so a
+  /// rate-only reset re-rates the pool exactly like a fresh build.
+  std::vector<double> rate_multipliers_;
 
   // Telemetry state (inert when config_.telemetry is null).
   obs::PhaseProfiler* profiler_ = nullptr;  ///< cached from the handle

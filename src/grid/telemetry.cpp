@@ -57,6 +57,21 @@ void fill_manifest(obs::RunManifest& manifest, const GridConfig& config,
   manifest.p95_response = result.p95_response;
   manifest.G_scheduler_max_share = result.G_scheduler_max_share;
 
+  // Control-plane block: only when the run had one, keeping legacy
+  // manifests byte-identical.
+  manifest.control_plane = config.control_plane;
+  if (config.control_plane) {
+    manifest.agg_fanout = config.tuning.agg_fanout;
+    manifest.agg_batch = config.tuning.agg_batch;
+    manifest.agg_flush = config.tuning.agg_flush;
+    manifest.G_aggregator = result.G_aggregator;
+    manifest.ctrl_updates_in = result.ctrl_updates_in;
+    manifest.ctrl_updates_coalesced = result.ctrl_updates_coalesced;
+    manifest.ctrl_batches = result.ctrl_batches;
+    manifest.ctrl_tree_depth = result.ctrl_tree_depth;
+    manifest.ctrl_coalescing_ratio = result.ctrl_coalescing_ratio();
+  }
+
   obs::CounterRegistry& counters = manifest.counters;
   counters.set("jobs_arrived", result.jobs_arrived);
   counters.set("jobs_local", result.jobs_local);
@@ -97,6 +112,11 @@ void fill_manifest(obs::RunManifest& manifest, const GridConfig& config,
     counters.set("messages_delayed", result.messages_delayed);
     counters.set("messages_duplicated", result.messages_duplicated);
     counters.set_real("resource_downtime", result.resource_downtime);
+    // Gated one level deeper so pre-existing fault manifests also keep
+    // their exact counter set.
+    if (config.faults.aggregator_blackout.enabled()) {
+      counters.set("aggregator_blackouts", result.aggregator_blackouts);
+    }
   }
 }
 

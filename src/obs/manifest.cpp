@@ -47,7 +47,13 @@ std::string RunManifest::to_json() const {
       .field("neighborhood_size", neighborhood_size)
       .field("link_delay_scale", link_delay_scale)
       .field("volunteer_interval", volunteer_interval);
+  if (control_plane) {
+    tuning.field("agg_fanout", agg_fanout)
+        .field("agg_batch", agg_batch)
+        .field("agg_flush", agg_flush);
+  }
   config.raw("tuning", tuning.str());
+  if (control_plane) config.field("control_plane", true);
   obj.raw("config", config.str());
 
   JsonObject result;
@@ -67,6 +73,17 @@ std::string RunManifest::to_json() const {
         .field("availability", availability)
         .field("efficiency_avail", efficiency_avail);
     obj.raw("faults", faults.str());
+  }
+
+  if (control_plane) {
+    JsonObject ctrl;
+    ctrl.field("G_aggregator", G_aggregator)
+        .field("updates_in", ctrl_updates_in)
+        .field("updates_coalesced", ctrl_updates_coalesced)
+        .field("coalescing_ratio", ctrl_coalescing_ratio)
+        .field("batches", ctrl_batches)
+        .field("tree_depth", ctrl_tree_depth);
+    obj.raw("ctrl", ctrl.str());
   }
 
   obj.raw("counters", counters.to_json());

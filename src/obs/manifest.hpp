@@ -59,6 +59,20 @@ struct RunManifest {
   double availability = 1.0;     ///< 1 - downtime / (resources * horizon)
   double efficiency_avail = 0.0; ///< E divided by availability
 
+  // Control-plane summary (emitted — and the agg_* tuning fields with
+  // it — only when control_plane is set, so legacy manifests keep their
+  // exact byte layout).
+  bool control_plane = false;
+  std::uint64_t agg_fanout = 1;
+  std::uint64_t agg_batch = 1;
+  double agg_flush = 0.0;
+  double G_aggregator = 0.0;
+  std::uint64_t ctrl_updates_in = 0;
+  std::uint64_t ctrl_updates_coalesced = 0;
+  std::uint64_t ctrl_batches = 0;
+  std::uint64_t ctrl_tree_depth = 0;
+  double ctrl_coalescing_ratio = 0.0;
+
   // Protocol / bookkeeping counters.
   CounterRegistry counters;
 

@@ -140,5 +140,43 @@ TEST(EnablerSpace, TuningFromPointRejectsWrongDimension) {
                std::invalid_argument);
 }
 
+TEST(EnablerSpace, WithAggregationAppendsKnobsLast) {
+  const ScalingCase base = ScalingCase::case1_network_size();
+  const ScalingCase agg = base.with_aggregation();
+  const opt::Space sb = enabler_space(base);
+  const opt::Space sa = enabler_space(agg);
+  // Aggregation adds three dimensions after the paper's enablers, so
+  // existing indices never shift.
+  EXPECT_EQ(sa.size(), sb.size() + 3u);
+  for (std::size_t i = 0; i < sb.size(); ++i) {
+    EXPECT_EQ(sa.var(i).name, sb.var(i).name);
+  }
+  EXPECT_EQ(sa.index_of("agg_fanout"), sb.size());
+  EXPECT_EQ(sa.index_of("agg_batch"), sb.size() + 1u);
+  EXPECT_EQ(sa.index_of("agg_flush"), sb.size() + 2u);
+  // The enabler table rows follow the same order.
+  const auto rows = agg.enabler_rows();
+  ASSERT_GE(rows.size(), 3u);
+  EXPECT_EQ(rows[rows.size() - 3], "Aggregation tree fan-out");
+  EXPECT_EQ(rows[rows.size() - 2], "Aggregation max batch size");
+  EXPECT_EQ(rows[rows.size() - 1], "Aggregation flush interval");
+}
+
+TEST(EnablerSpace, AggregationPointTuningRoundTrip) {
+  const ScalingCase scase = ScalingCase::case2_service_rate().with_aggregation();
+  grid::Tuning tuning;
+  tuning.update_interval = 21.0;
+  tuning.agg_fanout = 5;
+  tuning.agg_batch = 12;
+  tuning.agg_flush = 7.5;
+  const opt::Point p = point_from_tuning(scase, tuning);
+  EXPECT_EQ(p.size(), enabler_space(scase).size());
+  const grid::Tuning back = tuning_from_point(scase, grid::Tuning{}, p);
+  EXPECT_DOUBLE_EQ(back.update_interval, 21.0);
+  EXPECT_EQ(back.agg_fanout, 5u);
+  EXPECT_EQ(back.agg_batch, 12u);
+  EXPECT_DOUBLE_EQ(back.agg_flush, 7.5);
+}
+
 }  // namespace
 }  // namespace scal::core

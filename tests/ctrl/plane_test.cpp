@@ -1,0 +1,238 @@
+// GridSystem-level contracts of the aggregation control plane:
+//
+//  * Degenerate bypass: control_plane=true with fan-out 1 / batch 1 /
+//    flush 0 is bit-identical to control_plane=false — aggregator
+//    entities exist but the status path takes the exact legacy sends.
+//  * Aggregation on: tree counters populate, the tree's work is charged
+//    to G, job accounting stays conserved.
+//  * Reset cycles across aggregation knobs (including crossing the
+//    degenerate boundary in both directions) replay bit-identically to
+//    fresh builds — the contract the enabler tuner leans on.
+//  * Observability: the ctrl histograms agree with the manifest
+//    counters and are purely observational.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+
+#include "grid/system.hpp"
+#include "grid/telemetry.hpp"
+#include "obs/telemetry.hpp"
+#include "rms/factory.hpp"
+
+namespace scal::grid {
+namespace {
+
+GridConfig base_config(RmsKind rms = RmsKind::kSenderInitiated) {
+  GridConfig config;
+  config.rms = rms;
+  config.topology.nodes = 80;
+  config.cluster_size = 20;
+  config.horizon = 400.0;
+  config.workload.mean_interarrival = 1.0;
+  config.seed = 42;
+  return config;
+}
+
+GridConfig aggregating_config(RmsKind rms = RmsKind::kSenderInitiated) {
+  GridConfig config = base_config(rms);
+  config.control_plane = true;
+  config.tuning.agg_fanout = 2;
+  config.tuning.agg_batch = 8;
+  config.tuning.agg_flush = 6.0;
+  return config;
+}
+
+void expect_identical(const SimulationResult& a, const SimulationResult& b) {
+  EXPECT_EQ(a.F, b.F);
+  EXPECT_EQ(a.G_scheduler, b.G_scheduler);
+  EXPECT_EQ(a.G_estimator, b.G_estimator);
+  EXPECT_EQ(a.G_middleware, b.G_middleware);
+  EXPECT_EQ(a.G_aggregator, b.G_aggregator);
+  EXPECT_EQ(a.H_control, b.H_control);
+  EXPECT_EQ(a.H_wasted, b.H_wasted);
+  EXPECT_EQ(a.jobs_arrived, b.jobs_arrived);
+  EXPECT_EQ(a.jobs_local, b.jobs_local);
+  EXPECT_EQ(a.jobs_remote, b.jobs_remote);
+  EXPECT_EQ(a.jobs_completed, b.jobs_completed);
+  EXPECT_EQ(a.updates_received, b.updates_received);
+  EXPECT_EQ(a.network_messages, b.network_messages);
+  EXPECT_EQ(a.events_dispatched, b.events_dispatched);
+  EXPECT_EQ(a.mean_response, b.mean_response);
+  EXPECT_EQ(a.p95_response, b.p95_response);
+  EXPECT_EQ(a.ctrl_updates_in, b.ctrl_updates_in);
+  EXPECT_EQ(a.ctrl_updates_coalesced, b.ctrl_updates_coalesced);
+  EXPECT_EQ(a.ctrl_batches, b.ctrl_batches);
+}
+
+class ControlPlane : public ::testing::TestWithParam<RmsKind> {};
+
+TEST_P(ControlPlane, DegenerateKnobsAreBitIdenticalToOff) {
+  GridConfig off = base_config(GetParam());
+  const SimulationResult plain = rms::simulate(off);
+
+  GridConfig degenerate = base_config(GetParam());
+  degenerate.control_plane = true;  // knobs stay at fan-out 1/batch 1/flush 0
+  ASSERT_TRUE(degenerate.tuning.aggregation_degenerate());
+  const SimulationResult bypassed = rms::simulate(degenerate);
+
+  expect_identical(plain, bypassed);
+  EXPECT_EQ(bypassed.G_aggregator, 0.0);
+  EXPECT_EQ(bypassed.ctrl_updates_in, 0u);
+}
+
+TEST_P(ControlPlane, AggregationPopulatesTreeCountersAndChargesG) {
+  const SimulationResult r = rms::simulate(aggregating_config(GetParam()));
+  EXPECT_GT(r.ctrl_updates_in, 0u);
+  EXPECT_GT(r.ctrl_batches, 0u);
+  EXPECT_GE(r.ctrl_tree_depth, 1u);
+  EXPECT_GT(r.G_aggregator, 0.0);
+  EXPECT_LE(r.ctrl_updates_coalesced, r.ctrl_updates_in);
+  EXPECT_GE(r.ctrl_coalescing_ratio(), 0.0);
+  EXPECT_LT(r.ctrl_coalescing_ratio(), 1.0);
+  // Job accounting stays conserved under aggregation.
+  EXPECT_GT(r.jobs_arrived, 0u);
+  EXPECT_EQ(r.jobs_local + r.jobs_remote, r.jobs_arrived);
+  EXPECT_EQ(r.jobs_completed + r.jobs_unfinished, r.jobs_arrived);
+}
+
+TEST_P(ControlPlane, AggregationRunsAreReproducible) {
+  const SimulationResult a = rms::simulate(aggregating_config(GetParam()));
+  const SimulationResult b = rms::simulate(aggregating_config(GetParam()));
+  expect_identical(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, ControlPlane,
+                         ::testing::Values(RmsKind::kCentral, RmsKind::kLowest,
+                                           RmsKind::kSenderInitiated,
+                                           RmsKind::kSymmetric,
+                                           RmsKind::kAuction),
+                         [](const auto& info) {
+                           std::string name = to_string(info.param);
+                           std::erase_if(name, [](char c) {
+                             return !std::isalnum(
+                                 static_cast<unsigned char>(c));
+                           });
+                           return name;
+                         });
+
+TEST(ControlPlaneReset, KnobResetMatchesFreshBuild) {
+  GridConfig first = aggregating_config();
+  GridConfig second = aggregating_config();
+  second.tuning.agg_fanout = 4;
+  second.tuning.agg_batch = 16;
+  second.tuning.agg_flush = 2.5;
+
+  GridSystem system(first, rms::scheduler_factory(first.rms));
+  system.run();
+  ASSERT_TRUE(system.reset_compatible(second));
+  system.reset(second);
+  const SimulationResult warm = system.run();
+
+  GridSystem fresh(second, rms::scheduler_factory(second.rms));
+  expect_identical(fresh.run(), warm);
+}
+
+TEST(ControlPlaneReset, CrossingTheDegenerateBoundaryBothWays) {
+  GridConfig degenerate = base_config();
+  degenerate.control_plane = true;
+  GridConfig aggregating = aggregating_config();
+
+  // Degenerate -> aggregating.
+  GridSystem system(degenerate, rms::scheduler_factory(degenerate.rms));
+  system.run();
+  ASSERT_TRUE(system.reset_compatible(aggregating));
+  system.reset(aggregating);
+  const SimulationResult warm_on = system.run();
+  GridSystem fresh_on(aggregating, rms::scheduler_factory(aggregating.rms));
+  expect_identical(fresh_on.run(), warm_on);
+
+  // Aggregating -> degenerate (must match plain control_plane=false too).
+  system.reset(degenerate);
+  const SimulationResult warm_off = system.run();
+  expect_identical(rms::simulate(base_config()), warm_off);
+}
+
+TEST(ControlPlaneReset, ControlPlaneFlagIsStructural) {
+  GridConfig off = base_config();
+  GridConfig on = base_config();
+  on.control_plane = true;
+  GridSystem system(off, rms::scheduler_factory(off.rms));
+  EXPECT_FALSE(system.reset_compatible(on));
+}
+
+TEST(ControlPlaneObs, HistogramsMatchManifestCounters) {
+  obs::TelemetryConfig tc;
+  tc.metrics = true;
+  obs::Telemetry telemetry(tc);
+  GridConfig config = aggregating_config();
+  config.telemetry = &telemetry;
+  const SimulationResult result = rms::simulate(config);
+
+  const obs::Histogram& coalescing =
+      telemetry.histograms().histogram("ctrl_coalescing");
+  const obs::Histogram& hop_delay =
+      telemetry.histograms().histogram("ctrl_hop_delay");
+  // One coalescing sample per forwarded batch; one hop-delay sample per
+  // forwarded update.  Updates still buffered at the horizon have not
+  // forwarded, so the hop count is bounded by in - coalesced.
+  EXPECT_EQ(coalescing.count(), result.ctrl_batches);
+  EXPECT_LE(hop_delay.count(),
+            result.ctrl_updates_in - result.ctrl_updates_coalesced);
+  EXPECT_GT(hop_delay.count(), 0u);
+  // The histogram's total absorbed mass is the coalesced counter, less
+  // whatever is still sitting in buffers at the horizon.
+  EXPECT_LE(static_cast<std::uint64_t>(coalescing.sum()),
+            result.ctrl_updates_coalesced);
+
+  obs::RunManifest manifest;
+  fill_manifest(manifest, config, result);
+  EXPECT_TRUE(manifest.control_plane);
+  EXPECT_EQ(manifest.ctrl_updates_in, result.ctrl_updates_in);
+  EXPECT_EQ(manifest.ctrl_batches, result.ctrl_batches);
+  EXPECT_EQ(manifest.ctrl_tree_depth, result.ctrl_tree_depth);
+  const std::string json = manifest.to_json();
+  EXPECT_NE(json.find("\"ctrl\""), std::string::npos);
+  EXPECT_NE(json.find("\"agg_fanout\""), std::string::npos);
+
+  // Control-plane-off manifests keep the legacy layout.
+  obs::RunManifest off;
+  fill_manifest(off, base_config(), rms::simulate(base_config()));
+  EXPECT_EQ(off.to_json().find("\"ctrl\""), std::string::npos);
+  EXPECT_EQ(off.to_json().find("\"agg_fanout\""), std::string::npos);
+}
+
+TEST(ControlPlaneObs, MetricsInstrumentationIsObservational) {
+  const SimulationResult plain = rms::simulate(aggregating_config());
+
+  obs::TelemetryConfig tc;
+  tc.metrics = true;
+  obs::Telemetry telemetry(tc);
+  GridConfig instrumented = aggregating_config();
+  instrumented.telemetry = &telemetry;
+  const SimulationResult probed = rms::simulate(instrumented);
+
+  expect_identical(plain, probed);
+}
+
+TEST(ControlPlaneFaults, AggregatorBlackoutsFlushAndRecover) {
+  GridConfig config = aggregating_config();
+  config.faults = fault::FaultPlan::parse("agg-blackout:period=80,length=10");
+  const SimulationResult r = rms::simulate(config);
+  EXPECT_GT(r.aggregator_blackouts, 0u);
+  // Traffic keeps flowing through relays; accounting stays conserved.
+  EXPECT_GT(r.ctrl_batches, 0u);
+  EXPECT_EQ(r.jobs_local + r.jobs_remote, r.jobs_arrived);
+  EXPECT_EQ(r.jobs_completed + r.jobs_unfinished, r.jobs_arrived);
+
+  // Same plan, different cadence => different outcome (the windows are
+  // actually doing something).
+  GridConfig other = aggregating_config();
+  other.faults = fault::FaultPlan::parse("agg-blackout:period=40,length=20");
+  const SimulationResult r2 = rms::simulate(other);
+  EXPECT_GT(r2.aggregator_blackouts, r.aggregator_blackouts);
+}
+
+}  // namespace
+}  // namespace scal::grid

@@ -1,0 +1,153 @@
+#include "ctrl/tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "net/topology.hpp"
+#include "util/rng.hpp"
+
+namespace scal::ctrl {
+namespace {
+
+net::Graph line_graph() {
+  net::Graph g(4);
+  g.add_edge(0, 1, 1.0, 10.0);
+  g.add_edge(1, 2, 2.0, 10.0);
+  g.add_edge(2, 3, 3.0, 10.0);
+  return g;
+}
+
+TEST(AggregationTree, MembersOrderedByLatencyFromRoot) {
+  const net::Graph g = line_graph();
+  net::Router router(g);
+  const AggregationTree tree = build_tree(router, 0, {3, 1, 2}, 1);
+  ASSERT_EQ(tree.members.size(), 3u);
+  EXPECT_EQ(tree.members[0], 1u);  // latency 1
+  EXPECT_EQ(tree.members[1], 2u);  // latency 3
+  EXPECT_EQ(tree.members[2], 3u);  // latency 6
+}
+
+TEST(AggregationTree, FanoutOneIsAChain) {
+  const net::Graph g = line_graph();
+  net::Router router(g);
+  const AggregationTree tree = build_tree(router, 0, {1, 2, 3}, 1);
+  EXPECT_EQ(tree.parent[0], kToRoot);
+  EXPECT_EQ(tree.parent[1], 0);
+  EXPECT_EQ(tree.parent[2], 1);
+  EXPECT_EQ(tree.depth(), 3u);
+}
+
+TEST(AggregationTree, FanoutTwoIsABinaryHeap) {
+  const net::Graph g = line_graph();
+  net::Router router(g);
+  const AggregationTree tree = build_tree(router, 0, {1, 2, 3}, 2);
+  EXPECT_EQ(tree.parent[0], kToRoot);
+  EXPECT_EQ(tree.parent[1], kToRoot);
+  EXPECT_EQ(tree.parent[2], 0);
+  EXPECT_EQ(tree.depth(), 2u);
+}
+
+TEST(AggregationTree, LargeFanoutIsAStar) {
+  const net::Graph g = line_graph();
+  net::Router router(g);
+  const AggregationTree tree = build_tree(router, 0, {1, 2, 3}, 8);
+  for (const std::int32_t p : tree.parent) EXPECT_EQ(p, kToRoot);
+  EXPECT_EQ(tree.depth(), 1u);
+}
+
+TEST(AggregationTree, EmptyMemberSetIsDepthZero) {
+  const net::Graph g = line_graph();
+  net::Router router(g);
+  const AggregationTree tree = build_tree(router, 0, {}, 2);
+  EXPECT_TRUE(tree.members.empty());
+  EXPECT_EQ(tree.depth(), 0u);
+}
+
+TEST(AggregationTree, InvalidArgumentsThrow) {
+  const net::Graph g = line_graph();
+  net::Router router(g);
+  EXPECT_THROW(build_tree(router, 0, {1, 2}, 0), std::invalid_argument);
+  EXPECT_THROW(build_tree(router, net::kInvalidNode, {1}, 1),
+               std::invalid_argument);
+  AggregationTree tree = build_tree(router, 0, {1, 2}, 1);
+  EXPECT_THROW(rewire(tree, 0), std::invalid_argument);
+}
+
+TEST(AggregationTree, RewireKeepsMemberOrder) {
+  const net::Graph g = line_graph();
+  net::Router router(g);
+  AggregationTree tree = build_tree(router, 0, {1, 2, 3}, 1);
+  const std::vector<net::NodeId> members = tree.members;
+  rewire(tree, 3);
+  EXPECT_EQ(tree.members, members);
+  EXPECT_EQ(tree.fanout, 3u);
+  EXPECT_EQ(tree.depth(), 1u);
+  rewire(tree, 1);
+  EXPECT_EQ(tree.members, members);
+  EXPECT_EQ(tree.depth(), 3u);
+}
+
+/// Structural invariants that must hold on any generated topology: the
+/// member list is a permutation of the input, every parent link points
+/// at an earlier member (heap property), and the depth is bounded by
+/// the member count.
+void expect_well_formed(const AggregationTree& tree,
+                        std::vector<net::NodeId> expected_members) {
+  std::vector<net::NodeId> got = tree.members;
+  std::sort(got.begin(), got.end());
+  std::sort(expected_members.begin(), expected_members.end());
+  EXPECT_EQ(got, expected_members);
+  ASSERT_EQ(tree.parent.size(), tree.members.size());
+  for (std::size_t i = 0; i < tree.parent.size(); ++i) {
+    if (tree.parent[i] == kToRoot) continue;
+    EXPECT_GE(tree.parent[i], 0);
+    EXPECT_LT(static_cast<std::size_t>(tree.parent[i]), i);
+  }
+  EXPECT_LE(tree.depth(), tree.members.size());
+  if (!tree.members.empty()) {
+    EXPECT_GE(tree.depth(), 1u);
+  }
+}
+
+TEST(AggregationTree, WellFormedAcrossTopologyShapes) {
+  const net::TopologyKind kinds[] = {
+      net::TopologyKind::kPreferentialAttachment, net::TopologyKind::kWaxman,
+      net::TopologyKind::kRingLattice, net::TopologyKind::kStar,
+      net::TopologyKind::kTransitStub};
+  for (const net::TopologyKind kind : kinds) {
+    net::TopologyConfig tc;
+    tc.kind = kind;
+    tc.nodes = 48;
+    util::RandomStream rng(11, "topology");
+    const net::Graph g = net::generate_topology(tc, rng);
+    net::Router router(g);
+    std::vector<net::NodeId> members;
+    for (net::NodeId n = 1; n < 25 && n < g.node_count(); ++n) {
+      members.push_back(n);
+    }
+    for (const std::uint32_t fanout : {1u, 2u, 3u, 7u, 64u}) {
+      const AggregationTree tree = build_tree(router, 0, members, fanout);
+      expect_well_formed(tree, members);
+    }
+  }
+}
+
+TEST(AggregationTree, DeterministicAcrossRebuilds) {
+  net::TopologyConfig tc;
+  tc.nodes = 40;
+  util::RandomStream rng_a(3, "topology");
+  util::RandomStream rng_b(3, "topology");
+  const net::Graph ga = net::generate_topology(tc, rng_a);
+  const net::Graph gb = net::generate_topology(tc, rng_b);
+  net::Router ra(ga);
+  net::Router rb(gb);
+  const std::vector<net::NodeId> members = {5, 9, 2, 17, 30, 12, 8};
+  const AggregationTree a = build_tree(ra, 1, members, 3);
+  const AggregationTree b = build_tree(rb, 1, members, 3);
+  EXPECT_EQ(a.members, b.members);
+  EXPECT_EQ(a.parent, b.parent);
+}
+
+}  // namespace
+}  // namespace scal::ctrl

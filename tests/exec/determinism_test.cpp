@@ -180,6 +180,27 @@ TEST(Determinism, ReplicateRealSimulationMatchesSerial) {
   EXPECT_EQ(serial.mean_response.mean(), pooled.mean_response.mean());
 }
 
+TEST(Determinism, AggregationOnReplicateMatchesSerial) {
+  // The aggregation control plane adds timers and batch sends to the
+  // event stream; none of it may depend on worker interleaving.
+  grid::GridConfig config;
+  config.topology.nodes = 40;
+  config.horizon = 120.0;
+  config.workload.mean_interarrival = 2.0;
+  config.control_plane = true;
+  config.tuning.agg_fanout = 2;
+  config.tuning.agg_batch = 6;
+  config.tuning.agg_flush = 5.0;
+  const auto serial = core::replicate(config, 3, /*base_seed=*/7);
+  ThreadPool pool(3);
+  const auto pooled = core::replicate(config, 3, /*base_seed=*/7,
+                                      core::default_runner(), &pool);
+  EXPECT_EQ(serial.G.mean(), pooled.G.mean());
+  EXPECT_EQ(serial.G.stddev(), pooled.G.stddev());
+  EXPECT_EQ(serial.efficiency.mean(), pooled.efficiency.mean());
+  EXPECT_EQ(serial.mean_response.mean(), pooled.mean_response.mean());
+}
+
 TEST(Determinism, ReplicateRejectsTelemetryWithPool) {
   grid::GridConfig config = base_config();
   obs::Telemetry telemetry{{}};

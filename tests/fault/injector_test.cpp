@@ -25,6 +25,7 @@ struct Harness {
   std::vector<Recorded> recoveries;
   std::vector<Recorded> estimator_windows;
   std::vector<Recorded> scheduler_windows;
+  std::vector<Recorded> aggregator_windows;
 
   FaultHooks hooks() {
     FaultHooks h;
@@ -39,6 +40,9 @@ struct Harness {
     };
     h.scheduler_blackout = [this](std::size_t s, bool down) {
       scheduler_windows.push_back({sim.now(), s, down});
+    };
+    h.aggregator_blackout = [this](std::size_t a, bool down) {
+      aggregator_windows.push_back({sim.now(), a, down});
     };
     return h;
   }
@@ -163,6 +167,70 @@ TEST(FaultInjector, BlackoutWindowsOpenAndClose) {
                 std::count_if(h.estimator_windows.begin(),
                               h.estimator_windows.end(),
                               [](const Recorded& w) { return w.down; })));
+}
+
+TEST(FaultInjector, AggregatorBlackoutWindowsFireAndCount) {
+  Harness h;
+  FaultPlan plan;
+  plan.aggregator_blackout.period = 150.0;
+  plan.aggregator_blackout.length = 15.0;
+  FaultInjector injector(h.sim, 1, plan, fault_seeds(5), 0, 0, 0, h.hooks(),
+                         /*aggregators=*/3);
+  injector.start();
+  h.sim.run(1000.0);
+  ASSERT_GT(h.aggregator_windows.size(), 4u);
+  // Other classes stay silent.
+  EXPECT_TRUE(h.estimator_windows.empty());
+  EXPECT_TRUE(h.scheduler_windows.empty());
+  for (std::size_t a = 0; a < 3; ++a) {
+    double down_at = -1.0;
+    bool expect_down = true;
+    for (const Recorded& w : h.aggregator_windows) {
+      if (w.index != a) continue;
+      EXPECT_EQ(w.down, expect_down);
+      if (w.down) {
+        down_at = w.at;
+      } else {
+        EXPECT_NEAR(w.at - down_at, 15.0, 1e-9);
+      }
+      expect_down = !expect_down;
+    }
+  }
+  EXPECT_EQ(injector.counters().aggregator_blackouts,
+            static_cast<std::uint64_t>(
+                std::count_if(h.aggregator_windows.begin(),
+                              h.aggregator_windows.end(),
+                              [](const Recorded& w) { return w.down; })));
+}
+
+TEST(FaultInjector, AggregatorStreamDoesNotPerturbLegacyStreams) {
+  // Appending the aggregator substream must leave churn and the other
+  // blackout phases untouched: a plan with aggregator windows added
+  // replays the estimator schedule of the plan without them.
+  FaultPlan base;
+  base.estimator_blackout.period = 100.0;
+  base.estimator_blackout.length = 10.0;
+  FaultPlan with_agg = base;
+  with_agg.aggregator_blackout.period = 170.0;
+  with_agg.aggregator_blackout.length = 17.0;
+
+  Harness ha;
+  FaultInjector ia(ha.sim, 1, base, fault_seeds(21), 2, 2, 1, ha.hooks());
+  ia.start();
+  ha.sim.run(800.0);
+
+  Harness hb;
+  FaultInjector ib(hb.sim, 1, with_agg, fault_seeds(21), 2, 2, 1, hb.hooks(),
+                   /*aggregators=*/4);
+  ib.start();
+  hb.sim.run(800.0);
+
+  ASSERT_EQ(ha.estimator_windows.size(), hb.estimator_windows.size());
+  for (std::size_t i = 0; i < ha.estimator_windows.size(); ++i) {
+    EXPECT_EQ(ha.estimator_windows[i].at, hb.estimator_windows[i].at);
+    EXPECT_EQ(ha.estimator_windows[i].index, hb.estimator_windows[i].index);
+  }
+  EXPECT_GT(hb.aggregator_windows.size(), 0u);
 }
 
 TEST(FaultInjector, BlackoutPhasesAreDesynchronized) {

@@ -59,6 +59,8 @@ TEST(FaultPlan, SpecRoundTrips) {
       "churn:mtbf=400,mttr=40",
       "net:drop=0.02",
       "churn:mtbf=250,mttr=10;est-blackout:period=100,length=10",
+      "agg-blackout:period=120,length=15",
+      "sched-blackout:period=300,length=30;agg-blackout:period=90,length=9",
   };
   for (const char* spec : specs) {
     const FaultPlan plan = FaultPlan::parse(spec);
@@ -70,6 +72,29 @@ TEST(FaultPlan, SpecRoundTrips) {
                      again.estimator_blackout.period)
         << spec;
   }
+}
+
+TEST(FaultPlan, ParseAggregatorBlackout) {
+  const FaultPlan plan = FaultPlan::parse("agg-blackout:period=160,length=12");
+  EXPECT_TRUE(plan.any());
+  EXPECT_TRUE(plan.aggregator_blackout.enabled());
+  EXPECT_DOUBLE_EQ(plan.aggregator_blackout.period, 160.0);
+  EXPECT_DOUBLE_EQ(plan.aggregator_blackout.length, 12.0);
+  EXPECT_FALSE(plan.estimator_blackout.enabled());
+  EXPECT_FALSE(plan.scheduler_blackout.enabled());
+  EXPECT_NO_THROW(plan.validate());
+  // Emitted after sched-blackout, before robust.
+  const std::string spec = plan.to_spec();
+  EXPECT_NE(spec.find("agg-blackout:period=160,length=12"), std::string::npos);
+}
+
+TEST(FaultPlan, AggregatorBlackoutValidation) {
+  FaultPlan plan;
+  plan.aggregator_blackout.period = 60.0;
+  plan.aggregator_blackout.length = 60.0;  // must leave up-time
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan.aggregator_blackout.length = 10.0;
+  EXPECT_NO_THROW(plan.validate());
 }
 
 TEST(FaultPlan, SpecIncludesRobustnessWhenActive) {

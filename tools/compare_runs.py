@@ -68,9 +68,12 @@ def flatten(doc, prefix=""):
 # Identity / environment / provenance fields: expected to differ between
 # any two runs (jobs is the lane count a bench ran with — results are
 # bit-identical at any value), so they are reported informally and never
-# counted as mismatches.
+# counted as mismatches.  The aggregation knobs are tuner *outputs*
+# recorded for reproduction; any change to the enabler search moves
+# them, so like provenance they are informational, while the measured
+# F/G/H and ctrl counters they produced stay gated.
 VOLATILE = {"started_at", "git", "wall_seconds", "peak_rss_bytes", "label",
-            "jobs"}
+            "jobs", "agg_fanout", "agg_batch", "agg_flush"}
 
 
 def is_volatile(path):
@@ -127,11 +130,14 @@ def self_test():
         "metrics": {"histograms": {"job_wait": {"count": 10, "p50": 1.5}},
                     "phases": {"sim.run": {"calls": 1, "total_ns": 999}}},
         "tuner": {"evaluations": 18, "cache_hits": 3},
+        "tuning": {"update_interval": 20.0, "agg_fanout": 2, "agg_flush": 6.0},
     }
     same = json.loads(json.dumps(base))
     same["wall_seconds"] = 2.0           # volatile: must not count
     same["jobs"] = 4                     # provenance: must not count
     same["metrics"]["phases"]["sim.run"]["total_ns"] = 123  # *_ns: volatile
+    same["tuning"]["agg_fanout"] = 4     # tuner output: must not count
+    same["tuning"]["agg_flush"] = 3.5    # tuner output: must not count
     exceeded, ok = compare(base, same, threshold=0.0)
     assert ok, "identical structures flagged as mismatch"
     assert not exceeded, f"volatile-only diffs flagged: {exceeded}"
