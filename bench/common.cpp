@@ -37,6 +37,8 @@ grid::GridConfig common_base() {
   config.tuning.neighborhood_size = 3;
   config.tuning.volunteer_interval = 60.0;
   config.faults = fault_plan();  // inert unless --faults/env knobs set
+  // Default synthetic unless --workload/--swf/--modulate/env knobs set.
+  config.workload_source = workload_source();
   return config;
 }
 

@@ -18,6 +18,10 @@
 //                        "churn:mtbf=400,mttr=40;net:drop=0.02"
 //   SCAL_BENCH_MTBF=t    shorthand: resource churn mean time between
 //   SCAL_BENCH_MTTR=t    failures / mean time to repair (sim time units)
+//   SCAL_BENCH_WORKLOAD=s  workload-source spec (docs/WORKLOADS.md),
+//                        e.g. "swf:trace.swf@0.01"
+//   SCAL_BENCH_MODULATE=s  load-modulator chain appended to the source,
+//                        e.g. "diurnal:amplitude=0.6,period=500"
 
 #include <string>
 #include <vector>
@@ -45,6 +49,14 @@ std::size_t job_count();
 /// plan.  Folded into every case base (common_base), so any figure
 /// bench can run under churn without code changes.
 fault::FaultPlan fault_plan();
+
+/// The workload source of this bench process: --workload/--swf/
+/// --modulate if Options::parse saw them, else the SCAL_BENCH_WORKLOAD
+/// / SCAL_BENCH_MODULATE environment knobs, else the default synthetic
+/// source.  Folded into every case base (common_base), so any figure
+/// bench can replay an SWF trace or run under a modulated load without
+/// code changes.
+workload::SourceSpec workload_source();
 
 /// The paper's four experimental cases (Tables 2-5) with calibrated
 /// base configurations.

@@ -1,0 +1,159 @@
+// Extension experiment: scalability under replayed and modulated
+// workloads.  The paper's figures run the Cirne-Berman synthetic
+// stream; this bench repeats the Case 1 scaling path (network size)
+// under two alternative arrival processes from the pluggable
+// workload-source subsystem (docs/WORKLOADS.md):
+//
+//   swf      replay of the committed Standard Workload Format fixture
+//            (tests/data/sample_small.swf), time-scaled into the
+//            horizon — real-log arrival structure instead of Poisson
+//   diurnal  the synthetic stream warped by a diurnal load wave
+//            (amplitude 0.6, period 500): same long-run rate, strong
+//            peak/trough contrast
+//
+// Per-RMS G(k) rows and one manifest per (mode, RMS) at the final
+// scale point make the run a CI artifact; --workload/--swf/--modulate
+// (or SCAL_BENCH_WORKLOAD/SCAL_BENCH_MODULATE) replace the SWF replay
+// mode with any other source.  Results are bit-identical at any
+// --jobs N, and the arrival cache serves every policy after the first
+// from the same generated stream.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "options.hpp"
+#include "core/scaling.hpp"
+#include "exec/thread_pool.hpp"
+#include "grid/telemetry.hpp"
+#include "obs/manifest.hpp"
+#include "rms/scenario.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+#include "workload/arrival_cache.hpp"
+
+#ifndef SCAL_SOURCE_DIR
+#define SCAL_SOURCE_DIR "."
+#endif
+
+namespace {
+
+struct Mode {
+  std::string name;
+  scal::workload::SourceSpec spec;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace scal;
+  using util::Table;
+
+  const bench::Options opts =
+      bench::Options::parse(argc, argv, "ext_trace_replay");
+  const std::string manifest_path =
+      opts.telemetry.manifest_enabled()
+          ? opts.telemetry.manifest_path
+          : bench::csv_dir() + "/ext_trace_replay.jsonl";
+
+  // Mode 1: SWF replay.  Any --workload/--swf/--modulate (or env)
+  // source replaces the committed fixture.
+  workload::SourceSpec swf_spec = opts.workload;
+  if (swf_spec.is_default()) {
+    swf_spec = workload::SourceSpec::parse(
+        "swf:" SCAL_SOURCE_DIR "/tests/data/sample_small.swf@0.4");
+  }
+  // Mode 2: the calibrated synthetic stream under a diurnal wave.
+  workload::SourceSpec diurnal_spec;
+  diurnal_spec.modulators =
+      workload::parse_modulators("diurnal:amplitude=0.6,period=500");
+  const std::vector<Mode> modes = {{"swf", swf_spec},
+                                   {"diurnal", diurnal_spec}};
+
+  const std::vector<double> ks =
+      bench::fast_mode() ? std::vector<double>{1.0, 2.0}
+                         : std::vector<double>{1.0, 2.0, 3.0};
+  const core::ScalingCase scase = core::ScalingCase::case1_network_size();
+  const std::vector<grid::RmsKind> kinds = bench::all_rms();
+  exec::ThreadPool pool(opts.jobs > 1 ? opts.jobs - 1 : 0);
+  exec::ThreadPool* workers = opts.jobs > 1 ? &pool : nullptr;
+
+  std::cout << "Extension: trace replay and modulated load "
+               "(Case 1 scaling path)\n\n";
+
+  util::CsvWriter csv(bench::csv_dir() + "/ext_trace_replay.csv",
+                      {"mode", "rms", "k", "nodes", "jobs_arrived", "F",
+                       "G", "H", "efficiency"});
+
+  for (const Mode& mode : modes) {
+    grid::GridConfig base = bench::case1_base();
+    base.workload_source = mode.spec;
+    std::cout << "workload [" << mode.name
+              << "]: " << mode.spec.summary() << "\n";
+
+    // results[ki][ri]: every policy replays the same generated stream
+    // at each scale point (one arrival-cache miss per k).
+    std::vector<std::vector<grid::SimulationResult>> results;
+    std::vector<grid::GridConfig> scaled;
+    for (const double k : ks) {
+      scaled.push_back(core::apply_scale(base, scase, k));
+      results.push_back(
+          Scenario::run_kinds(Scenario(scaled.back()), kinds, workers));
+    }
+
+    std::vector<std::string> header{"RMS"};
+    for (const double k : ks) {
+      header.push_back("G(k=" + Table::fixed(k, 0) + ")");
+    }
+    header.push_back("E (final)");
+    header.push_back("jobs");
+    Table table(header);
+    for (std::size_t ri = 0; ri < kinds.size(); ++ri) {
+      std::vector<std::string> row{grid::to_string(kinds[ri])};
+      for (std::size_t ki = 0; ki < ks.size(); ++ki) {
+        row.push_back(Table::fixed(results[ki][ri].G(), 1));
+        const grid::SimulationResult& r = results[ki][ri];
+        csv.add_row({mode.name, grid::to_string(kinds[ri]),
+                     Table::fixed(ks[ki], 0),
+                     std::to_string(scaled[ki].topology.nodes),
+                     std::to_string(r.jobs_arrived), Table::fixed(r.F, 3),
+                     Table::fixed(r.G(), 3), Table::fixed(r.H(), 3),
+                     Table::fixed(r.efficiency(), 4)});
+      }
+      const grid::SimulationResult& last = results.back()[ri];
+      row.push_back(Table::fixed(last.efficiency(), 3));
+      row.push_back(std::to_string(last.jobs_arrived));
+      table.add_row(row);
+
+      grid::GridConfig config = scaled.back();
+      config.rms = kinds[ri];
+      obs::RunManifest manifest;
+      manifest.label = "ext_trace_replay/" + mode.name + "/" +
+                       grid::to_string(kinds[ri]);
+      manifest.started_at = obs::utc_timestamp();
+      manifest.git_version = obs::git_describe();
+      manifest.jobs = opts.jobs;
+      grid::fill_manifest(manifest, config, last);
+      manifest.append_jsonl(manifest_path);
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+
+  const workload::ArrivalCache& cache = workload::ArrivalCache::instance();
+  std::cout << "CSV written to " << bench::csv_dir()
+            << "/ext_trace_replay.csv; manifests appended to "
+            << manifest_path << "\n"
+            << "arrival cache: " << cache.hits() << " hits / "
+            << cache.misses()
+            << " misses (policies after the first recall each scale "
+               "point's stream;\nconcurrent first lanes may each count "
+               "a miss and race to one canonical insert)\n"
+            << "\nReplayed logs keep their empirical burstiness; the "
+               "diurnal warp holds the\nlong-run rate while sweeping "
+               "the instantaneous load through peak and\ntrough — both "
+               "stress the estimators' staleness handling in ways the\n"
+               "memoryless synthetic stream cannot.\n";
+  return 0;
+}

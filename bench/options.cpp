@@ -17,6 +17,11 @@ std::string g_fault_spec;
 bool g_fault_spec_set = false;
 double g_mtbf = 0.0;
 double g_mttr = 0.0;
+/// Workload knobs from the CLI (beat the SCAL_BENCH_* fallbacks).
+std::string g_workload_spec;
+bool g_workload_spec_set = false;
+std::string g_modulate_spec;
+bool g_modulate_spec_set = false;
 
 double env_real(const std::string& name) {
   const std::string text = util::env_or(name, "");
@@ -49,6 +54,23 @@ std::size_t job_count() {
   return g_jobs;
 }
 
+workload::SourceSpec workload_source() {
+  const std::string source =
+      g_workload_spec_set ? g_workload_spec
+                          : util::env_or("SCAL_BENCH_WORKLOAD", "");
+  workload::SourceSpec spec = workload::SourceSpec::parse(source);
+  const std::string chain =
+      g_modulate_spec_set ? g_modulate_spec
+                          : util::env_or("SCAL_BENCH_MODULATE", "");
+  if (!chain.empty()) {
+    for (workload::ModulatorSpec& stage : workload::parse_modulators(chain)) {
+      spec.modulators.push_back(std::move(stage));
+    }
+  }
+  spec.validate();
+  return spec;
+}
+
 Options Options::parse(int argc, char** argv,
                        const std::string& default_label) {
   Options opts;
@@ -62,7 +84,8 @@ Options Options::parse(int argc, char** argv,
               << " [--trace PATH] [--probe PATH] [--probe-interval T]\n"
               << "       [--manifest PATH] [--anneal PATH] [--metrics]\n"
               << "       [--label NAME] [--jobs N|hw] [--faults SPEC]\n"
-              << "       [--mtbf T] [--mttr T]\n";
+              << "       [--mtbf T] [--mttr T] [--workload SPEC]\n"
+              << "       [--swf PATH[@SCALE]] [--modulate SPEC]\n";
     std::exit(2);
   };
   auto value = [&](int& i) -> std::string {
@@ -122,12 +145,37 @@ Options Options::parse(int argc, char** argv,
       g_mtbf = real_value(i);
     } else if (flag == "--mttr") {
       g_mttr = real_value(i);
+    } else if (flag == "--workload") {
+      g_workload_spec = value(i);
+      g_workload_spec_set = true;
+      try {
+        workload::SourceSpec::parse(g_workload_spec);
+      } catch (const std::exception& e) {
+        usage("--workload: " + std::string(e.what()));
+      }
+    } else if (flag == "--swf") {
+      g_workload_spec = "swf:" + value(i);
+      g_workload_spec_set = true;
+      try {
+        workload::SourceSpec::parse(g_workload_spec);
+      } catch (const std::exception& e) {
+        usage("--swf: " + std::string(e.what()));
+      }
+    } else if (flag == "--modulate") {
+      g_modulate_spec = value(i);
+      g_modulate_spec_set = true;
+      try {
+        workload::parse_modulators(g_modulate_spec);
+      } catch (const std::exception& e) {
+        usage("--modulate: " + std::string(e.what()));
+      }
     } else {
       usage("unexpected argument '" + flag + "'");
     }
   }
   opts.jobs = job_count();
   opts.faults = fault_plan();
+  opts.workload = workload_source();
   return opts;
 }
 

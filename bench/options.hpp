@@ -25,6 +25,13 @@
 //                       shorthand merged into the spec's churn clause
 //   --mttr T            mean time to repair (default 40 when --mtbf
 //                       is given without it)
+//   --workload SPEC     workload-source spec (docs/WORKLOADS.md), e.g.
+//                       "swf:trace.swf@0.01"; overrides
+//                       SCAL_BENCH_WORKLOAD
+//   --swf PATH[@SCALE]  shorthand for --workload swf:PATH[@SCALE]
+//   --modulate SPEC     load-modulator chain appended to the source,
+//                       e.g. "diurnal:amplitude=0.6,period=500";
+//                       overrides SCAL_BENCH_MODULATE
 // Unknown flags print usage to stderr and exit(2).
 
 #include <cstddef>
@@ -32,6 +39,7 @@
 
 #include "fault/plan.hpp"
 #include "obs/telemetry.hpp"
+#include "workload/source.hpp"
 
 namespace scal::bench {
 
@@ -39,6 +47,7 @@ struct Options {
   obs::TelemetryConfig telemetry;  ///< --trace/--probe/--manifest/--anneal
   std::size_t jobs = 1;            ///< --jobs, else SCAL_JOBS, else 1
   fault::FaultPlan faults;         ///< --faults/--mtbf/--mttr, else env
+  workload::SourceSpec workload;   ///< --workload/--swf/--modulate, else env
 
   /// Parse argv and record the result process-wide, so job_count(),
   /// fault_plan(), and the case bases (common_base folds the plan in)

@@ -33,6 +33,8 @@
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
+#include "workload/arrival_cache.hpp"
+#include "workload/source.hpp"
 
 namespace {
 
@@ -189,6 +191,69 @@ Sample aggregation_churn() {
   });
 }
 
+/// The workload shape used by both workload-generation samples: a
+/// Case-1-like stream with every knob pinned (case1_base's interarrival
+/// depends on SCAL_BENCH_FAST, so it is fixed here instead).
+workload::WorkloadConfig perf_workload() {
+  workload::WorkloadConfig wl;
+  wl.mean_interarrival = 0.4;  // ~3750 jobs per seed over the horizon
+  wl.clusters = 12;            // representative Case-1 cluster count
+  return wl;
+}
+
+/// Cold arrival-stream synthesis through the source layer: build the
+/// full source stack and drain it to the horizon across distinct seeds
+/// (no cache involved).  ns/job of workload generation — the cost the
+/// ArrivalCache takes off every structural rebuild.
+Sample workload_generation() {
+  const workload::WorkloadConfig wl = perf_workload();
+  constexpr double kHorizon = 1500.0;
+  constexpr std::uint64_t kSeeds = 16;
+  return timed("workload_generation", 5, [&] {
+    std::uint64_t jobs = 0;
+    for (std::uint64_t s = 0; s < kSeeds; ++s) {
+      jobs += workload::make_source(workload::SourceSpec{}, wl, 1000 + s,
+                                    kHorizon)
+                  ->generate_until(kHorizon)
+                  .size();
+    }
+    return jobs;
+  });
+}
+
+/// The same streams recalled from a primed ArrivalCache: ns/job of a
+/// warm structural rebuild's arrival path.  The cold/warm ratio is the
+/// memoization speedup reported below and gated in CI.
+Sample workload_generation_warm() {
+  const workload::WorkloadConfig wl = perf_workload();
+  constexpr double kHorizon = 1500.0;
+  constexpr std::uint64_t kSeeds = 16;
+  const workload::SourceSpec spec;
+  auto key = [](std::uint64_t s) {
+    return workload::ArrivalCache::Key{0xC0FFEEull, s};
+  };
+  workload::ArrivalCache::instance().clear();
+  for (std::uint64_t s = 0; s < kSeeds; ++s) {
+    workload::cached_arrivals(key(s), spec, wl, 1000 + s, kHorizon);
+  }
+  // Many rounds per rep: one recall is sub-microsecond, so the timed
+  // body is stretched until clock jitter is negligible for the gate.
+  constexpr std::uint64_t kRounds = 4096;
+  Sample sample = timed("workload_generation_warm", 5, [&] {
+    std::uint64_t jobs = 0;
+    for (std::uint64_t round = 0; round < kRounds; ++round) {
+      for (std::uint64_t s = 0; s < kSeeds; ++s) {
+        jobs +=
+            workload::cached_arrivals(key(s), spec, wl, 1000 + s, kHorizon)
+                .jobs->size();
+      }
+    }
+    return jobs;
+  });
+  workload::ArrivalCache::instance().clear();  // keep the macros cold
+  return sample;
+}
+
 /// One full Case-1 simulation per RMS kind (the fig2 k=1 point), the
 /// end-to-end number the 1.5x acceptance gate is measured on.
 std::vector<Sample> case1_macro() {
@@ -320,6 +385,8 @@ int main(int argc, char** argv) {
   samples.push_back(event_cancel_churn());
   samples.push_back(routing_queries());
   samples.push_back(aggregation_churn());
+  samples.push_back(workload_generation());
+  samples.push_back(workload_generation_warm());
   double macro_total = 0.0;
   std::uint64_t macro_events = 0;
   for (Sample& s : case1_macro()) {
@@ -349,16 +416,29 @@ int main(int argc, char** argv) {
   // Instrumentation overhead readout: profiled vs plain LOWEST macro.
   double plain_ns = 0.0;
   double profiled_ns = 0.0;
+  double gen_cold_ns = 0.0;
+  double gen_warm_ns = 0.0;
   for (const Sample& s : samples) {
     if (s.items == 0) continue;
     const double ns = 1e9 * s.wall_seconds / static_cast<double>(s.items);
     if (s.name == "case1_LOWEST") plain_ns = ns;
     if (s.name == "case1_LOWEST_profiled") profiled_ns = ns;
+    if (s.name == "workload_generation") gen_cold_ns = ns;
+    if (s.name == "workload_generation_warm") gen_warm_ns = ns;
   }
   if (plain_ns > 0.0 && profiled_ns > 0.0) {
     std::cout << "\nmetrics overhead on case1_LOWEST: "
               << util::Table::fixed((profiled_ns / plain_ns - 1.0) * 100.0, 2)
               << "% per event (gate: tools/check_perf_regression.py)\n";
+  }
+  // Memoization readout: what the ArrivalCache takes off a structural
+  // rebuild's arrival path (cold synthesis vs warm recall, ns/job).
+  if (gen_cold_ns > 0.0 && gen_warm_ns > 0.0) {
+    std::cout << "arrival-cache speedup on workload_generation: "
+              << util::Table::fixed(gen_cold_ns / gen_warm_ns, 1)
+              << "x (cold " << util::Table::fixed(gen_cold_ns, 1)
+              << " ns/job -> warm " << util::Table::fixed(gen_warm_ns, 2)
+              << " ns/job)\n";
   }
 
   export_instrumented_run(opts.telemetry.label);

@@ -10,6 +10,7 @@
 #include "fault/plan.hpp"
 #include "net/topology.hpp"
 #include "workload/generator.hpp"
+#include "workload/source.hpp"
 
 namespace scal::obs {
 class Telemetry;
@@ -172,6 +173,13 @@ struct GridConfig {
   CostModel costs;
   ProtocolParams protocol;
   workload::WorkloadConfig workload;
+
+  /// Where arrivals come from (docs/WORKLOADS.md): the synthetic
+  /// generator (default — byte-identical to the pre-source-layer
+  /// seed path), a saved CSV trace, or a Standard Workload Format log,
+  /// optionally wrapped in composable load modulators.  Mutually
+  /// exclusive with the legacy trace_path shorthand below.
+  workload::SourceSpec workload_source;
 
   std::uint64_t seed = 42;
   double horizon = 1500.0;  ///< simulated time units

@@ -144,6 +144,52 @@ std::array<std::uint64_t, 2> config_digest(const GridConfig& config,
   mix.text(config.trace_path);
   mix.word(config.update_suppression ? 1u : 0u);
 
+  const workload::SourceSpec& src = config.workload_source;
+  mix.word(static_cast<std::uint64_t>(src.kind));
+  mix.text(src.path);
+  mix.real(src.time_scale);
+  mix.text(workload::modulators_to_spec(src.modulators));
+
+  return mix.finish();
+}
+
+std::array<std::uint64_t, 2> workload_digest(const GridConfig& config) {
+  Mix128 mix;
+
+  // Everything schedule_arrivals feeds into the source stack: the
+  // workload model (clusters resolves to cluster_count() at generation
+  // time, so hash that), the declared source, the legacy trace
+  // shorthand, the seed the substreams derive from, and the horizon
+  // that terminates the stream.
+  const workload::WorkloadConfig& w = config.workload;
+  mix.real(w.mean_interarrival);
+  mix.word(static_cast<std::uint64_t>(w.exec_model));
+  mix.real(w.lognormal_mu);
+  mix.real(w.lognormal_sigma);
+  mix.real(w.pareto_alpha);
+  mix.real(w.pareto_lo);
+  mix.real(w.pareto_hi);
+  mix.real(w.uniform_lo);
+  mix.real(w.uniform_hi);
+  mix.real(w.requested_factor_max);
+  mix.real(w.t_cpu);
+  mix.real(w.benefit_lo);
+  mix.real(w.benefit_hi);
+  mix.word(config.cluster_count());
+  mix.real(w.diurnal_amplitude);
+  mix.real(w.diurnal_period);
+  mix.real(w.origin_hotspot_weight);
+
+  const workload::SourceSpec& src = config.workload_source;
+  mix.word(static_cast<std::uint64_t>(src.kind));
+  mix.text(src.path);
+  mix.real(src.time_scale);
+  mix.text(workload::modulators_to_spec(src.modulators));
+  mix.text(config.trace_path);
+
+  mix.word(config.seed);
+  mix.real(config.horizon);
+
   return mix.finish();
 }
 

@@ -17,6 +17,7 @@
 #include "sim/time.hpp"
 #include "util/stats.hpp"
 #include "workload/job.hpp"
+#include "workload/trace.hpp"
 
 namespace scal::obs {
 class Telemetry;
@@ -261,6 +262,12 @@ struct SimulationResult {
   double efficiency_avail() const noexcept {
     return availability > 0.0 ? efficiency() / availability : 0.0;
   }
+
+  // Workload provenance (src/workload source subsystem): summary stats
+  // of the arrival stream the run consumed, and whether the process-wide
+  // ArrivalCache already held it (docs/WORKLOADS.md).
+  workload::TraceStats workload_stats;
+  bool workload_from_cache = false;
 
   /// The telemetry handle the run was instrumented with (null when
   /// telemetry was off); points at the object the caller attached to

@@ -7,6 +7,7 @@
 #include "grid/sampler.hpp"
 #include "grid/telemetry.hpp"
 #include "util/log.hpp"
+#include "workload/source.hpp"
 #include "workload/trace.hpp"
 
 namespace scal::grid {
@@ -640,25 +641,23 @@ void GridSystem::schedule_arrivals() {
   // enablers), so one generation serves every reset cycle.
   if (!arrivals_cached_) {
     obs::PhaseProfiler::Scope scope(profiler_, workload_phase_);
+    workload::WorkloadConfig wl = config_.workload;
+    wl.clusters = static_cast<std::uint32_t>(cluster_count());
+    workload::SourceSpec spec = config_.workload_source;
     if (!config_.trace_path.empty()) {
-      arrival_jobs_ = workload::load_trace_file(config_.trace_path);
-      std::erase_if(arrival_jobs_, [this](const workload::Job& j) {
-        return j.arrival >= config_.horizon;
-      });
-      for (auto& job : arrival_jobs_) {
-        job.origin_cluster = static_cast<std::uint32_t>(
-            job.origin_cluster % cluster_count());
-      }
-    } else {
-      workload::WorkloadConfig wl = config_.workload;
-      wl.clusters = static_cast<std::uint32_t>(cluster_count());
-      workload::WorkloadGenerator gen(
-          wl, util::RandomStream(config_.seed, "workload"));
-      arrival_jobs_ = gen.generate_until(config_.horizon);
+      // Legacy shorthand: trace_path is the trace source by another name
+      // (validate() forbids setting both).
+      spec = workload::SourceSpec{};
+      spec.kind = workload::SourceKind::kTrace;
+      spec.path = config_.trace_path;
     }
+    workload::ArrivalStream stream = workload::cached_arrivals(
+        workload_digest(config_), spec, wl, config_.seed, config_.horizon);
+    arrival_jobs_ = std::move(stream.jobs);
+    workload_from_cache_ = stream.from_cache;
     arrivals_cached_ = true;
   }
-  const std::vector<workload::Job>& jobs = arrival_jobs_;
+  const std::vector<workload::Job>& jobs = *arrival_jobs_;
   SCAL_INFO("grid: " << jobs.size() << " jobs over horizon "
                      << config_.horizon);
   for (const auto& job : jobs) {
@@ -915,6 +914,8 @@ SimulationResult GridSystem::assemble_result() {
                      : 0.0;
   r.mean_response = metrics_.response_times().mean();
   r.p95_response = metrics_.response_times().percentile(95.0);
+  if (arrival_jobs_) r.workload_stats = workload::summarize(*arrival_jobs_);
+  r.workload_from_cache = workload_from_cache_;
   r.telemetry = config_.telemetry;
   return r;
 }

@@ -182,10 +182,13 @@ class GridSystem {
   bool injector_id_assigned_ = false;
   sim::EntityId sampler_entity_id_ = 0;
   // The arrival stream is a pure function of (config minus tuning), so
-  // it is generated once and replayed by every reset cycle (invalidated
-  // only when a rate-only reset moves the interarrival mean).
-  std::vector<workload::Job> arrival_jobs_;
+  // it is resolved once — through the process-wide ArrivalCache — and
+  // replayed by every reset cycle (invalidated only when a rate-only
+  // reset moves the interarrival mean).  Shared and immutable: other
+  // systems replaying the same workload alias the same vector.
+  std::shared_ptr<const std::vector<workload::Job>> arrival_jobs_;
   bool arrivals_cached_ = false;
+  bool workload_from_cache_ = false;
   /// Per-resource heterogeneity multipliers in build order, kept so a
   /// rate-only reset re-rates the pool exactly like a fresh build.
   std::vector<double> rate_multipliers_;

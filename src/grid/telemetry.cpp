@@ -2,6 +2,8 @@
 
 #include <unordered_set>
 
+#include "workload/arrival_cache.hpp"
+
 namespace scal::grid {
 
 void export_job_spans(const JobLog& log, obs::TraceRecorder& trace,
@@ -56,6 +58,19 @@ void fill_manifest(obs::RunManifest& manifest, const GridConfig& config,
   manifest.mean_response = result.mean_response;
   manifest.p95_response = result.p95_response;
   manifest.G_scheduler_max_share = result.G_scheduler_max_share;
+
+  // Workload block: only when a non-default source ran, keeping default
+  // (and legacy trace_path) manifests byte-identical.
+  if (!config.workload_source.is_default()) {
+    manifest.workload_source = config.workload_source.summary();
+    manifest.workload_jobs = result.workload_stats.jobs;
+    manifest.workload_span = result.workload_stats.span;
+    manifest.workload_mean_interarrival =
+        result.workload_stats.mean_interarrival;
+    manifest.workload_mean_exec = result.workload_stats.mean_exec_time;
+    manifest.workload_from_cache = result.workload_from_cache;
+    manifest.arrival_cache_hits = workload::ArrivalCache::instance().hits();
+  }
 
   // Control-plane block: only when the run had one, keeping legacy
   // manifests byte-identical.

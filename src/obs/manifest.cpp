@@ -75,6 +75,18 @@ std::string RunManifest::to_json() const {
     obj.raw("faults", faults.str());
   }
 
+  if (!workload_source.empty()) {
+    JsonObject workload;
+    workload.field("source", workload_source)
+        .field("jobs", workload_jobs)
+        .field("span", workload_span)
+        .field("mean_interarrival", workload_mean_interarrival)
+        .field("mean_exec", workload_mean_exec)
+        .field("from_cache", workload_from_cache)
+        .field("arrival_cache_hits", arrival_cache_hits);
+    obj.raw("workload", workload.str());
+  }
+
   if (control_plane) {
     JsonObject ctrl;
     ctrl.field("G_aggregator", G_aggregator)

@@ -59,6 +59,19 @@ struct RunManifest {
   double availability = 1.0;     ///< 1 - downtime / (resources * horizon)
   double efficiency_avail = 0.0; ///< E divided by availability
 
+  // Workload-source summary (emitted only when workload_source is
+  // non-empty, i.e. the run declared a non-default source or modulator
+  // chain, so default-synthetic manifests keep their exact byte
+  // layout).  Cache fields are provenance: they depend on what else the
+  // process ran before this record (volatile in tools/compare_runs.py).
+  std::string workload_source;      ///< SourceSpec::summary() of the run
+  std::uint64_t workload_jobs = 0;  ///< jobs in the arrival stream
+  double workload_span = 0.0;       ///< last arrival - first arrival
+  double workload_mean_interarrival = 0.0;
+  double workload_mean_exec = 0.0;
+  bool workload_from_cache = false;          ///< stream recalled, not built
+  std::uint64_t arrival_cache_hits = 0;      ///< process-wide cache hits
+
   // Control-plane summary (emitted — and the agg_* tuning fields with
   // it — only when control_plane is set, so legacy manifests keep their
   // exact byte layout).

@@ -64,6 +64,24 @@ class Scenario {
   /// Fault plan from its spec grammar (docs/FAULTS.md), e.g.
   /// "churn:mtbf=400,mttr=40;net:drop=0.02".  Throws on a bad spec.
   Scenario& faults(const std::string& spec);
+  /// Workload source (docs/WORKLOADS.md); default = the synthetic
+  /// generator the paper's figures run on.
+  Scenario& workload(workload::SourceSpec spec) {
+    config_.workload_source = std::move(spec);
+    return *this;
+  }
+  /// Workload source from its spec grammar, e.g. "swf:trace.swf@0.01"
+  /// or "synthetic".  Throws on a bad spec.
+  Scenario& workload(const std::string& spec);
+  /// Replay a Standard Workload Format log, with arrival and run times
+  /// multiplied by `time_scale` (SWF logs are in seconds; scale them
+  /// into sim time units).
+  Scenario& swf_trace(const std::string& path, double time_scale = 1.0);
+  /// Append one load-modulator stage to the source's chain, e.g.
+  /// "diurnal:amplitude=0.6,period=500" (docs/WORKLOADS.md grammar).
+  /// Chainable: each call appends; stages apply in call order.  Throws
+  /// on a bad spec.
+  Scenario& modulate(const std::string& spec);
   /// Custom policy factory (see examples/custom_rms.cpp); when unset,
   /// build() uses rms::scheduler_factory(config().rms).
   Scenario& scheduler(grid::SchedulerFactory factory) {

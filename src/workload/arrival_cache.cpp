@@ -1,0 +1,50 @@
+#include "workload/arrival_cache.hpp"
+
+namespace scal::workload {
+
+ArrivalCache& ArrivalCache::instance() {
+  static ArrivalCache cache;
+  return cache;
+}
+
+std::shared_ptr<const std::vector<Job>> ArrivalCache::lookup(const Key& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return it->second;
+}
+
+std::shared_ptr<const std::vector<Job>> ArrivalCache::store(
+    const Key& key, std::shared_ptr<const std::vector<Job>> jobs) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] = entries_.try_emplace(key, std::move(jobs));
+  return it->second;
+}
+
+std::uint64_t ArrivalCache::hits() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t ArrivalCache::misses() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+std::size_t ArrivalCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void ArrivalCache::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace scal::workload

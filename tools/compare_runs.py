@@ -73,7 +73,11 @@ def flatten(doc, prefix=""):
 # them, so like provenance they are informational, while the measured
 # F/G/H and ctrl counters they produced stay gated.
 VOLATILE = {"started_at", "git", "wall_seconds", "peak_rss_bytes", "label",
-            "jobs", "agg_fanout", "agg_batch", "agg_flush"}
+            "jobs", "agg_fanout", "agg_batch", "agg_flush",
+            # Arrival-cache provenance: depends on what else the process
+            # ran before the record, not on the run itself ("cache_hits"
+            # without the prefix is the tuner's — that one is real work).
+            "from_cache", "arrival_cache_hits"}
 
 
 def is_volatile(path):
@@ -131,6 +135,8 @@ def self_test():
                     "phases": {"sim.run": {"calls": 1, "total_ns": 999}}},
         "tuner": {"evaluations": 18, "cache_hits": 3},
         "tuning": {"update_interval": 20.0, "agg_fanout": 2, "agg_flush": 6.0},
+        "workload": {"source": "swf:x.swf@0.4", "jobs": 169, "span": 1300.0,
+                     "from_cache": False, "arrival_cache_hits": 6},
     }
     same = json.loads(json.dumps(base))
     same["wall_seconds"] = 2.0           # volatile: must not count
@@ -138,9 +144,19 @@ def self_test():
     same["metrics"]["phases"]["sim.run"]["total_ns"] = 123  # *_ns: volatile
     same["tuning"]["agg_fanout"] = 4     # tuner output: must not count
     same["tuning"]["agg_flush"] = 3.5    # tuner output: must not count
+    same["workload"]["from_cache"] = True        # provenance: not counted
+    same["workload"]["arrival_cache_hits"] = 99  # provenance: not counted
     exceeded, ok = compare(base, same, threshold=0.0)
     assert ok, "identical structures flagged as mismatch"
     assert not exceeded, f"volatile-only diffs flagged: {exceeded}"
+    assert same["tuner"]["cache_hits"] == base["tuner"]["cache_hits"], \
+        "self-test fixture drifted"
+
+    cache_drift = json.loads(json.dumps(base))
+    cache_drift["tuner"]["cache_hits"] = 9   # tuner hits ARE real work
+    exceeded, ok = compare(base, cache_drift, threshold=0.0)
+    assert ok and "tuner.cache_hits" in exceeded, \
+        f"tuner cache-hit drift not caught: {exceeded}"
 
     drifted = json.loads(json.dumps(base))
     drifted["result"]["G"] = 12.0
