@@ -39,6 +39,10 @@ grid::GridConfig common_base() {
   config.faults = fault_plan();  // inert unless --faults/env knobs set
   // Default synthetic unless --workload/--swf/--modulate/env knobs set.
   config.workload_source = workload_source();
+  // Memory tier (docs/PERFORMANCE.md): full unless the env knob flips
+  // the whole bench onto the streaming result path.
+  config.result_mode = grid::result_mode_from_string(
+      util::env_or("SCAL_BENCH_RESULT_MODE", "full"));
   return config;
 }
 

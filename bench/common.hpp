@@ -22,6 +22,9 @@
 //                        e.g. "swf:trace.swf@0.01"
 //   SCAL_BENCH_MODULATE=s  load-modulator chain appended to the source,
 //                        e.g. "diurnal:amplitude=0.6,period=500"
+//   SCAL_BENCH_RESULT_MODE=m  result path: "full" (default, exact) or
+//                        "streaming" (O(1) per-job memory; see
+//                        docs/PERFORMANCE.md memory tiers)
 
 #include <string>
 #include <vector>

@@ -302,6 +302,25 @@ Sample tuned_sweep() {
   });
 }
 
+/// The streaming tier's standing ns/job sample: a Case-1 LOWEST run in
+/// result_mode=streaming with the horizon stretched to ~250k jobs —
+/// large enough that the pull-based arrival path and the online result
+/// fold dominate, small enough for the smoke budget.  Items are jobs
+/// arrived (deterministic in the pinned seed); the committed baseline
+/// gates ns/job drift on the million-job path.
+Sample streaming_million() {
+  grid::GridConfig base = bench::case1_base();
+  base.topology.nodes = 250;  // pin against SCAL_BENCH_FAST
+  base.seed = 42;             // pin against SCAL_BENCH_SEED
+  base.result_mode = grid::ResultMode::kStreaming;
+  constexpr std::uint64_t kTargetJobs = 250'000;
+  base.horizon =
+      static_cast<double>(kTargetJobs) * base.workload.mean_interarrival;
+  return timed("streaming_million", 2, [&] {
+    return Scenario(base).rms(grid::RmsKind::kLowest).run().jobs_arrived;
+  });
+}
+
 /// The Case-1 LOWEST macro point again, with --metrics instrumentation
 /// live (histogram probes + phase profiler, no file exports): the
 /// overhead sample the perf gate holds under 5% of the plain macro.
@@ -395,6 +414,7 @@ int main(int argc, char** argv) {
     samples.push_back(std::move(s));
   }
   samples.push_back(Sample{"case1_sweep_total", macro_events, macro_total});
+  samples.push_back(streaming_million());
   samples.push_back(tuned_sweep());
   samples.push_back(case1_profiled());
 

@@ -67,6 +67,7 @@ const std::set<std::string>& known_keys() {
       "grid.seed", "grid.horizon", "grid.update_suppression",
       "grid.trace_path", "grid.heterogeneity",
       "grid.control_loss_probability", "grid.job_log",
+      "grid.job_log_capacity", "grid.result_mode",
       "grid.sample_interval",
       "workload.mean_interarrival", "workload.t_cpu",
       "workload.benefit_lo", "workload.benefit_hi",
@@ -120,6 +121,12 @@ ExperimentConfig experiment_from_ini(const util::IniFile& ini) {
   g.control_loss_probability = ini.get_double(
       "grid.control_loss_probability", g.control_loss_probability);
   g.job_log = ini.get_bool("grid.job_log", g.job_log);
+  g.job_log_capacity = static_cast<std::size_t>(
+      ini.get_int("grid.job_log_capacity",
+                  static_cast<std::int64_t>(g.job_log_capacity)));
+  if (const auto mode = ini.get("grid.result_mode")) {
+    g.result_mode = grid::result_mode_from_string(*mode);
+  }
   g.sample_interval =
       ini.get_double("grid.sample_interval", g.sample_interval);
 
@@ -207,6 +214,13 @@ util::IniFile experiment_to_ini(const ExperimentConfig& config) {
   ini.set_double("grid.control_loss_probability",
                  g.control_loss_probability);
   ini.set_bool("grid.job_log", g.job_log);
+  if (g.job_log_capacity > 0) {
+    ini.set_int("grid.job_log_capacity",
+                static_cast<std::int64_t>(g.job_log_capacity));
+  }
+  if (g.result_mode != grid::ResultMode::kFull) {
+    ini.set("grid.result_mode", grid::to_string(g.result_mode));
+  }
   if (g.sample_interval > 0.0) {
     ini.set_double("grid.sample_interval", g.sample_interval);
   }

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "fault/plan.hpp"
+#include "grid/result_mode.hpp"
 #include "net/topology.hpp"
 #include "workload/generator.hpp"
 #include "workload/source.hpp"
@@ -206,6 +207,22 @@ struct GridConfig {
   /// start, completion) for post-run analysis.  Off by default: the
   /// figure sweeps do not need it and it costs memory per job.
   bool job_log = false;
+
+  /// Bound on job-log records (0 = unbounded).  At million-job scale an
+  /// unbounded log defeats the streaming tier, so scale runs either
+  /// leave job_log off or cap it; records past the cap are counted, not
+  /// stored.
+  std::size_t job_log_capacity = 0;
+
+  /// How per-job results accumulate (docs/PERFORMANCE.md memory tiers).
+  /// kFull (default) keeps the exact response samples and is
+  /// byte-identical to the pre-streaming seed path.  kStreaming folds
+  /// everything online and pulls arrivals through the JobStream
+  /// interface, making per-job memory O(1): F/G/H, every counter, and
+  /// the mean response are bit-identical to kFull; only p95_response
+  /// switches to the HDR-histogram approximation.  Structural (selects
+  /// the sink and the arrival path), so it never survives a reset.
+  ResultMode result_mode = ResultMode::kFull;
 
   /// When non-empty, jobs are replayed from this trace file (see
   /// workload::save_trace_file) instead of being generated; arrivals

@@ -141,6 +141,8 @@ std::array<std::uint64_t, 2> config_digest(const GridConfig& config,
 
   mix.real(config.sample_interval);
   mix.word(config.job_log ? 1u : 0u);
+  mix.word(config.job_log_capacity);
+  mix.word(static_cast<std::uint64_t>(config.result_mode));
   mix.text(config.trace_path);
   mix.word(config.update_suppression ? 1u : 0u);
 

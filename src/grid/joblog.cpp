@@ -17,6 +17,10 @@ const char* to_string(JobEvent event) {
 void JobLog::record(workload::JobId job, JobEvent event, sim::Time at,
                     std::uint32_t place) {
   if (!enabled_) return;
+  if (capacity_ != 0 && records_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
   by_job_[job].push_back(records_.size());
   records_.push_back(JobLogRecord{job, event, at, place});
 }

@@ -39,13 +39,23 @@ class JobLog {
   void set_enabled(bool enabled) noexcept { enabled_ = enabled; }
   bool enabled() const noexcept { return enabled_; }
 
+  /// Bound the log at `capacity` records (0 = unbounded, the default).
+  /// Records past the cap are counted in dropped() instead of stored —
+  /// the streaming tier's "first N records, then count" discipline.
+  void set_capacity(std::size_t capacity) noexcept { capacity_ = capacity; }
+  std::size_t capacity() const noexcept { return capacity_; }
+  /// Records discarded by the capacity bound.
+  std::uint64_t dropped() const noexcept { return dropped_; }
+
   void record(workload::JobId job, JobEvent event, sim::Time at,
               std::uint32_t place = 0);
 
-  /// Drop all records (reusable-system path); enablement is unchanged.
+  /// Drop all records (reusable-system path); enablement and capacity
+  /// are unchanged.
   void clear() {
     records_.clear();
     by_job_.clear();
+    dropped_ = 0;
   }
 
   std::size_t size() const noexcept { return records_.size(); }
@@ -69,6 +79,8 @@ class JobLog {
 
  private:
   bool enabled_ = false;
+  std::size_t capacity_ = 0;  // 0 = unbounded
+  std::uint64_t dropped_ = 0;
   std::vector<JobLogRecord> records_;
   // job -> indices into records_, for O(1) timeline lookup.
   std::unordered_map<workload::JobId, std::vector<std::size_t>> by_job_;

@@ -1,8 +1,20 @@
 #include "grid/metrics.hpp"
 
+#include <stdexcept>
+
 #include "obs/histogram.hpp"
 
 namespace scal::grid {
+
+const util::Samples& MetricsCollector::response_times() const {
+  const util::Samples* samples = sink_->samples();
+  if (samples == nullptr) {
+    throw std::logic_error(
+        "MetricsCollector::response_times: the streaming sink keeps no "
+        "sample store; use response_mean()/response_p95()");
+  }
+  return *samples;
+}
 
 void MetricsCollector::observe_decision_queue(std::size_t depth) {
   if (queue_depth_hist_ != nullptr) {
@@ -15,10 +27,8 @@ void MetricsCollector::observe_staleness(double age) {
 }
 
 void MetricsCollector::record_arrival(const workload::Job& job) {
-  if (job_log_) {
-    job_log_->record(job.id, JobEvent::kArrival, job.arrival,
-                     job.origin_cluster);
-  }
+  record_job_event(job.id, JobEvent::kArrival, job.arrival,
+                   job.origin_cluster);
   ++arrived_;
   if (job.job_class == workload::JobClass::kLocal) ++local_;
   else ++remote_;
@@ -31,7 +41,7 @@ void MetricsCollector::record_completion(const workload::Job& job,
   ++completed_;
   control_overhead_ += control_cost;
   const double response = completion - job.arrival;
-  response_.add(response);
+  sink_->record_response(response);
   if (response_hist_ != nullptr) response_hist_->record(response);
   if (wait_hist_ != nullptr) wait_hist_->record(response - service_time);
   if (slowdown_hist_ != nullptr && service_time > 0.0) {
@@ -108,7 +118,7 @@ void MetricsCollector::merge(const MetricsCollector& other) {
   round_retries_ += other.round_retries_;
   status_evictions_ += other.status_evictions_;
   blackout_drops_ += other.blackout_drops_;
-  for (const double r : other.response_.values()) response_.add(r);
+  sink_->merge_responses(*other.sink_);
 }
 
 void MetricsCollector::reset() {
@@ -119,7 +129,7 @@ void MetricsCollector::reset() {
   updates_received_ = updates_suppressed_ = 0;
   killed_ = requeued_ = lost_ = 0;
   round_retries_ = status_evictions_ = blackout_drops_ = 0;
-  response_ = util::Samples{};
+  sink_->clear_responses();
 }
 
 }  // namespace scal::grid

@@ -14,6 +14,7 @@
 #include <cstdint>
 
 #include "grid/joblog.hpp"
+#include "grid/result_sink.hpp"
 #include "sim/time.hpp"
 #include "util/stats.hpp"
 #include "workload/job.hpp"
@@ -57,10 +58,40 @@ struct MetricsSnapshot {
 
 class MetricsCollector {
  public:
-  /// Attach an (optional) job-lifecycle log; arrival records flow
-  /// through here, other components log via job_log().
-  void attach_job_log(JobLog* log) noexcept { job_log_ = log; }
-  JobLog* job_log() noexcept { return job_log_; }
+  MetricsCollector() = default;
+  // The default sink is embedded (sink_ points into *this), so copies
+  // and moves would alias the wrong sink; the collector is shared by
+  // reference everywhere anyway.
+  MetricsCollector(const MetricsCollector&) = delete;
+  MetricsCollector& operator=(const MetricsCollector&) = delete;
+
+  /// Attach the result sink (GridConfig::result_mode selects the
+  /// implementation).  Non-owning; null restores the embedded full
+  /// sink.  A standalone collector (tests, per-task shards) works
+  /// without ever attaching one.
+  void attach_sink(ResultSink* sink) noexcept {
+    sink_ = sink != nullptr ? sink : &default_sink_;
+  }
+  ResultSink& sink() noexcept { return *sink_; }
+  const ResultSink& sink() const noexcept { return *sink_; }
+
+  /// Legacy shim: override the lifecycle log destination with an
+  /// external log.  New code records through record_job_event and reads
+  /// the sink's log; attaching is only kept for standalone collectors.
+  void attach_job_log(JobLog* log) noexcept { external_log_ = log; }
+  /// The lifecycle log events flow into: the attached override, or the
+  /// sink's own log.  Never null.
+  JobLog* job_log() noexcept {
+    return external_log_ != nullptr ? external_log_ : &sink_->log();
+  }
+
+  /// Record one job-lifecycle event.  The single mutation path into the
+  /// log — components call this instead of writing job_log() directly,
+  /// so the sink can bound or redirect the storage.
+  void record_job_event(workload::JobId job, JobEvent event, sim::Time at,
+                        std::uint32_t place = 0) {
+    job_log()->record(job, event, at, place);
+  }
 
   /// Attach (optional) distribution probes; any pointer may be null.
   /// wait/response/slowdown fold online at record_completion; queue
@@ -133,7 +164,19 @@ class MetricsCollector {
   std::uint64_t status_evictions() const noexcept { return status_evictions_; }
   std::uint64_t blackout_drops() const noexcept { return blackout_drops_; }
 
-  const util::Samples& response_times() const noexcept { return response_; }
+  /// The exact response-time samples (full mode only; throws
+  /// std::logic_error when the attached sink folds online — use
+  /// response_mean()/response_p95() there).
+  const util::Samples& response_times() const;
+  std::uint64_t response_count() const noexcept {
+    return sink_->response_count();
+  }
+  /// Mean response time — bitwise identical across sink modes (both
+  /// fold a 0.0-seeded sum in completion order).
+  double response_mean() const { return sink_->response_mean(); }
+  /// 95th-percentile response: exact in full mode, HDR-histogram
+  /// approximate in streaming mode.
+  double response_p95() const { return sink_->response_p95(); }
 
   /// Consistent value copy of all counters (valid mid-run).
   MetricsSnapshot snapshot() const noexcept;
@@ -159,8 +202,9 @@ class MetricsCollector {
   std::uint64_t updates_received_ = 0, updates_suppressed_ = 0;
   std::uint64_t killed_ = 0, requeued_ = 0, lost_ = 0;
   std::uint64_t round_retries_ = 0, status_evictions_ = 0, blackout_drops_ = 0;
-  util::Samples response_;
-  JobLog* job_log_ = nullptr;
+  FullResultSink default_sink_;
+  ResultSink* sink_ = &default_sink_;
+  JobLog* external_log_ = nullptr;
   obs::Histogram* wait_hist_ = nullptr;
   obs::Histogram* response_hist_ = nullptr;
   obs::Histogram* slowdown_hist_ = nullptr;
@@ -268,6 +312,18 @@ struct SimulationResult {
   // ArrivalCache already held it (docs/WORKLOADS.md).
   workload::TraceStats workload_stats;
   bool workload_from_cache = false;
+
+  // Memory tier (docs/PERFORMANCE.md): which result path the run used
+  // and what its bounded stores did.  All defaults on a full-mode run
+  // with the job log off — the common case stays indistinguishable from
+  // the pre-streaming seed.
+  ResultMode result_mode = ResultMode::kFull;
+  std::uint64_t job_log_records = 0;  ///< lifecycle records kept
+  std::uint64_t job_log_dropped = 0;  ///< records past the capacity bound
+  std::uint64_t arena_high_water = 0;  ///< peak in-flight arrival slots
+  std::uint64_t arena_reuses = 0;      ///< arrival slot recycles
+  std::uint64_t arrival_cache_evictions = 0;  ///< byte-budget FIFO evictions
+  std::uint64_t arrival_cache_store_skips = 0;  ///< one-shot stores skipped
 
   /// The telemetry handle the run was instrumented with (null when
   /// telemetry was off); points at the object the caller attached to

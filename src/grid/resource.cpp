@@ -30,9 +30,7 @@ double Resource::in_service_partial() const noexcept {
 
 void Resource::accept_job(workload::Job job) {
   if (down_) {
-    if (auto* log = metrics_->job_log()) {
-      log->record(job.id, JobEvent::kKilled, now(), index_);
-    }
+    metrics_->record_job_event(job.id, JobEvent::kKilled, now(), index_);
     metrics_->record_job_killed(0.0);
     if (kill_handler_) {
       std::vector<workload::Job> bounced;
@@ -67,10 +65,8 @@ void Resource::crash() {
     killed.push_back(std::move(queue_.front()));
     queue_.pop_front();
   }
-  if (auto* log = metrics_->job_log()) {
-    for (const workload::Job& job : killed) {
-      log->record(job.id, JobEvent::kKilled, now(), index_);
-    }
+  for (const workload::Job& job : killed) {
+    metrics_->record_job_event(job.id, JobEvent::kKilled, now(), index_);
   }
   if (!killed.empty() && kill_handler_) kill_handler_(std::move(killed));
 }
@@ -96,9 +92,7 @@ void Resource::begin_service() {
   }
   in_service_ = std::move(queue_.front());
   queue_.pop_front();
-  if (auto* log = metrics_->job_log()) {
-    log->record(in_service_->id, JobEvent::kStart, now(), index_);
-  }
+  metrics_->record_job_event(in_service_->id, JobEvent::kStart, now(), index_);
   service_started_ = now();
   current_service_time_ = in_service_->exec_time / service_rate_;
   // Job-control (launch/teardown) is RP overhead H, modeled as a setup
@@ -107,9 +101,8 @@ void Resource::begin_service() {
   busy_time_ += total;
   completion_event_ = sim().schedule_in(total, [this]() {
     ++executed_;
-    if (auto* log = metrics_->job_log()) {
-      log->record(in_service_->id, JobEvent::kComplete, now(), index_);
-    }
+    metrics_->record_job_event(in_service_->id, JobEvent::kComplete, now(),
+                               index_);
     metrics_->record_completion(*in_service_, now(), current_service_time_,
                                 control_time_);
     in_service_.reset();

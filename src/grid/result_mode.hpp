@@ -1,0 +1,23 @@
+#pragma once
+// ResultMode: how a run accumulates per-job results (docs/PERFORMANCE.md
+// memory tiers).  kFull keeps the exact response-time sample store and
+// an unbounded job log — the legacy, byte-identical default.  kStreaming
+// folds everything online (O(1) memory per job): the mean response stays
+// bitwise identical (same summation order), the p95 comes from the HDR
+// histogram (bounded relative error), and the job log is bounded by
+// GridConfig::job_log_capacity.  Million-job sweeps run kStreaming.
+
+#include <cstdint>
+#include <string>
+
+namespace scal::grid {
+
+enum class ResultMode : std::uint8_t {
+  kFull,       ///< exact samples + unbounded log (legacy default)
+  kStreaming,  ///< online folds, O(1) per job
+};
+
+std::string to_string(ResultMode mode);
+ResultMode result_mode_from_string(const std::string& name);
+
+}  // namespace scal::grid

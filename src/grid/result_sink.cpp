@@ -1,0 +1,52 @@
+#include "grid/result_sink.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+namespace scal::grid {
+
+std::string to_string(ResultMode mode) {
+  switch (mode) {
+    case ResultMode::kFull: return "full";
+    case ResultMode::kStreaming: return "streaming";
+  }
+  return "?";
+}
+
+ResultMode result_mode_from_string(const std::string& name) {
+  if (name == "full") return ResultMode::kFull;
+  if (name == "streaming") return ResultMode::kStreaming;
+  throw std::invalid_argument("result_mode_from_string: unknown mode '" +
+                              name + "' (expected full|streaming)");
+}
+
+void FullResultSink::merge_responses(const ResultSink& other) {
+  const util::Samples* theirs = other.samples();
+  if (theirs == nullptr) {
+    throw std::logic_error(
+        "FullResultSink::merge_responses: cannot merge a streaming sink "
+        "into a full one");
+  }
+  for (const double r : theirs->values()) response_.add(r);
+}
+
+void StreamingResultSink::merge_responses(const ResultSink& other) {
+  const auto* theirs = dynamic_cast<const StreamingResultSink*>(&other);
+  if (theirs == nullptr) {
+    throw std::logic_error(
+        "StreamingResultSink::merge_responses: cannot merge a full sink "
+        "into a streaming one");
+  }
+  count_ += theirs->count_;
+  sum_ += theirs->sum_;
+  hist_.merge(theirs->hist_);
+}
+
+std::unique_ptr<ResultSink> make_result_sink(ResultMode mode) {
+  if (mode == ResultMode::kStreaming) {
+    return std::make_unique<StreamingResultSink>();
+  }
+  return std::make_unique<FullResultSink>();
+}
+
+}  // namespace scal::grid

@@ -7,6 +7,7 @@
 #include "grid/sampler.hpp"
 #include "grid/telemetry.hpp"
 #include "util/log.hpp"
+#include "workload/arrival_cache.hpp"
 #include "workload/source.hpp"
 #include "workload/trace.hpp"
 
@@ -15,8 +16,10 @@ namespace scal::grid {
 GridSystem::GridSystem(GridConfig config, SchedulerFactory factory)
     : config_(std::move(config)) {
   config_.validate();
-  job_log_.set_enabled(config_.job_log);
-  metrics_.attach_job_log(&job_log_);
+  sink_ = make_result_sink(config_.result_mode);
+  sink_->log().set_enabled(config_.job_log);
+  sink_->log().set_capacity(config_.job_log_capacity);
+  metrics_.attach_sink(sink_.get());
   if (!factory) {
     throw std::invalid_argument("GridSystem: null scheduler factory");
   }
@@ -444,7 +447,7 @@ void GridSystem::setup_telemetry() {
   if (tc.trace_jobs) {
     // Job spans are reconstructed from the lifecycle log after the run.
     trace_jobs_ = true;
-    job_log_.set_enabled(true);
+    sink_->log().set_enabled(true);
     jobs_tid_ = trace_->register_track("jobs");
   }
 }
@@ -542,7 +545,7 @@ void GridSystem::finish_telemetry(const SimulationResult& result) {
     }
     middleware_->close_open_span(config_.horizon);
     if (trace_jobs_) {
-      export_job_spans(job_log_, *trace_, jobs_tid_, config_.horizon);
+      export_job_spans(sink_->log(), *trace_, jobs_tid_, config_.horizon);
     }
   }
   if (obs::TimeSeriesProbe* probe = telemetry.probe()) {
@@ -579,7 +582,8 @@ SchedulerBase& GridSystem::scheduler_for(ClusterId cluster) {
 void GridSystem::route_message(net::NodeId from_node, RmsMessage msg,
                                bool via_middleware) {
   if (msg.kind == MsgKind::kJobTransfer && msg.job) {
-    job_log_.record(msg.job->id, JobEvent::kTransfer, sim_.now(), msg.to);
+    metrics_.record_job_event(msg.job->id, JobEvent::kTransfer, sim_.now(),
+                              msg.to);
   }
   if (trace_messages_) {
     trace_->instant(msg_tid_, to_string(msg.kind), "rms", sim_.now(),
@@ -626,7 +630,7 @@ void GridSystem::route_message(net::NodeId from_node, RmsMessage msg,
 void GridSystem::ship_job_to_resource(net::NodeId from_node,
                                       ClusterId cluster, ResourceIndex index,
                                       workload::Job job) {
-  job_log_.record(job.id, JobEvent::kDispatch, sim_.now(), cluster);
+  metrics_.record_job_event(job.id, JobEvent::kDispatch, sim_.now(), cluster);
   Resource& res = resource(cluster, index);
   const net::NodeId res_node =
       layout_.clusters.at(cluster).resource_nodes.at(index);
@@ -636,21 +640,73 @@ void GridSystem::ship_job_to_resource(net::NodeId from_node,
                  });
 }
 
+void GridSystem::deliver_arrival(const workload::Job& job) {
+  metrics_.record_arrival(job);
+  SchedulerBase& sched = scheduler_for(job.origin_cluster);
+  if (config_.rms == RmsKind::kCentral &&
+      sched.node() != layout_.clusters[job.origin_cluster].scheduler_node) {
+    // CENTRAL: the submission point forwards the job to the single
+    // central scheduler over the network.
+    const net::NodeId gateway =
+        layout_.clusters[job.origin_cluster].scheduler_node;
+    network_->send(gateway, sched.node(), config_.costs.size_job,
+                   [&sched, job]() { sched.deliver_job(job); });
+  } else {
+    sched.deliver_job(job);
+  }
+}
+
+void GridSystem::schedule_next_arrival() {
+  workload::Job* slot = arrival_arena_.acquire();
+  if (!arrival_stream_->next(*slot)) {
+    arrival_arena_.release(slot);
+    return;
+  }
+  stream_stats_.add(*slot);
+  sim_.schedule_at(slot->arrival, [this, slot]() {
+    const workload::Job job = *slot;
+    arrival_arena_.release(slot);
+    // Chain the successor before delivering, so on a shared arrival time
+    // the next job's event is enqueued ahead of anything delivery spawns
+    // — matching the materialized path's pre-scheduled order.
+    schedule_next_arrival();
+    deliver_arrival(job);
+  });
+}
+
 void GridSystem::schedule_arrivals() {
-  // The stream depends only on the structural config (never the tuning
-  // enablers), so one generation serves every reset cycle.
+  workload::WorkloadConfig wl = config_.workload;
+  wl.clusters = static_cast<std::uint32_t>(cluster_count());
+  workload::SourceSpec spec = config_.workload_source;
+  if (!config_.trace_path.empty()) {
+    // Legacy shorthand: trace_path is the trace source by another name
+    // (validate() forbids setting both).
+    spec = workload::SourceSpec{};
+    spec.kind = workload::SourceKind::kTrace;
+    spec.path = config_.trace_path;
+  }
+
+  if (config_.result_mode == ResultMode::kStreaming) {
+    // Pull-based path: jobs flow one at a time through an arena slot, so
+    // peak memory is independent of the job count.  A cache hit replays
+    // the materialized vector; a miss streams live and is NOT stored
+    // (one-shot scale runs must not leave a multi-GB vector behind).
+    obs::PhaseProfiler::Scope scope(profiler_, workload_phase_);
+    workload::PulledArrivals pulled = workload::cached_stream(
+        workload_digest(config_), spec, wl, config_.seed, config_.horizon,
+        /*reusable=*/false);
+    arrival_stream_ = std::move(pulled.stream);
+    workload_from_cache_ = pulled.from_cache;
+    stream_stats_ = workload::TraceStatsAccumulator{};
+    schedule_next_arrival();
+    return;
+  }
+
+  // Materialized path: the stream depends only on the structural config
+  // (never the tuning enablers), so one generation serves every reset
+  // cycle.
   if (!arrivals_cached_) {
     obs::PhaseProfiler::Scope scope(profiler_, workload_phase_);
-    workload::WorkloadConfig wl = config_.workload;
-    wl.clusters = static_cast<std::uint32_t>(cluster_count());
-    workload::SourceSpec spec = config_.workload_source;
-    if (!config_.trace_path.empty()) {
-      // Legacy shorthand: trace_path is the trace source by another name
-      // (validate() forbids setting both).
-      spec = workload::SourceSpec{};
-      spec.kind = workload::SourceKind::kTrace;
-      spec.path = config_.trace_path;
-    }
     workload::ArrivalStream stream = workload::cached_arrivals(
         workload_digest(config_), spec, wl, config_.seed, config_.horizon);
     arrival_jobs_ = std::move(stream.jobs);
@@ -661,22 +717,7 @@ void GridSystem::schedule_arrivals() {
   SCAL_INFO("grid: " << jobs.size() << " jobs over horizon "
                      << config_.horizon);
   for (const auto& job : jobs) {
-    sim_.schedule_at(job.arrival, [this, job]() {
-      metrics_.record_arrival(job);
-      SchedulerBase& sched = scheduler_for(job.origin_cluster);
-      if (config_.rms == RmsKind::kCentral &&
-          sched.node() !=
-              layout_.clusters[job.origin_cluster].scheduler_node) {
-        // CENTRAL: the submission point forwards the job to the single
-        // central scheduler over the network.
-        const net::NodeId gateway =
-            layout_.clusters[job.origin_cluster].scheduler_node;
-        network_->send(gateway, sched.node(), config_.costs.size_job,
-                       [&sched, job]() { sched.deliver_job(job); });
-      } else {
-        sched.deliver_job(job);
-      }
-    });
+    sim_.schedule_at(job.arrival, [this, job]() { deliver_arrival(job); });
   }
 }
 
@@ -766,7 +807,8 @@ void GridSystem::reset(const GridConfig& next) {
 
   sim_.reset();
   metrics_.reset();
-  job_log_.clear();
+  sink_->log().clear();
+  arrival_stream_.reset();
 
   network_->reset_counters();
   network_->set_delay_scale(config_.tuning.link_delay_scale);
@@ -912,10 +954,24 @@ SimulationResult GridSystem::assemble_result() {
   r.throughput = config_.horizon > 0.0
                      ? static_cast<double>(r.jobs_completed) / config_.horizon
                      : 0.0;
-  r.mean_response = metrics_.response_times().mean();
-  r.p95_response = metrics_.response_times().percentile(95.0);
-  if (arrival_jobs_) r.workload_stats = workload::summarize(*arrival_jobs_);
+  // Mean before p95: in full mode percentile() sorts the sample store,
+  // which would change the mean's summation order (and its last bits).
+  r.mean_response = metrics_.response_mean();
+  r.p95_response = metrics_.response_p95();
+  if (config_.result_mode == ResultMode::kStreaming) {
+    r.workload_stats = stream_stats_.stats();
+  } else if (arrival_jobs_) {
+    r.workload_stats = workload::summarize(*arrival_jobs_);
+  }
   r.workload_from_cache = workload_from_cache_;
+  r.result_mode = config_.result_mode;
+  r.job_log_records = sink_->log().size();
+  r.job_log_dropped = sink_->log().dropped();
+  r.arena_high_water = arrival_arena_.high_water();
+  r.arena_reuses = arrival_arena_.reuses();
+  r.arrival_cache_evictions = workload::ArrivalCache::instance().evictions();
+  r.arrival_cache_store_skips =
+      workload::ArrivalCache::instance().store_skips();
   r.telemetry = config_.telemetry;
   return r;
 }

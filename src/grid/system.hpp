@@ -19,11 +19,15 @@
 #include "grid/metrics.hpp"
 #include "grid/middleware.hpp"
 #include "grid/resource.hpp"
+#include "grid/result_sink.hpp"
 #include "grid/scheduler.hpp"
 #include "net/network.hpp"
 #include "obs/telemetry.hpp"
 #include "sim/simulator.hpp"
+#include "workload/arena.hpp"
 #include "workload/generator.hpp"
+#include "workload/stream.hpp"
+#include "workload/trace.hpp"
 
 namespace scal::grid {
 
@@ -92,7 +96,10 @@ class GridSystem {
                      bool via_middleware);
 
   /// Job-lifecycle log (empty unless config.job_log was set).
-  const JobLog& job_log() const noexcept { return job_log_; }
+  const JobLog& job_log() const noexcept { return sink_->log(); }
+
+  /// The active result sink (full or streaming, per config.result_mode).
+  const ResultSink& result_sink() const noexcept { return *sink_; }
 
   /// Time-series sampler (null unless config.sample_interval > 0).
   const StateSampler* sampler() const noexcept { return sampler_.get(); }
@@ -146,12 +153,23 @@ class GridSystem {
   double current_overhead_work() const;
   void finish_telemetry(const SimulationResult& result);
 
+  /// Deliver one pulled/materialized arrival into the system: metrics,
+  /// optional job trace, and the CENTRAL gateway forward.  Shared by the
+  /// materialized and streaming arrival paths so both are bit-identical.
+  void deliver_arrival(const workload::Job& job);
+  /// Streaming path: schedule the next pulled arrival (chained — each
+  /// arrival event schedules its successor, so at most one job is ever
+  /// pending in the event queue).
+  void schedule_next_arrival();
+
   GridConfig config_;
   sim::Simulator sim_;
   net::Graph graph_;
   ClusterLayout layout_;
   MetricsCollector metrics_;
-  JobLog job_log_;
+  /// Owns the response accumulator and the job log; selected once at
+  /// build time from config.result_mode (structural — reset keeps it).
+  std::unique_ptr<ResultSink> sink_;
   std::unique_ptr<net::Network> network_;
   std::unique_ptr<Middleware> middleware_;
   net::NodeId middleware_node_ = net::kInvalidNode;
@@ -189,6 +207,13 @@ class GridSystem {
   std::shared_ptr<const std::vector<workload::Job>> arrival_jobs_;
   bool arrivals_cached_ = false;
   bool workload_from_cache_ = false;
+  // Streaming arrival path (result_mode == kStreaming): jobs are pulled
+  // one at a time from this stream into arena slots, so per-job memory
+  // stays O(1); the accumulator folds the workload stats that the
+  // materialized path computes from the full vector.
+  std::unique_ptr<workload::JobStream> arrival_stream_;
+  workload::JobArena arrival_arena_;
+  workload::TraceStatsAccumulator stream_stats_;
   /// Per-resource heterogeneity multipliers in build order, kept so a
   /// rate-only reset re-rates the pool exactly like a fresh build.
   std::vector<double> rate_multipliers_;

@@ -70,6 +70,18 @@ void fill_manifest(obs::RunManifest& manifest, const GridConfig& config,
     manifest.workload_mean_exec = result.workload_stats.mean_exec_time;
     manifest.workload_from_cache = result.workload_from_cache;
     manifest.arrival_cache_hits = workload::ArrivalCache::instance().hits();
+    manifest.arrival_cache_evictions = result.arrival_cache_evictions;
+    manifest.arrival_cache_store_skips = result.arrival_cache_store_skips;
+  }
+
+  // Memory block: only when the streaming tier ran, keeping full-mode
+  // manifests byte-identical.
+  if (result.result_mode == ResultMode::kStreaming) {
+    manifest.result_mode = to_string(result.result_mode);
+    manifest.job_log_records = result.job_log_records;
+    manifest.job_log_dropped = result.job_log_dropped;
+    manifest.arena_high_water = result.arena_high_water;
+    manifest.arena_reuses = result.arena_reuses;
   }
 
   // Control-plane block: only when the run had one, keeping legacy

@@ -84,7 +84,23 @@ std::string RunManifest::to_json() const {
         .field("mean_exec", workload_mean_exec)
         .field("from_cache", workload_from_cache)
         .field("arrival_cache_hits", arrival_cache_hits);
+    if (arrival_cache_evictions > 0) {
+      workload.field("arrival_cache_evictions", arrival_cache_evictions);
+    }
+    if (arrival_cache_store_skips > 0) {
+      workload.field("arrival_cache_store_skips", arrival_cache_store_skips);
+    }
     obj.raw("workload", workload.str());
+  }
+
+  if (!result_mode.empty()) {
+    JsonObject memory;
+    memory.field("result_mode", result_mode)
+        .field("job_log_records", job_log_records)
+        .field("job_log_dropped", job_log_dropped)
+        .field("arena_high_water", arena_high_water)
+        .field("arena_reuses", arena_reuses);
+    obj.raw("memory", memory.str());
   }
 
   if (control_plane) {

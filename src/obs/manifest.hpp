@@ -71,6 +71,20 @@ struct RunManifest {
   double workload_mean_exec = 0.0;
   bool workload_from_cache = false;          ///< stream recalled, not built
   std::uint64_t arrival_cache_hits = 0;      ///< process-wide cache hits
+  /// Byte-budget evictions + one-shot store skips (process-wide, so
+  /// volatile like the hit counter); each emitted inside the workload
+  /// block only when > 0, keeping pre-budget manifests byte-identical.
+  std::uint64_t arrival_cache_evictions = 0;
+  std::uint64_t arrival_cache_store_skips = 0;
+
+  // Memory-tier summary (emitted as a "memory" block only when
+  // result_mode is non-empty — i.e. the run used the streaming tier —
+  // so full-mode manifests keep their exact byte layout).
+  std::string result_mode;             ///< "streaming" when emitted
+  std::uint64_t job_log_records = 0;   ///< lifecycle records kept
+  std::uint64_t job_log_dropped = 0;   ///< records past the capacity bound
+  std::uint64_t arena_high_water = 0;  ///< peak in-flight arrival slots
+  std::uint64_t arena_reuses = 0;      ///< arrival slot recycles
 
   // Control-plane summary (emitted — and the agg_* tuning fields with
   // it — only when control_plane is set, so legacy manifests keep their

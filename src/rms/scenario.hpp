@@ -82,6 +82,26 @@ class Scenario {
   /// Chainable: each call appends; stages apply in call order.  Throws
   /// on a bad spec.
   Scenario& modulate(const std::string& spec);
+  /// Select the memory tier (docs/PERFORMANCE.md): kFull keeps exact
+  /// per-job samples, kStreaming folds results online in O(1) memory —
+  /// the million-job path.
+  Scenario& result_mode(grid::ResultMode mode) {
+    config_.result_mode = mode;
+    return *this;
+  }
+  /// Memory tier from its name ("full" | "streaming").  Throws on a
+  /// bad name.
+  Scenario& result_mode(const std::string& name) {
+    config_.result_mode = grid::result_mode_from_string(name);
+    return *this;
+  }
+  /// Record per-job lifecycle events, optionally bounded at `capacity`
+  /// records (0 = unbounded; overflow is counted, not stored).
+  Scenario& job_log(bool enabled, std::size_t capacity = 0) {
+    config_.job_log = enabled;
+    config_.job_log_capacity = capacity;
+    return *this;
+  }
   /// Custom policy factory (see examples/custom_rms.cpp); when unset,
   /// build() uses rms::scheduler_factory(config().rms).
   Scenario& scheduler(grid::SchedulerFactory factory) {

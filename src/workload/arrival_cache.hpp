@@ -9,9 +9,15 @@
 // allocation safely; insertion is first-insert-wins like opt::EvalCache
 // (racing generators produce bit-identical vectors, the first one
 // becomes canonical).
+//
+// The memo is byte-budgeted: set_max_bytes (or SCAL_ARRIVAL_CACHE_BYTES
+// at first use) caps the resident payload, evicting oldest-first when a
+// store would exceed it.  One-shot streaming runs bypass the store
+// entirely (cached_stream with reusable=false) and only count the skip.
 
 #include <array>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -25,24 +31,42 @@ class ArrivalCache {
  public:
   using Key = std::array<std::uint64_t, 2>;
 
-  /// The process-wide instance every GridSystem consults.
+  /// The process-wide instance every GridSystem consults.  The first
+  /// call reads SCAL_ARRIVAL_CACHE_BYTES (bytes; unset or 0 keeps the
+  /// cache unbounded) into the byte budget.
   static ArrivalCache& instance();
 
   /// The cached stream for `key`, or null.  Counts a hit or a miss.
   std::shared_ptr<const std::vector<Job>> lookup(const Key& key);
 
   /// Insert `jobs` for `key` unless already present; returns the
-  /// canonical entry (the prior one on a race).
+  /// canonical entry (the prior one on a race).  When a byte budget is
+  /// set, oldest entries are evicted until the payload fits — possibly
+  /// including the new entry itself if it alone exceeds the budget (the
+  /// returned pointer stays valid either way; the stream just is not
+  /// memoized).
   std::shared_ptr<const std::vector<Job>> store(
       const Key& key, std::shared_ptr<const std::vector<Job>> jobs);
 
+  /// Byte budget for cached payloads; 0 = unbounded (the default).
+  void set_max_bytes(std::size_t bytes);
+  std::size_t max_bytes() const;
+  /// Total payload bytes currently resident.
+  std::size_t bytes() const;
+
   std::uint64_t hits() const;
   std::uint64_t misses() const;
+  /// Entries dropped to honor the byte budget.
+  std::uint64_t evictions() const;
+  /// Stores skipped by one-shot streaming runs (cached_stream with
+  /// reusable=false).
+  std::uint64_t store_skips() const;
+  void count_store_skip();
   std::size_t size() const;
 
   /// Drop every entry and zero the counters (tests and benches; the
   /// simulation never needs it — entries are pure functions of their
-  /// keys).
+  /// keys).  The byte budget is kept.
   void clear();
 
  private:
@@ -53,11 +77,22 @@ class ArrivalCache {
     }
   };
 
+  static std::size_t payload_bytes(const std::vector<Job>& jobs) noexcept {
+    return jobs.size() * sizeof(Job);
+  }
+  /// Evict oldest-first until the payload fits the budget (lock held).
+  void enforce_budget_locked();
+
   mutable std::mutex mutex_;
   std::unordered_map<Key, std::shared_ptr<const std::vector<Job>>, KeyHash>
       entries_;
+  std::deque<Key> insertion_order_;  // FIFO eviction order
+  std::size_t bytes_ = 0;
+  std::size_t max_bytes_ = 0;  // 0 = unbounded
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t store_skips_ = 0;
 };
 
 }  // namespace scal::workload

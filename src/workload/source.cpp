@@ -106,26 +106,36 @@ std::vector<Job> WorkloadSource::generate_until(sim::Time horizon,
   return jobs;
 }
 
+namespace {
+std::ifstream open_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("TraceSource: cannot open " + path);
+  return in;
+}
+}  // namespace
+
 TraceSource::TraceSource(const std::string& path, sim::Time horizon,
-                         std::uint32_t clusters) {
+                         std::uint32_t clusters)
+    : file_(open_trace(path)),
+      reader_(file_),
+      horizon_(horizon),
+      clusters_(clusters) {
   if (clusters == 0) {
     throw std::invalid_argument("TraceSource: need at least one cluster");
   }
-  jobs_ = load_trace_file(path);
-  // Exactly the legacy GridConfig::trace_path semantics: horizon filter
-  // over the whole (possibly unsorted) file, origin folded into range.
-  std::erase_if(jobs_,
-                [horizon](const Job& j) { return j.arrival >= horizon; });
-  for (Job& job : jobs_) {
-    job.origin_cluster =
-        static_cast<std::uint32_t>(job.origin_cluster % clusters);
-  }
 }
 
-bool TraceSource::next(Job& out) {
-  if (pos_ >= jobs_.size()) return false;
-  out = jobs_[pos_++];
-  return true;
+bool TraceSource::produce(Job& out) {
+  // Skip-and-continue on the horizon filter: the legacy path erased
+  // every at-or-past-horizon row from the whole (possibly unsorted)
+  // file, so a later in-horizon row must still be emitted.
+  while (reader_.next(out)) {
+    if (out.arrival >= horizon_) continue;
+    out.origin_cluster =
+        static_cast<std::uint32_t>(out.origin_cluster % clusters_);
+    return true;
+  }
+  return false;
 }
 
 std::unique_ptr<WorkloadSource> make_source(const SourceSpec& spec,
@@ -163,6 +173,14 @@ std::unique_ptr<WorkloadSource> make_source(const SourceSpec& spec,
   return source;
 }
 
+std::unique_ptr<JobStream> make_stream(const SourceSpec& spec,
+                                       const WorkloadConfig& workload,
+                                       std::uint64_t seed, sim::Time horizon,
+                                       std::size_t max_jobs) {
+  return std::make_unique<BoundedStream>(
+      make_source(spec, workload, seed, horizon), horizon, max_jobs);
+}
+
 ArrivalStream cached_arrivals(const std::array<std::uint64_t, 2>& key,
                               const SourceSpec& spec,
                               const WorkloadConfig& workload,
@@ -172,6 +190,29 @@ ArrivalStream cached_arrivals(const std::array<std::uint64_t, 2>& key,
   auto generated = std::make_shared<const std::vector<Job>>(
       make_source(spec, workload, seed, horizon)->generate_until(horizon));
   return {cache.store(key, std::move(generated)), false};
+}
+
+PulledArrivals cached_stream(const std::array<std::uint64_t, 2>& key,
+                             const SourceSpec& spec,
+                             const WorkloadConfig& workload,
+                             std::uint64_t seed, sim::Time horizon,
+                             bool reusable) {
+  ArrivalCache& cache = ArrivalCache::instance();
+  if (auto jobs = cache.lookup(key)) {
+    return {std::make_unique<VectorReplayStream>(std::move(jobs)), true};
+  }
+  if (!reusable) {
+    // One-shot run: keep the generator live instead of materializing —
+    // the whole point of the streaming tier (the skipped store is
+    // visible on the cache for the manifest's workload block).
+    cache.count_store_skip();
+    return {make_stream(spec, workload, seed, horizon), false};
+  }
+  auto generated = std::make_shared<const std::vector<Job>>(
+      make_source(spec, workload, seed, horizon)->generate_until(horizon));
+  return {std::make_unique<VectorReplayStream>(
+              cache.store(key, std::move(generated))),
+          false};
 }
 
 }  // namespace scal::workload

@@ -10,6 +10,7 @@
 
 #include <array>
 #include <cstdint>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -17,6 +18,8 @@
 #include "workload/generator.hpp"
 #include "workload/job.hpp"
 #include "workload/modulator.hpp"
+#include "workload/stream.hpp"
+#include "workload/trace.hpp"
 
 namespace scal::workload {
 
@@ -59,15 +62,13 @@ struct SourceSpec {
 };
 
 /// An ordered stream of jobs.  Implementations produce arrivals in
-/// nondecreasing time order; ids are stream-local and stable.
-class WorkloadSource {
+/// nondecreasing time order; ids are stream-local and stable.  A source
+/// IS a JobStream: consumers pull via next()/peek() (O(1) memory per
+/// job); generate_until remains as the materializing shim.
+class WorkloadSource : public JobStream {
  public:
-  virtual ~WorkloadSource() = default;
-
-  /// Produce the next job; false when the stream is exhausted.
-  virtual bool next(Job& out) = 0;
-
   /// Drain the stream up to `horizon` (exclusive); at most `max_jobs`.
+  /// Legacy shim over the pull interface — use next() to stay O(1).
   std::vector<Job> generate_until(sim::Time horizon,
                                   std::size_t max_jobs = SIZE_MAX);
 };
@@ -80,7 +81,8 @@ class SyntheticSource : public WorkloadSource {
   SyntheticSource(const WorkloadConfig& config, util::RandomStream rng)
       : gen_(config, rng) {}
 
-  bool next(Job& out) override {
+ protected:
+  bool produce(Job& out) override {
     out = gen_.next();
     return true;  // unbounded: the horizon terminates the stream
   }
@@ -89,21 +91,26 @@ class SyntheticSource : public WorkloadSource {
   WorkloadGenerator gen_;
 };
 
-/// Replay of a CSV trace written by save_trace.  Loading applies the
-/// legacy GridConfig::trace_path semantics exactly: arrivals at or past
-/// `horizon` are dropped and origin clusters are remapped modulo
-/// `clusters`; ids, order, and every other field come straight from the
-/// file.
+/// Replay of a CSV trace written by save_trace, streamed row by row —
+/// the file is never materialized.  Emission applies the legacy
+/// GridConfig::trace_path semantics exactly: rows with arrivals at or
+/// past `horizon` are skipped (not terminal — the legacy path filtered
+/// the whole, possibly unsorted, file) and origin clusters are remapped
+/// modulo `clusters`; ids, order, and every other field come straight
+/// from the file.
 class TraceSource : public WorkloadSource {
  public:
   TraceSource(const std::string& path, sim::Time horizon,
               std::uint32_t clusters);
 
-  bool next(Job& out) override;
+ protected:
+  bool produce(Job& out) override;
 
  private:
-  std::vector<Job> jobs_;
-  std::size_t pos_ = 0;
+  std::ifstream file_;
+  TraceReader reader_;
+  sim::Time horizon_;
+  std::uint32_t clusters_;
 };
 
 /// One modulator layered over any source: arrivals are passed through
@@ -115,7 +122,8 @@ class ModulatedSource : public WorkloadSource {
                   const ModulatorSpec& spec, std::uint64_t warp_seed);
   ~ModulatedSource() override;
 
-  bool next(Job& out) override;
+ protected:
+  bool produce(Job& out) override;
 
  private:
   std::unique_ptr<WorkloadSource> base_;
@@ -130,6 +138,14 @@ std::unique_ptr<WorkloadSource> make_source(const SourceSpec& spec,
                                             const WorkloadConfig& workload,
                                             std::uint64_t seed,
                                             sim::Time horizon);
+
+/// The full stack bounded at the horizon: make_source wrapped in a
+/// BoundedStream, so pulling it yields exactly the jobs generate_until
+/// would have materialized — one at a time.
+std::unique_ptr<JobStream> make_stream(const SourceSpec& spec,
+                                       const WorkloadConfig& workload,
+                                       std::uint64_t seed, sim::Time horizon,
+                                       std::size_t max_jobs = SIZE_MAX);
 
 /// A memoized arrival stream: the generated jobs (shared, immutable)
 /// plus whether the process-wide ArrivalCache already held them.
@@ -146,5 +162,25 @@ ArrivalStream cached_arrivals(const std::array<std::uint64_t, 2>& key,
                               const SourceSpec& spec,
                               const WorkloadConfig& workload,
                               std::uint64_t seed, sim::Time horizon);
+
+/// The pull-based face of the arrival memo: a stream handle plus cache
+/// provenance.
+struct PulledArrivals {
+  std::unique_ptr<JobStream> stream;
+  bool from_cache = false;
+};
+
+/// Stream-or-recall the arrivals for `key`.  A cache hit replays the
+/// memoized vector (free, O(1) state).  On a miss, `reusable` decides
+/// the trade: true materializes and stores the stream for later runs
+/// (the session-pool / tuner path — exactly cached_arrivals), false
+/// returns the live generator without storing anything, keeping per-job
+/// memory O(1) for one-shot runs (the store skip is counted on the
+/// cache).  Thread-safe.
+PulledArrivals cached_stream(const std::array<std::uint64_t, 2>& key,
+                             const SourceSpec& spec,
+                             const WorkloadConfig& workload,
+                             std::uint64_t seed, sim::Time horizon,
+                             bool reusable);
 
 }  // namespace scal::workload

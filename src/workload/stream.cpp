@@ -1,0 +1,14 @@
+#include "workload/stream.hpp"
+
+namespace scal::workload {
+
+std::vector<Job> collect(JobStream& stream, std::size_t max_jobs) {
+  std::vector<Job> jobs;
+  Job job;
+  while (jobs.size() < max_jobs && stream.next(job)) {
+    jobs.push_back(job);
+  }
+  return jobs;
+}
+
+}  // namespace scal::workload

@@ -52,14 +52,18 @@ std::vector<Job> load_swf_file(const std::string& path,
                                const SwfMapping& mapping);
 
 /// An SWF log behind the source interface: the file is parsed once at
-/// construction (load_swf_file) and streamed in arrival order.
+/// construction (load_swf_file) and streamed in arrival order.  SWF
+/// stays materialized internally — the stable sort by submit time and
+/// the first-arrival rebase need the whole log — but consumers still
+/// pull it through the JobStream interface like every other source.
 class SwfSource : public WorkloadSource {
  public:
   SwfSource(const std::string& path, const SwfMapping& mapping)
       : jobs_(load_swf_file(path, mapping)) {}
   explicit SwfSource(std::vector<Job> jobs) : jobs_(std::move(jobs)) {}
 
-  bool next(Job& out) override {
+ protected:
+  bool produce(Job& out) override {
     if (pos_ >= jobs_.size()) return false;
     out = jobs_[pos_++];
     return true;

@@ -8,28 +8,42 @@
 
 namespace scal::workload {
 
-TraceStats summarize(const std::vector<Job>& jobs) {
+void TraceStatsAccumulator::add(const Job& job) {
+  if (jobs_ == 0) {
+    first_arrival_ = job.arrival;
+    prev_arrival_ = job.arrival;
+  }
+  ++jobs_;
+  if (job.job_class == JobClass::kLocal) ++local_;
+  else ++remote_;
+  exec_sum_ += job.exec_time;
+  max_exec_ = std::max(max_exec_, job.exec_time);
+  demand_sum_ += job.exec_time;
+  interarrival_sum_ += job.arrival - prev_arrival_;
+  prev_arrival_ = job.arrival;
+}
+
+TraceStats TraceStatsAccumulator::stats() const {
   TraceStats s;
-  s.jobs = jobs.size();
-  if (jobs.empty()) return s;
-  double prev_arrival = jobs.front().arrival;
-  double interarrival_sum = 0.0;
-  for (const Job& j : jobs) {
-    if (j.job_class == JobClass::kLocal) ++s.local_jobs;
-    else ++s.remote_jobs;
-    s.mean_exec_time += j.exec_time;
-    s.max_exec_time = std::max(s.max_exec_time, j.exec_time);
-    s.total_demand += j.exec_time;
-    interarrival_sum += j.arrival - prev_arrival;
-    prev_arrival = j.arrival;
-  }
-  s.mean_exec_time /= static_cast<double>(jobs.size());
-  if (jobs.size() > 1) {
+  s.jobs = jobs_;
+  if (jobs_ == 0) return s;
+  s.local_jobs = local_;
+  s.remote_jobs = remote_;
+  s.mean_exec_time = exec_sum_ / static_cast<double>(jobs_);
+  s.max_exec_time = max_exec_;
+  s.total_demand = demand_sum_;
+  if (jobs_ > 1) {
     s.mean_interarrival =
-        interarrival_sum / static_cast<double>(jobs.size() - 1);
+        interarrival_sum_ / static_cast<double>(jobs_ - 1);
   }
-  s.span = jobs.back().arrival - jobs.front().arrival;
+  s.span = prev_arrival_ - first_arrival_;
   return s;
+}
+
+TraceStats summarize(const std::vector<Job>& jobs) {
+  TraceStatsAccumulator acc;
+  for (const Job& j : jobs) acc.add(j);
+  return acc.stats();
 }
 
 namespace {
@@ -57,14 +71,21 @@ void save_trace_file(const std::vector<Job>& jobs, const std::string& path) {
   save_trace(jobs, out);
 }
 
-std::vector<Job> load_trace(std::istream& in) {
-  std::vector<Job> jobs;
+TraceReader::TraceReader(std::istream& in) : in_(&in) {
   std::string line;
-  if (!std::getline(in, line)) return jobs;
+  if (!std::getline(*in_, line)) {
+    in_ = nullptr;  // empty input: a valid, already-exhausted trace
+    return;
+  }
   if (line != kHeader) {
     throw std::runtime_error("load_trace: unexpected header: " + line);
   }
-  while (std::getline(in, line)) {
+}
+
+bool TraceReader::next(Job& out) {
+  if (in_ == nullptr) return false;
+  std::string line;
+  while (std::getline(*in_, line)) {
     if (line.empty()) continue;
     std::istringstream row(line);
     std::string cell;
@@ -89,8 +110,17 @@ std::vector<Job> load_trace(std::istream& in) {
     j.benefit_factor = std::stod(next_cell());
     j.benefit_deadline = std::stod(next_cell());
     j.origin_cluster = static_cast<std::uint32_t>(std::stoul(next_cell()));
-    jobs.push_back(j);
+    out = j;
+    return true;
   }
+  return false;
+}
+
+std::vector<Job> load_trace(std::istream& in) {
+  std::vector<Job> jobs;
+  TraceReader reader(in);
+  Job job;
+  while (reader.next(job)) jobs.push_back(job);
   return jobs;
 }
 

@@ -24,6 +24,43 @@ struct TraceStats {
 
 TraceStats summarize(const std::vector<Job>& jobs);
 
+/// Online fold of TraceStats, one job at a time in stream order.  The
+/// fold performs the exact operation sequence of summarize(), so
+/// accumulating a stream and summarizing the materialized vector yield
+/// bitwise-identical stats — the streaming result path depends on that.
+class TraceStatsAccumulator {
+ public:
+  void add(const Job& job);
+  /// The finalized stats (means divided out); callable any time.
+  TraceStats stats() const;
+
+ private:
+  std::size_t jobs_ = 0, local_ = 0, remote_ = 0;
+  double exec_sum_ = 0.0;
+  double demand_sum_ = 0.0;
+  double max_exec_ = 0.0;
+  double interarrival_sum_ = 0.0;
+  double first_arrival_ = 0.0;
+  double prev_arrival_ = 0.0;
+};
+
+/// Streaming CSV reader over the save_trace format: validates the header
+/// on construction, then parses one row per next() call, holding O(1)
+/// state.  load_trace is a drain over this.
+class TraceReader {
+ public:
+  /// Reads and checks the header line; throws std::runtime_error on a
+  /// header mismatch.  The stream must outlive the reader.
+  explicit TraceReader(std::istream& in);
+
+  /// Parse the next row into `out`; false at end of input.  Blank lines
+  /// are skipped; malformed rows throw std::runtime_error.
+  bool next(Job& out);
+
+ private:
+  std::istream* in_;
+};
+
 /// CSV round-trip: header + one row per job, exact field preservation
 /// (times serialized with max precision).
 void save_trace(const std::vector<Job>& jobs, std::ostream& out);

@@ -77,7 +77,8 @@ VOLATILE = {"started_at", "git", "wall_seconds", "peak_rss_bytes", "label",
             # Arrival-cache provenance: depends on what else the process
             # ran before the record, not on the run itself ("cache_hits"
             # without the prefix is the tuner's — that one is real work).
-            "from_cache", "arrival_cache_hits"}
+            "from_cache", "arrival_cache_hits",
+            "arrival_cache_evictions", "arrival_cache_store_skips"}
 
 
 def is_volatile(path):
