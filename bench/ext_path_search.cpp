@@ -4,16 +4,25 @@
 // the framework: CENTRAL, whose decision cost grows with the pool size,
 // should steer its best path toward service-rate growth, while a
 // distributed RMS can afford node growth.
+//
+// --eval-cache PATH persists the tuner's memoized evaluations across
+// processes (core/eval_store.hpp); a re-run over the same configuration
+// space answers its evaluations from disk, byte-identically.
 
 #include <iostream>
 
 #include "common.hpp"
+#include "core/eval_store.hpp"
 #include "core/path_search.hpp"
+#include "options.hpp"
+#include "rms/session.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace scal;
   using util::Table;
+
+  const auto opts = bench::Options::parse(argc, argv, "ext_path_search");
 
   grid::GridConfig base = bench::case1_base();
   base.topology.nodes = bench::fast_mode() ? 120 : 200;
@@ -27,6 +36,29 @@ int main() {
   search.tuner.band = 0.05;
   search.tuner.e0 = bench::calibrate_e0(
       base, core::ScalingCase::case1_network_size(), 2.0);
+
+  // One evaluation cache and session pool across all three RMS kinds:
+  // the per-kind config digests keep their entries disjoint, but a
+  // single table is what the persistent store saves and reloads.
+  core::EvalCache cache;
+  rms::SessionPool sessions;
+  search.tuner.cache = &cache;
+  search.tuner.sessions = &sessions;
+
+  if (!opts.eval_cache_path.empty()) {
+    const core::EvalStoreStats warm =
+        core::load_eval_cache(cache, opts.eval_cache_path);
+    if (warm.version_mismatch) {
+      std::cout << "eval-cache: " << opts.eval_cache_path
+                << " is stale (version/format mismatch), starting cold\n";
+    } else if (warm.found) {
+      std::cout << "eval-cache: preloaded " << warm.loaded
+                << " entries from " << opts.eval_cache_path << "\n";
+    } else {
+      std::cout << "eval-cache: " << opts.eval_cache_path
+                << " not found, starting cold\n";
+    }
+  }
 
   std::cout << "ext_path_search: Step 2 in full — best RP scaling path "
                "per RMS\nsplit r: pool grows k^r in nodes, k^(1-r) in "
@@ -53,6 +85,15 @@ int main() {
               << "\n";
   }
   std::cout << "Best-path summary\n" << table.to_string();
+  std::cout << "\neval-cache disk: " << cache.disk_hits()
+            << " evaluations answered from " << cache.preloaded()
+            << " preloaded entries\n";
+  if (!opts.eval_cache_path.empty()) {
+    const std::size_t written =
+        core::save_eval_cache(cache, opts.eval_cache_path);
+    std::cout << "eval-cache: saved " << written << " entries to "
+              << opts.eval_cache_path << "\n";
+  }
   std::cout << "\nr -> 0 means the search steered growth away from node "
                "count — the framework\nidentifying which scaling "
                "dimension the manager tolerates (paper Section 5 (c)).\n";

@@ -22,6 +22,9 @@ std::string g_workload_spec;
 bool g_workload_spec_set = false;
 std::string g_modulate_spec;
 bool g_modulate_spec_set = false;
+/// Persistent eval-cache path (--eval-cache beats SCAL_BENCH_EVAL_CACHE).
+std::string g_eval_cache_path;
+bool g_eval_cache_path_set = false;
 
 double env_real(const std::string& name) {
   const std::string text = util::env_or(name, "");
@@ -85,7 +88,8 @@ Options Options::parse(int argc, char** argv,
               << "       [--manifest PATH] [--anneal PATH] [--metrics]\n"
               << "       [--label NAME] [--jobs N|hw] [--faults SPEC]\n"
               << "       [--mtbf T] [--mttr T] [--workload SPEC]\n"
-              << "       [--swf PATH[@SCALE]] [--modulate SPEC]\n";
+              << "       [--swf PATH[@SCALE]] [--modulate SPEC]\n"
+              << "       [--eval-cache PATH]\n";
     std::exit(2);
   };
   auto value = [&](int& i) -> std::string {
@@ -161,6 +165,9 @@ Options Options::parse(int argc, char** argv,
       } catch (const std::exception& e) {
         usage("--swf: " + std::string(e.what()));
       }
+    } else if (flag == "--eval-cache") {
+      g_eval_cache_path = value(i);
+      g_eval_cache_path_set = true;
     } else if (flag == "--modulate") {
       g_modulate_spec = value(i);
       g_modulate_spec_set = true;
@@ -176,6 +183,9 @@ Options Options::parse(int argc, char** argv,
   opts.jobs = job_count();
   opts.faults = fault_plan();
   opts.workload = workload_source();
+  opts.eval_cache_path = g_eval_cache_path_set
+                             ? g_eval_cache_path
+                             : util::env_or("SCAL_BENCH_EVAL_CACHE", "");
   return opts;
 }
 

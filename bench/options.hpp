@@ -32,6 +32,12 @@
 //   --modulate SPEC     load-modulator chain appended to the source,
 //                       e.g. "diurnal:amplitude=0.6,period=500";
 //                       overrides SCAL_BENCH_MODULATE
+//   --eval-cache PATH   persistent tuner evaluation cache: preload the
+//                       file before the search, rewrite it after (see
+//                       core/eval_store.hpp for the invalidation rule);
+//                       overrides SCAL_BENCH_EVAL_CACHE.  Honored by
+//                       the tuner benches (ablation_tuner,
+//                       ext_path_search); others ignore it.
 // Unknown flags print usage to stderr and exit(2).
 
 #include <cstddef>
@@ -48,6 +54,7 @@ struct Options {
   std::size_t jobs = 1;            ///< --jobs, else SCAL_JOBS, else 1
   fault::FaultPlan faults;         ///< --faults/--mtbf/--mttr, else env
   workload::SourceSpec workload;   ///< --workload/--swf/--modulate, else env
+  std::string eval_cache_path;     ///< --eval-cache, else env, else ""
 
   /// Parse argv and record the result process-wide, so job_count(),
   /// fault_plan(), and the case bases (common_base folds the plan in)

@@ -23,10 +23,12 @@
 #include <vector>
 
 #include "common.hpp"
+#include "core/eval_store.hpp"
 #include "core/tuner.hpp"
 #include "ctrl/aggregator.hpp"
 #include "net/routing.hpp"
 #include "net/topology.hpp"
+#include "net/tree_cache.hpp"
 #include "options.hpp"
 #include "rms/scenario.hpp"
 #include "rms/session.hpp"
@@ -155,6 +157,42 @@ Sample routing_queries() {
   });
 }
 
+/// The routing_queries cold pass again, but across 8 routers sharing
+/// one topology through the process-wide SharedTreeCache — the
+/// SessionPool shape, where sibling slots route over identical graphs.
+/// The first router settles and publishes each source tree; the other
+/// seven adopt the snapshots instead of re-running Dijkstra, so the
+/// gated ns/query tracks the sharing layer's whole win + overhead.
+Sample shared_tree_sweep() {
+  net::TopologyConfig tc;
+  tc.nodes = 250;
+  util::RandomStream rng(42, "perf-smoke-topology");
+  const net::Graph graph = net::generate_topology(tc, rng);
+  const auto key = net::graph_digest(graph);
+  constexpr std::size_t kRouters = 8;
+  Sample sample = timed("shared_tree_sweep", 9, [&] {
+    // Each rep starts from an empty shared cache so the publish cost is
+    // timed alongside the adoption savings.
+    net::SharedTreeCache::instance().clear();
+    std::uint64_t queries = 0;
+    for (std::size_t r = 0; r < kRouters; ++r) {
+      net::Router router(graph);
+      router.enable_tree_sharing(key);
+      for (std::size_t src = 0; src < tc.nodes; src += 5) {
+        for (std::size_t dst = 0; dst < tc.nodes; dst += 7) {
+          if (src == dst) continue;
+          (void)router.delay(static_cast<net::NodeId>(src),
+                             static_cast<net::NodeId>(dst), 1.0);
+          ++queries;
+        }
+      }
+    }
+    return queries;
+  });
+  net::SharedTreeCache::instance().clear();  // keep the macros cold
+  return sample;
+}
+
 /// A two-level aggregation chain under steady update churn: rotating
 /// resource ids keep the coalescing scan, the batch flushes, and the
 /// flush timers all hot.  ns/update through the ctrl tree's full
@@ -251,6 +289,41 @@ Sample workload_generation_warm() {
     return jobs;
   });
   workload::ArrivalCache::instance().clear();  // keep the macros cold
+  return sample;
+}
+
+/// Warm-start cost of the persistent EvalCache: serialize a synthetic
+/// 512-entry cache once, then time repeated load-from-disk passes into
+/// fresh caches (parse + preload, the whole warm-start path a tuner
+/// bench pays before its first evaluation).  ns/entry loaded.
+Sample eval_cache_warm_disk() {
+  constexpr std::size_t kEntries = 512;
+  constexpr std::uint64_t kRounds = 64;
+  const std::string store = bench::csv_dir() + "/perf_smoke.evc";
+  const std::string version = "perf-smoke";  // pinned: no git dependence
+  core::EvalCache source;
+  util::RandomStream rng(42, "perf-smoke-eval-cache");
+  for (std::size_t i = 0; i < kEntries; ++i) {
+    opt::EvalKey key;
+    key.digest = {0xE7A1ull + i, 0xBEEFull * (i + 1)};
+    key.point = {rng.uniform(), rng.uniform(), rng.uniform()};
+    grid::SimulationResult value;
+    value.F = rng.uniform() * 1000.0;
+    value.G_scheduler = rng.uniform() * 100.0;
+    value.jobs_arrived = i;
+    source.preload(key, value);
+  }
+  core::save_eval_cache(source, store, version);
+  Sample sample = timed("eval_cache_warm_disk", 5, [&] {
+    std::uint64_t loaded = 0;
+    for (std::uint64_t round = 0; round < kRounds; ++round) {
+      core::EvalCache warm;
+      loaded += core::load_eval_cache(warm, store, version).loaded;
+    }
+    return loaded;
+  });
+  std::error_code ec;
+  std::filesystem::remove(store, ec);  // scratch file, not an artifact
   return sample;
 }
 
@@ -403,9 +476,11 @@ int main(int argc, char** argv) {
   samples.push_back(event_churn());
   samples.push_back(event_cancel_churn());
   samples.push_back(routing_queries());
+  samples.push_back(shared_tree_sweep());
   samples.push_back(aggregation_churn());
   samples.push_back(workload_generation());
   samples.push_back(workload_generation_warm());
+  samples.push_back(eval_cache_warm_disk());
   double macro_total = 0.0;
   std::uint64_t macro_events = 0;
   for (Sample& s : case1_macro()) {

@@ -131,12 +131,29 @@ TuneOutcome tune_enablers(const grid::GridConfig& config,
       // run records traces/probes, never the tuner's probing.
       candidate.telemetry = nullptr;
       opt::EvalKey key{grid::config_digest(candidate), point};
-      const EvalCache::Probe probe = cache.lookup(key);
-      traces[slot].push_back(TraceEntry{key, probe.prior_epoch});
       grid::SimulationResult result;
-      if (tuner.cache_values && probe.value) {
-        result = *probe.value;
+      if (tuner.cache_values) {
+        // Future-based path: a concurrent chain that reaches the same
+        // key while the first evaluator is mid-run blocks on its result
+        // instead of recomputing.  The claim carries the epoch stamp the
+        // eventual insert would have, so `prior_epoch` — the only fact
+        // the trace records — is unchanged by the dedup.
+        EvalCache::Acquired acquired = cache.acquire(key);
+        traces[slot].push_back(TraceEntry{key, acquired.prior_epoch});
+        if (acquired.value) {
+          result = *std::move(acquired.value);
+        } else {
+          try {
+            result = runner ? runner(candidate) : session->run(candidate);
+          } catch (...) {
+            cache.abandon(key);  // let a waiter re-claim
+            throw;
+          }
+          cache.fulfill(key, result);
+        }
       } else {
+        const EvalCache::Probe probe = cache.lookup(key);
+        traces[slot].push_back(TraceEntry{key, probe.prior_epoch});
         result = runner ? runner(candidate) : session->run(candidate);
         // Insert in both cache modes (first-wins): the table's contents
         // — and therefore a later shared-cache tune's prior-epoch flags

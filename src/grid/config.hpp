@@ -235,6 +235,16 @@ struct GridConfig {
   /// the previous update, an update might be suppressed").
   bool update_suppression = true;
 
+  /// Share settled router source trees across systems on the same
+  /// topology via the process-wide net::SharedTreeCache (keyed on
+  /// net::graph_digest).  Purely a wall-clock optimization — adopted
+  /// trees return bit-identical routes — so, like `telemetry`, the
+  /// flag is EXCLUDED from grid::config_digest and never perturbs
+  /// EvalCache keys or reset compatibility.  Off by default; the
+  /// reusable-session backend (rms::SimulationSession) turns it on for
+  /// its rebuilds, where sibling slots route over identical graphs.
+  bool share_router_trees = false;
+
   /// Run telemetry handle (non-owning; null = telemetry off, the
   /// default).  When set, the system threads it through the simulator,
   /// the servers, and the metrics assembly: sim-time tracing, the

@@ -6,6 +6,7 @@
 #include "grid/digest.hpp"
 #include "grid/sampler.hpp"
 #include "grid/telemetry.hpp"
+#include "net/tree_cache.hpp"
 #include "util/log.hpp"
 #include "workload/arrival_cache.hpp"
 #include "workload/source.hpp"
@@ -28,6 +29,11 @@ GridSystem::GridSystem(GridConfig config, SchedulerFactory factory)
   util::RandomStream topo_rng(config_.seed, "topology");
   graph_ = net::generate_topology(config_.topology, topo_rng);
   network_ = std::make_unique<net::Network>(sim_, next_entity_id_++, graph_);
+  if (config_.share_router_trees) {
+    // Adopt (and publish) settled source trees process-wide; routes are
+    // bit-identical, only the settling work is shared.
+    network_->enable_tree_sharing(net::graph_digest(graph_));
+  }
   network_->set_delay_scale(config_.tuning.link_delay_scale);
   if (config_.control_loss_probability > 0.0) {
     network_->set_loss(config_.control_loss_probability,

@@ -68,6 +68,13 @@ class Network : public sim::Entity {
 
   const Router& router() const noexcept { return router_; }
 
+  /// Opt the router into the process-wide shared source-tree cache
+  /// under `key` (net::graph_digest of this fabric's graph).  Routes
+  /// are bit-identical shared or not; see net/tree_cache.hpp.
+  void enable_tree_sharing(const std::array<std::uint64_t, 2>& key) noexcept {
+    router_.enable_tree_sharing(key);
+  }
+
   /// Attach the (optional) phase profiler: forwarded to the router, so
   /// the phase times shortest-path settling work (not per-message
   /// bookkeeping — warm route lookups are a few ns and would drown in

@@ -5,8 +5,9 @@
 // bandwidth, so an end-to-end message delay is
 //     delay = sum(latency) + size * sum(1/bandwidth).
 
+#include <array>
+#include <cstdint>
 #include <memory>
-#include <queue>
 #include <utility>
 #include <vector>
 
@@ -20,6 +21,33 @@ struct RouteInfo {
   double inv_bandwidth = 0.0;   ///< sum of 1/bandwidth on the path
   std::uint32_t hops = 0;
   bool reachable = false;
+};
+
+/// Immutable snapshot of one source's (possibly partially settled)
+/// shortest-path tree: the resumable Dijkstra state at a publication
+/// point.  Snapshots are shared read-only across routers via
+/// net::SharedTreeCache; a router that needs a deeper settle clones the
+/// snapshot into a private tree and extends the copy (copy-on-extend),
+/// so readers never observe a mutating frontier.  Every snapshot of one
+/// (graph, src) agrees on its settled prefix — Dijkstra finalizes in
+/// global distance order — so adopting any of them is route-preserving.
+struct TreeSnapshot {
+  std::vector<RouteInfo> info;       ///< indexed by destination
+  std::vector<NodeId> predecessor;   ///< for path reconstruction
+  std::vector<double> dist;
+  std::vector<char> settled;
+  /// The frontier min-heap's underlying storage (std::*_heap order).
+  std::vector<std::pair<double, NodeId>> frontier;
+  bool exhausted = false;
+  std::size_t settled_count = 0;
+
+  /// Approximate resident payload, for the shared cache's byte budget.
+  std::size_t bytes() const noexcept {
+    return info.capacity() * sizeof(RouteInfo) +
+           predecessor.capacity() * sizeof(NodeId) +
+           dist.capacity() * sizeof(double) + settled.capacity() +
+           frontier.capacity() * sizeof(std::pair<double, NodeId>);
+  }
 };
 
 class Router {
@@ -37,11 +65,34 @@ class Router {
   /// Shortest path (sequence of nodes, src first); empty if unreachable.
   std::vector<NodeId> path(NodeId src, NodeId dst) const;
 
-  std::size_t cached_sources() const noexcept { return cached_; }
+  /// Source trees resident in this router (owned + adopted).
+  std::size_t cached_sources() const noexcept { return owned_ + adopted_; }
+  /// Trees this router settled (and owns) itself.
+  std::size_t owned_sources() const noexcept { return owned_; }
+  /// Trees adopted read-only from the shared cache.
+  std::size_t shared_sources() const noexcept { return adopted_; }
+
+  /// Drop this router's view of every tree.  Owned trees are freed;
+  /// adopted snapshots are *detached* (the shared_ptr is released, the
+  /// shared cache and its other readers are never touched).  Sharing
+  /// stays enabled, so later queries re-adopt.
   void clear_cache() const {
     cache_.clear();
-    cached_ = 0;
+    shared_.clear();
+    owned_ = 0;
+    adopted_ = 0;
   }
+
+  /// Opt into the process-wide SharedTreeCache under this topology key
+  /// (net::graph_digest of the graph this router serves).  Purely a
+  /// wall-clock optimization: adopted snapshots return bit-identical
+  /// routes, but profiler `net.route` scope counts drop for queries a
+  /// shared tree already answers, so instrumented runs leave it off.
+  void enable_tree_sharing(const std::array<std::uint64_t, 2>& key) noexcept {
+    sharing_ = true;
+    topology_key_ = key;
+  }
+  bool tree_sharing() const noexcept { return sharing_; }
 
   /// Attach the (optional) phase profiler: shortest-path settling work
   /// (the incremental Dijkstra) runs inside the given phase.  Warm
@@ -67,25 +118,43 @@ class Router {
     // settled prefix is identical to what a full run would produce
     // (Dijkstra finalizes in global distance order), so laziness never
     // changes a route.
+    std::vector<RouteInfo>::size_type settled_count = 0;
     std::vector<double> dist;
     std::vector<char> settled;
-    std::priority_queue<std::pair<double, NodeId>,
-                        std::vector<std::pair<double, NodeId>>,
-                        std::greater<>>
-        frontier;
+    // Min-heap via std::push_heap/pop_heap with std::greater — the same
+    // algorithm priority_queue runs, kept as a plain vector so the
+    // state snapshots into a TreeSnapshot with a straight copy.
+    std::vector<std::pair<double, NodeId>> frontier;
     bool exhausted = false;
   };
+  /// The owned tree for src, creating (or cloning the adopted snapshot
+  /// of) it on first need.
   SourceTree& tree_for(NodeId src) const;
   /// Run the tree's Dijkstra until `dst` is settled (or the frontier
-  /// empties, proving unreachability).
-  void settle(SourceTree& tree, NodeId dst) const;
+  /// empties, proving unreachability); publishes the deeper state when
+  /// sharing is on.
+  void settle(NodeId src, SourceTree& tree, NodeId dst) const;
+  /// The adopted snapshot that can answer (src, dst), or null (also
+  /// null when an owned tree exists — owned state is always at least
+  /// as deep).  Attempts adoption from the shared cache on first touch.
+  const TreeSnapshot* adopted_for(NodeId src, NodeId dst) const;
+  /// Copy the tree's current state into the shared cache.
+  void publish_snapshot(NodeId src, const SourceTree& tree) const;
+  void ensure_slots() const;
 
   const Graph* graph_;
   // Flat per-source cache indexed by node id: the schedulers query the
   // same (src, dst) pairs every update interval, so the hot path is a
   // null test + two vector indexes instead of a hash lookup.
   mutable std::vector<std::unique_ptr<SourceTree>> cache_;
-  mutable std::size_t cached_ = 0;
+  // Adopted read-only snapshots, same indexing.  A source has an owned
+  // tree, an adopted snapshot, or neither — never both (cloning into an
+  // owned tree releases the adopted slot).
+  mutable std::vector<std::shared_ptr<const TreeSnapshot>> shared_;
+  mutable std::size_t owned_ = 0;
+  mutable std::size_t adopted_ = 0;
+  bool sharing_ = false;
+  std::array<std::uint64_t, 2> topology_key_{};
   obs::PhaseProfiler* profiler_ = nullptr;
   obs::PhaseId route_phase_ = 0;
 };

@@ -1,0 +1,121 @@
+#pragma once
+// Process-wide memo of settled shortest-path source trees, keyed on a
+// 128-bit topology digest (net::graph_digest covers node count and every
+// link's endpoint/latency/bandwidth) plus the source node.  Parallel
+// session slots, SA restart chains, and per-RMS sweeps all route over
+// bit-identical graphs; sharing the trees means each source is settled
+// once per process instead of once per GridSystem (the PR 5 profiling
+// carry-over).
+//
+// Entries are immutable TreeSnapshot values behind shared_ptr, so
+// concurrent readers never observe a mutating Dijkstra frontier.  A
+// router that needs to settle *further* than a snapshot reaches clones
+// the snapshot into a private tree and extends that copy (copy-on-
+// extend), publishing the deeper state back; publication is
+// first-publish-wins with strictly-deeper upgrades, and every snapshot
+// agrees on its settled prefix (Dijkstra finalizes in global distance
+// order), so which snapshot a reader adopts can never change a route.
+//
+// The memo is byte-budgeted like workload::ArrivalCache: set_max_bytes
+// (or SCAL_TREE_CACHE_BYTES at first use) caps the resident payload,
+// evicting oldest-first when a publish would exceed it.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "net/routing.hpp"
+
+namespace scal::net {
+
+/// 128-bit structural fingerprint of a graph: node count plus every
+/// link's (to, latency, bandwidth) in adjacency order.  Two graphs with
+/// equal digests route identically, so their source trees are
+/// interchangeable.
+std::array<std::uint64_t, 2> graph_digest(const Graph& graph);
+
+class SharedTreeCache {
+ public:
+  using Key = std::array<std::uint64_t, 2>;
+
+  /// The process-wide instance every sharing Router consults.  The
+  /// first call reads SCAL_TREE_CACHE_BYTES (bytes; unset or 0 keeps
+  /// the cache unbounded) into the byte budget.
+  static SharedTreeCache& instance();
+
+  /// The cached snapshot for (topology, src), or null.  Counts a share
+  /// or a miss.  Read-mostly: concurrent lookups take a shared lock.
+  std::shared_ptr<const TreeSnapshot> lookup(const Key& topology,
+                                             NodeId src);
+
+  /// Publish a snapshot for (topology, src).  First-publish-wins; a
+  /// later snapshot replaces the entry only when strictly deeper
+  /// (more settled nodes), so racing publishers of the same settle
+  /// depth keep the canonical first entry.  Returns the entry now in
+  /// the cache (the prior one when the publish lost the race, possibly
+  /// `snapshot` unstored when the byte budget rejects it).
+  std::shared_ptr<const TreeSnapshot> publish(
+      const Key& topology, NodeId src,
+      std::shared_ptr<const TreeSnapshot> snapshot);
+
+  /// Byte budget for resident snapshots; 0 = unbounded (the default).
+  void set_max_bytes(std::size_t bytes);
+  std::size_t max_bytes() const;
+  /// Total snapshot payload bytes currently resident.
+  std::size_t bytes() const;
+
+  std::uint64_t shares() const;     ///< lookups answered (trees adopted)
+  std::uint64_t misses() const;     ///< lookups that found nothing
+  std::uint64_t publishes() const;  ///< snapshots accepted (incl. upgrades)
+  std::uint64_t upgrades() const;   ///< publishes replacing a shallower one
+  std::uint64_t evictions() const;  ///< entries dropped for the byte budget
+  std::size_t size() const;         ///< resident (topology, src) entries
+
+  /// Drop every entry and zero the counters (tests and benches; the
+  /// simulation never needs it — snapshots are pure functions of their
+  /// keys).  Routers holding adopted snapshots keep them alive; the
+  /// byte budget is kept.
+  void clear();
+
+ private:
+  struct EntryKey {
+    Key topology{};
+    NodeId src = 0;
+    bool operator==(const EntryKey& other) const noexcept {
+      return topology == other.topology && src == other.src;
+    }
+  };
+  struct EntryKeyHash {
+    std::size_t operator()(const EntryKey& k) const noexcept {
+      // The topology key is already a high-quality digest; fold in src.
+      return static_cast<std::size_t>(
+          k.topology[0] ^ (k.topology[1] * 0x9E3779B97F4A7C15ull) ^
+          (static_cast<std::uint64_t>(k.src) * 0xC2B2AE3D27D4EB4Full));
+    }
+  };
+
+  /// Evict oldest-first until the payload fits the budget (lock held).
+  void enforce_budget_locked();
+
+  mutable std::shared_mutex mutex_;
+  std::unordered_map<EntryKey, std::shared_ptr<const TreeSnapshot>,
+                     EntryKeyHash>
+      entries_;
+  std::deque<EntryKey> insertion_order_;  // FIFO eviction order
+  std::size_t bytes_ = 0;
+  std::size_t max_bytes_ = 0;  // 0 = unbounded
+  // Share/miss counters are bumped under the shared lock, so they are
+  // atomics; the rest only mutates under the exclusive lock but stays
+  // atomic for lock-free accessors.
+  std::atomic<std::uint64_t> shares_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> publishes_{0};
+  std::atomic<std::uint64_t> upgrades_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+}  // namespace scal::net

@@ -125,6 +125,16 @@ std::string RunManifest::to_json() const {
     obj.raw("anneal", anneal.str());
   }
 
+  if (reuse_enabled) {
+    JsonObject reuse;
+    reuse.field("tree_shares", reuse_tree_shares)
+        .field("tree_publishes", reuse_tree_publishes)
+        .field("inflight_waits", reuse_inflight_waits)
+        .field("disk_hits", reuse_disk_hits)
+        .field("disk_entries", reuse_disk_entries);
+    obj.raw("reuse", reuse.str());
+  }
+
   if (!metrics_json.empty()) obj.raw("metrics", metrics_json);
 
   if (peak_rss_bytes > 0) obj.field("peak_rss_bytes", peak_rss_bytes);

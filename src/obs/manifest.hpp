@@ -115,6 +115,18 @@ struct RunManifest {
   std::uint64_t tuner_evaluations = 0;
   std::uint64_t tuner_cache_hits = 0;
 
+  // Evaluation-reuse summary (emitted as a "reuse" block only when
+  // reuse_enabled is set by the bench, so every pre-reuse manifest
+  // keeps its exact byte layout).  All counts are process-wide and
+  // scheduling-dependent — provenance, not results — and therefore
+  // volatile in tools/compare_runs.py.
+  bool reuse_enabled = false;
+  std::uint64_t reuse_tree_shares = 0;     ///< router trees adopted
+  std::uint64_t reuse_tree_publishes = 0;  ///< snapshots published
+  std::uint64_t reuse_inflight_waits = 0;  ///< evals answered by a wait
+  std::uint64_t reuse_disk_hits = 0;       ///< evals answered from disk
+  std::uint64_t reuse_disk_entries = 0;    ///< entries preloaded from disk
+
   // Distribution metrics + phase profile, pre-rendered by Telemetry
   // (histograms/profiler JSON).  Emitted as a "metrics" block only when
   // non-empty, so manifests from metrics-off runs are byte-identical to

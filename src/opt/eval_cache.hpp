@@ -19,14 +19,32 @@
 // derives its logical hit statistics and `cached` telemetry flags from
 // that plus a serial replay of its own evaluation order, never from
 // racy physical hit counts.
+//
+// In-flight dedup: acquire() extends the protocol with future-like
+// entries.  The first caller on a missing key *claims* it (an entry
+// holding no value yet, stamped with the current epoch exactly as its
+// insert would have been) and must fulfill() or abandon() it; later
+// concurrent callers block until the value lands instead of recomputing
+// it.  Because claims carry the same epoch stamp first-insert-wins
+// would have produced, `prior_epoch` classification — and therefore the
+// tuner's `cached` flags and hit counters — is bit-identical at any
+// worker count.  lookup()/insert() remain for callers that must never
+// block (the value-caching-off arm still inserts for cross-tune reuse).
+//
+// Persistence: preload() seeds ready entries from disk (marked
+// `from_disk` so reuse telemetry can report disk hits) and snapshot()
+// exports the ready entries for a serializer; see core/eval_store.hpp
+// for the on-disk format and the code-version invalidation rule.
 
 #include <array>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace scal::opt {
@@ -69,6 +87,24 @@ class EvalCache {
     bool prior_epoch = false;
   };
 
+  /// Outcome of acquire(): exactly one of three shapes.
+  ///   - value set:  a ready entry answered the key (maybe after a
+  ///     wait); `waited`/`from_disk` say how it got there.
+  ///   - owner:      this caller claimed the key and MUST fulfill() or
+  ///     abandon() it, or waiters deadlock until abandon.
+  struct Acquired {
+    std::optional<Value> value;
+    /// Same deterministic fact Probe reports; claims count as
+    /// current-epoch entries, exactly like the insert they replace.
+    bool prior_epoch = false;
+    /// This caller owns the evaluation for the key.
+    bool owner = false;
+    /// The value came from another thread's in-flight evaluation.
+    bool waited = false;
+    /// The value was preloaded from a persistent cache file.
+    bool from_disk = false;
+  };
+
   /// Mark the start of a new tune.  Entries inserted from now on carry
   /// the new epoch; existing entries become `prior_epoch` hits.  Call
   /// between tunes only (not concurrently with lookups/inserts).
@@ -81,7 +117,7 @@ class EvalCache {
     const std::lock_guard<std::mutex> lock(mutex_);
     Probe probe;
     const auto it = entries_.find(key);
-    if (it != entries_.end()) {
+    if (it != entries_.end() && it->second.value.has_value()) {
       probe.value = it->second.value;
       probe.prior_epoch = it->second.epoch < epoch_;
     }
@@ -91,10 +127,102 @@ class EvalCache {
   /// First-evaluator-wins: if the key is already present the stored
   /// value AND its epoch stamp are kept, so concurrent duplicate
   /// evaluations and later re-inserts cannot perturb `prior_epoch`
-  /// classification.
+  /// classification.  Fulfills (and wakes waiters of) an in-flight
+  /// entry claimed via acquire().
   void insert(const EvalKey& key, const Value& value) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      const auto [it, inserted] = entries_.try_emplace(key, Entry{});
+      if (inserted) {
+        it->second.epoch = epoch_;
+      } else if (it->second.value.has_value()) {
+        return;  // first value wins
+      }
+      it->second.value = value;
+    }
+    ready_.notify_all();
+  }
+
+  /// Claim, hit, or wait (see Acquired).  Blocking happens only when
+  /// another thread holds the claim; the wait ends when that owner
+  /// fulfills (value returned) or abandons (this caller re-claims).
+  Acquired acquire(const EvalKey& key) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    bool waited = false;
+    for (;;) {
+      const auto [it, inserted] = entries_.try_emplace(key, Entry{});
+      if (inserted) {
+        // Claimed: stamp with the current epoch, exactly the stamp the
+        // eventual first insert would have carried.
+        it->second.epoch = epoch_;
+        Acquired out;
+        out.owner = true;
+        out.waited = waited;
+        return out;
+      }
+      if (it->second.value.has_value()) {
+        Acquired out;
+        out.value = it->second.value;
+        out.prior_epoch = it->second.epoch < epoch_;
+        out.waited = waited;
+        out.from_disk = it->second.from_disk;
+        if (it->second.from_disk) ++disk_hits_;
+        return out;
+      }
+      // In flight elsewhere: wait for fulfill (value appears) or
+      // abandon (entry vanishes, loop re-claims).  Counted once per
+      // blocking acquire, so the tally reads "evaluations saved".
+      if (!waited) {
+        waited = true;
+        ++in_flight_waits_;
+      }
+      ready_.wait(lock, [&] {
+        const auto again = entries_.find(key);
+        return again == entries_.end() || again->second.value.has_value();
+      });
+    }
+  }
+
+  /// Publish the owner's result and wake waiters.  First value wins
+  /// (identical by determinism anyway); the claim's epoch stamp is kept.
+  void fulfill(const EvalKey& key, const Value& value) { insert(key, value); }
+
+  /// Release a claim without a value (owner's evaluation threw) so a
+  /// waiter can re-claim.  No-op on ready or absent keys.
+  void abandon(const EvalKey& key) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = entries_.find(key);
+      if (it == entries_.end() || it->second.value.has_value()) return;
+      entries_.erase(it);
+    }
+    ready_.notify_all();
+  }
+
+  /// Seed a ready entry from a persistent cache file.  First-wins like
+  /// insert(); stamped with the current epoch, so preloading before the
+  /// first begin_epoch() makes warm entries `prior_epoch` for every
+  /// tune — identical classification to a cold run's own inserts.
+  void preload(const EvalKey& key, const Value& value) {
     const std::lock_guard<std::mutex> lock(mutex_);
-    entries_.try_emplace(key, Entry{value, epoch_});
+    const auto [it, inserted] = entries_.try_emplace(key, Entry{});
+    if (!inserted) return;
+    it->second.value = value;
+    it->second.epoch = epoch_;
+    it->second.from_disk = true;
+    ++preloaded_;
+  }
+
+  /// Every ready (key, value) pair, for the persistent serializer.
+  /// In-flight claims are skipped.  Unordered; the serializer sorts.
+  std::vector<std::pair<EvalKey, Value>> snapshot() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<EvalKey, Value>> out;
+    out.reserve(entries_.size());
+    for (const auto& [key, entry] : entries_) {
+      if (entry.value.has_value()) out.emplace_back(key, *entry.value);
+    }
+    return out;
   }
 
   std::size_t size() const {
@@ -107,21 +235,48 @@ class EvalCache {
     return epoch_;
   }
 
+  /// Times an acquire() blocked on another thread's evaluation.
+  std::uint64_t in_flight_waits() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return in_flight_waits_;
+  }
+
+  /// Times an acquire() was answered by a preloaded (disk) entry.
+  std::uint64_t disk_hits() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return disk_hits_;
+  }
+
+  /// Entries seeded via preload().
+  std::uint64_t preloaded() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return preloaded_;
+  }
+
   void clear() {
     const std::lock_guard<std::mutex> lock(mutex_);
     entries_.clear();
     epoch_ = 0;
+    in_flight_waits_ = 0;
+    disk_hits_ = 0;
+    preloaded_ = 0;
   }
 
  private:
   struct Entry {
-    Value value;
+    /// Empty while the claiming owner is still evaluating (in flight).
+    std::optional<Value> value;
     std::uint64_t epoch = 0;
+    bool from_disk = false;
   };
 
   mutable std::mutex mutex_;
+  std::condition_variable ready_;
   std::unordered_map<EvalKey, Entry, EvalKeyHash> entries_;
   std::uint64_t epoch_ = 0;
+  std::uint64_t in_flight_waits_ = 0;
+  std::uint64_t disk_hits_ = 0;
+  std::uint64_t preloaded_ = 0;
 };
 
 }  // namespace scal::opt

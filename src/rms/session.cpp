@@ -8,8 +8,13 @@ grid::SimulationResult SimulationSession::run(const grid::GridConfig& config) {
   if (system_ != nullptr && system_->reset_compatible(config)) {
     system_->reset(config);
   } else {
+    grid::GridConfig effective = config;
+    // Instrumented runs keep sharing off: adopted trees skip settle work
+    // the phase profiler would otherwise count (routes are unaffected).
+    effective.share_router_trees =
+        tree_sharing_ && config.telemetry == nullptr;
     system_ = std::make_unique<grid::GridSystem>(
-        config, scheduler_factory(config.rms));
+        effective, scheduler_factory(effective.rms));
     ++rebuilds_;
   }
   return system_->run();

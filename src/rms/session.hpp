@@ -9,6 +9,13 @@
 // are bit-identical either way; the session is purely a wall-clock
 // optimization.
 //
+// Sessions also opt their systems into the process-wide shared
+// source-tree cache (net::SharedTreeCache): sibling slots route over
+// identical graphs, so the first slot to settle a source publishes it
+// and the rest adopt instead of re-running Dijkstra.  Routes are
+// bit-identical shared or not; instrumented configs (telemetry
+// attached) keep sharing off so profiler scope counts stay exact.
+//
 // A session is single-threaded.  Concurrent annealing chains each use
 // their own slot of a SessionPool (the tuner's slot discipline maps one
 // chain to one slot), so no locking is needed anywhere on this path.
@@ -30,9 +37,15 @@ class SimulationSession {
   /// Times run() had to construct a system (diagnostics).
   std::size_t rebuilds() const noexcept { return rebuilds_; }
 
+  /// Router source-tree sharing for systems this session builds
+  /// (default on; see header comment).  Honored at the next rebuild.
+  void set_tree_sharing(bool on) noexcept { tree_sharing_ = on; }
+  bool tree_sharing() const noexcept { return tree_sharing_; }
+
  private:
   std::unique_ptr<grid::GridSystem> system_;
   std::size_t rebuilds_ = 0;
+  bool tree_sharing_ = true;
 };
 
 /// Lazily grown set of sessions with stable references.  Thread-compatible

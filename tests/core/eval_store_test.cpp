@@ -1,0 +1,378 @@
+#include "core/eval_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/tuner.hpp"
+
+namespace scal::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh path under the system temp dir, removed on destruction.
+struct TempFile {
+  fs::path path;
+  explicit TempFile(const std::string& name)
+      : path(fs::temp_directory_path() / name) {
+    std::error_code ec;
+    fs::remove(path, ec);
+  }
+  ~TempFile() {
+    std::error_code ec;
+    fs::remove(path, ec);
+  }
+  std::string str() const { return path.string(); }
+};
+
+opt::EvalKey key(double a, double b, std::uint64_t d0 = 11,
+                 std::uint64_t d1 = 22) {
+  opt::EvalKey k;
+  k.digest = {d0, d1};
+  k.point = {a, b};
+  return k;
+}
+
+/// A result with every serialized field set to a distinct value,
+/// including doubles without exact binary representations — the store
+/// must round-trip bit patterns, not decimal renderings.
+grid::SimulationResult make_result(double base) {
+  grid::SimulationResult r;
+  r.F = base + 0.1;
+  r.G_scheduler = base + 1.0 / 3.0;
+  r.G_estimator = base + 0.2;
+  r.G_middleware = base + 0.3;
+  r.G_aggregator = base + 0.4;
+  r.H_control = base + 0.5;
+  r.H_wasted = base + 0.6;
+  r.G_scheduler_max_share = 0.25 + base * 1e-6;
+  r.G_scheduler_max = base + 0.7;
+  r.throughput = base * 7.0 + 1.0 / 7.0;
+  r.mean_response = base + 0.8;
+  r.p95_response = base + 0.9;
+  const auto u = static_cast<std::uint64_t>(base);
+  r.jobs_arrived = u + 1;
+  r.jobs_local = u + 2;
+  r.jobs_remote = u + 3;
+  r.jobs_completed = u + 4;
+  r.jobs_succeeded = u + 5;
+  r.jobs_missed_deadline = u + 6;
+  r.jobs_unfinished = u + 7;
+  r.polls = u + 8;
+  r.transfers = u + 9;
+  r.auctions = u + 10;
+  r.adverts = u + 11;
+  r.updates_received = u + 12;
+  r.updates_suppressed = u + 13;
+  r.network_messages = u + 14;
+  r.messages_dropped = u + 15;
+  r.events_dispatched = u + 16;
+  r.horizon = base * 100.0 + 0.01;
+  r.ctrl_updates_in = u + 17;
+  r.ctrl_updates_coalesced = u + 18;
+  r.ctrl_batches = u + 19;
+  r.ctrl_tree_depth = u + 20;
+  r.resource_crashes = u + 21;
+  r.resource_recoveries = u + 22;
+  r.jobs_killed = u + 23;
+  r.jobs_requeued = u + 24;
+  r.jobs_lost = u + 25;
+  r.round_retries = u + 26;
+  r.status_evictions = u + 27;
+  r.blackout_drops = u + 28;
+  r.aggregator_blackouts = u + 29;
+  r.messages_delayed = u + 30;
+  r.messages_duplicated = u + 31;
+  r.resource_downtime = base + 0.11;
+  r.availability = 1.0 - base * 1e-9;
+  r.workload_stats.jobs = u + 32;
+  r.workload_stats.local_jobs = u + 33;
+  r.workload_stats.remote_jobs = u + 34;
+  r.workload_stats.mean_interarrival = base + 0.12;
+  r.workload_stats.mean_exec_time = base + 0.13;
+  r.workload_stats.max_exec_time = base + 0.14;
+  r.workload_stats.total_demand = base + 0.15;
+  r.workload_stats.span = base + 0.16;
+  r.workload_from_cache = (u % 2) == 1;
+  r.result_mode =
+      (u % 2) == 1 ? grid::ResultMode::kStreaming : grid::ResultMode::kFull;
+  r.job_log_records = u + 35;
+  r.job_log_dropped = u + 36;
+  r.arena_high_water = u + 37;
+  r.arena_reuses = u + 38;
+  r.arrival_cache_evictions = u + 39;
+  r.arrival_cache_store_skips = u + 40;
+  return r;
+}
+
+std::uint64_t bits(double v) {
+  std::uint64_t out = 0;
+  std::memcpy(&out, &v, sizeof(out));
+  return out;
+}
+
+#define EXPECT_BITEQ(a, b) EXPECT_EQ(bits(a), bits(b))
+
+void expect_bitwise_equal(const grid::SimulationResult& a,
+                          const grid::SimulationResult& b) {
+  EXPECT_BITEQ(a.F, b.F);
+  EXPECT_BITEQ(a.G_scheduler, b.G_scheduler);
+  EXPECT_BITEQ(a.G_estimator, b.G_estimator);
+  EXPECT_BITEQ(a.G_middleware, b.G_middleware);
+  EXPECT_BITEQ(a.G_aggregator, b.G_aggregator);
+  EXPECT_BITEQ(a.H_control, b.H_control);
+  EXPECT_BITEQ(a.H_wasted, b.H_wasted);
+  EXPECT_BITEQ(a.G_scheduler_max_share, b.G_scheduler_max_share);
+  EXPECT_BITEQ(a.G_scheduler_max, b.G_scheduler_max);
+  EXPECT_BITEQ(a.throughput, b.throughput);
+  EXPECT_BITEQ(a.mean_response, b.mean_response);
+  EXPECT_BITEQ(a.p95_response, b.p95_response);
+  EXPECT_EQ(a.jobs_arrived, b.jobs_arrived);
+  EXPECT_EQ(a.jobs_local, b.jobs_local);
+  EXPECT_EQ(a.jobs_remote, b.jobs_remote);
+  EXPECT_EQ(a.jobs_completed, b.jobs_completed);
+  EXPECT_EQ(a.jobs_succeeded, b.jobs_succeeded);
+  EXPECT_EQ(a.jobs_missed_deadline, b.jobs_missed_deadline);
+  EXPECT_EQ(a.jobs_unfinished, b.jobs_unfinished);
+  EXPECT_EQ(a.polls, b.polls);
+  EXPECT_EQ(a.transfers, b.transfers);
+  EXPECT_EQ(a.auctions, b.auctions);
+  EXPECT_EQ(a.adverts, b.adverts);
+  EXPECT_EQ(a.updates_received, b.updates_received);
+  EXPECT_EQ(a.updates_suppressed, b.updates_suppressed);
+  EXPECT_EQ(a.network_messages, b.network_messages);
+  EXPECT_EQ(a.messages_dropped, b.messages_dropped);
+  EXPECT_EQ(a.events_dispatched, b.events_dispatched);
+  EXPECT_BITEQ(a.horizon, b.horizon);
+  EXPECT_EQ(a.ctrl_updates_in, b.ctrl_updates_in);
+  EXPECT_EQ(a.ctrl_updates_coalesced, b.ctrl_updates_coalesced);
+  EXPECT_EQ(a.ctrl_batches, b.ctrl_batches);
+  EXPECT_EQ(a.ctrl_tree_depth, b.ctrl_tree_depth);
+  EXPECT_EQ(a.resource_crashes, b.resource_crashes);
+  EXPECT_EQ(a.resource_recoveries, b.resource_recoveries);
+  EXPECT_EQ(a.jobs_killed, b.jobs_killed);
+  EXPECT_EQ(a.jobs_requeued, b.jobs_requeued);
+  EXPECT_EQ(a.jobs_lost, b.jobs_lost);
+  EXPECT_EQ(a.round_retries, b.round_retries);
+  EXPECT_EQ(a.status_evictions, b.status_evictions);
+  EXPECT_EQ(a.blackout_drops, b.blackout_drops);
+  EXPECT_EQ(a.aggregator_blackouts, b.aggregator_blackouts);
+  EXPECT_EQ(a.messages_delayed, b.messages_delayed);
+  EXPECT_EQ(a.messages_duplicated, b.messages_duplicated);
+  EXPECT_BITEQ(a.resource_downtime, b.resource_downtime);
+  EXPECT_BITEQ(a.availability, b.availability);
+  EXPECT_EQ(a.workload_stats.jobs, b.workload_stats.jobs);
+  EXPECT_EQ(a.workload_stats.local_jobs, b.workload_stats.local_jobs);
+  EXPECT_EQ(a.workload_stats.remote_jobs, b.workload_stats.remote_jobs);
+  EXPECT_BITEQ(a.workload_stats.mean_interarrival,
+               b.workload_stats.mean_interarrival);
+  EXPECT_BITEQ(a.workload_stats.mean_exec_time,
+               b.workload_stats.mean_exec_time);
+  EXPECT_BITEQ(a.workload_stats.max_exec_time,
+               b.workload_stats.max_exec_time);
+  EXPECT_BITEQ(a.workload_stats.total_demand, b.workload_stats.total_demand);
+  EXPECT_BITEQ(a.workload_stats.span, b.workload_stats.span);
+  EXPECT_EQ(a.workload_from_cache, b.workload_from_cache);
+  EXPECT_EQ(a.result_mode, b.result_mode);
+  EXPECT_EQ(a.job_log_records, b.job_log_records);
+  EXPECT_EQ(a.job_log_dropped, b.job_log_dropped);
+  EXPECT_EQ(a.arena_high_water, b.arena_high_water);
+  EXPECT_EQ(a.arena_reuses, b.arena_reuses);
+  EXPECT_EQ(a.arrival_cache_evictions, b.arrival_cache_evictions);
+  EXPECT_EQ(a.arrival_cache_store_skips, b.arrival_cache_store_skips);
+  // The telemetry pointer is deliberately NOT serialized.
+  EXPECT_EQ(b.telemetry, nullptr);
+}
+
+TEST(EvalStore, RoundTripIsBitwiseExact) {
+  TempFile file("eval_store_roundtrip.evc");
+  EvalCache source;
+  source.insert(key(1.5, 2.5), make_result(3.0));
+  source.insert(key(-0.75, 1e9, 33, 44), make_result(7.0));
+  source.insert(key(0.0, -0.0), make_result(11.0));
+  ASSERT_EQ(save_eval_cache(source, file.str(), "test-v1"), 3u);
+
+  EvalCache loaded;
+  const auto stats = load_eval_cache(loaded, file.str(), "test-v1");
+  EXPECT_TRUE(stats.found);
+  EXPECT_FALSE(stats.version_mismatch);
+  EXPECT_EQ(stats.entries_in_file, 3u);
+  EXPECT_EQ(stats.loaded, 3u);
+  EXPECT_EQ(loaded.preloaded(), 3u);
+
+  for (const auto& [k, v] : source.snapshot()) {
+    const auto got = loaded.lookup(k);
+    ASSERT_TRUE(got.value.has_value()) << "key lost in round trip";
+    expect_bitwise_equal(v, *got.value);
+  }
+}
+
+TEST(EvalStore, SavedFilesAreByteDeterministic) {
+  TempFile a("eval_store_det_a.evc");
+  TempFile b("eval_store_det_b.evc");
+  // Different insertion orders into different caches: the sorted writer
+  // must still emit identical bytes.
+  EvalCache first;
+  first.insert(key(1.0, 2.0), make_result(1.0));
+  first.insert(key(3.0, 4.0, 5, 6), make_result(2.0));
+  first.insert(key(-1.0, 0.5), make_result(3.0));
+  EvalCache second;
+  second.insert(key(-1.0, 0.5), make_result(3.0));
+  second.insert(key(1.0, 2.0), make_result(1.0));
+  second.insert(key(3.0, 4.0, 5, 6), make_result(2.0));
+  ASSERT_EQ(save_eval_cache(first, a.str(), "test-v1"), 3u);
+  ASSERT_EQ(save_eval_cache(second, b.str(), "test-v1"), 3u);
+
+  std::ifstream fa(a.path, std::ios::binary);
+  std::ifstream fb(b.path, std::ios::binary);
+  const std::string bytes_a((std::istreambuf_iterator<char>(fa)),
+                            std::istreambuf_iterator<char>());
+  const std::string bytes_b((std::istreambuf_iterator<char>(fb)),
+                            std::istreambuf_iterator<char>());
+  ASSERT_FALSE(bytes_a.empty());
+  EXPECT_EQ(bytes_a, bytes_b);
+}
+
+TEST(EvalStore, CodeVersionMismatchDiscardsWholeFile) {
+  TempFile file("eval_store_version.evc");
+  EvalCache source;
+  source.insert(key(1.0, 1.0), make_result(1.0));
+  ASSERT_EQ(save_eval_cache(source, file.str(), "v1.0-abc"), 1u);
+
+  EvalCache loaded;
+  const auto stats = load_eval_cache(loaded, file.str(), "v1.1-def");
+  EXPECT_TRUE(stats.found);
+  EXPECT_TRUE(stats.version_mismatch);
+  EXPECT_EQ(stats.loaded, 0u);
+  EXPECT_EQ(loaded.size(), 0u);
+}
+
+TEST(EvalStore, MissingFileIsACleanColdStart) {
+  EvalCache cache;
+  const auto stats =
+      load_eval_cache(cache, "/nonexistent/dir/never.evc", "test-v1");
+  EXPECT_FALSE(stats.found);
+  EXPECT_FALSE(stats.version_mismatch);
+  EXPECT_EQ(stats.loaded, 0u);
+}
+
+TEST(EvalStore, CorruptAndTruncatedFilesAreDiscarded) {
+  TempFile file("eval_store_corrupt.evc");
+  EvalCache source;
+  source.insert(key(1.0, 1.0), make_result(1.0));
+  source.insert(key(2.0, 2.0), make_result(2.0));
+  ASSERT_EQ(save_eval_cache(source, file.str(), "test-v1"), 2u);
+
+  // Truncate: keep the header plus part of an entry.  Whole-file
+  // discard — a partially-written cache must not half-load.
+  std::ifstream in(file.path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  {
+    std::ofstream out(file.path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() - 16));
+  }
+  EvalCache truncated;
+  auto stats = load_eval_cache(truncated, file.str(), "test-v1");
+  EXPECT_TRUE(stats.found);
+  EXPECT_TRUE(stats.version_mismatch);
+  EXPECT_EQ(truncated.size(), 0u);
+
+  // Garbage magic.
+  {
+    std::ofstream out(file.path, std::ios::binary | std::ios::trunc);
+    out << "not an eval cache at all";
+  }
+  EvalCache garbage;
+  stats = load_eval_cache(garbage, file.str(), "test-v1");
+  EXPECT_TRUE(stats.found);
+  EXPECT_TRUE(stats.version_mismatch);
+  EXPECT_EQ(garbage.size(), 0u);
+
+  // Empty file.
+  { std::ofstream out(file.path, std::ios::binary | std::ios::trunc); }
+  EvalCache empty;
+  stats = load_eval_cache(empty, file.str(), "test-v1");
+  EXPECT_TRUE(stats.found);
+  EXPECT_TRUE(stats.version_mismatch);
+  EXPECT_EQ(empty.size(), 0u);
+}
+
+TEST(EvalStore, SaveSkipsInFlightClaims) {
+  TempFile file("eval_store_claims.evc");
+  EvalCache cache;
+  cache.insert(key(1.0, 1.0), make_result(1.0));
+  ASSERT_TRUE(cache.acquire(key(2.0, 2.0)).owner);  // never fulfilled
+  EXPECT_EQ(save_eval_cache(cache, file.str(), "test-v1"), 1u);
+  cache.abandon(key(2.0, 2.0));
+}
+
+/// Analytic stand-in with a known interior optimum (mirrors
+/// tuner_test.cpp) so warm-vs-cold objective identity is checkable
+/// without running the simulator.
+grid::SimulationResult fake_sim(const grid::GridConfig& config) {
+  const double tau = config.tuning.update_interval;
+  grid::SimulationResult r;
+  r.G_scheduler = 100.0 + 2000.0 / tau + 3.0 * tau;
+  const double e = 0.60 - 0.004 * std::abs(tau - 20.0);
+  r.F = 1000.0;
+  r.H_control = r.F / e - r.F - r.G_scheduler;
+  return r;
+}
+
+TEST(EvalStore, WarmTuneIsBitIdenticalAndRunsNothing) {
+  TempFile file("eval_store_warm.evc");
+  const ScalingCase scase = ScalingCase::case1_network_size();
+  grid::GridConfig config;
+  config.topology.nodes = 100;
+  TunerConfig tuner;
+  tuner.e0 = 0.58;
+  tuner.band = 0.02;
+  tuner.evaluations = 40;
+
+  EvalCache cold_cache;
+  tuner.cache = &cold_cache;
+  std::atomic<int> cold_runs{0};
+  const auto cold = tune_enablers(
+      config, scase, tuner,
+      [&](const grid::GridConfig& c) { ++cold_runs; return fake_sim(c); });
+  ASSERT_GT(cold_runs.load(), 0);
+  ASSERT_GT(save_eval_cache(cold_cache, file.str(), "test-v1"), 0u);
+
+  EvalCache warm_cache;
+  const auto stats = load_eval_cache(warm_cache, file.str(), "test-v1");
+  ASSERT_GT(stats.loaded, 0u);
+  tuner.cache = &warm_cache;
+  std::atomic<int> warm_runs{0};
+  const auto warm = tune_enablers(
+      config, scase, tuner,
+      [&](const grid::GridConfig& c) { ++warm_runs; return fake_sim(c); });
+
+  // The search replays the same points: every evaluation answers from
+  // disk, and the outcome is bit-identical to the cold run.
+  EXPECT_EQ(warm_runs.load(), 0);
+  EXPECT_GT(warm_cache.disk_hits(), 0u);
+  EXPECT_BITEQ(warm.objective, cold.objective);
+  EXPECT_BITEQ(warm.tuning.update_interval, cold.tuning.update_interval);
+  EXPECT_EQ(warm.feasible, cold.feasible);
+  EXPECT_EQ(warm.evaluations, cold.evaluations);
+  // Hit STATS legitimately differ: warm, every evaluation is a
+  // prior-epoch hit against the preloaded entries; cold, only the
+  // search's own repeats count.  The outcome above is what must match.
+  EXPECT_GE(warm.cache_hits, cold.cache_hits);
+  EXPECT_GT(warm.cache_prior_hits, 0u);
+  EXPECT_EQ(cold.cache_prior_hits, 0u);
+}
+
+}  // namespace
+}  // namespace scal::core

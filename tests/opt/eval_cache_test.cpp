@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -111,6 +113,130 @@ TEST(EvalCache, ConcurrentHammerStaysConsistent) {
       EXPECT_EQ(*probe.value, i * 10);
     }
   }
+}
+
+TEST(EvalCacheAcquire, OwnerThenHit) {
+  EvalCache<int> cache;
+  auto first = cache.acquire(key(1.0, 2.0));
+  EXPECT_TRUE(first.owner);
+  EXPECT_FALSE(first.value.has_value());
+  EXPECT_FALSE(first.waited);
+  cache.fulfill(key(1.0, 2.0), 7);
+  const auto second = cache.acquire(key(1.0, 2.0));
+  EXPECT_FALSE(second.owner);
+  ASSERT_TRUE(second.value.has_value());
+  EXPECT_EQ(*second.value, 7);
+  EXPECT_FALSE(second.waited);
+  EXPECT_FALSE(second.from_disk);
+}
+
+TEST(EvalCacheAcquire, ClaimCarriesCurrentEpochStamp) {
+  // A claim must classify exactly like the insert it replaces: not
+  // prior-epoch within the claiming tune, prior-epoch in the next.
+  EvalCache<int> cache;
+  cache.begin_epoch();
+  const auto claimed = cache.acquire(key(1.0, 1.0));
+  EXPECT_TRUE(claimed.owner);
+  EXPECT_FALSE(claimed.prior_epoch);
+  cache.fulfill(key(1.0, 1.0), 1);
+  EXPECT_FALSE(cache.acquire(key(1.0, 1.0)).prior_epoch);
+  cache.begin_epoch();
+  EXPECT_TRUE(cache.acquire(key(1.0, 1.0)).prior_epoch);
+  EXPECT_TRUE(cache.lookup(key(1.0, 1.0)).prior_epoch);
+}
+
+TEST(EvalCacheAcquire, AbandonLetsWaiterReclaim) {
+  EvalCache<int> cache;
+  const EvalKey k = key(5.0, 5.0);
+  ASSERT_TRUE(cache.acquire(k).owner);
+  std::atomic<bool> reclaimed{false};
+  std::thread waiter([&] {
+    const auto got = cache.acquire(k);  // blocks until abandon
+    if (got.owner) {
+      reclaimed = true;
+      cache.fulfill(k, 11);
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  cache.abandon(k);
+  waiter.join();
+  EXPECT_TRUE(reclaimed);
+  EXPECT_EQ(*cache.lookup(k).value, 11);
+  EXPECT_GE(cache.in_flight_waits(), 1u);
+}
+
+TEST(EvalCacheAcquire, LookupNeverSeesInFlightClaims) {
+  // The non-blocking arm must treat a claim as a miss, not a value.
+  EvalCache<int> cache;
+  ASSERT_TRUE(cache.acquire(key(9.0, 9.0)).owner);
+  EXPECT_FALSE(cache.lookup(key(9.0, 9.0)).value.has_value());
+  // insert() fulfills the claim (the !cache_values arm writing through).
+  cache.insert(key(9.0, 9.0), 3);
+  EXPECT_EQ(*cache.lookup(key(9.0, 9.0)).value, 3);
+}
+
+TEST(EvalCacheAcquire, InFlightDedupHammer) {
+  // Many threads race acquire() over a small key set; owners sleep
+  // before fulfilling so waiters really block.  Exactly one owner per
+  // key, every non-owner gets the owner's value, no recomputation.
+  EvalCache<int> cache;
+  constexpr int kThreads = 8;
+  constexpr int kKeys = 4;
+  std::vector<std::atomic<int>> owners(kKeys);
+  std::atomic<int> bad{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kKeys; ++i) {
+        const EvalKey k = key(static_cast<double>(i), 0.25);
+        const auto got = cache.acquire(k);
+        if (got.owner) {
+          owners[static_cast<std::size_t>(i)]++;
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+          cache.fulfill(k, i * 100);
+        } else if (!got.value || *got.value != i * 100) {
+          ++bad;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(bad, 0);
+  for (int i = 0; i < kKeys; ++i) {
+    EXPECT_EQ(owners[static_cast<std::size_t>(i)].load(), 1)
+        << "key " << i << " evaluated more than once";
+  }
+}
+
+TEST(EvalCachePersist, PreloadMarksEntriesFromDisk) {
+  EvalCache<int> cache;
+  cache.preload(key(1.0, 1.0), 5);
+  EXPECT_EQ(cache.preloaded(), 1u);
+  cache.begin_epoch();
+  const auto got = cache.acquire(key(1.0, 1.0));
+  ASSERT_TRUE(got.value.has_value());
+  EXPECT_EQ(*got.value, 5);
+  EXPECT_TRUE(got.from_disk);
+  EXPECT_TRUE(got.prior_epoch);  // preloaded pre-epoch = warm for every tune
+  EXPECT_EQ(cache.disk_hits(), 1u);
+  // Preload is first-wins: it never clobbers a computed entry.
+  cache.insert(key(2.0, 2.0), 7);
+  cache.preload(key(2.0, 2.0), 8);
+  EXPECT_EQ(*cache.lookup(key(2.0, 2.0)).value, 7);
+  EXPECT_EQ(cache.preloaded(), 1u);
+}
+
+TEST(EvalCachePersist, SnapshotSkipsInFlightClaims) {
+  EvalCache<int> cache;
+  cache.insert(key(1.0, 1.0), 1);
+  cache.insert(key(2.0, 2.0), 2);
+  ASSERT_TRUE(cache.acquire(key(3.0, 3.0)).owner);  // never fulfilled
+  const auto entries = cache.snapshot();
+  EXPECT_EQ(entries.size(), 2u);
+  for (const auto& [k, v] : entries) {
+    EXPECT_EQ(v, static_cast<int>(k.point[0]));
+  }
+  cache.abandon(key(3.0, 3.0));
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "net/tree_cache.hpp"
+#include "obs/telemetry.hpp"
 #include "rms/factory.hpp"
 
 namespace scal::rms {
@@ -60,6 +62,43 @@ TEST(SimulationSession, RebuildsOnStructuralChange) {
   bigger_tuned.tuning.link_delay_scale = 1.4;
   expect_identical(session.run(bigger_tuned), simulate(bigger_tuned));
   EXPECT_EQ(session.rebuilds(), 2u);
+}
+
+TEST(SimulationSession, TreeSharingIsResultInvisible) {
+  // Sessions opt their systems into the shared router-tree cache by
+  // default; the results must be bit-identical to a sharing-off session
+  // and to the one-shot simulate() path.
+  net::SharedTreeCache::instance().clear();
+  const grid::GridConfig config = small_config();
+
+  SimulationSession sharing;
+  ASSERT_TRUE(sharing.tree_sharing());
+  const auto with = sharing.run(config);
+
+  SimulationSession isolated;
+  isolated.set_tree_sharing(false);
+  const auto without = isolated.run(config);
+
+  expect_identical(with, without);
+  expect_identical(with, simulate(config));
+  // The sharing session really published trees for others to adopt.
+  EXPECT_GT(net::SharedTreeCache::instance().publishes(), 0u);
+  net::SharedTreeCache::instance().clear();
+}
+
+TEST(SimulationSession, TelemetryKeepsSharingOff) {
+  // Adopted trees would skew the profiler's net.route scope counts, so
+  // an instrumented run must never share (manifests stay byte-stable).
+  net::SharedTreeCache::instance().clear();
+  grid::GridConfig config = small_config();
+  obs::Telemetry telemetry{{}};
+  config.telemetry = &telemetry;
+
+  SimulationSession session;
+  ASSERT_TRUE(session.tree_sharing());
+  (void)session.run(config);
+  EXPECT_EQ(net::SharedTreeCache::instance().publishes(), 0u);
+  EXPECT_EQ(net::SharedTreeCache::instance().size(), 0u);
 }
 
 TEST(SessionPool, SlotsAreLazyAndStable) {

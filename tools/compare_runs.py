@@ -78,7 +78,14 @@ VOLATILE = {"started_at", "git", "wall_seconds", "peak_rss_bytes", "label",
             # ran before the record, not on the run itself ("cache_hits"
             # without the prefix is the tuner's — that one is real work).
             "from_cache", "arrival_cache_hits",
-            "arrival_cache_evictions", "arrival_cache_store_skips"}
+            "arrival_cache_evictions", "arrival_cache_store_skips",
+            # Evaluation-reuse provenance (the manifest's "reuse" block):
+            # tree shares and in-flight waits depend on thread scheduling
+            # and on what else the process ran; disk hits depend on
+            # whether a persistent cache file happened to exist.  The
+            # results they produced stay gated.
+            "tree_shares", "tree_publishes", "inflight_waits",
+            "disk_hits", "disk_entries"}
 
 
 def is_volatile(path):
@@ -138,6 +145,8 @@ def self_test():
         "tuning": {"update_interval": 20.0, "agg_fanout": 2, "agg_flush": 6.0},
         "workload": {"source": "swf:x.swf@0.4", "jobs": 169, "span": 1300.0,
                      "from_cache": False, "arrival_cache_hits": 6},
+        "reuse": {"tree_shares": 12, "tree_publishes": 3,
+                  "inflight_waits": 2, "disk_hits": 0, "disk_entries": 0},
     }
     same = json.loads(json.dumps(base))
     same["wall_seconds"] = 2.0           # volatile: must not count
@@ -147,6 +156,11 @@ def self_test():
     same["tuning"]["agg_flush"] = 3.5    # tuner output: must not count
     same["workload"]["from_cache"] = True        # provenance: not counted
     same["workload"]["arrival_cache_hits"] = 99  # provenance: not counted
+    same["reuse"]["tree_shares"] = 240           # scheduling: not counted
+    same["reuse"]["tree_publishes"] = 9          # scheduling: not counted
+    same["reuse"]["inflight_waits"] = 17         # scheduling: not counted
+    same["reuse"]["disk_hits"] = 13              # warm-file: not counted
+    same["reuse"]["disk_entries"] = 8            # warm-file: not counted
     exceeded, ok = compare(base, same, threshold=0.0)
     assert ok, "identical structures flagged as mismatch"
     assert not exceeded, f"volatile-only diffs flagged: {exceeded}"
